@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+The Table 2 suite run (50 scenes x 3 variants) is expensive, so it is
+computed once per session and shared by every bench that reports on it.
+Set ``REPRO_BENCH_ROWS`` to a comma-separated list of benchmark numbers to
+restrict the run (e.g. ``REPRO_BENCH_ROWS=9,15,44`` for a smoke pass).
+"""
+
+import os
+
+import pytest
+
+from repro.bench.runner import run_suite
+
+
+def _selected_rows():
+    raw = os.environ.get("REPRO_BENCH_ROWS", "").strip()
+    if not raw:
+        return None
+    return [int(part) for part in raw.split(",") if part.strip()]
+
+
+@pytest.fixture(scope="session")
+def suite_results():
+    """All Table 2 rows under all three variants (cached per session)."""
+    return run_suite(numbers=_selected_rows(), n=10)
+
+
+@pytest.fixture(scope="session")
+def figure1_scene():
+    from repro.javamodel.scenes import sequence_of_streams_scene
+
+    return sequence_of_streams_scene()

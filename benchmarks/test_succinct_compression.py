@@ -1,0 +1,27 @@
+"""§3.2: succinct-type compression of the Figure 1 environment.
+
+The paper reports that the 3,356 declarations visible in the Figure 1
+scene collapse to 1,783 succinct types under sigma — the reduction that
+shrinks the exploration space.  The bench times the conversion and checks
+that a substantial reduction happens on our synthetic environment.
+"""
+
+from repro.core.succinct import compression_ratio
+from repro.javamodel.scenes import FIGURE1_SUCCINCT_TYPES
+
+
+def test_succinct_compression(benchmark, figure1_scene):
+    types = [decl.type for decl in figure1_scene.environment]
+
+    total, distinct = benchmark(compression_ratio, types)
+
+    print(f"\n=== §3.2 sigma compression (Figure 1 environment) ===")
+    print(f"  declarations:        {total} (paper 3356)")
+    print(f"  succinct types:      {distinct} "
+          f"(paper {FIGURE1_SUCCINCT_TYPES})")
+    print(f"  ratio:               {distinct / total:.2f} "
+          f"(paper {FIGURE1_SUCCINCT_TYPES / 3356:.2f})")
+
+    assert total == 3356
+    assert distinct < total * 0.8, "sigma should merge a substantial share"
+    assert distinct >= 1000, "the environment should remain diverse"

@@ -1,0 +1,75 @@
+"""Table 2, prover columns: succinct engine vs Imogen/fCube stand-ins.
+
+Times three engines on identical provability queries (the Curry-Howard
+sequent of each benchmark): InSynth's succinct-calculus prover, the
+inverse-method baseline (Imogen's proof-search family) and the G4ip
+sequent baseline (fCube's family).
+
+General provers blow up on multi-thousand-hypothesis sequents — the paper
+reports fCube timings up to 99 seconds — so by default the generated
+distractor ballast is capped per query (the modelled JDK surface is always
+kept).  Set ``REPRO_PROVER_CAP`` to change the cap, ``REPRO_PROVER_ROWS``
+to choose rows.
+
+Shape asserted: all engines agree on provability; the succinct engine is
+fastest on aggregate, by an order of magnitude or more over the slower
+baseline (paper: 2 orders vs Imogen, 4 vs fCube).
+"""
+
+import os
+
+from repro.bench.reporting import format_prover_table
+from repro.bench.runner import run_provers
+from repro.bench.suite import benchmark_by_number
+
+DEFAULT_ROWS = (2, 9, 15, 22, 25, 28, 33, 40, 44, 50)
+
+
+def _rows():
+    raw = os.environ.get("REPRO_PROVER_ROWS", "").strip()
+    if not raw:
+        return DEFAULT_ROWS
+    if raw == "all":
+        return tuple(range(1, 51))
+    return tuple(int(part) for part in raw.split(","))
+
+
+def _cap():
+    raw = os.environ.get("REPRO_PROVER_CAP", "").strip()
+    return int(raw) if raw else 300
+
+
+def test_table2_prover_comparison(benchmark):
+    rows = _rows()
+    cap = _cap()
+
+    def run_all():
+        return [run_provers(benchmark_by_number(number), time_limit=5.0,
+                            import_cap=cap)
+                for number in rows]
+
+    comparisons = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print(f"\n=== Prover comparison (distractor cap {cap}, "
+          f"5 s timeout) ===")
+    print(format_prover_table(comparisons))
+
+    # Verdict agreement wherever nobody timed out.
+    for comparison in comparisons:
+        verdicts = {result.provable for result in comparison.results()
+                    if not result.timed_out}
+        assert len(verdicts) <= 1, f"provers disagree on #{comparison.spec_number}"
+
+    def mean_ms(picker):
+        values = [picker(c).milliseconds for c in comparisons]
+        return sum(values) / len(values)
+
+    succinct = mean_ms(lambda c: c.succinct)
+    slowest_baseline = max(
+        mean_ms(lambda c: c.inverse), mean_ms(lambda c: c.g4ip))
+    print(f"\nmean: succinct {succinct:.1f} ms, slowest baseline "
+          f"{slowest_baseline:.1f} ms ({slowest_baseline / succinct:.0f}x)")
+
+    assert succinct < mean_ms(lambda c: c.g4ip)
+    assert slowest_baseline / succinct >= 10.0, \
+        "the specialised engine should win by at least an order of magnitude"

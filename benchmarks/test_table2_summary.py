@@ -1,0 +1,40 @@
+"""Table 2 / §7.5 aggregates: measured vs published headline numbers.
+
+The paper's summary claims: expected snippets in the top ten on 48/50
+benchmarks (96 %), at rank one on 32/50 (64 %), average full-variant time
+around 145 ms, no-weights finding only 4/50, no-corpus failing just 2/50.
+"""
+
+from repro.bench.goldens import paper_summary
+from repro.bench.reporting import summarize
+
+
+def test_section_7_5_summary(benchmark, suite_results):
+    summary = benchmark.pedantic(lambda: summarize(suite_results),
+                                 rounds=1, iterations=1)
+    paper = paper_summary()
+
+    print("\n=== §7.5 headline numbers: measured vs paper ===")
+    total = summary.benchmarks
+    print(f"{'metric':<28} {'measured':>12} {'paper':>10}")
+    print(f"{'top-10 (full)':<28} "
+          f"{summary.full_top10 / total * 100:>11.0f}% "
+          f"{paper['full_top10_fraction'] * 100:>9.0f}%")
+    print(f"{'rank-1 (full)':<28} "
+          f"{summary.full_rank1 / total * 100:>11.0f}% "
+          f"{paper['full_rank1_fraction'] * 100:>9.0f}%")
+    print(f"{'mean total (full, ms)':<28} "
+          f"{summary.mean_total_full_ms:>12.1f} "
+          f"{paper['mean_total_full_ms']:>10.0f}")
+    if summary.no_weights_found is not None:
+        print(f"{'no-weights found':<28} "
+              f"{summary.no_weights_found:>12} "
+              f"{paper['no_weights_found']:>10.0f}")
+    if summary.no_corpus_found is not None:
+        print(f"{'no-corpus failed':<28} "
+              f"{total - summary.no_corpus_found:>12} "
+              f"{paper['no_corpus_failed']:>10.0f}")
+
+    assert summary.full_top10 / total >= 0.90
+    assert summary.full_rank1 / total >= 0.50
+    assert summary.mean_total_full_ms < 1000.0

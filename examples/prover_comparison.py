@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Prover shootout: succinct engine vs G4ip vs the inverse method.
+
+Reproduces the flavour of Table 2's last columns: the same inhabitation
+query (as an intuitionistic sequent) is decided by InSynth's succinct
+engine and by the two general-prover baselines, on environments of growing
+size.  The specialised engine's advantage grows with the environment — the
+paper's core performance claim.
+
+Run:  python examples/prover_comparison.py
+"""
+
+from repro.bench.runner import run_provers
+from repro.bench.suite import benchmark_by_number
+from repro.bench.reporting import format_prover_table
+
+
+def main() -> None:
+    print("query: the Table 2 benchmark #44 inhabitation problem")
+    print("(goal SequenceInputStream; environment scaled by distractor cap)\n")
+
+    comparisons = []
+    for cap in (50, 150, 400):
+        comparison = run_provers(benchmark_by_number(44), time_limit=5.0,
+                                 import_cap=cap)
+        comparisons.append(comparison)
+        print(f"  cap={cap:>4}: {comparison.hypothesis_count} hypotheses -> "
+              f"succinct {comparison.succinct.milliseconds:.1f} ms, "
+              f"g4ip {_cell(comparison.g4ip)}, "
+              f"inverse {_cell(comparison.inverse)}")
+
+    print()
+    print(format_prover_table(comparisons))
+    print("\nAll engines agree on provability; the goal-directed succinct")
+    print("engine degrades mildly with size, the saturating baselines fast.")
+
+
+def _cell(result) -> str:
+    return "timeout" if result.timed_out else f"{result.milliseconds:.1f} ms"
+
+
+if __name__ == "__main__":
+    main()

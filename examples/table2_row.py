@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Run one Table 2 benchmark under all three algorithm variants.
+
+Pass a benchmark number (1-50) as the first argument; default is 44, the
+SequenceInputStream row.  Prints the measured rank and timing of the goal
+snippet for the "No weights", "No corpus" and full variants next to the
+published numbers.
+
+Run:  python examples/table2_row.py [NUMBER]
+"""
+
+import sys
+
+from repro.bench.runner import run_benchmark
+from repro.bench.suite import benchmark_by_number
+
+
+def main() -> None:
+    number = int(sys.argv[1]) if len(sys.argv) > 1 else 44
+    spec = benchmark_by_number(number)
+    row = spec.row
+
+    print(f"benchmark #{number}: {spec.name}")
+    print(f"  {spec.description}")
+    print(f"  goal type: {spec.goal}")
+    print(f"  expected:  {spec.expected[0]}")
+    print(f"  #initial:  {row.n_initial} declarations\n")
+
+    result = run_benchmark(spec)
+
+    def fmt(rank):
+        return ">10" if rank is None else str(rank)
+
+    print(f"{'variant':<12} {'rank':>6} {'paper':>6} {'total ms':>9} "
+          f"{'paper ms':>9}")
+    rows = [
+        ("no_weights", row.rank_no_weights, row.total_no_weights_ms),
+        ("no_corpus", row.rank_no_corpus, row.total_no_corpus_ms),
+        ("full", row.rank_full, row.total_full_ms),
+    ]
+    for variant, paper_rank, paper_ms in rows:
+        outcome = result.outcomes[variant]
+        print(f"{variant:<12} {fmt(outcome.rank):>6} {fmt(paper_rank):>6} "
+              f"{outcome.total_ms:>9.0f} {paper_ms:>9}")
+
+    full = result.outcomes["full"]
+    print(f"\ntop suggestion (full variant): {full.top_snippet}")
+
+
+if __name__ == "__main__":
+    main()

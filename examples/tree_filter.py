@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""The paper's §2.2 example: higher-order function synthesis.
+
+The Scala IDE fragment needs a ``FilterTypeTreeTraverser`` whose constructor
+takes a *function* ``Tree => Boolean``.  The synthesizer must invent the
+closure ``var1 => p(var1)`` around the in-scope predicate ``p`` — the
+capability that distinguishes InSynth from method-chain completion tools.
+
+Run:  python examples/tree_filter.py
+"""
+
+from repro.core.synthesizer import Synthesizer
+from repro.core.terms import lnf_depth
+from repro.javamodel.scenes import tree_filter_scene
+from repro.lang.printer import render_ranked
+
+
+SCALA_CONTEXT = '''\
+class TreeWrapper(tree: Tree) {
+  def filter(p: Tree => Boolean): List[Tree] = {
+    val ft: FilterTypeTreeTraverser = <cursor>
+    ft.traverse(tree)
+    ft.hits.toList
+  }
+}'''
+
+
+def main() -> None:
+    print("Scala context (from the Scala IDE code base):\n")
+    print(SCALA_CONTEXT)
+
+    scene = tree_filter_scene()
+    print(f"\nvisible declarations: {scene.initial_count} (paper: ~4000)")
+
+    synthesizer = Synthesizer(scene.environment, subtypes=scene.subtypes)
+    result = synthesizer.synthesize(scene.goal, n=5)
+
+    print("\nInSynth suggests:")
+    print(render_ranked(result.snippets))
+
+    top = result.snippets[0]
+    print(f"\nrank-1 snippet: {top.code}")
+    print(f"  term:   {top.surface_term}")
+    print(f"  depth:  {lnf_depth(top.surface_term)}")
+    print(f"  weight: {top.weight:.1f}")
+    print(f"\nsynthesis took {result.total_seconds * 1000:.0f} ms "
+          f"(paper: < 300 ms)")
+    print("\nThe paper's expected snippet is "
+          "new FilterTypeTreeTraverser(var1 => p(var1)) — "
+          "the closure is synthesized, not looked up.")
+
+
+if __name__ == "__main__":
+    main()

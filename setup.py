@@ -1,0 +1,9 @@
+"""Shim for environments without the `wheel` package (offline editable installs).
+
+`pip install -e .` requires wheel for PEP 660; this sandbox has no network,
+so `python setup.py develop` (or a .pth file) provides the editable install.
+Configuration lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

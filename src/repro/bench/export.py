@@ -1,0 +1,95 @@
+"""Exporting benchmark results to CSV / JSON.
+
+Reviewers of a reproduction usually want machine-readable numbers next to
+the pretty tables; these helpers dump :class:`BenchmarkResult` /
+:class:`ProverComparison` sequences with the paper's reference values in
+adjacent columns.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.bench.runner import BenchmarkResult, ProverComparison
+
+_RESULT_FIELDS = [
+    "number", "name", "n_initial",
+    "rank_no_weights", "rank_no_corpus", "rank_full",
+    "paper_rank_no_weights", "paper_rank_no_corpus", "paper_rank_full",
+    "prove_ms", "recon_ms", "total_ms", "paper_total_full_ms",
+]
+
+
+def _rank(value: Optional[int]) -> str:
+    return "" if value is None else str(value)
+
+
+def result_rows(results: Sequence[BenchmarkResult]) -> list[dict]:
+    """Flatten results (with paper references) into dict rows."""
+    rows = []
+    for result in results:
+        full = result.outcomes.get("full")
+        rows.append({
+            "number": result.spec.number,
+            "name": result.spec.name,
+            "n_initial": result.initial_count,
+            "rank_no_weights": _rank(
+                result.outcomes["no_weights"].rank
+                if "no_weights" in result.outcomes else None),
+            "rank_no_corpus": _rank(
+                result.outcomes["no_corpus"].rank
+                if "no_corpus" in result.outcomes else None),
+            "rank_full": _rank(full.rank if full else None),
+            "paper_rank_no_weights": _rank(result.row.rank_no_weights),
+            "paper_rank_no_corpus": _rank(result.row.rank_no_corpus),
+            "paper_rank_full": _rank(result.row.rank_full),
+            "prove_ms": round(full.prove_ms, 2) if full else "",
+            "recon_ms": round(full.recon_ms, 2) if full else "",
+            "total_ms": round(full.total_ms, 2) if full else "",
+            "paper_total_full_ms": result.row.total_full_ms,
+        })
+    return rows
+
+
+def write_csv(results: Sequence[BenchmarkResult], path) -> None:
+    """Write a Table 2 run as CSV."""
+    rows = result_rows(results)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_RESULT_FIELDS)
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def write_json(results: Sequence[BenchmarkResult], path) -> None:
+    """Write a Table 2 run as JSON (one object per row)."""
+    Path(path).write_text(json.dumps(result_rows(results), indent=2),
+                          encoding="utf-8")
+
+
+def prover_rows(comparisons: Sequence[ProverComparison]) -> list[dict]:
+    rows = []
+    for comparison in comparisons:
+        row = {"number": comparison.spec_number,
+               "hypotheses": comparison.hypothesis_count}
+        for result in comparison.results():
+            row[f"{result.prover}_ms"] = (
+                "" if result.timed_out else round(result.milliseconds, 2))
+            row[f"{result.prover}_provable"] = (
+                "" if result.provable is None else result.provable)
+        rows.append(row)
+    return rows
+
+
+def write_prover_csv(comparisons: Sequence[ProverComparison], path) -> None:
+    """Write a prover comparison as CSV."""
+    rows = prover_rows(comparisons)
+    if not rows:
+        Path(path).write_text("", encoding="utf-8")
+        return
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+        writer.writeheader()
+        writer.writerows(rows)

@@ -1,0 +1,58 @@
+"""Goal-snippet rank detection, equal modulo literal constants (§7.2).
+
+The paper measures "whether InSynth can reconstruct an expression equal to
+the one removed, modulo literal constants (of integer, string, or boolean
+type)".  We implement that by rendering candidate snippets with every
+literal-kind head masked as ``<lit>`` and comparing against the expected
+snippet written in the same masked form.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.core.environment import DeclKind, Environment
+from repro.core.synthesizer import Snippet
+from repro.core.terms import LNFTerm
+
+#: Placeholder the matcher substitutes for any literal constant.
+LITERAL_PLACEHOLDER = "<lit>"
+
+
+def _mask_literals(term: LNFTerm, environment: Environment) -> LNFTerm:
+    declaration = environment.lookup(term.head)
+    if declaration is not None and declaration.kind is DeclKind.LITERAL:
+        return LNFTerm(term.binders, LITERAL_PLACEHOLDER, ())
+    return LNFTerm(term.binders, term.head,
+                   tuple(_mask_literals(argument, environment)
+                         for argument in term.arguments))
+
+
+def masked_code(term: LNFTerm, environment: Environment) -> str:
+    """Render *term* with literal heads replaced by ``<lit>``."""
+    from repro.core.environment import Declaration, RenderSpec, RenderStyle
+    from repro.core.types import base
+    from repro.lang.printer import render_snippet
+
+    masked = _mask_literals(term, environment)
+    if LITERAL_PLACEHOLDER in masked.__str__():
+        # Give the placeholder a literal render spec so it prints verbatim.
+        environment = environment.extended([Declaration(
+            LITERAL_PLACEHOLDER, base("<any>"), DeclKind.LITERAL,
+            render=RenderSpec(RenderStyle.LITERAL, LITERAL_PLACEHOLDER))])
+    return render_snippet(masked, environment)
+
+
+def find_rank(snippets: Sequence[Snippet], expected: str | Iterable[str],
+              environment: Environment) -> Optional[int]:
+    """The 1-based rank of the expected snippet, or ``None`` if absent.
+
+    *expected* is one masked code string (or several alternatives, any of
+    which counts as a hit — useful when argument order is ambiguous).
+    """
+    alternatives = ({expected} if isinstance(expected, str)
+                    else set(expected))
+    for snippet in snippets:
+        if masked_code(snippet.surface_term, environment) in alternatives:
+            return snippet.rank
+    return None

@@ -1,0 +1,116 @@
+"""Table 2-style reports and the §7.5 summary statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.bench.goldens import paper_summary
+from repro.bench.runner import BenchmarkResult, ProverComparison
+
+
+def _rank(rank: Optional[int]) -> str:
+    return ">10" if rank is None else str(rank)
+
+
+def format_table(results: Sequence[BenchmarkResult]) -> str:
+    """A Table 2 lookalike: measured ranks/times with paper ranks inline."""
+    header = (f"{'#':>3} {'Benchmark':<38} {'#Init':>6} "
+              f"{'NW rank':>8} {'NC rank':>8} {'rank':>5} {'paper':>6} "
+              f"{'prove':>7} {'recon':>7} {'total':>7}")
+    lines = [header, "-" * len(header)]
+    for result in results:
+        full = result.outcomes.get("full")
+        nw = result.outcomes.get("no_weights")
+        nc = result.outcomes.get("no_corpus")
+        lines.append(
+            f"{result.spec.number:>3} {result.spec.name[:38]:<38} "
+            f"{result.initial_count:>6} "
+            f"{_rank(nw.rank) if nw else '-':>8} "
+            f"{_rank(nc.rank) if nc else '-':>8} "
+            f"{_rank(full.rank) if full else '-':>5} "
+            f"{_rank(result.row.rank_full):>6} "
+            f"{full.prove_ms if full else 0:>6.0f} "
+            f"{full.recon_ms if full else 0:>6.0f} "
+            f"{full.total_ms if full else 0:>6.0f}")
+    return "\n".join(lines)
+
+
+def format_prover_table(comparisons: Sequence[ProverComparison]) -> str:
+    """Prover-comparison table: succinct vs inverse vs G4ip."""
+    header = (f"{'#':>3} {'hyps':>6} {'succinct':>10} {'inverse':>10} "
+              f"{'g4ip':>10} {'verdicts':>10}")
+    lines = [header, "-" * len(header)]
+    for comparison in comparisons:
+        def cell(result):
+            if result.timed_out:
+                return "timeout"
+            return f"{result.milliseconds:.1f}ms"
+
+        verdicts = "/".join(
+            "?" if result.provable is None else ("+" if result.provable else "-")
+            for result in comparison.results())
+        lines.append(
+            f"{comparison.spec_number:>3} {comparison.hypothesis_count:>6} "
+            f"{cell(comparison.succinct):>10} {cell(comparison.inverse):>10} "
+            f"{cell(comparison.g4ip):>10} {verdicts:>10}")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class SuiteSummary:
+    """The §7.5 aggregates, measured and paper side by side."""
+
+    benchmarks: int
+    full_top10: int
+    full_rank1: int
+    no_weights_found: Optional[int]
+    no_corpus_found: Optional[int]
+    mean_total_full_ms: float
+
+    def as_text(self) -> str:
+        paper = paper_summary()
+        lines = [
+            f"benchmarks run:           {self.benchmarks}",
+            f"full: in top 10           {self.full_top10}/{self.benchmarks} "
+            f"({100 * self.full_top10 / self.benchmarks:.0f}%; paper 96%)",
+            f"full: at rank 1           {self.full_rank1}/{self.benchmarks} "
+            f"({100 * self.full_rank1 / self.benchmarks:.0f}%; paper 64%)",
+        ]
+        if self.no_weights_found is not None:
+            lines.append(
+                f"no-weights: in top 10     {self.no_weights_found}"
+                f"/{self.benchmarks} (paper {paper['no_weights_found']:.0f}/50)")
+        if self.no_corpus_found is not None:
+            lines.append(
+                f"no-corpus: in top 10      {self.no_corpus_found}"
+                f"/{self.benchmarks} (paper {50 - paper['no_corpus_failed']:.0f}/50)")
+        lines.append(
+            f"mean full total           {self.mean_total_full_ms:.1f} ms "
+            f"(paper {paper['mean_total_full_ms']:.0f} ms)")
+        return "\n".join(lines)
+
+
+def summarize(results: Sequence[BenchmarkResult]) -> SuiteSummary:
+    """Aggregate a suite run into the §7.5 headline numbers."""
+    full = [result.outcomes["full"] for result in results
+            if "full" in result.outcomes]
+    yes_no_weights = None
+    if all("no_weights" in result.outcomes for result in results):
+        yes_no_weights = sum(
+            1 for result in results
+            if result.outcomes["no_weights"].found)
+    yes_no_corpus = None
+    if all("no_corpus" in result.outcomes for result in results):
+        yes_no_corpus = sum(
+            1 for result in results
+            if result.outcomes["no_corpus"].found)
+    return SuiteSummary(
+        benchmarks=len(results),
+        full_top10=sum(1 for outcome in full if outcome.found),
+        full_rank1=sum(1 for outcome in full if outcome.rank == 1),
+        no_weights_found=yes_no_weights,
+        no_corpus_found=yes_no_corpus,
+        mean_total_full_ms=(sum(outcome.total_ms for outcome in full)
+                            / len(full)) if full else 0.0,
+    )

@@ -1,0 +1,184 @@
+"""Running Table 2: three algorithm variants plus the prover comparison.
+
+``run_benchmark`` executes one scene under any subset of the paper's three
+variants —
+
+* ``no_weights`` — uniform declaration weights, FIFO exploration;
+* ``no_corpus``  — Table 1 locality weights with all frequencies zeroed;
+* ``full``       — locality weights plus corpus frequencies;
+
+— measures the goal-snippet rank (modulo literals) and the prover /
+reconstruction time split, and pairs the outcome with the published row.
+
+``run_provers`` times the succinct engine against the G4ip and inverse-
+method baselines on the same inhabitation query.  General-purpose provers
+blow up on multi-thousand-hypothesis sequents (that is the paper's point),
+so the default caps the environment at a few hundred imported declarations;
+pass ``import_cap=None`` to reproduce the full-size comparison and expect
+baseline timeouts, as the paper reports for Imogen's reconstruction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.bench.goldens import PaperRow
+from repro.bench.matching import find_rank
+from repro.bench.suite import (BENCHMARKS, BenchmarkSpec, build_scene)
+from repro.core.config import SynthesisConfig
+from repro.core.environment import Declaration, DeclKind, Environment
+from repro.core.synthesizer import Synthesizer
+from repro.core.weights import WeightPolicy
+from repro.javamodel.scope import Scene
+from repro.provers.g4ip import G4ipProver
+from repro.provers.interface import ProofResult, SuccinctProver, prove_timed
+from repro.provers.inverse import InverseMethodProver
+from repro.provers.translation import environment_to_sequent
+
+VARIANTS = ("no_weights", "no_corpus", "full")
+
+
+def policy_for(variant: str) -> WeightPolicy:
+    if variant == "no_weights":
+        return WeightPolicy.uniform_policy()
+    if variant == "no_corpus":
+        return WeightPolicy.without_corpus()
+    if variant == "full":
+        return WeightPolicy.standard()
+    raise ValueError(f"unknown variant {variant!r}")
+
+
+@dataclass(frozen=True)
+class VariantOutcome:
+    """One (benchmark, variant) measurement."""
+
+    variant: str
+    rank: Optional[int]          # None = not in the top N
+    inhabited: bool
+    prove_ms: float
+    recon_ms: float
+    total_ms: float
+    snippets: int
+    recon_expansions: int = 0
+    top_snippet: str = ""
+
+    @property
+    def found(self) -> bool:
+        return self.rank is not None
+
+
+@dataclass
+class BenchmarkResult:
+    """All measured variants of one benchmark, with the paper row."""
+
+    spec: BenchmarkSpec
+    row: PaperRow
+    initial_count: int
+    outcomes: dict[str, VariantOutcome] = field(default_factory=dict)
+
+    def outcome(self, variant: str) -> VariantOutcome:
+        return self.outcomes[variant]
+
+
+@dataclass(frozen=True)
+class ProverComparison:
+    """Timed provability results for one benchmark's query."""
+
+    spec_number: int
+    hypothesis_count: int
+    succinct: ProofResult
+    inverse: ProofResult
+    g4ip: ProofResult
+
+    def results(self) -> tuple[ProofResult, ...]:
+        return (self.succinct, self.inverse, self.g4ip)
+
+
+def run_benchmark(spec: BenchmarkSpec,
+                  variants: Sequence[str] = VARIANTS,
+                  n: int = 10,
+                  config: Optional[SynthesisConfig] = None,
+                  scene: Optional[Scene] = None) -> BenchmarkResult:
+    """Run one benchmark under the requested variants (N = 10 by default)."""
+    scene = scene or build_scene(spec)
+    result = BenchmarkResult(spec=spec, row=spec.row,
+                             initial_count=scene.initial_count)
+    for variant in variants:
+        synthesizer = Synthesizer(
+            scene.environment,
+            policy=policy_for(variant),
+            config=config or SynthesisConfig.paper_defaults(),
+            subtypes=scene.subtypes)
+        synthesis = synthesizer.synthesize(scene.goal, n=n)
+        rank = find_rank(synthesis.snippets, spec.expected,
+                         synthesizer.environment)
+        best = synthesis.best()
+        result.outcomes[variant] = VariantOutcome(
+            variant=variant,
+            rank=rank,
+            inhabited=synthesis.inhabited,
+            prove_ms=synthesis.prove_seconds * 1000.0,
+            recon_ms=synthesis.reconstruction_seconds * 1000.0,
+            total_ms=synthesis.total_seconds * 1000.0,
+            snippets=len(synthesis.snippets),
+            recon_expansions=synthesis.reconstruction_expansions,
+            top_snippet=best.code if best else "",
+        )
+    return result
+
+
+def run_suite(numbers: Optional[Iterable[int]] = None,
+              variants: Sequence[str] = VARIANTS,
+              n: int = 10,
+              config: Optional[SynthesisConfig] = None,
+              ) -> list[BenchmarkResult]:
+    """Run several benchmarks (all 50 by default)."""
+    chosen = (BENCHMARKS if numbers is None
+              else [BENCHMARKS[number - 1] for number in numbers])
+    return [run_benchmark(spec, variants=variants, n=n, config=config)
+            for spec in chosen]
+
+
+def _capped_environment(scene: Scene, import_cap: Optional[int]) -> Environment:
+    """Scale an environment down for the general-prover comparison.
+
+    Every modelled JDK import is kept (so the query keeps its meaning —
+    goal constructors included); only the generated distractor ballast is
+    capped at *import_cap* declarations.
+    """
+    if import_cap is None:
+        return scene.environment
+    kept: list[Declaration] = []
+    distractors = 0
+    for declaration in scene.environment.declarations():
+        if declaration.kind is DeclKind.IMPORTED and \
+                declaration.name.startswith("gen."):
+            if distractors >= import_cap:
+                continue
+            distractors += 1
+        kept.append(declaration)
+    return Environment(kept)
+
+
+def run_provers(spec: BenchmarkSpec, time_limit: float = 5.0,
+                import_cap: Optional[int] = 300,
+                scene: Optional[Scene] = None) -> ProverComparison:
+    """Time succinct vs inverse-method vs G4ip on one benchmark query."""
+    scene = scene or build_scene(spec)
+    environment = _capped_environment(scene, import_cap)
+    hypotheses, goal = environment_to_sequent(environment, scene.goal,
+                                              subtypes=scene.subtypes)
+    succinct = prove_timed(SuccinctProver(time_limit=time_limit),
+                           hypotheses, goal)
+    inverse = prove_timed(InverseMethodProver(time_limit=time_limit),
+                          hypotheses, goal)
+    g4ip = prove_timed(G4ipProver(time_limit=time_limit), hypotheses, goal)
+    return ProverComparison(
+        spec_number=spec.number,
+        hypothesis_count=len(hypotheses),
+        succinct=succinct,
+        inverse=inverse,
+        g4ip=g4ip,
+    )

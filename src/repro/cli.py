@@ -1,0 +1,147 @@
+"""Command-line interface: InSynth as a terminal tool.
+
+Three subcommands mirror the library's main entry points::
+
+    python -m repro.cli synthesize SCENE.ins [--n 10] [--variant full]
+    python -m repro.cli bench [--rows 9,15,44] [--variants full,no_corpus]
+    python -m repro.cli corpus-stats
+
+``synthesize`` loads a scene written in the declaration language (see
+`repro.lang`), runs the requested algorithm variant and prints the ranked
+suggestions — the closest a terminal gets to the paper's Ctrl+Space.
+``bench`` runs Table 2 rows; ``corpus-stats`` prints the §7.3 marginals.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.config import SynthesisConfig
+from repro.core.errors import ReproError
+from repro.core.synthesizer import Synthesizer
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Complete completion using types and weights "
+                    "(PLDI 2013 reproduction)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    synthesize = commands.add_parser(
+        "synthesize", help="synthesize snippets for a declaration-file scene")
+    synthesize.add_argument("scene", help="path to a .ins environment file")
+    synthesize.add_argument("--n", type=int, default=10,
+                            help="number of snippets to return (default 10)")
+    synthesize.add_argument("--variant", default="full",
+                            choices=("full", "no_corpus", "no_weights"),
+                            help="weight-policy variant (default full)")
+    synthesize.add_argument("--goal", default=None,
+                            help="override the file's goal type")
+    synthesize.add_argument("--show-weights", action="store_true",
+                            help="print each snippet's weight")
+    synthesize.add_argument("--prover-limit", type=float, default=0.5,
+                            help="prover time budget, seconds (default 0.5)")
+    synthesize.add_argument("--recon-limit", type=float, default=7.0,
+                            help="reconstruction budget, seconds (default 7)")
+
+    bench = commands.add_parser("bench",
+                                help="run Table 2 benchmark rows")
+    bench.add_argument("--rows", default=None,
+                       help="comma-separated row numbers (default: all 50)")
+    bench.add_argument("--variants", default="no_weights,no_corpus,full",
+                       help="comma-separated variants to run")
+    bench.add_argument("--n", type=int, default=10)
+
+    commands.add_parser("corpus-stats",
+                        help="print the §7.3 corpus marginals")
+    return parser
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    from repro.bench.runner import policy_for
+    from repro.lang.loader import load_environment_file
+    from repro.lang.parser import parse_type
+
+    loaded = load_environment_file(args.scene)
+    goal = parse_type(args.goal) if args.goal else loaded.goal
+    if goal is None:
+        print("error: the scene has no goal; pass --goal TYPE",
+              file=sys.stderr)
+        return 2
+
+    config = SynthesisConfig(max_snippets=args.n,
+                             prover_time_limit=args.prover_limit,
+                             reconstruction_time_limit=args.recon_limit)
+    synthesizer = Synthesizer(loaded.environment,
+                              policy=policy_for(args.variant),
+                              config=config, subtypes=loaded.subtypes)
+    result = synthesizer.synthesize(goal, n=args.n)
+
+    print(f"goal: {goal}   ({len(loaded.environment)} declarations, "
+          f"variant {args.variant})")
+    if not result.inhabited:
+        print("the goal type is not inhabited in this environment")
+        return 1
+    for snippet in result.snippets:
+        if args.show_weights:
+            print(f"{snippet.rank:>3}. [{snippet.weight:8.1f}] {snippet.code}")
+        else:
+            print(f"{snippet.rank:>3}. {snippet.code}")
+    print(f"-- prove {result.prove_seconds * 1000:.0f} ms, "
+          f"reconstruct {result.reconstruction_seconds * 1000:.0f} ms")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.reporting import format_table, summarize
+    from repro.bench.runner import run_suite
+
+    numbers = None
+    if args.rows:
+        numbers = [int(part) for part in args.rows.split(",") if part.strip()]
+    variants = tuple(part.strip() for part in args.variants.split(",")
+                     if part.strip())
+    results = run_suite(numbers=numbers, variants=variants, n=args.n)
+    print(format_table(results))
+    if set(variants) == {"no_weights", "no_corpus", "full"}:
+        print()
+        print(summarize(results).as_text())
+    return 0
+
+
+def _cmd_corpus_stats() -> int:
+    from repro.corpus.projects import CORPUS_PROJECTS
+    from repro.corpus.synthetic import default_frequencies
+
+    table = default_frequencies()
+    summary = table.summary()
+    print(f"corpus projects: {len(CORPUS_PROJECTS)} (Table 3) "
+          "+ Scala standard library")
+    print(f"{summary}")
+    print("ten most used symbols:")
+    for symbol, count in table.most_common(10):
+        print(f"  {count:>6}  {symbol}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "synthesize":
+            return _cmd_synthesize(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
+        if args.command == "corpus-stats":
+            return _cmd_corpus_stats()
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    raise AssertionError("unreachable: argparse enforces the command set")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

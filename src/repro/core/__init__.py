@@ -1,0 +1,35 @@
+"""Core algorithms: succinct types, exploration, patterns, reconstruction.
+
+This package implements the paper's primary contribution — complete,
+weighted type inhabitation for the simply typed lambda calculus via succinct
+types — behind the :class:`~repro.core.synthesizer.Synthesizer` facade.
+"""
+
+from repro.core.config import SynthesisConfig
+from repro.core.environment import (Declaration, DeclKind, Environment,
+                                    RenderSpec, RenderStyle, declaration)
+from repro.core.errors import (BudgetExhaustedError, ReproError,
+                               SynthesisError, TypeCheckError,
+                               TypeSyntaxError, UninhabitedTypeError,
+                               UnknownDeclarationError)
+from repro.core.subtyping import SubtypeGraph, erase_coercions
+from repro.core.succinct import SuccinctType, sigma
+from repro.core.synthesizer import (Snippet, SynthesisResult, Synthesizer,
+                                    synthesize)
+from repro.core.terms import (Binder, LNFTerm, lnf, lnf_depth, lnf_size)
+from repro.core.types import Arrow, BaseType, Type, arrow, base
+from repro.core.weights import WeightPolicy
+
+__all__ = [
+    "SynthesisConfig",
+    "Declaration", "DeclKind", "Environment", "RenderSpec", "RenderStyle",
+    "declaration",
+    "BudgetExhaustedError", "ReproError", "SynthesisError", "TypeCheckError",
+    "TypeSyntaxError", "UninhabitedTypeError", "UnknownDeclarationError",
+    "SubtypeGraph", "erase_coercions",
+    "SuccinctType", "sigma",
+    "Snippet", "SynthesisResult", "Synthesizer", "synthesize",
+    "Binder", "LNFTerm", "lnf", "lnf_depth", "lnf_size",
+    "Arrow", "BaseType", "Type", "arrow", "base",
+    "WeightPolicy",
+]

@@ -1,0 +1,180 @@
+"""Type environments and declarations (paper §3).
+
+An :class:`Environment` is the paper's Gamma_o: a finite set of declarations
+``name : tau``.  Each declaration additionally carries
+
+* a :class:`DeclKind` — the "nature" from Table 1 (lambda binder, local,
+  coercion, class member, package member, literal, imported) that determines
+  its base weight;
+* a usage ``frequency`` mined from the corpus (only meaningful for imported
+  declarations);
+* an optional :class:`RenderSpec` telling the snippet renderer whether the
+  declaration is a constructor, an instance method, a field, ... so that the
+  lambda term ``FileInputStream.new name`` prints as
+  ``new FileInputStream(name)``.
+
+Environments are immutable.  The reconstruction phase extends them with
+fresh lambda binders; ``extended`` creates a chained child environment in
+O(new declarations) so deep searches stay cheap.
+
+The ``select`` method is the paper's ``Select(Gamma_o, t)`` from Fig. 4: all
+declarations whose type's sigma image equals the requested succinct type.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from repro.core.errors import EnvironmentError_
+from repro.core.succinct import SuccinctType, sigma
+from repro.core.types import Type
+
+
+class DeclKind(enum.Enum):
+    """The declaration natures of Table 1, ordered by preference."""
+
+    LAMBDA = "lambda"
+    LOCAL = "local"
+    COERCION = "coercion"
+    CLASS_MEMBER = "class"
+    PACKAGE_MEMBER = "package"
+    LITERAL = "literal"
+    IMPORTED = "imported"
+
+
+class RenderStyle(enum.Enum):
+    """How a declaration head should be printed in a code snippet."""
+
+    VALUE = "value"                  # plain identifier:        name
+    CONSTRUCTOR = "constructor"      # new Simple(args...)
+    METHOD = "method"                # receiver.name(args...)
+    STATIC_METHOD = "static_method"  # Owner.name(args...)
+    FIELD = "field"                  # receiver.name
+    STATIC_FIELD = "static_field"    # Owner.name
+    FUNCTION = "function"            # name(args...)
+    LITERAL = "literal"              # verbatim text
+    COERCION = "coercion"            # invisible: renders as its argument
+
+
+@dataclass(frozen=True)
+class RenderSpec:
+    """Rendering metadata for a declaration head."""
+
+    style: RenderStyle = RenderStyle.VALUE
+    display: str = ""
+
+    def display_or(self, fallback: str) -> str:
+        return self.display or fallback
+
+
+@dataclass(frozen=True)
+class Declaration:
+    """A typed declaration ``name : type`` with ranking metadata."""
+
+    name: str
+    type: Type
+    kind: DeclKind = DeclKind.LOCAL
+    frequency: int = 0
+    render: Optional[RenderSpec] = None
+
+    @property
+    def succinct_type(self) -> SuccinctType:
+        return sigma(self.type)
+
+    @property
+    def is_coercion(self) -> bool:
+        return self.kind is DeclKind.COERCION
+
+    def __str__(self) -> str:
+        return f"{self.name} : {self.type}"
+
+
+def declaration(name: str, tpe: Type, kind: DeclKind = DeclKind.LOCAL,
+                frequency: int = 0,
+                render: Optional[RenderSpec] = None) -> Declaration:
+    """Convenience constructor mirroring :class:`Declaration`."""
+    return Declaration(name, tpe, kind, frequency, render)
+
+
+class Environment:
+    """An immutable set of declarations with a ``Select`` index.
+
+    Duplicate names are rejected: the paper's calculus identifies
+    declarations by name, and synthesis introduces only fresh binder names.
+    """
+
+    def __init__(self, declarations: Iterable[Declaration] = (),
+                 _parent: Optional["Environment"] = None):
+        self._parent = _parent
+        self._declarations: tuple[Declaration, ...] = tuple(declarations)
+        self._by_name: dict[str, Declaration] = {}
+        self._by_succinct: dict[SuccinctType, list[Declaration]] = {}
+        for decl in self._declarations:
+            if decl.name in self._by_name or (
+                    _parent is not None and _parent.lookup(decl.name) is not None):
+                raise EnvironmentError_(f"duplicate declaration name: {decl.name!r}")
+            self._by_name[decl.name] = decl
+            self._by_succinct.setdefault(decl.succinct_type, []).append(decl)
+        self._succinct_env: Optional[frozenset[SuccinctType]] = None
+
+    # -- construction -------------------------------------------------------
+
+    @staticmethod
+    def of(*declarations: Declaration) -> "Environment":
+        return Environment(declarations)
+
+    def extended(self, declarations: Iterable[Declaration]) -> "Environment":
+        """A child environment with *declarations* added (names must be new)."""
+        return Environment(declarations, _parent=self)
+
+    # -- queries -------------------------------------------------------------
+
+    def lookup(self, name: str) -> Optional[Declaration]:
+        """The declaration bound to *name*, or ``None``."""
+        decl = self._by_name.get(name)
+        if decl is not None:
+            return decl
+        if self._parent is not None:
+            return self._parent.lookup(name)
+        return None
+
+    def __contains__(self, name: str) -> bool:
+        return self.lookup(name) is not None
+
+    def select(self, stype: SuccinctType) -> tuple[Declaration, ...]:
+        """All declarations whose sigma image is *stype* (Fig. 4's Select)."""
+        local = self._by_succinct.get(stype, ())
+        if self._parent is None:
+            return tuple(local)
+        return self._parent.select(stype) + tuple(local)
+
+    def succinct_environment(self) -> frozenset[SuccinctType]:
+        """sigma(Gamma_o): the set of succinct types of all declarations."""
+        if self._succinct_env is None:
+            own = frozenset(self._by_succinct)
+            if self._parent is not None:
+                own |= self._parent.succinct_environment()
+            self._succinct_env = own
+        return self._succinct_env
+
+    def declarations(self) -> Iterator[Declaration]:
+        """All declarations, outermost scope first."""
+        if self._parent is not None:
+            yield from self._parent.declarations()
+        yield from self._declarations
+
+    def __iter__(self) -> Iterator[Declaration]:
+        return self.declarations()
+
+    def __len__(self) -> int:
+        own = len(self._declarations)
+        return own + (len(self._parent) if self._parent is not None else 0)
+
+    def variable_types(self) -> dict[str, Type]:
+        """A ``name -> type`` mapping (for the generic type checker)."""
+        return {decl.name: decl.type for decl in self.declarations()}
+
+    def __repr__(self) -> str:
+        return f"Environment({len(self)} declarations)"

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro library.
+
+All library errors derive from :class:`ReproError`, so callers can catch a
+single type at API boundaries while tests assert on the precise subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TypeSyntaxError(ReproError):
+    """A type expression or declaration file failed to parse."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class TypeCheckError(ReproError):
+    """A term failed to type-check against an environment."""
+
+
+class UnknownDeclarationError(ReproError):
+    """A term references a name that is not bound in the environment."""
+
+
+class SynthesisError(ReproError):
+    """The synthesis pipeline was configured or invoked incorrectly."""
+
+
+class UninhabitedTypeError(SynthesisError):
+    """Raised by APIs that require at least one inhabitant when none exists."""
+
+
+class BudgetExhaustedError(SynthesisError):
+    """An explicit resource budget (steps, time) ran out mid-synthesis."""
+
+
+class EnvironmentError_(ReproError):
+    """An environment was constructed inconsistently (duplicate names, ...)."""
+
+
+class CorpusError(ReproError):
+    """Corpus generation or mining failed an internal consistency check."""
+
+
+class BenchmarkError(ReproError):
+    """A benchmark scene is inconsistent (missing goal, bad expectations)."""

@@ -1,0 +1,252 @@
+"""Backward exploration of the succinct search space (paper §5.3, Fig. 6/7).
+
+The exploration phase starts from the desired succinct type and discovers
+the part of the search space reachable from it, producing *reachability
+edges* (the paper's reachability terms).  The three rules:
+
+* **STRIP** — a request for a function type ``(S -> t) ;Gamma ?`` becomes a
+  request for its result in the extended environment: ``t ;Gamma+S ?``.
+  We normalise eagerly, so every stored :class:`Request` targets a basic
+  type.
+* **MATCH** — a request ``t ;Gamma ?`` matches every environment member
+  ``S' -> t`` whose result is ``t``; each match is a reachability edge whose
+  premises are the types in ``S'``.
+* **PROP** — every premise ``t'`` of a match spawns the request
+  ``t' ;Gamma ?`` (which STRIP then normalises to ``R(t') ;Gamma+A(t') ?``).
+
+The worklist is either FIFO (plain queue) or a priority queue ordered by the
+weight of the requested type in the *initial* environment (§5.6) — the
+weighted discipline is what makes the search goal-directed in practice.
+
+Termination: every type ever added to an environment is a succinct subterm
+of the initial environment or the goal, so the request space is finite.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.core.succinct import SuccinctType, sort_key
+
+#: An environment in succinct space: just the set of member types.
+EnvKey = frozenset  # frozenset[SuccinctType]
+
+
+@dataclass(frozen=True)
+class Request:
+    """A normalised (post-STRIP) exploration request ``target ;env ?``.
+
+    ``target`` is the name of a basic type; ``env`` is the succinct
+    environment in effect, *including* any argument sets added by STRIP.
+    """
+
+    target: str
+    env: EnvKey
+
+    def __str__(self) -> str:
+        return f"{self.target} ;|env|={len(self.env)} ?"
+
+
+@dataclass(frozen=True)
+class ReachabilityEdge:
+    """A MATCH result: ``request.target`` is derivable from ``source``.
+
+    ``source`` is the environment member ``S' -> target`` that matched; the
+    edge's children are the requests its premises propagate to.
+    """
+
+    request: Request
+    source: SuccinctType
+
+    def premises(self) -> tuple[SuccinctType, ...]:
+        """The matched argument set ``S'`` in canonical order."""
+        return self.source.sorted_arguments()
+
+    def children(self) -> tuple[Request, ...]:
+        """The requests this edge depends on (PROP then STRIP)."""
+        return tuple(child_request(premise, self.request.env)
+                     for premise in self.premises())
+
+
+def strip(target: SuccinctType, env: EnvKey) -> Request:
+    """The STRIP rule: ``(S -> t) ;Gamma ?``  =>  ``t ;Gamma+S ?``.
+
+    Primitive targets reuse the environment object unchanged: environments
+    hold thousands of types, and copying one per request dominates the
+    exploration cost otherwise.
+    """
+    if not target.arguments:
+        return Request(target.result, env)
+    extended = env if target.arguments <= env else env | target.arguments
+    return Request(target.result, extended)
+
+
+def child_request(premise: SuccinctType, env: EnvKey) -> Request:
+    """PROP followed by STRIP for one premise type."""
+    return strip(premise, env)
+
+
+@dataclass
+class SearchSpace:
+    """The explored search space: nodes, edges and exploration statistics.
+
+    ``predecessors`` is the §5.7 backward map, filled in *during*
+    exploration: for every request, the reachability edges whose premises
+    propagate to it.  Pattern generation can then resolve its "compatible"
+    set by lookup instead of scanning the space.
+    """
+
+    root: Request
+    edges: dict[Request, tuple[ReachabilityEdge, ...]] = field(default_factory=dict)
+    predecessors: dict[Request, tuple[ReachabilityEdge, ...]] = \
+        field(default_factory=dict)
+    order: tuple[Request, ...] = ()
+    iterations: int = 0
+    truncated: bool = False
+    elapsed_seconds: float = 0.0
+
+    def nodes(self) -> tuple[Request, ...]:
+        return self.order
+
+    def all_edges(self) -> list[ReachabilityEdge]:
+        return [edge for edges in self.edges.values() for edge in edges]
+
+    def edge_count(self) -> int:
+        return sum(len(edges) for edges in self.edges.values())
+
+    def __repr__(self) -> str:
+        return (f"SearchSpace({len(self.order)} nodes, "
+                f"{self.edge_count()} edges, truncated={self.truncated})")
+
+
+class _EnvIndex:
+    """Per-environment index: result type name -> members with that result.
+
+    Environments encountered during a search share almost all content, but
+    they are distinct frozensets; we memoise one index per distinct key.
+    """
+
+    def __init__(self) -> None:
+        self._cache: dict[EnvKey, dict[str, tuple[SuccinctType, ...]]] = {}
+
+    def members_returning(self, env: EnvKey, target: str) -> tuple[SuccinctType, ...]:
+        index = self._cache.get(env)
+        if index is None:
+            grouped: dict[str, list[SuccinctType]] = {}
+            for member in sorted(env, key=sort_key):
+                grouped.setdefault(member.result, []).append(member)
+            index = {result: tuple(members)
+                     for result, members in grouped.items()}
+            self._cache[env] = index
+        return index.get(target, ())
+
+
+#: Priority function for requests: lower = explored earlier.
+RequestPriority = Callable[[SuccinctType], float]
+
+
+class _Worklist:
+    """FIFO or weighted-priority worklist over (priority, request) pairs."""
+
+    def __init__(self, prioritised: bool):
+        self._prioritised = prioritised
+        self._fifo: deque = deque()
+        self._heap: list = []
+        self._seq = 0
+
+    def push(self, priority: float, request: Request) -> None:
+        if self._prioritised:
+            heapq.heappush(self._heap, (priority, self._seq, request))
+        else:
+            self._fifo.append(request)
+        self._seq += 1
+
+    def pop(self) -> Request:
+        if self._prioritised:
+            return heapq.heappop(self._heap)[2]
+        return self._fifo.popleft()
+
+    def __bool__(self) -> bool:
+        return bool(self._heap) if self._prioritised else bool(self._fifo)
+
+
+def explore(env: EnvKey, goal: SuccinctType,
+            priority: Optional[RequestPriority] = None,
+            max_nodes: Optional[int] = None,
+            time_limit: Optional[float] = None,
+            on_edges: Optional[Callable[[Iterable[ReachabilityEdge]], None]] = None,
+            ) -> SearchSpace:
+    """Run the Explore algorithm of Fig. 7.
+
+    Parameters
+    ----------
+    env:
+        The initial succinct environment (sigma of the declaration set,
+        coercions included).
+    goal:
+        The desired succinct type; STRIP is applied to form the root request.
+    priority:
+        Optional request-priority function (the §5.6 weighted discipline):
+        maps the *requested succinct type* to the weight of that type in the
+        initial environment.  ``None`` selects the plain FIFO queue.
+    max_nodes / time_limit:
+        Resource budgets; exceeding either marks the space ``truncated``.
+    on_edges:
+        Optional callback invoked with each batch of new edges — the hook
+        the interleaved prover (§5.6) uses to trigger incremental pattern
+        generation as soon as new reachability terms appear.
+
+    Returns the explored :class:`SearchSpace`.
+    """
+    start = time.perf_counter()
+    env = frozenset(env)
+    root = strip(goal, env)
+
+    index = _EnvIndex()
+    worklist = _Worklist(prioritised=priority is not None)
+    worklist.push(priority(goal) if priority else 0.0, root)
+
+    space = SearchSpace(root=root)
+    visited: set[Request] = set()
+    order: list[Request] = []
+    predecessors: dict[Request, list[ReachabilityEdge]] = {}
+    iterations = 0
+
+    while worklist:
+        if max_nodes is not None and len(visited) >= max_nodes:
+            space.truncated = True
+            break
+        if time_limit is not None and time.perf_counter() - start > time_limit:
+            space.truncated = True
+            break
+        current = worklist.pop()
+        if current in visited:
+            continue
+        visited.add(current)
+        order.append(current)
+        iterations += 1
+
+        found = [ReachabilityEdge(current, member)
+                 for member in index.members_returning(current.env, current.target)]
+        space.edges[current] = tuple(found)
+        if on_edges is not None and found:
+            on_edges(found)
+
+        for edge in found:
+            for premise in edge.premises():
+                child = child_request(premise, current.env)
+                # The §5.7 backward map: `edge` waits on `child`.
+                predecessors.setdefault(child, []).append(edge)
+                if child not in visited:
+                    worklist.push(priority(premise) if priority else 0.0, child)
+
+    space.predecessors = {request: tuple(edges)
+                          for request, edges in predecessors.items()}
+    space.order = tuple(order)
+    space.iterations = iterations
+    space.elapsed_seconds = time.perf_counter() - start
+    return space

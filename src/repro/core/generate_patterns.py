@@ -1,0 +1,255 @@
+"""Pattern generation (paper §5.4, Fig. 8/9).
+
+Given the explored :class:`~repro.core.explore.SearchSpace`, this phase
+computes which requests are *inhabited* — the least fixpoint of the
+AND-OR structure: an edge fires when all its premise requests are
+inhabited, a request is inhabited when at least one of its edges fires —
+and turns every firing edge into a *succinct pattern* ``Gamma@S' : t``
+(the PROD rule).  The TRANSFER rule of the paper moves premises that
+became inhabited from the pending set ``S`` to the witnessed set ``Pi``;
+our counter-based fixpoint is the standard implementation of exactly that
+bookkeeping.
+
+Two implementations live here:
+
+* :func:`generate_patterns` — the counter-based least fixpoint (used in
+  production);
+* :func:`generate_patterns_incremental` — a faithful transcription of the
+  paper's Fig. 9 worklist with explicit ``leaves`` / ``others`` sets and
+  per-edge ``(S, Pi)`` state, also usable *online* while exploration is
+  still producing edges (the §5.6 interleaved mode).
+
+The test suite checks that the two produce identical pattern sets.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.explore import EnvKey, ReachabilityEdge, Request, SearchSpace
+from repro.core.succinct import SuccinctType, sort_key
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A succinct pattern ``Gamma@{t1,...,tn} : t`` (§3.3).
+
+    ``premises`` is the argument set ``S'`` of the matched environment
+    member; all of its types are inhabited in ``env``, and an inhabitant of
+    ``result`` can be built from them by applying any declaration whose
+    succinct type is ``premises -> result``.
+    """
+
+    env: EnvKey
+    premises: frozenset  # frozenset[SuccinctType]
+    result: str
+
+    def sorted_premises(self) -> tuple[SuccinctType, ...]:
+        return tuple(sorted(self.premises, key=sort_key))
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(p) for p in self.sorted_premises())
+        return f"Gamma@{{{inner}}} : {self.result}"
+
+
+@dataclass
+class PatternSet:
+    """The generated patterns plus the inhabited-request relation."""
+
+    patterns: frozenset = frozenset()          # frozenset[Pattern]
+    inhabited: frozenset = frozenset()         # frozenset[Request]
+    _index: dict = field(default_factory=dict)  # (EnvKey, result) -> tuple[Pattern]
+
+    @staticmethod
+    def build(patterns: Iterable[Pattern],
+              inhabited: Iterable[Request]) -> "PatternSet":
+        patterns = frozenset(patterns)
+        index: dict[tuple[EnvKey, str], list[Pattern]] = {}
+        for pattern in sorted(patterns,
+                              key=lambda p: (p.result, len(p.premises),
+                                             tuple(sort_key(x) for x in p.sorted_premises()))):
+            index.setdefault((pattern.env, pattern.result), []).append(pattern)
+        return PatternSet(
+            patterns=patterns,
+            inhabited=frozenset(inhabited),
+            _index={key: tuple(values) for key, values in index.items()},
+        )
+
+    def lookup(self, env: EnvKey, result: str) -> tuple[Pattern, ...]:
+        """All patterns ``env@S' : result`` — the Fig. 10 pattern query."""
+        return self._index.get((env, result), ())
+
+    def is_inhabited(self, request: Request) -> bool:
+        return request in self.inhabited
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def __repr__(self) -> str:
+        return (f"PatternSet({len(self.patterns)} patterns, "
+                f"{len(self.inhabited)} inhabited requests)")
+
+
+def generate_patterns(space: SearchSpace) -> PatternSet:
+    """Counter-based least fixpoint over the explored AND-OR space."""
+    # An edge waits on its *distinct* child requests.
+    waiting: dict[ReachabilityEdge, int] = {}
+    watchers: dict[Request, list[ReachabilityEdge]] = {}
+    ready: deque[ReachabilityEdge] = deque()
+
+    for edges in space.edges.values():
+        for edge in edges:
+            children = frozenset(edge.children())
+            waiting[edge] = len(children)
+            if not children:
+                ready.append(edge)
+            for child in children:
+                watchers.setdefault(child, []).append(edge)
+
+    inhabited: set[Request] = set()
+    while ready:
+        edge = ready.popleft()
+        request = edge.request
+        if request in inhabited:
+            continue
+        inhabited.add(request)
+        for watcher in watchers.get(request, ()):
+            waiting[watcher] -= 1
+            if waiting[watcher] == 0:
+                ready.append(watcher)
+
+    # Every edge whose premises are all inhabited yields a pattern — not just
+    # the edges that drove the fixpoint (several edges of one request fire).
+    patterns = {
+        Pattern(edge.request.env, edge.source.arguments, edge.request.target)
+        for edges in space.edges.values()
+        for edge in edges
+        if all(child in inhabited for child in edge.children())
+    }
+    return PatternSet.build(patterns, inhabited)
+
+
+class IncrementalPatternGenerator:
+    """The paper's Fig. 9 algorithm, consumable online (§5.6).
+
+    Mirrors the published pseudo-code: each reachability term carries a
+    pending set ``S`` and a witnessed set ``Pi``; terms with empty ``S`` are
+    *leaves*, processed from a queue; TRANSFER resolves a compatible pending
+    term against a leaf; PROD emits the pattern of each processed leaf.
+
+    ``add_edges`` may be called repeatedly as exploration discovers new
+    reachability terms, which is exactly how the interleaved prover feeds
+    it.  ``result`` finalises and returns the :class:`PatternSet`.
+    """
+
+    def __init__(self) -> None:
+        # Edge state: edge -> (pending set of child requests, witnessed set).
+        self._pending: dict[ReachabilityEdge, set[Request]] = {}
+        self._leaves: deque[ReachabilityEdge] = deque()
+        self._visited_leaves: set[ReachabilityEdge] = set()
+        self._inhabited: set[Request] = set()
+        self._watchers: dict[Request, list[ReachabilityEdge]] = {}
+        self._patterns: set[Pattern] = set()
+
+    def add_edges(self, edges: Iterable[ReachabilityEdge]) -> None:
+        for edge in edges:
+            pending = set(edge.children())
+            # Premises already known inhabited transfer immediately.
+            pending -= self._inhabited
+            self._pending[edge] = pending
+            if pending:
+                for child in pending:
+                    self._watchers.setdefault(child, []).append(edge)
+            else:
+                self._leaves.append(edge)
+        self._drain()
+
+    def _drain(self) -> None:
+        while self._leaves:
+            leaf = self._leaves.popleft()
+            if leaf in self._visited_leaves:
+                continue
+            self._visited_leaves.add(leaf)
+            # PROD: emit the pattern of this (now fully witnessed) term.
+            self._patterns.add(Pattern(leaf.request.env,
+                                       leaf.source.arguments,
+                                       leaf.request.target))
+            request = leaf.request
+            if request in self._inhabited:
+                continue
+            self._inhabited.add(request)
+            # TRANSFER: resolve compatible pending terms against this leaf.
+            for watcher in self._watchers.get(request, ()):
+                pending = self._pending.get(watcher)
+                if pending is None or request not in pending:
+                    continue
+                pending.discard(request)
+                if not pending:
+                    self._leaves.append(watcher)
+
+    def goal_reached(self, root: Request) -> bool:
+        """True as soon as the root request is known inhabited."""
+        return root in self._inhabited
+
+    def result(self) -> PatternSet:
+        return PatternSet.build(self._patterns, self._inhabited)
+
+
+def generate_patterns_incremental(space: SearchSpace) -> PatternSet:
+    """Run the Fig. 9 worklist over a fully explored space."""
+    generator = IncrementalPatternGenerator()
+    generator.add_edges(space.all_edges())
+    return generator.result()
+
+
+def generate_patterns_with_predecessor_map(space: SearchSpace) -> PatternSet:
+    """The §5.7 optimisation: resolve watchers through the backward map.
+
+    The paper builds, during exploration, a map from each reachability term
+    to the terms whose propagation created it; the TRANSFER step's
+    "compatible" set then becomes a map lookup instead of an expensive scan
+    of ``others``.  Functionally identical to :func:`generate_patterns`
+    (the tests assert set equality); the difference is purely how the
+    watch-lists are obtained.
+    """
+    waiting: dict[ReachabilityEdge, int] = {}
+    ready: deque[ReachabilityEdge] = deque()
+    for edges in space.edges.values():
+        for edge in edges:
+            children = frozenset(edge.children())
+            waiting[edge] = len(children)
+            if not children:
+                ready.append(edge)
+
+    inhabited: set[Request] = set()
+    while ready:
+        edge = ready.popleft()
+        request = edge.request
+        if request in inhabited:
+            continue
+        inhabited.add(request)
+        # §5.7: predecessors(request) is exactly the compatible set.
+        for watcher in space.predecessors.get(request, ()):
+            if watcher not in waiting:
+                continue  # predecessor edge outside the (truncated) space
+            waiting[watcher] -= 1
+            if waiting[watcher] == 0:
+                ready.append(watcher)
+
+    patterns = {
+        Pattern(edge.request.env, edge.source.arguments, edge.request.target)
+        for edges in space.edges.values()
+        for edge in edges
+        if all(child in inhabited for child in edge.children())
+    }
+    return PatternSet.build(patterns, inhabited)
+
+
+def goal_is_inhabited(space: SearchSpace,
+                      patterns: Optional[PatternSet] = None) -> bool:
+    """Decide the plain type-inhabitation question for the explored goal."""
+    if patterns is None:
+        patterns = generate_patterns(space)
+    return patterns.is_inhabited(space.root)

@@ -1,0 +1,61 @@
+"""Fresh-name supplies.
+
+The reconstruction phase (Fig. 10 in the paper) introduces fresh lambda
+binders ``x1, ..., xn`` and fresh hole names ``r1, ..., rm``.  A
+:class:`NameSupply` hands out names that are guaranteed not to collide with a
+protected set of existing names (the declarations visible at the program
+point), while staying deterministic so that synthesis output is reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class NameSupply:
+    """Deterministic supply of fresh identifiers.
+
+    >>> supply = NameSupply(prefix="x", reserved=["x1"])
+    >>> supply.fresh()
+    'x0'
+    >>> supply.fresh()
+    'x2'
+    """
+
+    def __init__(self, prefix: str = "x", reserved: Iterable[str] = ()):
+        self._prefix = prefix
+        self._reserved = set(reserved)
+        self._next = 0
+
+    def reserve(self, names: Iterable[str]) -> None:
+        """Add *names* to the collision-avoidance set."""
+        self._reserved.update(names)
+
+    def fresh(self) -> str:
+        """Return the next unreserved name and mark it as used."""
+        while True:
+            candidate = f"{self._prefix}{self._next}"
+            self._next += 1
+            if candidate not in self._reserved:
+                self._reserved.add(candidate)
+                return candidate
+
+    def fresh_many(self, count: int) -> list[str]:
+        """Return *count* distinct fresh names."""
+        return [self.fresh() for _ in range(count)]
+
+    def __iter__(self) -> Iterator[str]:
+        while True:
+            yield self.fresh()
+
+
+class CountingSupply:
+    """A supply of globally unique integer identifiers (for holes)."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def next_id(self) -> int:
+        value = self._next
+        self._next += 1
+        return value

@@ -1,0 +1,122 @@
+"""The CL / Select / RCN reference functions (paper Fig. 4, §3.5).
+
+These are *specifications*, not the production algorithm: ``RCN`` rebuilds
+every long-normal-form inhabitant of a type up to a given depth ``d`` by
+brute-force recursion over the succinct calculus.  Theorem 3.3 states
+
+    Gamma_o |-lambda e : tau   <=>   e in RCN(Gamma_o, tau, D(e))
+
+and the property-based test-suite checks the production synthesizer against
+this oracle on small random environments.  Complexity is exponential — use
+only on small instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+from repro.core.environment import Declaration, DeclKind, Environment
+from repro.core.explore import EnvKey, explore, strip
+from repro.core.generate_patterns import generate_patterns
+from repro.core.names import NameSupply
+from repro.core.succinct import SuccinctType, sigma, sort_key
+from repro.core.terms import Binder, LNFTerm, canonicalize_lnf
+from repro.core.types import Type, uncurry
+
+
+class SuccinctDecider:
+    """Memoised decision procedure for ``Gamma |-c t`` on succinct types."""
+
+    def __init__(self) -> None:
+        self._cache: dict[tuple[EnvKey, SuccinctType], bool] = {}
+
+    def inhabited(self, env: EnvKey, stype: SuccinctType) -> bool:
+        """Is the succinct type *stype* inhabited in environment *env*?"""
+        key = (env, stype)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        space = explore(env, stype)
+        patterns = generate_patterns(space)
+        decision = patterns.is_inhabited(space.root)
+        self._cache[key] = decision
+        return decision
+
+
+def cl(env: EnvKey, goal: SuccinctType,
+       decider: SuccinctDecider | None = None,
+       ) -> list[tuple[EnvKey, frozenset, str]]:
+    """The CL function of Fig. 4.
+
+    ``CL(Gamma, S->t)`` returns all patterns ``(Gamma+S)@S1 : t`` such that
+    ``S1 -> t`` is a member of ``Gamma+S`` and every type in ``S1`` is
+    inhabited in ``Gamma+S``.  Results are triples
+    ``(extended env, S1, t)`` in deterministic order.
+    """
+    decider = decider or SuccinctDecider()
+    extended = frozenset(env) | goal.arguments
+    target = goal.result
+    found = []
+    for member in sorted(extended, key=sort_key):
+        if member.result != target:
+            continue
+        if all(decider.inhabited(extended, premise)
+               for premise in member.arguments):
+            found.append((extended, member.arguments, target))
+    return found
+
+
+def rcn(environment: Environment, goal: Type, depth: int,
+        _decider: SuccinctDecider | None = None,
+        _names: NameSupply | None = None) -> set[LNFTerm]:
+    """The RCN function of Fig. 4: all LNF inhabitants up to depth *depth*.
+
+    Returned terms are canonicalised (binders renamed in preorder), so the
+    result is a genuine set modulo alpha-equivalence.
+    """
+    decider = _decider or SuccinctDecider()
+    names = _names or NameSupply(
+        prefix="x", reserved=[decl.name for decl in environment.declarations()])
+
+    terms = _rcn(environment, goal, depth, decider, names)
+    return {canonicalize_lnf(term) for term in terms}
+
+
+def _rcn(environment: Environment, goal: Type, depth: int,
+         decider: SuccinctDecider, names: NameSupply) -> set[LNFTerm]:
+    if depth <= 0:
+        return set()
+    argument_types, _result = uncurry(goal)
+    succinct_goal = sigma(goal)
+    env_key = environment.succinct_environment()
+
+    binders = tuple(Binder(names.fresh(), tpe) for tpe in argument_types)
+    binder_decls = [Declaration(b.name, b.type, DeclKind.LAMBDA)
+                    for b in binders]
+    extended = environment.extended(binder_decls) if binder_decls else environment
+
+    terms: set[LNFTerm] = set()
+    for _env, premises, result in cl(env_key, succinct_goal, decider):
+        wanted = SuccinctType(premises, result)
+        for decl in extended.select(wanted):
+            parameter_types, _ = uncurry(decl.type)
+            if not parameter_types:
+                terms.add(LNFTerm(binders, decl.name, ()))
+                continue
+            candidate_lists = [
+                sorted(_rcn(extended, parameter, depth - 1, decider, names),
+                       key=str)
+                for parameter in parameter_types
+            ]
+            if any(not candidates for candidates in candidate_lists):
+                continue
+            for combination in itertools.product(*candidate_lists):
+                terms.add(LNFTerm(binders, decl.name, tuple(combination)))
+    return terms
+
+
+def inhabitants_up_to_depth(environment: Environment, goal: Type,
+                            depth: int) -> set[LNFTerm]:
+    """Alias of :func:`rcn` with a name matching the theorem statement."""
+    return rcn(environment, goal, depth)

@@ -1,0 +1,167 @@
+"""Simple types for the lambda-calculus substrate (paper §3.1).
+
+Types follow the grammar
+
+    tau ::= tau -> tau | v          where v is a basic type
+
+We keep the representation deliberately small: a :class:`BaseType` wraps a
+name, an :class:`Arrow` is right-associative function space.  Helper functions
+provide the curried views the rest of the system needs, most importantly
+``uncurry`` which splits ``t1 -> ... -> tn -> v`` into ``([t1..tn], v)`` —
+the shape used by the long-normal-form rules in Fig. 2 and by the succinct
+conversion ``sigma`` in §3.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterable, Union
+
+
+@dataclass(frozen=True)
+class BaseType:
+    """A basic (atomic) type such as ``Int`` or ``java.io.File``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Arrow:
+    """Function type ``argument -> result`` (right-associative)."""
+
+    argument: "Type"
+    result: "Type"
+
+    def __str__(self) -> str:
+        return format_type(self)
+
+
+Type = Union[BaseType, Arrow]
+
+
+def base(name: str) -> BaseType:
+    """Construct a basic type."""
+    return BaseType(name)
+
+
+def arrow(*types: Type) -> Type:
+    """Build the right-associated arrow ``t1 -> t2 -> ... -> tn``.
+
+    With a single argument this is the identity; with none it is an error.
+
+    >>> str(arrow(base("A"), base("B"), base("C")))
+    'A -> B -> C'
+    """
+    if not types:
+        raise ValueError("arrow() requires at least one type")
+    result = types[-1]
+    for argument in reversed(types[:-1]):
+        result = Arrow(argument, result)
+    return result
+
+
+def function_type(arguments: Iterable[Type], result: Type) -> Type:
+    """Build ``a1 -> ... -> an -> result`` from an argument list."""
+    return arrow(*list(arguments), result)
+
+
+def is_base(tpe: Type) -> bool:
+    """True when *tpe* is a basic type."""
+    return isinstance(tpe, BaseType)
+
+
+def is_arrow(tpe: Type) -> bool:
+    """True when *tpe* is a function type."""
+    return isinstance(tpe, Arrow)
+
+
+def uncurry(tpe: Type) -> tuple[tuple[Type, ...], BaseType]:
+    """Split ``t1 -> ... -> tn -> v`` into ``((t1, ..., tn), v)``.
+
+    The final result of a simple type is always a basic type, so the second
+    component is a :class:`BaseType`.  For a basic type the argument tuple is
+    empty.
+    """
+    arguments: list[Type] = []
+    while isinstance(tpe, Arrow):
+        arguments.append(tpe.argument)
+        tpe = tpe.result
+    assert isinstance(tpe, BaseType)
+    return tuple(arguments), tpe
+
+
+def argument_types(tpe: Type) -> tuple[Type, ...]:
+    """The curried argument list of *tpe* (empty for basic types)."""
+    return uncurry(tpe)[0]
+
+
+def final_result(tpe: Type) -> BaseType:
+    """The basic type at the end of the arrow spine."""
+    return uncurry(tpe)[1]
+
+
+def arity(tpe: Type) -> int:
+    """Number of curried arguments of *tpe*."""
+    return len(uncurry(tpe)[0])
+
+
+def size(tpe: Type) -> int:
+    """Number of basic-type occurrences in *tpe* (a simple size measure)."""
+    if isinstance(tpe, BaseType):
+        return 1
+    return size(tpe.argument) + size(tpe.result)
+
+
+def depth(tpe: Type) -> int:
+    """Nesting depth of *tpe*: basic types have depth 1."""
+    if isinstance(tpe, BaseType):
+        return 1
+    return 1 + max(depth(tpe.argument), depth(tpe.result))
+
+
+def base_types(tpe: Type) -> frozenset[str]:
+    """All basic-type names occurring in *tpe*."""
+    if isinstance(tpe, BaseType):
+        return frozenset((tpe.name,))
+    return base_types(tpe.argument) | base_types(tpe.result)
+
+
+def subterms(tpe: Type) -> frozenset[Type]:
+    """All subterm types of *tpe*, including *tpe* itself."""
+    if isinstance(tpe, BaseType):
+        return frozenset((tpe,))
+    return frozenset((tpe,)) | subterms(tpe.argument) | subterms(tpe.result)
+
+
+def format_type(tpe: Type) -> str:
+    """Render *tpe* with minimal parentheses; arrows associate right.
+
+    >>> format_type(arrow(arrow(base("A"), base("B")), base("C")))
+    '(A -> B) -> C'
+    """
+    if isinstance(tpe, BaseType):
+        return tpe.name
+    argument = format_type(tpe.argument)
+    if isinstance(tpe.argument, Arrow):
+        argument = f"({argument})"
+    return f"{argument} -> {format_type(tpe.result)}"
+
+
+@lru_cache(maxsize=None)
+def _parse_cached(text: str) -> Type:
+    from repro.lang.parser import parse_type  # local import: avoid a cycle
+
+    return parse_type(text)
+
+
+def parse(text: str) -> Type:
+    """Parse a type expression such as ``"(A -> B) -> C"``.
+
+    A thin convenience wrapper over :func:`repro.lang.parser.parse_type`,
+    memoised because tests and benchmarks parse the same strings repeatedly.
+    """
+    return _parse_cached(text)

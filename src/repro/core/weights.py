@@ -1,0 +1,131 @@
+"""Weight functions (paper §4, Table 1).
+
+A *lower* weight means a *more desirable* declaration — as in resolution
+theorem proving.  Table 1 of the paper fixes the constants:
+
+    Lambda     1
+    Local      5
+    Coercion   10
+    Class      20
+    Package    25
+    Literal    200
+    Imported   215 + 785 / (1 + f(x))
+
+where ``f(x)`` is the number of occurrences of symbol ``x`` in the training
+corpus.  A frequently used imported symbol therefore approaches weight 215,
+an unseen one costs 1000.
+
+The weight of a term ``\\x1...xm. f e1 ... en`` is the sum of the weights of
+everything occurring in it (binders included).  The weight of a succinct
+type in an environment — used to prioritise exploration requests (§5.6) — is
+the minimum weight over ``Select``.
+
+Three policy variants correspond to the three columns of Table 2:
+
+* :meth:`WeightPolicy.standard` — the full system;
+* :meth:`WeightPolicy.without_corpus` — Table 1 constants with every
+  frequency treated as zero;
+* :meth:`WeightPolicy.uniform` — the "No weights" ablation: every
+  declaration costs the same, so ranking degenerates to term size and
+  discovery order.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.core.environment import Declaration, DeclKind, Environment
+from repro.core.succinct import SuccinctType
+from repro.core.terms import LNFTerm
+
+#: Weight assigned to typed holes in partial expressions (Fig. 10).
+HOLE_WEIGHT = 0.0
+
+
+@dataclass(frozen=True)
+class WeightPolicy:
+    """Table 1 constants plus the imported-symbol frequency formula."""
+
+    lambda_weight: float = 1.0
+    local_weight: float = 5.0
+    coercion_weight: float = 10.0
+    class_weight: float = 20.0
+    package_weight: float = 25.0
+    literal_weight: float = 200.0
+    imported_base: float = 215.0
+    imported_bonus: float = 785.0
+    use_frequency: bool = True
+    uniform: bool = False
+
+    # -- variants ------------------------------------------------------------
+
+    @staticmethod
+    def standard() -> "WeightPolicy":
+        """The full policy: Table 1 with corpus frequencies."""
+        return WeightPolicy()
+
+    @staticmethod
+    def without_corpus() -> "WeightPolicy":
+        """Table 2's "No corpus" column: locality weights, f(x) = 0."""
+        return WeightPolicy(use_frequency=False)
+
+    @staticmethod
+    def uniform_policy() -> "WeightPolicy":
+        """Table 2's "No weights" column: every declaration costs 1."""
+        return WeightPolicy(uniform=True)
+
+    def with_constants(self, **overrides: float) -> "WeightPolicy":
+        """A copy with some Table 1 constants replaced (for ablations)."""
+        return replace(self, **overrides)
+
+    # -- weights -------------------------------------------------------------
+
+    def declaration_weight(self, decl: Declaration) -> float:
+        """The initial weight of a declaration (Table 1)."""
+        if self.uniform:
+            return 1.0
+        if decl.kind is DeclKind.LAMBDA:
+            return self.lambda_weight
+        if decl.kind is DeclKind.LOCAL:
+            return self.local_weight
+        if decl.kind is DeclKind.COERCION:
+            return self.coercion_weight
+        if decl.kind is DeclKind.CLASS_MEMBER:
+            return self.class_weight
+        if decl.kind is DeclKind.PACKAGE_MEMBER:
+            return self.package_weight
+        if decl.kind is DeclKind.LITERAL:
+            return self.literal_weight
+        assert decl.kind is DeclKind.IMPORTED
+        frequency = decl.frequency if self.use_frequency else 0
+        return self.imported_base + self.imported_bonus / (1 + frequency)
+
+    def binder_weight(self) -> float:
+        """Weight of one lambda binder introduced during reconstruction."""
+        return 1.0 if self.uniform else self.lambda_weight
+
+    def term_weight(self, term: LNFTerm, environment: Environment) -> float:
+        """w(\\x1..xm. f e1..en) = sum w(xi) + w(f) + sum w(ei)  (§4).
+
+        Heads that are not found in *environment* are treated as lambda
+        binders (weight 1): during reconstruction every binder is a real
+        LAMBDA declaration, but a finished snippet can be re-weighed against
+        the original environment where binders are absent.
+        """
+        total = len(term.binders) * self.binder_weight()
+        head = environment.lookup(term.head)
+        total += self.declaration_weight(head) if head is not None else self.binder_weight()
+        for argument in term.arguments:
+            total += self.term_weight(argument, environment)
+        return total
+
+    def type_weight(self, stype: SuccinctType, environment: Environment) -> float:
+        """w(t, Gamma_o) = min weight over Select(Gamma_o, t)  (§4).
+
+        Infinite when no declaration has the requested succinct type; the
+        exploration queue then treats such requests as least urgent.
+        """
+        weights = [self.declaration_weight(decl)
+                   for decl in environment.select(stype)]
+        return min(weights) if weights else math.inf

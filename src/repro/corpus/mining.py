@@ -1,0 +1,48 @@
+"""Mining usage frequencies from project event streams (§7.3).
+
+The paper extracts declaration-use counts from project sources; here the
+"sources" are per-project streams of symbol-reference events (produced by
+:mod:`repro.corpus.synthetic`, or by any other front end that can emit
+symbol references).  The miner counts per project and merges, exactly the
+aggregation the paper describes — only API symbols are retained when a
+filter is given, mirroring the paper's "we extracted the relevant
+information only about Java and Scala APIs".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Optional
+
+from repro.corpus.stats import FrequencyTable
+
+SymbolFilter = Callable[[str], bool]
+
+
+def mine_project(events: Iterable[str],
+                 keep: Optional[SymbolFilter] = None) -> FrequencyTable:
+    """Count symbol references in one project's event stream."""
+    counts: dict[str, int] = {}
+    for symbol in events:
+        if keep is not None and not keep(symbol):
+            continue
+        counts[symbol] = counts.get(symbol, 0) + 1
+    return FrequencyTable(counts)
+
+
+def mine_frequencies(events_by_project: Mapping[str, Iterable[str]],
+                     keep: Optional[SymbolFilter] = None) -> FrequencyTable:
+    """Mine every project and merge the per-project tables."""
+    merged = FrequencyTable({})
+    for project in sorted(events_by_project):
+        merged = merged.merged(mine_project(events_by_project[project], keep))
+    return merged
+
+
+def api_only(prefixes: Iterable[str]) -> SymbolFilter:
+    """A filter keeping only symbols under the given package prefixes."""
+    prefixes = tuple(prefixes)
+
+    def keep(symbol: str) -> bool:
+        return symbol.startswith(prefixes)
+
+    return keep

@@ -1,0 +1,32 @@
+"""Extensions the paper sketches beyond the core system (§9).
+
+Two follow-on directions from the conclusions are implemented here:
+
+* :mod:`repro.extensions.semantics` — "generate a stream of type-correct
+  solutions and then filter it to contain only expressions that meet given
+  specifications, such as postconditions (or, in the special case,
+  input/output examples)": an evaluator for synthesized terms over
+  user-supplied denotations, plus example-based filtering of snippet
+  streams (the seed of semantic-based synthesis [16]).
+
+* :mod:`repro.extensions.combinators` — "conditionals, loops, and recursion
+  schemas can themselves be viewed as higher-order functions": typed
+  control-flow combinators (if-then-else, bounded iteration, fold) that
+  drop into any environment, letting the unchanged core synthesize
+  programs *with control flow*.
+"""
+
+from repro.extensions.combinators import (bounded_iteration_declaration,
+                                          control_flow_declarations,
+                                          fold_declaration,
+                                          if_then_else_declaration)
+from repro.extensions.semantics import (EvaluationError, Example,
+                                        evaluate_term, filter_snippets,
+                                        satisfies_examples)
+
+__all__ = [
+    "bounded_iteration_declaration", "control_flow_declarations",
+    "fold_declaration", "if_then_else_declaration",
+    "EvaluationError", "Example", "evaluate_term", "filter_snippets",
+    "satisfies_examples",
+]

@@ -1,0 +1,115 @@
+"""Control flow as higher-order functions (paper §9, Conclusions).
+
+"Note that the approach based on the techniques we presented can also
+generate programs with various control patterns, because conditionals,
+loops, and recursion schemas can themselves be viewed as higher-order
+functions."
+
+This module packages that observation: typed combinator *declarations*
+that can be added to any environment, after which the unchanged core
+synthesizes conditionals and (bounded) loops.  The simply typed calculus
+is monomorphic, so combinators are instantiated per result type — exactly
+how a front end would expose them for the types in scope.
+
+Each declaration comes with a natural Scala-ish rendering and, via
+:func:`denotations_for`, executable semantics compatible with
+:mod:`repro.extensions.semantics`, so synthesized control-flow snippets
+can also be *filtered by examples*.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.environment import (Declaration, DeclKind, RenderSpec,
+                                    RenderStyle)
+from repro.lang.parser import parse_type
+
+#: Base-type name used for conditions.
+BOOLEAN = "Boolean"
+
+
+def if_then_else_declaration(result_type: str,
+                             boolean_type: str = BOOLEAN) -> Declaration:
+    """``ite[T] : Boolean -> T -> T -> T`` — a conditional expression."""
+    # Conditionals are language syntax, not API: weight them like nearby
+    # locals so they compete with ordinary declarations (the paper's
+    # conclusion treats control flow as combinators available everywhere).
+    return Declaration(
+        name=f"$ite[{result_type}]",
+        type=parse_type(f"{boolean_type} -> {result_type} -> {result_type} "
+                        f"-> {result_type}"),
+        kind=DeclKind.LOCAL,
+        render=RenderSpec(RenderStyle.FUNCTION, "if"),
+    )
+
+
+def bounded_iteration_declaration(state_type: str,
+                                  counter_type: str = "int") -> Declaration:
+    """``iterate[T] : int -> (T -> T) -> T -> T`` — a fold over a counter.
+
+    The bounded shape (rather than an unrestricted fixpoint) keeps every
+    synthesized term total, so example-based filtering always terminates.
+    """
+    return Declaration(
+        name=f"$iterate[{state_type}]",
+        type=parse_type(f"{counter_type} -> ({state_type} -> {state_type}) "
+                        f"-> {state_type} -> {state_type}"),
+        kind=DeclKind.LOCAL,
+        render=RenderSpec(RenderStyle.FUNCTION, "iterate"),
+    )
+
+
+def fold_declaration(element_type: str, list_type: str,
+                     result_type: str) -> Declaration:
+    """``fold[A, LA, B] : (B -> A -> B) -> B -> LA -> B`` — a recursion
+    schema over a list-like type."""
+    return Declaration(
+        name=f"$fold[{element_type},{list_type},{result_type}]",
+        type=parse_type(f"({result_type} -> {element_type} -> {result_type})"
+                        f" -> {result_type} -> {list_type} -> {result_type}"),
+        kind=DeclKind.LOCAL,
+        render=RenderSpec(RenderStyle.FUNCTION, "fold"),
+    )
+
+
+def control_flow_declarations(result_types: list[str],
+                              boolean_type: str = BOOLEAN,
+                              ) -> list[Declaration]:
+    """Conditionals and bounded loops instantiated at each result type."""
+    declarations: list[Declaration] = []
+    for result_type in result_types:
+        declarations.append(if_then_else_declaration(result_type,
+                                                     boolean_type))
+        declarations.append(bounded_iteration_declaration(result_type))
+    return declarations
+
+
+def denotations_for(declarations: list[Declaration]) -> dict[str, Any]:
+    """Executable semantics for the combinators (for example filtering)."""
+
+    def ite(condition: Any, then_value: Any, else_value: Any) -> Any:
+        return then_value if condition else else_value
+
+    def iterate(count: int, step: Callable[[Any], Any], seed: Any) -> Any:
+        value = seed
+        for _ in range(max(int(count), 0)):
+            value = step(value)
+        return value
+
+    def fold(combine: Callable[[Any, Any], Any], seed: Any,
+             items: Any) -> Any:
+        value = seed
+        for item in items:
+            value = combine(value, item)
+        return value
+
+    semantics: dict[str, Any] = {}
+    for declaration in declarations:
+        if declaration.name.startswith("$ite["):
+            semantics[declaration.name] = ite
+        elif declaration.name.startswith("$iterate["):
+            semantics[declaration.name] = iterate
+        elif declaration.name.startswith("$fold["):
+            semantics[declaration.name] = fold
+    return semantics

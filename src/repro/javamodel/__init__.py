@@ -1,0 +1,23 @@
+"""Synthetic typed Java/Scala API model.
+
+The paper's tool asks the Scala presentation compiler for every declaration
+visible at the cursor.  Python has no such typed oracle, so this package
+models one: classes with constructors, methods and fields organised into
+packages (:mod:`repro.javamodel.model`), a hand-modelled core of the JDK
+surface the 50 benchmarks exercise (:mod:`repro.javamodel.jdk`), a
+program-point scope builder translating locals/imports into a weighted
+environment (:mod:`repro.javamodel.scope`), and a deterministic distractor
+generator that pads scenes to the paper's ``#Initial`` declaration counts
+(:mod:`repro.javamodel.distractors`).
+"""
+
+from repro.javamodel.distractors import DistractorGenerator
+from repro.javamodel.jdk import build_jdk
+from repro.javamodel.model import (ApiModel, ClassHandle, JavaClass,
+                                   MemberTemplate)
+from repro.javamodel.scope import ProgramPoint, Scene
+
+__all__ = [
+    "ApiModel", "ClassHandle", "JavaClass", "MemberTemplate",
+    "ProgramPoint", "Scene", "DistractorGenerator", "build_jdk",
+]

@@ -1,0 +1,34 @@
+"""The hand-modelled JDK surface.
+
+One module per package, each contributing to a shared :class:`ApiModel`.
+The surface covers everything the paper's 50 benchmarks (Table 2) and the
+three motivating examples (§2) touch: the ``java.io`` stream/reader/writer
+hierarchies, ``java.awt`` components and layout managers, ``javax.swing``
+widgets, ``java.net`` sockets and URLs, core ``java.lang`` and a slice of
+``java.util`` — several hundred members in total, with realistic subtype
+structure (``FileInputStream <: InputStream``, ``Panel <: Container <:
+Component``, ...).
+"""
+
+from functools import lru_cache
+
+from repro.javamodel.jdk import awt, io, lang, net, swing, util
+from repro.javamodel.model import ApiModel
+
+
+def build_jdk() -> ApiModel:
+    """Build the full modelled JDK (fresh, mutable copy)."""
+    model = ApiModel()
+    lang.build(model)
+    io.build(model)
+    net.build(model)
+    awt.build(model)
+    swing.build(model)
+    util.build(model)
+    return model
+
+
+@lru_cache(maxsize=1)
+def shared_jdk() -> ApiModel:
+    """A memoised JDK instance for read-only use (scenes, benchmarks)."""
+    return build_jdk()

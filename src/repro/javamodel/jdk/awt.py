@@ -1,0 +1,290 @@
+"""java.awt — components, containers, layout managers, geometry."""
+
+from repro.javamodel.model import ApiModel
+
+
+def build(model: ApiModel) -> None:
+    _build_components(model)
+    _build_layouts(model)
+    _build_geometry(model)
+    _build_misc(model)
+
+
+def _build_components(model: ApiModel) -> None:
+    component = model.add_class("java.awt.Component",
+                                extends=["Object", "ImageObserver"])
+    component.method("getSize", [], "Dimension")
+    component.method("setSize", ["Dimension"], "void")
+    component.method("getLocation", [], "Point")
+    component.method("setLocation", ["Point"], "void")
+    component.method("getBounds", [], "Rectangle")
+    component.method("setVisible", ["boolean"], "void")
+    component.method("isVisible", [], "boolean")
+    component.method("getBackground", [], "Color")
+    component.method("setBackground", ["Color"], "void")
+    component.method("getForeground", [], "Color")
+    component.method("getFont", [], "Font")
+    component.method("setFont", ["Font"], "void")
+    component.method("getGraphics", [], "Graphics")
+    component.method("repaint", [], "void")
+    component.method("getName", [], "String")
+    component.method("getParent", [], "Container")
+    component.method("getToolkit", [], "Toolkit")
+
+    container = model.add_class("java.awt.Container", extends=["Component"])
+    container.constructor()
+    container.method("add", ["Component"], "Component")
+    container.method("remove", ["Component"], "void")
+    container.method("getLayout", [], "LayoutManager")
+    container.method("setLayout", ["LayoutManager"], "void")
+    container.method("getComponentCount", [], "int")
+    container.method("getComponent", ["int"], "Component")
+    container.method("getInsets", [], "Insets")
+
+    panel = model.add_class("java.awt.Panel",
+                            extends=["Container", "Accessible"])
+    panel.constructor()
+    panel.constructor("LayoutManager")
+
+    window = model.add_class("java.awt.Window",
+                             extends=["Container", "Accessible"])
+    window.constructor("Frame")
+    window.method("pack", [], "void")
+    window.method("dispose", [], "void")
+    window.method("toFront", [], "void")
+
+    frame = model.add_class("java.awt.Frame", extends=["Window", "MenuContainer"])
+    frame.constructor()
+    frame.constructor("String")
+    frame.method("getTitle", [], "String")
+    frame.method("setTitle", ["String"], "void")
+    frame.method("setMenuBar", ["MenuBar"], "void")
+
+    dialog = model.add_class("java.awt.Dialog", extends=["Window"])
+    dialog.constructor("Frame")
+    dialog.constructor("Frame", "String")
+
+    button = model.add_class("java.awt.Button", extends=["Component", "Accessible"])
+    button.constructor()
+    button.constructor("String")
+    button.method("getLabel", [], "String")
+    button.method("addActionListener", ["ActionListener"], "void")
+
+    canvas = model.add_class("java.awt.Canvas", extends=["Component", "Accessible"])
+    canvas.constructor()
+
+    checkbox = model.add_class("java.awt.Checkbox", extends=["Component", "Accessible"])
+    checkbox.constructor()
+    checkbox.constructor("String")
+    checkbox.constructor("String", "boolean")
+    checkbox.method("getState", [], "boolean")
+
+    label = model.add_class("java.awt.Label", extends=["Component", "Accessible"])
+    label.constructor()
+    label.constructor("String")
+    label.constructor("String", "int")
+    label.method("getText", [], "String")
+    label.method("setText", ["String"], "void")
+
+    text_component = model.add_class("java.awt.TextComponent", extends=["Component"])
+    text_component.method("getText", [], "String")
+    text_component.method("setText", ["String"], "void")
+
+    text_field = model.add_class("java.awt.TextField",
+                                 extends=["TextComponent", "Accessible"])
+    text_field.constructor()
+    text_field.constructor("String")
+    text_field.constructor("String", "int")
+    text_field.constructor("int")
+
+    text_area = model.add_class("java.awt.TextArea",
+                                extends=["TextComponent", "Accessible"])
+    text_area.constructor()
+    text_area.constructor("String")
+    text_area.constructor("String", "int", "int")
+
+    scroll_pane = model.add_class("java.awt.ScrollPane", extends=["Container"])
+    scroll_pane.constructor()
+    scroll_pane.constructor("int")
+
+    model.add_class("java.awt.MenuContainer")
+    menubar = model.add_class("java.awt.MenuBar",
+                              extends=["Object", "MenuContainer"])
+    menubar.constructor()
+    menubar.method("add", ["Menu"], "Menu")
+
+    menu = model.add_class("java.awt.Menu", extends=["MenuItem", "MenuContainer"])
+    menu.constructor()
+    menu.constructor("String")
+
+    menu_item = model.add_class("java.awt.MenuItem", extends=["Object", "Accessible"])
+    menu_item.constructor("String")
+    menu_item.method("getLabel", [], "String")
+
+    model.add_class("javax.accessibility.Accessible")
+    model.add_class("java.awt.image.ImageObserver")
+
+
+def _build_layouts(model: ApiModel) -> None:
+    model.add_class("java.awt.LayoutManager")
+    model.add_class("java.awt.LayoutManager2", extends=["LayoutManager"])
+
+    border = model.add_class("java.awt.BorderLayout",
+                             extends=["Object", "LayoutManager2", "Serializable"])
+    border.constructor()
+    border.constructor("int", "int")
+    border.field("NORTH", "String", static=True)
+    border.field("SOUTH", "String", static=True)
+    border.field("EAST", "String", static=True)
+    border.field("WEST", "String", static=True)
+    border.field("CENTER", "String", static=True)
+
+    flow = model.add_class("java.awt.FlowLayout",
+                           extends=["Object", "LayoutManager", "Serializable"])
+    flow.constructor()
+    flow.constructor("int")
+    flow.constructor("int", "int", "int")
+    flow.field("LEFT", "int", static=True)
+    flow.field("CENTER_ALIGN", "int", static=True)
+
+    grid = model.add_class("java.awt.GridLayout",
+                           extends=["Object", "LayoutManager", "Serializable"])
+    grid.constructor()
+    grid.constructor("int", "int")
+    grid.constructor("int", "int", "int", "int")
+
+    card = model.add_class("java.awt.CardLayout",
+                           extends=["Object", "LayoutManager2", "Serializable"])
+    card.constructor()
+    card.constructor("int", "int")
+    card.method("next", ["Container"], "void")
+
+    gridbag = model.add_class("java.awt.GridBagLayout",
+                              extends=["Object", "LayoutManager2", "Serializable"])
+    gridbag.constructor()
+    gridbag.method("setConstraints", ["Component", "GridBagConstraints"], "void")
+    gridbag.method("getConstraints", ["Component"], "GridBagConstraints")
+
+    constraints = model.add_class("java.awt.GridBagConstraints",
+                                  extends=["Object", "Cloneable", "Serializable"])
+    constraints.constructor()
+    constraints.field("gridx", "int")
+    constraints.field("gridy", "int")
+    constraints.field("gridwidth", "int")
+    constraints.field("gridheight", "int")
+    constraints.field("weightx", "double")
+    constraints.field("weighty", "double")
+    constraints.field("insets", "Insets")
+
+    model.add_class("java.lang.Cloneable")
+
+
+def _build_geometry(model: ApiModel) -> None:
+    point = model.add_class("java.awt.Point", extends=["Object", "Serializable"])
+    point.constructor()
+    point.constructor("int", "int")
+    point.constructor("Point")
+    point.method("getX", [], "double")
+    point.method("getY", [], "double")
+    point.method("translate", ["int", "int"], "void")
+    point.field("x", "int")
+    point.field("y", "int")
+
+    dimension = model.add_class("java.awt.Dimension",
+                                extends=["Object", "Serializable"])
+    dimension.constructor()
+    dimension.constructor("int", "int")
+    dimension.constructor("Dimension")
+    dimension.field("width", "int")
+    dimension.field("height", "int")
+
+    rectangle = model.add_class("java.awt.Rectangle",
+                                extends=["Object", "Serializable"])
+    rectangle.constructor()
+    rectangle.constructor("int", "int", "int", "int")
+    rectangle.constructor("Point", "Dimension")
+    rectangle.constructor("Dimension")
+    rectangle.method("contains", ["Point"], "boolean")
+    rectangle.method("getSize", [], "Dimension")
+
+    insets = model.add_class("java.awt.Insets", extends=["Object", "Serializable"])
+    insets.constructor("int", "int", "int", "int")
+
+
+def _build_misc(model: ApiModel) -> None:
+    color = model.add_class("java.awt.Color", extends=["Object", "Serializable"])
+    color.constructor("int", "int", "int")
+    color.constructor("int")
+    color.method("brighter", [], "Color")
+    color.method("darker", [], "Color")
+    color.method("getRGB", [], "int")
+    color.field("BLACK", "Color", static=True)
+    color.field("WHITE", "Color", static=True)
+    color.field("RED", "Color", static=True)
+    color.field("BLUE", "Color", static=True)
+    color.field("GREEN", "Color", static=True)
+
+    font = model.add_class("java.awt.Font", extends=["Object", "Serializable"])
+    font.constructor("String", "int", "int")
+    font.method("getSize", [], "int")
+    font.method("getFamily", [], "String")
+    font.method("deriveFont", ["int"], "Font")
+    font.field("BOLD", "int", static=True)
+    font.field("PLAIN", "int", static=True)
+
+    graphics = model.add_class("java.awt.Graphics", extends=["Object"])
+    graphics.method("drawLine", ["int", "int", "int", "int"], "void")
+    graphics.method("drawString", ["String", "int", "int"], "void")
+    graphics.method("setColor", ["Color"], "void")
+    graphics.method("getColor", [], "Color")
+    graphics.method("fillRect", ["int", "int", "int", "int"], "void")
+
+    display_mode = model.add_class("java.awt.DisplayMode", extends=["Object"])
+    display_mode.constructor("int", "int", "int", "int")
+    display_mode.method("getWidth", [], "int")
+    display_mode.method("getHeight", [], "int")
+    display_mode.method("getBitDepth", [], "int")
+    display_mode.method("getRefreshRate", [], "int")
+
+    permission = model.add_class("java.security.Permission",
+                                 extends=["Object", "Serializable"])
+    permission.method("getName", [], "String")
+
+    basic_permission = model.add_class("java.security.BasicPermission",
+                                       extends=["Permission"])
+
+    awt_permission = model.add_class("java.awt.AWTPermission",
+                                     extends=["BasicPermission"])
+    awt_permission.constructor("String")
+    awt_permission.constructor("String", "String")
+
+    toolkit = model.add_class("java.awt.Toolkit", extends=["Object"])
+    toolkit.method("getDefaultToolkit", [], "Toolkit", static=True)
+    toolkit.method("getScreenSize", [], "Dimension")
+    toolkit.method("beep", [], "void")
+
+    cursor = model.add_class("java.awt.Cursor", extends=["Object", "Serializable"])
+    cursor.constructor("int")
+    cursor.method("getType", [], "int")
+
+    image = model.add_class("java.awt.Image", extends=["Object"])
+    image.method("getWidth", ["ImageObserver"], "int")
+    image.method("getHeight", ["ImageObserver"], "int")
+
+    graphics_env = model.add_class("java.awt.GraphicsEnvironment", extends=["Object"])
+    graphics_env.method("getLocalGraphicsEnvironment", [],
+                        "GraphicsEnvironment", static=True)
+    graphics_env.method("getDefaultScreenDevice", [], "GraphicsDevice")
+
+    graphics_device = model.add_class("java.awt.GraphicsDevice", extends=["Object"])
+    graphics_device.method("getDisplayMode", [], "DisplayMode")
+    graphics_device.method("setDisplayMode", ["DisplayMode"], "void")
+
+    model.add_class("java.awt.event.ActionListener") \
+        .method("actionPerformed", ["ActionEvent"], "void")
+    model.add_class("java.awt.event.ActionEvent", extends=["Object"]) \
+        .constructor("Object", "int", "String") \
+        .method("getActionCommand", [], "String")
+    model.add_class("java.awt.event.KeyListener")
+    model.add_class("java.awt.event.MouseListener")
+    model.add_class("java.awt.event.WindowListener")

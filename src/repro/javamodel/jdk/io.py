@@ -1,0 +1,301 @@
+"""java.io — the stream, reader and writer hierarchies.
+
+The richest package in the model: most Table 2 benchmarks are java.io
+construction tasks (``new BufferedReader(new FileReader(file))``-style).
+Subtype edges mirror the real hierarchy so the §6 coercion machinery is
+exercised exactly as in the paper's examples.
+"""
+
+from repro.javamodel.model import ApiModel
+
+
+def build(model: ApiModel) -> None:
+    _build_streams(model)
+    _build_readers_writers(model)
+    _build_files(model)
+    _build_misc(model)
+
+
+def _build_streams(model: ApiModel) -> None:
+    input_stream = model.add_class("java.io.InputStream", extends=["Object", "Closeable"])
+    input_stream.method("read", [], "int")
+    input_stream.method("available", [], "int")
+    input_stream.method("close", [], "void")
+    input_stream.method("markSupported", [], "boolean")
+
+    output_stream = model.add_class("java.io.OutputStream", extends=["Object", "Closeable"])
+    output_stream.method("write", ["int"], "void")
+    output_stream.method("flush", [], "void")
+    output_stream.method("close", [], "void")
+
+    file_input = model.add_class("java.io.FileInputStream", extends=["InputStream"])
+    file_input.constructor("String")
+    file_input.constructor("File")
+    file_input.constructor("FileDescriptor")
+    file_input.method("getFD", [], "FileDescriptor")
+    file_input.method("getChannel", [], "FileChannel")
+
+    file_output = model.add_class("java.io.FileOutputStream", extends=["OutputStream"])
+    file_output.constructor("String")
+    file_output.constructor("File")
+    file_output.constructor("File", "boolean")
+    file_output.constructor("FileDescriptor")
+    file_output.method("getFD", [], "FileDescriptor")
+
+    filter_input = model.add_class("java.io.FilterInputStream", extends=["InputStream"])
+    filter_input.constructor("InputStream")
+
+    filter_output = model.add_class("java.io.FilterOutputStream", extends=["OutputStream"])
+    filter_output.constructor("OutputStream")
+
+    buffered_input = model.add_class("java.io.BufferedInputStream",
+                                     extends=["FilterInputStream"])
+    buffered_input.constructor("InputStream")
+    buffered_input.constructor("InputStream", "int")
+
+    buffered_output = model.add_class("java.io.BufferedOutputStream",
+                                      extends=["FilterOutputStream"])
+    buffered_output.constructor("OutputStream")
+    buffered_output.constructor("OutputStream", "int")
+
+    data_input = model.add_class("java.io.DataInputStream",
+                                 extends=["FilterInputStream", "DataInput"])
+    data_input.constructor("InputStream")
+    data_input.method("readInt", [], "int")
+    data_input.method("readUTF", [], "String")
+    data_input.method("readBoolean", [], "boolean")
+
+    data_output = model.add_class("java.io.DataOutputStream",
+                                  extends=["FilterOutputStream", "DataOutput"])
+    data_output.constructor("OutputStream")
+    data_output.method("writeInt", ["int"], "void")
+    data_output.method("writeUTF", ["String"], "void")
+    data_output.method("size", [], "int")
+
+    byte_array_input = model.add_class("java.io.ByteArrayInputStream",
+                                       extends=["InputStream"])
+    byte_array_input.constructor("ByteArray")
+    byte_array_input.constructor("ByteArray", "int", "int")
+
+    byte_array_output = model.add_class("java.io.ByteArrayOutputStream",
+                                        extends=["OutputStream"])
+    byte_array_output.constructor()
+    byte_array_output.constructor("int")
+    byte_array_output.method("toByteArray", [], "ByteArray")
+    byte_array_output.method("toString", [], "String")
+    byte_array_output.method("size", [], "int")
+
+    sequence_input = model.add_class("java.io.SequenceInputStream",
+                                     extends=["InputStream"])
+    sequence_input.constructor("InputStream", "InputStream")
+    sequence_input.constructor("Enumeration")
+
+    object_input = model.add_class("java.io.ObjectInputStream",
+                                   extends=["InputStream", "ObjectInput"])
+    object_input.constructor("InputStream")
+    object_input.method("readObject", [], "Object")
+
+    object_output = model.add_class("java.io.ObjectOutputStream",
+                                    extends=["OutputStream", "ObjectOutput"])
+    object_output.constructor("OutputStream")
+    object_output.method("writeObject", ["Object"], "void")
+
+    piped_input = model.add_class("java.io.PipedInputStream", extends=["InputStream"])
+    piped_input.constructor()
+    piped_input.constructor("PipedOutputStream")
+
+    piped_output = model.add_class("java.io.PipedOutputStream", extends=["OutputStream"])
+    piped_output.constructor()
+    piped_output.constructor("PipedInputStream")
+
+    print_stream = model.add_class("java.io.PrintStream",
+                                   extends=["FilterOutputStream", "Appendable"])
+    print_stream.constructor("OutputStream")
+    print_stream.constructor("OutputStream", "boolean")
+    print_stream.constructor("String")
+    print_stream.constructor("File")
+    print_stream.method("println", ["String"], "void")
+    print_stream.method("print", ["String"], "void")
+    print_stream.method("printf", ["String", "Object"], "PrintStream")
+    print_stream.method("checkError", [], "boolean")
+
+    pushback_input = model.add_class("java.io.PushbackInputStream",
+                                     extends=["FilterInputStream"])
+    pushback_input.constructor("InputStream")
+    pushback_input.constructor("InputStream", "int")
+
+    model.add_class("java.io.Closeable")
+    model.add_class("java.io.Flushable")
+    model.add_class("java.io.DataInput")
+    model.add_class("java.io.DataOutput")
+    model.add_class("java.io.ObjectInput", extends=["DataInput"])
+    model.add_class("java.io.ObjectOutput", extends=["DataOutput"])
+    model.add_class("java.io.Serializable")
+
+
+def _build_readers_writers(model: ApiModel) -> None:
+    reader = model.add_class("java.io.Reader", extends=["Object", "Readable", "Closeable"])
+    reader.method("read", [], "int")
+    reader.method("ready", [], "boolean")
+    reader.method("close", [], "void")
+
+    writer = model.add_class("java.io.Writer",
+                             extends=["Object", "Appendable", "Closeable", "Flushable"])
+    writer.method("write", ["String"], "void")
+    writer.method("flush", [], "void")
+    writer.method("close", [], "void")
+    writer.method("append", ["CharSequence"], "Writer")
+
+    model.add_class("java.lang.Readable")
+    model.add_class("java.lang.Appendable")
+
+    input_stream_reader = model.add_class("java.io.InputStreamReader",
+                                          extends=["Reader"])
+    input_stream_reader.constructor("InputStream")
+    input_stream_reader.constructor("InputStream", "String")
+    input_stream_reader.constructor("InputStream", "Charset")
+    input_stream_reader.method("getEncoding", [], "String")
+
+    output_stream_writer = model.add_class("java.io.OutputStreamWriter",
+                                           extends=["Writer"])
+    output_stream_writer.constructor("OutputStream")
+    output_stream_writer.constructor("OutputStream", "String")
+    output_stream_writer.method("getEncoding", [], "String")
+
+    file_reader = model.add_class("java.io.FileReader",
+                                  extends=["InputStreamReader"])
+    file_reader.constructor("File")
+    file_reader.constructor("String")
+    file_reader.constructor("FileDescriptor")
+
+    file_writer = model.add_class("java.io.FileWriter",
+                                  extends=["OutputStreamWriter"])
+    file_writer.constructor("File")
+    file_writer.constructor("String")
+    file_writer.constructor("String", "boolean")
+    file_writer.constructor("File", "boolean")
+
+    buffered_reader = model.add_class("java.io.BufferedReader", extends=["Reader"])
+    buffered_reader.constructor("Reader")
+    buffered_reader.constructor("Reader", "int")
+    buffered_reader.method("readLine", [], "String")
+
+    buffered_writer = model.add_class("java.io.BufferedWriter", extends=["Writer"])
+    buffered_writer.constructor("Writer")
+    buffered_writer.constructor("Writer", "int")
+    buffered_writer.method("newLine", [], "void")
+
+    line_number_reader = model.add_class("java.io.LineNumberReader",
+                                         extends=["BufferedReader"])
+    line_number_reader.constructor("Reader")
+    line_number_reader.constructor("Reader", "int")
+    line_number_reader.method("getLineNumber", [], "int")
+    line_number_reader.method("setLineNumber", ["int"], "void")
+
+    string_reader = model.add_class("java.io.StringReader", extends=["Reader"])
+    string_reader.constructor("String")
+
+    string_writer = model.add_class("java.io.StringWriter", extends=["Writer"])
+    string_writer.constructor()
+    string_writer.constructor("int")
+    string_writer.method("getBuffer", [], "StringBuffer")
+
+    char_array_reader = model.add_class("java.io.CharArrayReader", extends=["Reader"])
+    char_array_reader.constructor("CharArray")
+
+    char_array_writer = model.add_class("java.io.CharArrayWriter", extends=["Writer"])
+    char_array_writer.constructor()
+    char_array_writer.method("toCharArray", [], "CharArray")
+
+    piped_reader = model.add_class("java.io.PipedReader", extends=["Reader"])
+    piped_reader.constructor()
+    piped_reader.constructor("PipedWriter")
+    piped_reader.constructor("PipedWriter", "int")
+
+    piped_writer = model.add_class("java.io.PipedWriter", extends=["Writer"])
+    piped_writer.constructor()
+    piped_writer.constructor("PipedReader")
+
+    print_writer = model.add_class("java.io.PrintWriter", extends=["Writer"])
+    print_writer.constructor("Writer")
+    print_writer.constructor("Writer", "boolean")
+    print_writer.constructor("OutputStream")
+    print_writer.constructor("String")
+    print_writer.constructor("File")
+    print_writer.method("println", ["String"], "void")
+    print_writer.method("printf", ["String", "Object"], "PrintWriter")
+
+    pushback_reader = model.add_class("java.io.PushbackReader", extends=["FilterReader"])
+    pushback_reader.constructor("Reader")
+    pushback_reader.constructor("Reader", "int")
+    pushback_reader.method("unread", ["int"], "void")
+
+    filter_reader = model.add_class("java.io.FilterReader", extends=["Reader"])
+    filter_reader.constructor("Reader")
+
+    filter_writer = model.add_class("java.io.FilterWriter", extends=["Writer"])
+    filter_writer.constructor("Writer")
+
+
+def _build_files(model: ApiModel) -> None:
+    file = model.add_class("java.io.File", extends=["Object", "Serializable"])
+    file.constructor("String")
+    file.constructor("String", "String")
+    file.constructor("File", "String")
+    file.constructor("URI")
+    file.method("getName", [], "String")
+    file.method("getPath", [], "String")
+    file.method("getAbsolutePath", [], "String")
+    file.method("getParent", [], "String")
+    file.method("getParentFile", [], "File")
+    file.method("exists", [], "boolean")
+    file.method("isDirectory", [], "boolean")
+    file.method("isFile", [], "boolean")
+    file.method("length", [], "long")
+    file.method("delete", [], "boolean")
+    file.method("mkdir", [], "boolean")
+    file.method("createNewFile", [], "boolean")
+    file.method("listFiles", [], "FileArray")
+    file.method("toURI", [], "URI")
+    file.field("separator", "String", static=True)
+    file.field("pathSeparator", "String", static=True)
+
+    descriptor = model.add_class("java.io.FileDescriptor", extends=["Object"])
+    descriptor.constructor()
+    descriptor.method("valid", [], "boolean")
+    descriptor.method("sync", [], "void")
+    descriptor.field("in", "FileDescriptor", static=True)
+    descriptor.field("out", "FileDescriptor", static=True)
+    descriptor.field("err", "FileDescriptor", static=True)
+
+    raf = model.add_class("java.io.RandomAccessFile",
+                          extends=["Object", "DataInput", "DataOutput"])
+    raf.constructor("String", "String")
+    raf.constructor("File", "String")
+    raf.method("seek", ["long"], "void")
+    raf.method("getFilePointer", [], "long")
+    raf.method("readLine", [], "String")
+
+    model.add_class("java.nio.channels.FileChannel", extends=["Object"])
+    model.add_class("java.nio.charset.Charset", extends=["Object"]) \
+        .method("forName", ["String"], "Charset", static=True) \
+        .method("defaultCharset", [], "Charset", static=True)
+
+
+def _build_misc(model: ApiModel) -> None:
+    tokenizer = model.add_class("java.io.StreamTokenizer", extends=["Object"])
+    tokenizer.constructor("Reader")
+    tokenizer.method("nextToken", [], "int")
+    tokenizer.method("lineno", [], "int")
+    tokenizer.field("sval", "String")
+    tokenizer.field("nval", "double")
+
+    console = model.add_class("java.io.Console", extends=["Object"])
+    console.method("readLine", [], "String")
+    console.method("writer", [], "PrintWriter")
+    console.method("reader", [], "Reader")
+
+    model.add_class("java.io.IOException", extends=["Exception"]) \
+        .constructor("String")
+    model.add_class("java.io.FileNotFoundException", extends=["IOException"]) \
+        .constructor("String")

@@ -1,0 +1,129 @@
+"""java.lang — core types every scene imports implicitly."""
+
+from repro.javamodel.model import ApiModel
+
+
+def build(model: ApiModel) -> None:
+    obj = model.add_class("java.lang.Object")
+    obj.constructor()
+    obj.method("toString", [], "String")
+    obj.method("hashCode", [], "int")
+    obj.method("equals", ["Object"], "boolean")
+    obj.method("getClass", [], "Class")
+
+    cls = model.add_class("java.lang.Class", extends=["Object"])
+    cls.method("getName", [], "String")
+    cls.method("getSimpleName", [], "String")
+
+    string = model.add_class("java.lang.String", extends=["Object", "CharSequence"])
+    string.constructor()
+    string.constructor("CharArray")
+    string.constructor("ByteArray")
+    string.method("length", [], "int")
+    string.method("charAt", ["int"], "char")
+    string.method("substring", ["int"], "String")
+    string.method("concat", ["String"], "String")
+    string.method("trim", [], "String")
+    string.method("toUpperCase", [], "String")
+    string.method("toLowerCase", [], "String")
+    string.method("getBytes", [], "ByteArray")
+    string.method("toCharArray", [], "CharArray")
+    string.method("indexOf", ["String"], "int")
+    string.method("replace", ["CharSequence", "CharSequence"], "String")
+    string.method("valueOf", ["int"], "String", static=True)
+    string.method("isEmpty", [], "boolean")
+
+    model.add_class("java.lang.CharSequence")
+
+    builder = model.add_class("java.lang.StringBuilder",
+                              extends=["Object", "CharSequence"])
+    builder.constructor()
+    builder.constructor("String")
+    builder.constructor("int")
+    builder.method("append", ["String"], "StringBuilder")
+    builder.method("reverse", [], "StringBuilder")
+    builder.method("toString", [], "String")
+
+    buffer = model.add_class("java.lang.StringBuffer",
+                             extends=["Object", "CharSequence"])
+    buffer.constructor()
+    buffer.constructor("String")
+    buffer.method("append", ["String"], "StringBuffer")
+
+    integer = model.add_class("java.lang.Integer", extends=["Number"])
+    integer.constructor("int")
+    integer.method("intValue", [], "int")
+    integer.method("parseInt", ["String"], "int", static=True)
+    integer.method("toBinaryString", ["int"], "String", static=True)
+    integer.field("MAX_VALUE", "int", static=True)
+    integer.field("MIN_VALUE", "int", static=True)
+
+    long_ = model.add_class("java.lang.Long", extends=["Number"])
+    long_.constructor("long")
+    long_.method("longValue", [], "long")
+    long_.method("parseLong", ["String"], "long", static=True)
+
+    double_ = model.add_class("java.lang.Double", extends=["Number"])
+    double_.constructor("double")
+    double_.method("doubleValue", [], "double")
+    double_.method("parseDouble", ["String"], "double", static=True)
+
+    model.add_class("java.lang.Number", extends=["Object"])
+
+    boolean = model.add_class("java.lang.Boolean", extends=["Object"])
+    boolean.constructor("boolean")
+    boolean.method("booleanValue", [], "boolean")
+    boolean.method("parseBoolean", ["String"], "boolean", static=True)
+
+    character = model.add_class("java.lang.Character", extends=["Object"])
+    character.constructor("char")
+    character.method("charValue", [], "char")
+
+    system = model.add_class("java.lang.System", extends=["Object"])
+    system.field("out", "PrintStream", static=True)
+    system.field("err", "PrintStream", static=True)
+    system.field("in", "InputStream", static=True)
+    system.method("currentTimeMillis", [], "long", static=True)
+    system.method("getProperty", ["String"], "String", static=True)
+    system.method("lineSeparator", [], "String", static=True)
+
+    math = model.add_class("java.lang.Math", extends=["Object"])
+    math.method("abs", ["int"], "int", static=True)
+    math.method("max", ["int", "int"], "int", static=True)
+    math.method("min", ["int", "int"], "int", static=True)
+    math.method("random", [], "double", static=True)
+    math.field("PI", "double", static=True)
+
+    runnable = model.add_class("java.lang.Runnable")
+    runnable.method("run", [], "void")
+
+    thread = model.add_class("java.lang.Thread", extends=["Object", "Runnable"])
+    thread.constructor()
+    thread.constructor("Runnable")
+    thread.constructor("Runnable", "String")
+    thread.method("start", [], "void")
+    thread.method("getName", [], "String")
+    thread.method("currentThread", [], "Thread", static=True)
+
+    throwable = model.add_class("java.lang.Throwable", extends=["Object"])
+    throwable.constructor("String")
+    throwable.method("getMessage", [], "String")
+
+    exception = model.add_class("java.lang.Exception", extends=["Throwable"])
+    exception.constructor("String")
+
+    runtime_exception = model.add_class("java.lang.RuntimeException",
+                                        extends=["Exception"])
+    runtime_exception.constructor("String")
+
+    model.add_class("java.lang.IllegalArgumentException",
+                    extends=["RuntimeException"]).constructor("String")
+
+    runtime = model.add_class("java.lang.Runtime", extends=["Object"])
+    runtime.method("getRuntime", [], "Runtime", static=True)
+    runtime.method("availableProcessors", [], "int")
+
+    process = model.add_class("java.lang.Process", extends=["Object"])
+    process.method("getInputStream", [], "InputStream")
+    process.method("getOutputStream", [], "OutputStream")
+    process.method("waitFor", [], "int")

@@ -1,0 +1,99 @@
+"""java.net — sockets, URLs and addresses."""
+
+from repro.javamodel.model import ApiModel
+
+
+def build(model: ApiModel) -> None:
+    url = model.add_class("java.net.URL", extends=["Object", "Serializable"])
+    url.constructor("String")
+    url.constructor("String", "String", "String")
+    url.constructor("String", "String", "int", "String")
+    url.constructor("URL", "String")
+    url.method("openStream", [], "InputStream")
+    url.method("openConnection", [], "URLConnection")
+    url.method("getHost", [], "String")
+    url.method("getPort", [], "int")
+    url.method("getProtocol", [], "String")
+    url.method("getFile", [], "String")
+    url.method("toURI", [], "URI")
+    url.method("toExternalForm", [], "String")
+
+    uri = model.add_class("java.net.URI", extends=["Object", "Serializable"])
+    uri.constructor("String")
+    uri.method("getScheme", [], "String")
+    uri.method("getHost", [], "String")
+    uri.method("toURL", [], "URL")
+
+    connection = model.add_class("java.net.URLConnection", extends=["Object"])
+    connection.method("getInputStream", [], "InputStream")
+    connection.method("getOutputStream", [], "OutputStream")
+    connection.method("getContentLength", [], "int")
+    connection.method("getContentType", [], "String")
+    connection.method("connect", [], "void")
+
+    http = model.add_class("java.net.HttpURLConnection", extends=["URLConnection"])
+    http.method("getResponseCode", [], "int")
+    http.method("setRequestMethod", ["String"], "void")
+    http.method("disconnect", [], "void")
+
+    socket = model.add_class("java.net.Socket", extends=["Object", "Closeable"])
+    socket.constructor()
+    socket.constructor("String", "int")
+    socket.constructor("InetAddress", "int")
+    socket.method("getInputStream", [], "InputStream")
+    socket.method("getOutputStream", [], "OutputStream")
+    socket.method("getInetAddress", [], "InetAddress")
+    socket.method("getPort", [], "int")
+    socket.method("close", [], "void")
+    socket.method("isConnected", [], "boolean")
+
+    server = model.add_class("java.net.ServerSocket", extends=["Object", "Closeable"])
+    server.constructor()
+    server.constructor("int")
+    server.constructor("int", "int")
+    server.method("accept", [], "Socket")
+    server.method("getLocalPort", [], "int")
+    server.method("close", [], "void")
+
+    datagram_socket = model.add_class("java.net.DatagramSocket",
+                                      extends=["Object", "Closeable"])
+    datagram_socket.constructor()
+    datagram_socket.constructor("int")
+    datagram_socket.constructor("int", "InetAddress")
+    datagram_socket.method("send", ["DatagramPacket"], "void")
+    datagram_socket.method("receive", ["DatagramPacket"], "void")
+    datagram_socket.method("getLocalPort", [], "int")
+    datagram_socket.method("close", [], "void")
+
+    multicast = model.add_class("java.net.MulticastSocket",
+                                extends=["DatagramSocket"])
+    multicast.constructor()
+    multicast.constructor("int")
+    multicast.method("joinGroup", ["InetAddress"], "void")
+
+    packet = model.add_class("java.net.DatagramPacket", extends=["Object"])
+    packet.constructor("ByteArray", "int")
+    packet.constructor("ByteArray", "int", "InetAddress", "int")
+    packet.method("getData", [], "ByteArray")
+    packet.method("getLength", [], "int")
+    packet.method("getAddress", [], "InetAddress")
+
+    address = model.add_class("java.net.InetAddress", extends=["Object"])
+    address.method("getByName", ["String"], "InetAddress", static=True)
+    address.method("getLocalHost", [], "InetAddress", static=True)
+    address.method("getHostName", [], "String")
+    address.method("getHostAddress", [], "String")
+
+    model.add_class("java.net.InetSocketAddress", extends=["Object"]) \
+        .constructor("String", "int") \
+        .constructor("int")
+
+    model.add_class("java.net.URLEncoder", extends=["Object"]) \
+        .method("encode", ["String", "String"], "String", static=True)
+    model.add_class("java.net.URLDecoder", extends=["Object"]) \
+        .method("decode", ["String", "String"], "String", static=True)
+
+    model.add_class("java.net.MalformedURLException", extends=["IOException"]) \
+        .constructor("String")
+    model.add_class("java.net.UnknownHostException", extends=["IOException"]) \
+        .constructor("String")

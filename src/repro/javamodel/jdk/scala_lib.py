@@ -1,0 +1,78 @@
+"""A slice of the Scala standard library — higher-order API surface.
+
+The paper's tool ran inside the Scala IDE, where much of the visible API
+is higher-order (`List.map`, `Option.getOrElse`, `foreach`, ...).  The
+simply typed calculus is monomorphic, so the generic signatures are
+modelled at the instantiations the examples use (`TreeList`, `StringList`,
+`IntList`, `StringOption`), which is how the presentation compiler
+would materialise them at a concrete call site anyway.
+
+Kept out of :func:`repro.javamodel.jdk.build_jdk` (the Table 2 scenes are
+Java-API scenes); scenes opt in via ``build`` on their own model.
+"""
+
+from repro.javamodel.model import ApiModel
+
+
+def build(model: ApiModel) -> None:
+    _build_lists(model)
+    _build_options(model)
+    _build_functions(model)
+
+
+def _build_lists(model: ApiModel) -> None:
+    model.add_class("scala.Int2")          # marker types for the slice
+    model.add_class("scala.Boolean3")
+
+    string_list = model.add_class("scala.collection.StringList")
+    string_list.method("map", ["String -> String"], "StringList")
+    string_list.method("filter", ["String -> boolean"], "StringList")
+    string_list.method("foldLeft", ["String", "String -> String -> String"],
+                       "String")
+    string_list.method("headOption", [], "StringOption")
+    string_list.method("mkString", ["String"], "String")
+    string_list.method("size", [], "int")
+    string_list.method("isEmpty", [], "boolean")
+    string_list.method("reverse", [], "StringList")
+    string_list.method("empty", [], "StringList", static=True)
+
+    int_list = model.add_class("scala.collection.IntList")
+    int_list.method("map", ["int -> int"], "IntList")
+    int_list.method("filter", ["int -> boolean"], "IntList")
+    int_list.method("foldLeft", ["int", "int -> int -> int"], "int")
+    int_list.method("sum", [], "int")
+    int_list.method("max", [], "int")
+    int_list.method("take", ["int"], "IntList")
+    int_list.method("range", ["int", "int"], "IntList", static=True)
+
+    model.add_class("scala.collection.ListBuffer") \
+        .constructor() \
+        .method("append", ["String"], "ListBuffer") \
+        .method("toStringList", [], "StringList")
+
+
+def _build_options(model: ApiModel) -> None:
+    option = model.add_class("scala.StringOption")
+    option.method("get", [], "String")
+    option.method("getOrElse", ["String"], "String")
+    option.method("isDefined", [], "boolean")
+    option.method("map", ["String -> String"], "StringOption")
+    option.method("some", ["String"], "StringOption", static=True)
+    option.method("none", [], "StringOption", static=True)
+
+
+def _build_functions(model: ApiModel) -> None:
+    predef = model.add_class("scala.Predef")
+    predef.method("identity", ["String"], "String", static=True)
+    predef.method("require", ["boolean"], "Unit2", static=True)
+    model.add_class("scala.Unit2")
+
+    compose = model.add_class("scala.FunctionOps")
+    compose.method("compose",
+                   ["String -> String", "String -> String"],
+                   "String -> String", static=True)
+    compose.method("andThen",
+                   ["String -> String", "String -> String"],
+                   "String -> String", static=True)
+    compose.method("constantly", ["String"], "String -> String",
+                   static=True)

@@ -1,0 +1,396 @@
+"""javax.swing — widgets, models and helpers."""
+
+from repro.javamodel.model import ApiModel
+
+
+def build(model: ApiModel) -> None:
+    _build_core(model)
+    _build_buttons(model)
+    _build_text(model)
+    _build_containers(model)
+    _build_models(model)
+    _build_misc(model)
+
+
+def _build_core(model: ApiModel) -> None:
+    jcomponent = model.add_class("javax.swing.JComponent", extends=["Container"])
+    jcomponent.method("getBorder", [], "Border")
+    jcomponent.method("setBorder", ["Border"], "void")
+    jcomponent.method("getToolTipText", [], "String")
+    jcomponent.method("setToolTipText", ["String"], "void")
+    jcomponent.method("getRootPane", [], "JRootPane")
+    jcomponent.method("revalidate", [], "void")
+    jcomponent.method("getTransferHandler", [], "TransferHandler")
+    jcomponent.method("setTransferHandler", ["TransferHandler"], "void")
+
+    model.add_class("javax.swing.border.Border")
+    model.add_class("javax.swing.Icon")
+
+    jpanel = model.add_class("javax.swing.JPanel",
+                             extends=["JComponent", "Accessible"])
+    jpanel.constructor()
+    jpanel.constructor("LayoutManager")
+
+    jrootpane = model.add_class("javax.swing.JRootPane",
+                                extends=["JComponent", "Accessible"])
+    jrootpane.constructor()
+    jrootpane.method("getContentPane", [], "Container")
+
+    jlabel = model.add_class("javax.swing.JLabel",
+                             extends=["JComponent", "SwingConstants", "Accessible"])
+    jlabel.constructor()
+    jlabel.constructor("String")
+    jlabel.constructor("String", "int")
+    jlabel.constructor("Icon")
+    jlabel.method("getText", [], "String")
+    jlabel.method("setText", ["String"], "void")
+    jlabel.method("getIcon", [], "Icon")
+
+    model.add_class("javax.swing.SwingConstants")
+
+
+def _build_buttons(model: ApiModel) -> None:
+    abstract_button = model.add_class("javax.swing.AbstractButton",
+                                      extends=["JComponent", "ItemSelectable"])
+    abstract_button.method("getText", [], "String")
+    abstract_button.method("setText", ["String"], "void")
+    abstract_button.method("doClick", [], "void")
+    abstract_button.method("addActionListener", ["ActionListener"], "void")
+    abstract_button.method("isSelected", [], "boolean")
+    abstract_button.method("setSelected", ["boolean"], "void")
+
+    model.add_class("java.awt.ItemSelectable")
+
+    jbutton = model.add_class("javax.swing.JButton",
+                              extends=["AbstractButton", "Accessible"])
+    jbutton.constructor()
+    jbutton.constructor("String")
+    jbutton.constructor("Icon")
+    jbutton.constructor("String", "Icon")
+
+    jtoggle = model.add_class("javax.swing.JToggleButton",
+                              extends=["AbstractButton", "Accessible"])
+    jtoggle.constructor()
+    jtoggle.constructor("String")
+    jtoggle.constructor("String", "boolean")
+    jtoggle.constructor("Icon")
+
+    jcheckbox = model.add_class("javax.swing.JCheckBox",
+                                extends=["JToggleButton", "Accessible"])
+    jcheckbox.constructor()
+    jcheckbox.constructor("String")
+    jcheckbox.constructor("String", "boolean")
+    jcheckbox.constructor("Icon")
+
+    jradio = model.add_class("javax.swing.JRadioButton",
+                             extends=["JToggleButton", "Accessible"])
+    jradio.constructor()
+    jradio.constructor("String")
+
+    jmenuitem = model.add_class("javax.swing.JMenuItem",
+                                extends=["AbstractButton", "Accessible"])
+    jmenuitem.constructor()
+    jmenuitem.constructor("String")
+
+    jmenu = model.add_class("javax.swing.JMenu",
+                            extends=["JMenuItem", "Accessible"])
+    jmenu.constructor()
+    jmenu.constructor("String")
+    jmenu.method("add", ["JMenuItem"], "JMenuItem")
+
+    jmenubar = model.add_class("javax.swing.JMenuBar",
+                               extends=["JComponent", "Accessible"])
+    jmenubar.constructor()
+    jmenubar.method("add", ["JMenu"], "JMenu")
+
+
+def _build_text(model: ApiModel) -> None:
+    text_component = model.add_class("javax.swing.text.JTextComponent",
+                                     extends=["JComponent", "Accessible"])
+    text_component.method("getText", [], "String")
+    text_component.method("setText", ["String"], "void")
+    text_component.method("getDocument", [], "Document")
+    text_component.method("getCaretPosition", [], "int")
+
+    model.add_class("javax.swing.text.Document")
+
+    jtextfield = model.add_class("javax.swing.JTextField",
+                                 extends=["JTextComponent", "SwingConstants2"])
+    jtextfield.constructor()
+    jtextfield.constructor("String")
+    jtextfield.constructor("String", "int")
+    jtextfield.constructor("int")
+    jtextfield.method("addActionListener", ["ActionListener"], "void")
+
+    model.add_class("javax.swing.SwingConstants2")
+
+    jtextarea = model.add_class("javax.swing.JTextArea",
+                                extends=["JTextComponent"])
+    jtextarea.constructor()
+    jtextarea.constructor("String")
+    jtextarea.constructor("int", "int")
+    jtextarea.constructor("String", "int", "int")
+    jtextarea.constructor("Document")
+    jtextarea.method("append", ["String"], "void")
+    jtextarea.method("getLineCount", [], "int")
+
+    formatter = model.add_class(
+        "javax.swing.JFormattedTextField.AbstractFormatter",
+        extends=["Object", "Serializable"])
+    formatter.method("stringToValue", ["String"], "Object")
+    formatter.method("valueToString", ["Object"], "String")
+
+    factory = model.add_class(
+        "javax.swing.JFormattedTextField.AbstractFormatterFactory",
+        extends=["Object"])
+    factory.method("getFormatter", ["JFormattedTextField"],
+                   "JFormattedTextField.AbstractFormatter")
+
+    jformatted = model.add_class("javax.swing.JFormattedTextField",
+                                 extends=["JTextField"])
+    jformatted.constructor()
+    jformatted.constructor("JFormattedTextField.AbstractFormatter")
+    jformatted.constructor("JFormattedTextField.AbstractFormatterFactory")
+    jformatted.constructor("Object")
+    jformatted.method("getValue", [], "Object")
+    jformatted.method("setValue", ["Object"], "void")
+    jformatted.method("getFormatter", [], "JFormattedTextField.AbstractFormatter")
+
+    default_formatter = model.add_class("javax.swing.text.DefaultFormatter",
+                                        extends=["JFormattedTextField.AbstractFormatter"])
+    default_formatter.constructor()
+
+    mask_formatter = model.add_class("javax.swing.text.MaskFormatter",
+                                     extends=["DefaultFormatter"])
+    mask_formatter.constructor()
+    mask_formatter.constructor("String")
+
+    jeditor = model.add_class("javax.swing.JEditorPane",
+                              extends=["JTextComponent"])
+    jeditor.constructor()
+    jeditor.constructor("String")
+    jeditor.constructor("String", "String")
+
+
+def _build_containers(model: ApiModel) -> None:
+    jwindow = model.add_class("javax.swing.JWindow",
+                              extends=["Window", "Accessible",
+                                       "RootPaneContainer"])
+    jwindow.constructor()
+    jwindow.constructor("Frame")
+    jwindow.method("getContentPane", [], "Container")
+
+    model.add_class("javax.swing.RootPaneContainer")
+
+    jframe = model.add_class("javax.swing.JFrame",
+                             extends=["Frame", "Accessible",
+                                      "RootPaneContainer"])
+    jframe.constructor()
+    jframe.constructor("String")
+    jframe.method("getContentPane", [], "Container")
+    jframe.method("setDefaultCloseOperation", ["int"], "void")
+
+    jdialog = model.add_class("javax.swing.JDialog",
+                              extends=["Dialog", "Accessible",
+                                       "RootPaneContainer"])
+    jdialog.constructor()
+    jdialog.constructor("Frame")
+    jdialog.constructor("Frame", "String")
+
+    jscroll = model.add_class("javax.swing.JScrollPane",
+                              extends=["JComponent", "Accessible"])
+    jscroll.constructor()
+    jscroll.constructor("Component")
+    jscroll.method("getViewport", [], "JViewport")
+    jscroll.method("setViewportView", ["Component"], "void")
+
+    jviewport = model.add_class("javax.swing.JViewport",
+                                extends=["JComponent", "Accessible"])
+    jviewport.constructor()
+    jviewport.method("getView", [], "Component")
+    jviewport.method("setView", ["Component"], "void")
+    jviewport.method("getViewPosition", [], "Point")
+
+    jsplit = model.add_class("javax.swing.JSplitPane",
+                             extends=["JComponent", "Accessible"])
+    jsplit.constructor()
+    jsplit.constructor("int")
+    jsplit.constructor("int", "Component", "Component")
+
+    jtabbed = model.add_class("javax.swing.JTabbedPane",
+                              extends=["JComponent", "Accessible"])
+    jtabbed.constructor()
+    jtabbed.method("addTab", ["String", "Component"], "void")
+
+    jtoolbar = model.add_class("javax.swing.JToolBar",
+                               extends=["JComponent", "Accessible"])
+    jtoolbar.constructor()
+    jtoolbar.constructor("String")
+
+    group_layout = model.add_class("javax.swing.GroupLayout",
+                                   extends=["Object", "LayoutManager2"])
+    group_layout.constructor("Container")
+    group_layout.method("setAutoCreateGaps", ["boolean"], "void")
+    group_layout.method("setAutoCreateContainerGaps", ["boolean"], "void")
+
+    spring_layout = model.add_class("javax.swing.SpringLayout",
+                                    extends=["Object", "LayoutManager2"])
+    spring_layout.constructor()
+
+    box_layout = model.add_class("javax.swing.BoxLayout",
+                                 extends=["Object", "LayoutManager2"])
+    box_layout.constructor("Container", "int")
+
+    overlay_layout = model.add_class("javax.swing.OverlayLayout",
+                                     extends=["Object", "LayoutManager2"])
+    overlay_layout.constructor("Container")
+
+
+def _build_models(model: ApiModel) -> None:
+    bounded = model.add_class("javax.swing.BoundedRangeModel")
+    bounded.method("getValue", [], "int")
+    bounded.method("setValue", ["int"], "void")
+    bounded.method("getMinimum", [], "int")
+    bounded.method("getMaximum", [], "int")
+
+    default_bounded = model.add_class("javax.swing.DefaultBoundedRangeModel",
+                                      extends=["Object", "BoundedRangeModel",
+                                               "Serializable"])
+    default_bounded.constructor()
+    default_bounded.constructor("int", "int", "int", "int")
+
+    jtable = model.add_class("javax.swing.JTable",
+                             extends=["JComponent", "Accessible", "Scrollable"])
+    jtable.constructor()
+    jtable.constructor("int", "int")
+    jtable.constructor("TableModel")
+    jtable.constructor("ObjectArray2D", "ObjectArray")
+    jtable.method("getRowCount", [], "int")
+    jtable.method("getColumnCount", [], "int")
+    jtable.method("getModel", [], "TableModel")
+    jtable.method("getValueAt", ["int", "int"], "Object")
+
+    model.add_class("javax.swing.table.TableModel")
+    model.add_class("javax.swing.Scrollable")
+
+    default_table = model.add_class("javax.swing.table.DefaultTableModel",
+                                    extends=["Object", "TableModel",
+                                             "Serializable"])
+    default_table.constructor()
+    default_table.constructor("int", "int")
+    default_table.constructor("ObjectArray2D", "ObjectArray")
+
+    jtree = model.add_class("javax.swing.JTree",
+                            extends=["JComponent", "Accessible", "Scrollable2"])
+    jtree.constructor()
+    jtree.constructor("TreeModel")
+    jtree.constructor("TreeNode")
+    jtree.method("getModel", [], "TreeModel")
+    jtree.method("getRowCount", [], "int")
+
+    model.add_class("javax.swing.Scrollable2")
+    model.add_class("javax.swing.tree.TreeModel")
+    model.add_class("javax.swing.tree.TreeNode")
+
+    default_tree_node = model.add_class(
+        "javax.swing.tree.DefaultMutableTreeNode",
+        extends=["Object", "TreeNode", "Cloneable"])
+    default_tree_node.constructor()
+    default_tree_node.constructor("Object")
+
+    jlist = model.add_class("javax.swing.JList",
+                            extends=["JComponent", "Accessible", "Scrollable3"])
+    jlist.constructor()
+    jlist.constructor("ListModel")
+    jlist.constructor("ObjectArray")
+    jlist.method("getSelectedIndex", [], "int")
+
+    model.add_class("javax.swing.Scrollable3")
+    model.add_class("javax.swing.ListModel")
+
+    jcombo = model.add_class("javax.swing.JComboBox",
+                             extends=["JComponent", "ItemSelectable2",
+                                      "Accessible"])
+    jcombo.constructor()
+    jcombo.constructor("ObjectArray")
+    jcombo.method("getSelectedItem", [], "Object")
+
+    model.add_class("javax.swing.ItemSelectable2")
+
+    jslider = model.add_class("javax.swing.JSlider",
+                              extends=["JComponent", "SwingConstants3",
+                                       "Accessible"])
+    jslider.constructor()
+    jslider.constructor("int", "int")
+    jslider.constructor("int", "int", "int")
+    jslider.constructor("BoundedRangeModel")
+    jslider.method("getValue", [], "int")
+
+    model.add_class("javax.swing.SwingConstants3")
+
+    jprogress = model.add_class("javax.swing.JProgressBar",
+                                extends=["JComponent", "SwingConstants4",
+                                         "Accessible"])
+    jprogress.constructor()
+    jprogress.constructor("int", "int")
+    jprogress.constructor("BoundedRangeModel")
+
+    model.add_class("javax.swing.SwingConstants4")
+
+    jspinner = model.add_class("javax.swing.JSpinner",
+                               extends=["JComponent", "Accessible"])
+    jspinner.constructor()
+    jspinner.method("getValue", [], "Object")
+
+
+def _build_misc(model: ApiModel) -> None:
+    timer = model.add_class("javax.swing.Timer",
+                            extends=["Object", "Serializable"])
+    timer.constructor("int", "ActionListener")
+    timer.method("start", [], "void")
+    timer.method("stop", [], "void")
+    timer.method("isRunning", [], "boolean")
+    timer.method("setDelay", ["int"], "void")
+
+    transfer = model.add_class("javax.swing.TransferHandler",
+                               extends=["Object", "Serializable"])
+    transfer.constructor("String")
+    transfer.method("exportToClipboard", ["JComponent", "Clipboard", "int"],
+                    "void")
+
+    model.add_class("java.awt.datatransfer.Clipboard", extends=["Object"]) \
+        .constructor("String") \
+        .method("getName", [], "String")
+
+    image_icon = model.add_class("javax.swing.ImageIcon",
+                                 extends=["Object", "Icon", "Serializable"])
+    image_icon.constructor()
+    image_icon.constructor("String")
+    image_icon.constructor("String", "String")
+    image_icon.constructor("Image")
+    image_icon.constructor("URL")
+    image_icon.method("getImage", [], "Image")
+    image_icon.method("getIconWidth", [], "int")
+
+    border_factory = model.add_class("javax.swing.BorderFactory",
+                                     extends=["Object"])
+    border_factory.method("createEmptyBorder", [], "Border", static=True)
+    border_factory.method("createLineBorder", ["Color"], "Border", static=True)
+    border_factory.method("createTitledBorder", ["String"], "Border",
+                          static=True)
+
+    joptionpane = model.add_class("javax.swing.JOptionPane",
+                                  extends=["JComponent", "Accessible"])
+    joptionpane.constructor()
+    joptionpane.method("showMessageDialog", ["Component", "Object"], "void",
+                       static=True)
+    joptionpane.method("showInputDialog", ["Object"], "String", static=True)
+
+    swing_utilities = model.add_class("javax.swing.SwingUtilities",
+                                      extends=["Object"])
+    swing_utilities.method("invokeLater", ["Runnable"], "void", static=True)
+    swing_utilities.method("isEventDispatchThread", [], "boolean", static=True)
+
+    ui_manager = model.add_class("javax.swing.UIManager", extends=["Object"])
+    ui_manager.method("getLookAndFeel", [], "String", static=True)
+    ui_manager.method("setLookAndFeel", ["String"], "void", static=True)

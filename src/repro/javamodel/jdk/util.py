@@ -1,0 +1,162 @@
+"""java.util — collections and utilities (a representative slice)."""
+
+from repro.javamodel.model import ApiModel
+
+
+def build(model: ApiModel) -> None:
+    model.add_class("java.util.Collection")
+    model.add_class("java.util.Enumeration")
+
+    iterator = model.add_class("java.util.Iterator")
+    iterator.method("hasNext", [], "boolean")
+    iterator.method("next", [], "Object")
+
+    list_ = model.add_class("java.util.List", extends=["Collection"])
+    list_.method("get", ["int"], "Object")
+    list_.method("size", [], "int")
+    list_.method("add", ["Object"], "boolean")
+    list_.method("isEmpty", [], "boolean")
+    list_.method("iterator", [], "Iterator")
+
+    array_list = model.add_class("java.util.ArrayList",
+                                 extends=["Object", "List", "Cloneable",
+                                          "Serializable"])
+    array_list.constructor()
+    array_list.constructor("int")
+    array_list.constructor("Collection")
+
+    linked_list = model.add_class("java.util.LinkedList",
+                                  extends=["Object", "List"])
+    linked_list.constructor()
+    linked_list.method("getFirst", [], "Object")
+    linked_list.method("getLast", [], "Object")
+
+    vector = model.add_class("java.util.Vector", extends=["Object", "List"])
+    vector.constructor()
+    vector.constructor("int")
+    vector.method("elements", [], "Enumeration")
+    vector.method("elementAt", ["int"], "Object")
+
+    stack = model.add_class("java.util.Stack", extends=["Vector"])
+    stack.constructor()
+    stack.method("push", ["Object"], "Object")
+    stack.method("pop", [], "Object")
+    stack.method("peek", [], "Object")
+
+    map_ = model.add_class("java.util.Map")
+    map_.method("get", ["Object"], "Object")
+    map_.method("put", ["Object", "Object"], "Object")
+    map_.method("containsKey", ["Object"], "boolean")
+    map_.method("keySet", [], "Set")
+    map_.method("size", [], "int")
+
+    hash_map = model.add_class("java.util.HashMap",
+                               extends=["Object", "Map", "Cloneable",
+                                        "Serializable"])
+    hash_map.constructor()
+    hash_map.constructor("int")
+    hash_map.constructor("Map")
+
+    tree_map = model.add_class("java.util.TreeMap", extends=["Object", "Map"])
+    tree_map.constructor()
+    tree_map.method("firstKey", [], "Object")
+
+    set_ = model.add_class("java.util.Set", extends=["Collection"])
+    set_.method("contains", ["Object"], "boolean")
+
+    hash_set = model.add_class("java.util.HashSet",
+                               extends=["Object", "Set", "Cloneable",
+                                        "Serializable"])
+    hash_set.constructor()
+    hash_set.constructor("Collection")
+
+    date = model.add_class("java.util.Date",
+                           extends=["Object", "Cloneable", "Serializable"])
+    date.constructor()
+    date.constructor("long")
+    date.method("getTime", [], "long")
+    date.method("before", ["Date"], "boolean")
+    date.method("after", ["Date"], "boolean")
+
+    calendar = model.add_class("java.util.Calendar", extends=["Object"])
+    calendar.method("getInstance", [], "Calendar", static=True)
+    calendar.method("getTime", [], "Date")
+    calendar.method("get", ["int"], "int")
+
+    random = model.add_class("java.util.Random",
+                             extends=["Object", "Serializable"])
+    random.constructor()
+    random.constructor("long")
+    random.method("nextInt", ["int"], "int")
+    random.method("nextDouble", [], "double")
+    random.method("nextBoolean", [], "boolean")
+
+    scanner = model.add_class("java.util.Scanner",
+                              extends=["Object", "Closeable"])
+    scanner.constructor("InputStream")
+    scanner.constructor("File")
+    scanner.constructor("String")
+    scanner.constructor("Readable")
+    scanner.method("nextLine", [], "String")
+    scanner.method("nextInt", [], "int")
+    scanner.method("hasNext", [], "boolean")
+
+    string_tokenizer = model.add_class("java.util.StringTokenizer",
+                                       extends=["Object", "Enumeration"])
+    string_tokenizer.constructor("String")
+    string_tokenizer.constructor("String", "String")
+    string_tokenizer.method("nextToken", [], "String")
+    string_tokenizer.method("hasMoreTokens", [], "boolean")
+    string_tokenizer.method("countTokens", [], "int")
+
+    properties = model.add_class("java.util.Properties",
+                                 extends=["Object", "Map2"])
+    properties.constructor()
+    properties.method("getProperty", ["String"], "String")
+    properties.method("setProperty", ["String", "String"], "Object")
+    properties.method("load", ["InputStream"], "void")
+    properties.method("store", ["OutputStream", "String"], "void")
+
+    model.add_class("java.util.Map2")
+
+    locale = model.add_class("java.util.Locale",
+                             extends=["Object", "Cloneable", "Serializable"])
+    locale.constructor("String")
+    locale.constructor("String", "String")
+    locale.method("getLanguage", [], "String")
+    locale.field("US", "Locale", static=True)
+    locale.field("UK", "Locale", static=True)
+
+    timezone = model.add_class("java.util.TimeZone",
+                               extends=["Object", "Cloneable", "Serializable"])
+    timezone.method("getDefault", [], "TimeZone", static=True)
+    timezone.method("getID", [], "String")
+
+    arrays = model.add_class("java.util.Arrays", extends=["Object"])
+    arrays.method("toString", ["ObjectArray"], "String", static=True)
+    arrays.method("asList", ["ObjectArray"], "List", static=True)
+
+    collections = model.add_class("java.util.Collections", extends=["Object"])
+    collections.method("emptyList", [], "List", static=True)
+    collections.method("singletonList", ["Object"], "List", static=True)
+    collections.method("unmodifiableList", ["List"], "List", static=True)
+
+    observable = model.add_class("java.util.Observable", extends=["Object"])
+    observable.constructor()
+    observable.method("addObserver", ["Observer"], "void")
+    observable.method("notifyObservers", [], "void")
+
+    model.add_class("java.util.Observer") \
+        .method("update", ["Observable", "Object"], "void")
+
+    uuid = model.add_class("java.util.UUID",
+                           extends=["Object", "Serializable"])
+    uuid.method("randomUUID", [], "UUID", static=True)
+    uuid.method("fromString", ["String"], "UUID", static=True)
+
+    bitset = model.add_class("java.util.BitSet",
+                             extends=["Object", "Cloneable", "Serializable"])
+    bitset.constructor()
+    bitset.constructor("int")
+    bitset.method("set", ["int"], "void")
+    bitset.method("cardinality", [], "int")

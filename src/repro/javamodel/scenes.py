@@ -1,0 +1,116 @@
+"""The paper's three motivating examples (§2.1–§2.3) as ready-made scenes.
+
+* :func:`sequence_of_streams_scene` — §2.1 / Figure 1: concatenating two
+  streams into a ``SequenceInputStream``; 3356 visible declarations in the
+  paper, expected snippet in the top five in under 250 ms.
+* :func:`tree_filter_scene` — §2.2: the Scala IDE ``TreeWrapper.filter``
+  fragment needing the higher-order constructor
+  ``new FilterTypeTreeTraverser(var1 => p(var1))``; ~4000 declarations,
+  expected snippet ranked first.
+* :func:`drawing_layout_scene` — §2.3: the ``java.awt`` getter
+  ``panel.getLayout()`` requiring subtyping (``Panel <: Container``);
+  4965 declarations, expected snippet ranked second.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.synthetic import default_frequencies
+from repro.javamodel.jdk import shared_jdk
+from repro.javamodel.model import ApiModel
+from repro.javamodel.scope import ProgramPoint, Scene
+
+#: Paper-reported visible-declaration counts for the three examples.
+FIGURE1_INITIAL = 3356
+TREE_FILTER_INITIAL = 4000
+DRAWING_LAYOUT_INITIAL = 4965
+
+#: Paper-reported succinct-type count for the Figure 1 environment (§3.2).
+FIGURE1_SUCCINCT_TYPES = 1783
+
+
+def sequence_of_streams_scene() -> Scene:
+    """§2.1: ``val stream: SequenceInputStream = ?`` with streams in scope."""
+    point = (ProgramPoint(shared_jdk(), default_frequencies().as_mapping(),
+                          name="sequence-of-streams")
+             .import_packages("java.io", "java.lang", "java.util"))
+    base = len(point._imports) + 2 + 2
+    point.add_distractors(FIGURE1_INITIAL - base, seed=21,
+                          confusable_types=("SequenceInputStream",
+                                            "InputStream"))
+    point.add_local("body", "InputStream")
+    point.add_local("sig", "FileInputStream")
+    point.add_literal('"header.bin"', "String")
+    point.add_literal("0", "int")
+    point.set_goal("SequenceInputStream")
+    return point.build()
+
+
+def _scala_ide_model() -> ApiModel:
+    """A slice of the Scala IDE / compiler API around TypeTreeTraverser."""
+    model = ApiModel()
+    tree = model.add_class("scala.reflect.Tree")
+    tree.method("symbol", [], "Symbol")
+    tree.method("children", [], "TreeList")
+    tree.method("isEmpty", [], "Boolean")
+    model.add_class("scala.reflect.Symbol") \
+        .method("name", [], "ScalaString") \
+        .method("isType", [], "Boolean")
+    model.add_class("scala.reflect.TreeList") \
+        .method("toList", [], "TreeList") \
+        .method("headOption", [], "Tree")
+    model.add_class("scala.Boolean2")
+    model.add_class("scala.ScalaString")
+
+    traverser = model.add_class("scala.tools.eclipse.Traverser")
+    traverser.method("traverse", ["Tree"], "Unit")
+    model.add_class("scala.Unit")
+
+    filter_traverser = model.add_class(
+        "scala.tools.eclipse.FilterTypeTreeTraverser",
+        extends=["Traverser"])
+    filter_traverser.constructor("Tree -> Boolean")
+    filter_traverser.method("hits", [], "TreeList")
+
+    model.add_class("scala.tools.eclipse.TypeTreeTraverser",
+                    extends=["Traverser"]).constructor()
+    return model
+
+
+def tree_filter_scene() -> Scene:
+    """§2.2: synthesising a higher-order constructor argument."""
+    jdk = shared_jdk()
+    ide = _scala_ide_model()
+    combined = ApiModel()
+    combined.merge(ide)
+    # The Scala IDE scene also sees the usual Java/Scala imports.
+    point = ProgramPoint(_merged(combined, jdk),
+                         default_frequencies().as_mapping(),
+                         name="tree-filter")
+    point.import_all()
+    base = len(point._imports) + 2
+    point.add_distractors(TREE_FILTER_INITIAL - base, seed=22,
+                          confusable_types=("FilterTypeTreeTraverser",))
+    point.add_local("tree", "Tree")
+    point.add_local("p", "Tree -> Boolean")
+    point.set_goal("FilterTypeTreeTraverser")
+    return point.build()
+
+
+def _merged(target: ApiModel, source: ApiModel) -> ApiModel:
+    """Merge *source* into *target* (kept separate for readability)."""
+    return target.merge(source)
+
+
+def drawing_layout_scene() -> Scene:
+    """§2.3: ``def getLayout: LayoutManager = ?`` — requires subtyping."""
+    point = (ProgramPoint(shared_jdk(), default_frequencies().as_mapping(),
+                          name="drawing-layout")
+             .import_packages("java.awt", "java.awt.event", "java.lang",
+                              "java.util", "javax.swing",
+                              "javax.accessibility", "java.awt.image"))
+    base = len(point._imports) + 1
+    point.add_distractors(DRAWING_LAYOUT_INITIAL - base, seed=23,
+                          confusable_types=("LayoutManager",))
+    point.add_local("panel", "Panel")
+    point.set_goal("LayoutManager")
+    return point.build()

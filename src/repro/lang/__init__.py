@@ -1,0 +1,23 @@
+"""Declaration-language frontend.
+
+A small textual language for type environments, so benchmarks and examples
+can be written as readable ``.ins`` files instead of Python construction
+code, plus the pretty printer that renders synthesized lambda terms as
+Scala-like snippets (``new FileInputStream(name)``, ``tree => p(tree)``).
+"""
+
+from repro.lang.ast import DeclarationSpec, EnvironmentSpec, GoalSpec
+from repro.lang.lexer import Token, TokenKind, tokenize
+from repro.lang.loader import load_environment_file, load_environment_text
+from repro.lang.parser import parse_environment, parse_type
+from repro.lang.printer import render_snippet, render_type
+from repro.lang.serializer import save_scene, serialize_environment
+
+__all__ = [
+    "DeclarationSpec", "EnvironmentSpec", "GoalSpec",
+    "Token", "TokenKind", "tokenize",
+    "parse_environment", "parse_type",
+    "load_environment_file", "load_environment_text",
+    "render_snippet", "render_type",
+    "save_scene", "serialize_environment",
+]

@@ -1,0 +1,76 @@
+"""AST for declaration files.
+
+A parsed environment file is an :class:`EnvironmentSpec`: declarations with
+their natures and attributes, subtype edges, and an optional goal type.  The
+loader (`repro.lang.loader`) turns a spec into the runtime objects
+(:class:`~repro.core.environment.Environment`,
+:class:`~repro.core.subtyping.SubtypeGraph`, goal
+:class:`~repro.core.types.Type`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.environment import DeclKind, RenderStyle
+from repro.core.types import Type
+
+#: statement keyword -> declaration nature
+KIND_KEYWORDS: dict[str, DeclKind] = {
+    "lambda": DeclKind.LAMBDA,
+    "local": DeclKind.LOCAL,
+    "coercion": DeclKind.COERCION,
+    "class": DeclKind.CLASS_MEMBER,
+    "package": DeclKind.PACKAGE_MEMBER,
+    "literal": DeclKind.LITERAL,
+    "imported": DeclKind.IMPORTED,
+}
+
+#: attribute value -> render style
+STYLE_NAMES: dict[str, RenderStyle] = {
+    style.value: style for style in RenderStyle
+}
+
+
+@dataclass(frozen=True)
+class DeclarationSpec:
+    """One parsed declaration statement."""
+
+    name: str
+    type: Type
+    kind: DeclKind
+    frequency: int = 0
+    style: Optional[RenderStyle] = None
+    display: str = ""
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class SubtypeSpec:
+    """One parsed ``subtype Sub <: Super`` statement."""
+
+    subtype: str
+    supertype: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class GoalSpec:
+    """The parsed ``goal`` statement."""
+
+    type: Type
+    line: int = 0
+
+
+@dataclass
+class EnvironmentSpec:
+    """A whole parsed environment file."""
+
+    declarations: list[DeclarationSpec] = field(default_factory=list)
+    subtypes: list[SubtypeSpec] = field(default_factory=list)
+    goal: Optional[GoalSpec] = None
+    base_types: list[str] = field(default_factory=list)
+
+    def declaration_names(self) -> list[str]:
+        return [decl.name for decl in self.declarations]

@@ -1,0 +1,166 @@
+"""Lexer for the declaration language and type expressions.
+
+The token set is deliberately small:
+
+* ``IDENT`` — Java/Scala-ish qualified identifiers (``java.io.File``,
+  ``FileInputStream.new``, ``scala.Int``);
+* ``STRING`` — double-quoted literals used for literal declarations;
+* ``NUMBER`` — integers (attribute values such as frequencies);
+* punctuation — ``->`` / ``=>`` (both accepted as the arrow), ``(``, ``)``,
+  ``[``, ``]``, ``:``, ``=``, ``,``, ``<:`` for subtype edges;
+* ``NEWLINE`` — statements are line-oriented; ``#`` starts a comment.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.errors import TypeSyntaxError
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    STRING = "string"
+    NUMBER = "number"
+    ARROW = "->"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COLON = ":"
+    EQUALS = "="
+    COMMA = ","
+    SUBTYPE = "<:"
+    NEWLINE = "newline"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind.name}({self.text!r})@{self.line}:{self.column}"
+
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyz"
+                   "ABCDEFGHIJKLMNOPQRSTUVWXYZ_$")
+_IDENT_CONT = _IDENT_START | set("0123456789.")
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenise *text*; raises :class:`TypeSyntaxError` on bad input."""
+    return list(_tokens(text))
+
+
+def _tokens(text: str) -> Iterator[Token]:
+    line, column = 1, 1
+    index = 0
+    length = len(text)
+
+    def error(message: str) -> TypeSyntaxError:
+        return TypeSyntaxError(message, line, column)
+
+    while index < length:
+        char = text[index]
+
+        if char == "#":
+            while index < length and text[index] != "\n":
+                index += 1
+            continue
+        if char == "\n":
+            yield Token(TokenKind.NEWLINE, "\n", line, column)
+            index += 1
+            line += 1
+            column = 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if char == "\\" and index + 1 < length and text[index + 1] == "\n":
+            # Backslash-newline: line continuation inside a statement.
+            index += 2
+            line += 1
+            column = 1
+            continue
+
+        if char == "-" and text[index:index + 2] == "->":
+            yield Token(TokenKind.ARROW, "->", line, column)
+            index += 2
+            column += 2
+            continue
+        if char == "=" and text[index:index + 2] == "=>":
+            yield Token(TokenKind.ARROW, "=>", line, column)
+            index += 2
+            column += 2
+            continue
+        if char == "<" and text[index:index + 2] == "<:":
+            yield Token(TokenKind.SUBTYPE, "<:", line, column)
+            index += 2
+            column += 2
+            continue
+
+        simple = {
+            "(": TokenKind.LPAREN, ")": TokenKind.RPAREN,
+            "[": TokenKind.LBRACKET, "]": TokenKind.RBRACKET,
+            ":": TokenKind.COLON, "=": TokenKind.EQUALS,
+            ",": TokenKind.COMMA,
+        }
+        if char in simple:
+            yield Token(simple[char], char, line, column)
+            index += 1
+            column += 1
+            continue
+
+        if char == '"':
+            start_column = column
+            index += 1
+            column += 1
+            chars: list[str] = []
+            while index < length and text[index] != '"':
+                if text[index] == "\n":
+                    raise error("unterminated string literal")
+                if text[index] == "\\" and index + 1 < length:
+                    index += 1
+                    column += 1
+                chars.append(text[index])
+                index += 1
+                column += 1
+            if index >= length:
+                raise error("unterminated string literal")
+            index += 1  # closing quote
+            column += 1
+            yield Token(TokenKind.STRING, "".join(chars), line, start_column)
+            continue
+
+        if char.isdigit():
+            start_column = column
+            start = index
+            while index < length and text[index].isdigit():
+                index += 1
+                column += 1
+            yield Token(TokenKind.NUMBER, text[start:index], line, start_column)
+            continue
+
+        if char in _IDENT_START:
+            start_column = column
+            start = index
+            while index < length and text[index] in _IDENT_CONT:
+                index += 1
+                column += 1
+            ident = text[start:index].rstrip(".")
+            # A trailing dot is punctuation misuse, not part of the name.
+            if len(ident) != index - start:
+                raise error(f"identifier may not end with '.': {text[start:index]!r}")
+            yield Token(TokenKind.IDENT, ident, line, start_column)
+            continue
+
+        raise error(f"unexpected character {char!r}")
+
+    yield Token(TokenKind.EOF, "", line, column)

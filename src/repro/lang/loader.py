@@ -1,0 +1,68 @@
+"""Loading environment files into runtime objects.
+
+Turns a parsed :class:`~repro.lang.ast.EnvironmentSpec` into the triple
+``(Environment, SubtypeGraph, goal Type)`` the synthesizer consumes.  Render
+styles default sensibly from the declaration kind when omitted (literals
+render verbatim, everything else as a value).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.core.environment import (Declaration, DeclKind, Environment,
+                                    RenderSpec, RenderStyle)
+from repro.core.errors import TypeSyntaxError
+from repro.core.subtyping import SubtypeGraph
+from repro.core.types import Type
+from repro.lang.ast import DeclarationSpec, EnvironmentSpec
+from repro.lang.parser import parse_environment
+
+
+@dataclass
+class LoadedEnvironment:
+    """The runtime view of one environment file."""
+
+    environment: Environment
+    subtypes: SubtypeGraph
+    goal: Optional[Type]
+    spec: EnvironmentSpec
+
+
+def _render_spec(decl: DeclarationSpec) -> RenderSpec:
+    if decl.style is not None:
+        return RenderSpec(decl.style, decl.display)
+    if decl.kind is DeclKind.LITERAL:
+        return RenderSpec(RenderStyle.LITERAL, decl.display or decl.name)
+    return RenderSpec(RenderStyle.VALUE, decl.display)
+
+
+def load_environment_text(text: str) -> LoadedEnvironment:
+    """Parse and load an environment from source text."""
+    spec = parse_environment(text)
+
+    declarations = [
+        Declaration(name=decl.name, type=decl.type, kind=decl.kind,
+                    frequency=decl.frequency, render=_render_spec(decl))
+        for decl in spec.declarations
+    ]
+    environment = Environment(declarations)
+
+    graph = SubtypeGraph()
+    for edge in spec.subtypes:
+        graph.add_edge(edge.subtype, edge.supertype)
+
+    goal = spec.goal.type if spec.goal is not None else None
+    return LoadedEnvironment(environment, graph, goal, spec)
+
+
+def load_environment_file(path: str | Path) -> LoadedEnvironment:
+    """Parse and load an environment from a ``.ins`` file."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise TypeSyntaxError(f"cannot read {path}: {exc}") from exc
+    return load_environment_text(text)

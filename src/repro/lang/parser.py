@@ -1,0 +1,212 @@
+"""Recursive-descent parser for type expressions and environment files.
+
+Grammar (line-oriented; ``#`` comments; blank lines ignored)::
+
+    file      := { statement }
+    statement := "type" IDENT+                          # declare base types
+               | "subtype" IDENT "<:" IDENT             # subtype edge
+               | KIND name ":" type attribute*          # declaration
+               | "goal" type                            # desired type
+    KIND      := "lambda" | "local" | "coercion" | "class"
+               | "package" | "literal" | "imported"
+    name      := IDENT | STRING                         # strings for literals
+    type      := atom { "->" type }                     # right-associative
+    atom      := IDENT | "(" type ")"
+    attribute := "[" IDENT "=" (NUMBER | IDENT | STRING) "]"
+
+Recognised attributes: ``freq`` (corpus frequency, integer), ``style``
+(render style name), ``display`` (rendered head text).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.errors import TypeSyntaxError
+from repro.core.types import Arrow, BaseType, Type
+from repro.lang.ast import (DeclarationSpec, EnvironmentSpec, GoalSpec,
+                            KIND_KEYWORDS, STYLE_NAMES, SubtypeSpec)
+from repro.lang.lexer import Token, TokenKind, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._position = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    def peek(self) -> Token:
+        return self._tokens[self._position]
+
+    def advance(self) -> Token:
+        token = self._tokens[self._position]
+        if token.kind is not TokenKind.EOF:
+            self._position += 1
+        return token
+
+    def expect(self, kind: TokenKind) -> Token:
+        token = self.peek()
+        if token.kind is not kind:
+            raise TypeSyntaxError(
+                f"expected {kind.value!r}, found {token.kind.value!r} "
+                f"({token.text!r})", token.line, token.column)
+        return self.advance()
+
+    def skip_newlines(self) -> None:
+        while self.peek().kind is TokenKind.NEWLINE:
+            self.advance()
+
+    def end_statement(self) -> None:
+        token = self.peek()
+        if token.kind in (TokenKind.NEWLINE, TokenKind.EOF):
+            self.skip_newlines()
+            return
+        raise TypeSyntaxError(
+            f"unexpected {token.text!r} at end of statement",
+            token.line, token.column)
+
+    # -- types ----------------------------------------------------------------
+
+    def parse_type(self) -> Type:
+        left = self.parse_type_atom()
+        if self.peek().kind is TokenKind.ARROW:
+            self.advance()
+            return Arrow(left, self.parse_type())
+        return left
+
+    def parse_type_atom(self) -> Type:
+        token = self.peek()
+        if token.kind is TokenKind.IDENT:
+            self.advance()
+            return BaseType(token.text)
+        if token.kind is TokenKind.LPAREN:
+            self.advance()
+            inner = self.parse_type()
+            self.expect(TokenKind.RPAREN)
+            return inner
+        raise TypeSyntaxError(
+            f"expected a type, found {token.text!r}", token.line, token.column)
+
+    # -- statements -----------------------------------------------------------
+
+    def parse_file(self) -> EnvironmentSpec:
+        spec = EnvironmentSpec()
+        self.skip_newlines()
+        while self.peek().kind is not TokenKind.EOF:
+            self.parse_statement(spec)
+            self.skip_newlines()
+        return spec
+
+    def parse_statement(self, spec: EnvironmentSpec) -> None:
+        token = self.peek()
+        if token.kind is not TokenKind.IDENT:
+            raise TypeSyntaxError(
+                f"expected a statement keyword, found {token.text!r}",
+                token.line, token.column)
+        keyword = token.text
+
+        if keyword == "type":
+            self.advance()
+            names = []
+            while self.peek().kind is TokenKind.IDENT:
+                names.append(self.advance().text)
+            if not names:
+                raise TypeSyntaxError("'type' requires at least one name",
+                                      token.line, token.column)
+            spec.base_types.extend(names)
+            self.end_statement()
+            return
+
+        if keyword == "subtype":
+            self.advance()
+            subtype = self.expect(TokenKind.IDENT).text
+            self.expect(TokenKind.SUBTYPE)
+            supertype = self.expect(TokenKind.IDENT).text
+            spec.subtypes.append(SubtypeSpec(subtype, supertype, token.line))
+            self.end_statement()
+            return
+
+        if keyword == "goal":
+            self.advance()
+            goal_type = self.parse_type()
+            if spec.goal is not None:
+                raise TypeSyntaxError("duplicate 'goal' statement",
+                                      token.line, token.column)
+            spec.goal = GoalSpec(goal_type, token.line)
+            self.end_statement()
+            return
+
+        kind = KIND_KEYWORDS.get(keyword)
+        if kind is None:
+            raise TypeSyntaxError(
+                f"unknown statement keyword {keyword!r}",
+                token.line, token.column)
+        self.advance()
+        spec.declarations.append(self.parse_declaration(kind, token))
+        self.end_statement()
+
+    def parse_declaration(self, kind, keyword_token: Token) -> DeclarationSpec:
+        name_token = self.peek()
+        if name_token.kind is TokenKind.STRING:
+            name = f'"{name_token.text}"'
+            self.advance()
+        else:
+            name = self.expect(TokenKind.IDENT).text
+        self.expect(TokenKind.COLON)
+        declared_type = self.parse_type()
+
+        frequency = 0
+        style = None
+        display = ""
+        while self.peek().kind is TokenKind.LBRACKET:
+            self.advance()
+            attr_token = self.expect(TokenKind.IDENT)
+            self.expect(TokenKind.EQUALS)
+            value = self.peek()
+            if value.kind not in (TokenKind.NUMBER, TokenKind.IDENT,
+                                  TokenKind.STRING):
+                raise TypeSyntaxError(
+                    f"bad attribute value {value.text!r}",
+                    value.line, value.column)
+            self.advance()
+            self.expect(TokenKind.RBRACKET)
+            if attr_token.text == "freq":
+                if value.kind is not TokenKind.NUMBER:
+                    raise TypeSyntaxError("freq expects an integer",
+                                          value.line, value.column)
+                frequency = int(value.text)
+            elif attr_token.text == "style":
+                style = STYLE_NAMES.get(value.text)
+                if style is None:
+                    raise TypeSyntaxError(
+                        f"unknown render style {value.text!r}",
+                        value.line, value.column)
+            elif attr_token.text == "display":
+                display = value.text
+            else:
+                raise TypeSyntaxError(
+                    f"unknown attribute {attr_token.text!r}",
+                    attr_token.line, attr_token.column)
+
+        return DeclarationSpec(name=name, type=declared_type, kind=kind,
+                               frequency=frequency, style=style,
+                               display=display, line=keyword_token.line)
+
+
+def parse_type(text: str) -> Type:
+    """Parse a single type expression such as ``"(A -> B) -> C"``."""
+    parser = _Parser(tokenize(text))
+    parser.skip_newlines()
+    result = parser.parse_type()
+    parser.skip_newlines()
+    token = parser.peek()
+    if token.kind is not TokenKind.EOF:
+        raise TypeSyntaxError(f"trailing input {token.text!r}",
+                              token.line, token.column)
+    return result
+
+
+def parse_environment(text: str) -> EnvironmentSpec:
+    """Parse a whole environment file."""
+    return _Parser(tokenize(text)).parse_file()

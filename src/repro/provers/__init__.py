@@ -1,0 +1,38 @@
+"""Baseline intuitionistic provers (paper §7.5, Table 2's last columns).
+
+The paper compares InSynth's succinct-calculus prover against two
+state-of-the-art intuitionistic theorem provers: Imogen (inverse method) and
+fCube (sequent/tableau style).  Neither binary is available offline, so this
+package implements from scratch the same two proof-search families:
+
+* :mod:`repro.provers.g4ip` — Dyckhoff's contraction-free sequent calculus
+  G4ip (terminating backward search, the family fCube belongs to);
+* :mod:`repro.provers.inverse` — a forward-saturating inverse-method prover
+  with subsumption for the implicational fragment (Imogen's family);
+* :mod:`repro.provers.interface` — a common :class:`Prover` API, including
+  an adapter exposing the succinct-calculus engine as a prover, so the three
+  can be timed on identical queries.
+
+Type inhabitation for the simply typed lambda calculus corresponds to
+provability in the implicational fragment of propositional intuitionistic
+logic (Curry–Howard), which is what :mod:`repro.provers.translation`
+mediates.
+"""
+
+from repro.provers.formulas import (Atom, Bottom, Conjunction, Disjunction,
+                                    Formula, Implication, atom, conj, disj,
+                                    implies)
+from repro.provers.g4ip import G4ipProver, prove_g4ip
+from repro.provers.interface import ProofResult, Prover, SuccinctProver
+from repro.provers.inverse import InverseMethodProver, prove_inverse
+from repro.provers.translation import (environment_to_sequent,
+                                       formula_to_type, type_to_formula)
+
+__all__ = [
+    "Atom", "Bottom", "Conjunction", "Disjunction", "Formula", "Implication",
+    "atom", "conj", "disj", "implies",
+    "G4ipProver", "prove_g4ip",
+    "ProofResult", "Prover", "SuccinctProver",
+    "InverseMethodProver", "prove_inverse",
+    "environment_to_sequent", "formula_to_type", "type_to_formula",
+]

@@ -1,0 +1,67 @@
+"""Tests for CSV/JSON export of benchmark results."""
+
+import csv
+import json
+
+import pytest
+
+from repro.bench.export import (prover_rows, result_rows, write_csv,
+                                write_json, write_prover_csv)
+from repro.bench.runner import run_benchmark, run_provers
+from repro.bench.suite import benchmark_by_number
+
+
+@pytest.fixture(scope="module")
+def results():
+    return [run_benchmark(benchmark_by_number(9))]
+
+
+@pytest.fixture(scope="module")
+def comparisons():
+    return [run_provers(benchmark_by_number(9), time_limit=10.0,
+                        import_cap=50)]
+
+
+class TestResultExport:
+    def test_rows_contain_measured_and_paper(self, results):
+        (row,) = result_rows(results)
+        assert row["number"] == 9
+        assert row["name"] == "DatagramSocket"
+        assert row["rank_full"] == "1"
+        assert row["paper_rank_full"] == "1"
+        assert row["paper_rank_no_weights"] == ""  # paper: >10
+        assert float(row["total_ms"]) > 0
+
+    def test_csv_round_trip(self, results, tmp_path):
+        path = tmp_path / "table2.csv"
+        write_csv(results, path)
+        with open(path, newline="", encoding="utf-8") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 1
+        assert rows[0]["name"] == "DatagramSocket"
+
+    def test_json_round_trip(self, results, tmp_path):
+        path = tmp_path / "table2.json"
+        write_json(results, path)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert data[0]["number"] == 9
+
+
+class TestProverExport:
+    def test_rows(self, comparisons):
+        (row,) = prover_rows(comparisons)
+        assert row["number"] == 9
+        assert "succinct_ms" in row and "g4ip_ms" in row
+        assert row["succinct_provable"] is True
+
+    def test_csv(self, comparisons, tmp_path):
+        path = tmp_path / "provers.csv"
+        write_prover_csv(comparisons, path)
+        with open(path, newline="", encoding="utf-8") as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows[0]["number"] == "9"
+
+    def test_empty_csv(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        write_prover_csv([], path)
+        assert path.read_text(encoding="utf-8") == ""

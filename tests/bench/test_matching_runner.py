@@ -1,0 +1,131 @@
+"""Tests for rank matching and the benchmark runner (on fast scenes)."""
+
+import pytest
+
+from repro.bench.matching import LITERAL_PLACEHOLDER, find_rank, masked_code
+from repro.bench.runner import (policy_for, run_benchmark, run_provers,
+                                run_suite)
+from repro.bench.reporting import (format_prover_table, format_table,
+                                   summarize)
+from repro.bench.suite import benchmark_by_number
+from repro.core.environment import (Declaration, DeclKind, Environment,
+                                    RenderSpec, RenderStyle)
+from repro.core.synthesizer import Snippet
+from repro.core.terms import lnf
+from repro.core.types import parse
+from repro.core.weights import WeightPolicy
+
+
+def parse(text):
+    from repro.lang.parser import parse_type
+
+    return parse_type(text)
+
+
+@pytest.fixture
+def literal_env():
+    return Environment([
+        Declaration('"LPT1"', parse("String"), DeclKind.LITERAL,
+                    render=RenderSpec(RenderStyle.LITERAL, '"LPT1"')),
+        Declaration("java.io.FileWriter.new", parse("String -> FileWriter"),
+                    DeclKind.IMPORTED,
+                    render=RenderSpec(RenderStyle.CONSTRUCTOR, "FileWriter")),
+        Declaration("name", parse("String"), DeclKind.LOCAL),
+    ])
+
+
+class TestMaskedCode:
+    def test_literal_masked(self, literal_env):
+        term = lnf("java.io.FileWriter.new", lnf('"LPT1"'))
+        assert masked_code(term, literal_env) == \
+            f"new FileWriter({LITERAL_PLACEHOLDER})"
+
+    def test_non_literals_untouched(self, literal_env):
+        term = lnf("java.io.FileWriter.new", lnf("name"))
+        assert masked_code(term, literal_env) == "new FileWriter(name)"
+
+
+class TestFindRank:
+    def _snippet(self, term, rank, env):
+        from repro.lang.printer import render_snippet
+
+        return Snippet(term, term, float(rank), rank,
+                       render_snippet(term, env))
+
+    def test_rank_found(self, literal_env):
+        term1 = lnf("name")
+        term2 = lnf("java.io.FileWriter.new", lnf("name"))
+        snippets = [self._snippet(term1, 1, literal_env),
+                    self._snippet(term2, 2, literal_env)]
+        assert find_rank(snippets, "new FileWriter(name)", literal_env) == 2
+
+    def test_literal_wildcard_matches_any_literal(self, literal_env):
+        term = lnf("java.io.FileWriter.new", lnf('"LPT1"'))
+        snippets = [self._snippet(term, 1, literal_env)]
+        assert find_rank(snippets, f"new FileWriter({LITERAL_PLACEHOLDER})",
+                         literal_env) == 1
+
+    def test_alternatives_accepted(self, literal_env):
+        term = lnf("java.io.FileWriter.new", lnf("name"))
+        snippets = [self._snippet(term, 1, literal_env)]
+        rank = find_rank(snippets,
+                         ["new FileWriter(other)", "new FileWriter(name)"],
+                         literal_env)
+        assert rank == 1
+
+    def test_absent_returns_none(self, literal_env):
+        assert find_rank([], "new FileWriter(name)", literal_env) is None
+
+
+class TestPolicies:
+    def test_policy_for_variants(self):
+        assert policy_for("no_weights").uniform
+        assert not policy_for("no_corpus").use_frequency
+        assert policy_for("full").use_frequency
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            policy_for("fancy")
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_benchmark(benchmark_by_number(9))  # small, fast scene
+
+    def test_all_variants_measured(self, result):
+        assert set(result.outcomes) == {"no_weights", "no_corpus", "full"}
+
+    def test_full_variant_finds_goal(self, result):
+        assert result.outcomes["full"].rank == 1
+        assert result.outcomes["full"].inhabited
+
+    def test_timings_positive(self, result):
+        outcome = result.outcomes["full"]
+        assert outcome.total_ms > 0
+        assert outcome.total_ms == pytest.approx(
+            outcome.prove_ms + outcome.recon_ms, rel=0.01)
+
+    def test_run_suite_subset(self):
+        results = run_suite(numbers=[9], variants=("full",))
+        assert len(results) == 1
+        assert results[0].spec.number == 9
+
+    def test_report_formatting(self):
+        results = run_suite(numbers=[9])
+        table = format_table(results)
+        assert "DatagramSocket" in table
+        summary = summarize(results)
+        assert summary.benchmarks == 1
+        assert "top 10" in summary.as_text()
+
+
+class TestProverRunner:
+    def test_provers_agree_on_benchmark_9(self):
+        comparison = run_provers(benchmark_by_number(9), time_limit=10.0,
+                                 import_cap=60)
+        verdicts = {result.provable for result in comparison.results()
+                    if not result.timed_out}
+        assert verdicts == {True}
+        table = format_prover_table([comparison])
+        assert "succinct" in table

@@ -1,0 +1,85 @@
+"""Static checks over the 50 benchmark definitions (no synthesis)."""
+
+import pytest
+
+from repro.bench.goldens import PAPER_ROWS, paper_row, paper_summary
+from repro.bench.suite import (BENCHMARKS, benchmark_by_name,
+                               benchmark_by_number, build_scene)
+from repro.lang.parser import parse_type
+
+
+class TestGoldens:
+    def test_fifty_rows(self):
+        assert len(PAPER_ROWS) == 50
+
+    def test_rows_numbered_in_order(self):
+        assert [row.number for row in PAPER_ROWS] == list(range(1, 51))
+
+    def test_paper_headline_claims_recomputed(self):
+        summary = paper_summary()
+        # §7.5: 48/50 = 96% in top ten, 32/50 = 64% at rank one.
+        assert summary["full_top10_fraction"] == pytest.approx(0.96)
+        assert summary["full_rank1_fraction"] == pytest.approx(0.64)
+        # "finds the goal expressions in only 4 out of 50 cases".
+        assert summary["no_weights_found"] == 4
+        # "fails to find the goal expression in only 2 cases".
+        assert summary["no_corpus_failed"] == 2
+
+    def test_size_string(self):
+        assert paper_row(44).size == "5/3"
+
+    def test_initial_counts_in_published_range(self):
+        for row in PAPER_ROWS:
+            assert 3000 <= row.n_initial <= 10700
+
+
+class TestSpecs:
+    def test_fifty_specs_matching_rows(self):
+        assert len(BENCHMARKS) == 50
+        for spec in BENCHMARKS:
+            assert spec.row.number == spec.number
+
+    def test_lookup_by_number_and_name(self):
+        assert benchmark_by_number(44).goal == "SequenceInputStream"
+        assert benchmark_by_name("DatagramSocket").number == 9
+
+    def test_goal_types_parse(self):
+        for spec in BENCHMARKS:
+            parse_type(spec.goal)
+
+    def test_locals_types_parse(self):
+        for spec in BENCHMARKS:
+            for _name, type_text in spec.locals:
+                parse_type(type_text)
+
+    def test_expected_snippets_nonempty(self):
+        for spec in BENCHMARKS:
+            assert spec.expected
+            assert all(expected.strip() for expected in spec.expected)
+
+    def test_every_spec_has_imports(self):
+        for spec in BENCHMARKS:
+            assert spec.imports
+
+
+class TestSceneConstruction:
+    @pytest.mark.parametrize("number", [9, 15, 44])
+    def test_scene_padded_to_paper_initial(self, number):
+        spec = benchmark_by_number(number)
+        scene = build_scene(spec)
+        assert scene.initial_count == spec.row.n_initial
+
+    def test_scene_without_padding(self):
+        spec = benchmark_by_number(15)
+        scene = build_scene(spec, pad_to_initial=False)
+        assert scene.initial_count < spec.row.n_initial
+
+    def test_scene_goal_set(self):
+        scene = build_scene(benchmark_by_number(9))
+        assert scene.goal == parse_type("DatagramSocket")
+
+    def test_scenes_deterministic(self):
+        first = build_scene(benchmark_by_number(15))
+        second = build_scene(benchmark_by_number(15))
+        assert ([decl.name for decl in first.environment]
+                == [decl.name for decl in second.environment])

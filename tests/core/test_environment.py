@@ -1,0 +1,119 @@
+"""Unit tests for repro.core.environment."""
+
+import pytest
+
+from repro.core.environment import (Declaration, DeclKind, Environment,
+                                    RenderSpec, RenderStyle)
+from repro.core.errors import EnvironmentError_
+from repro.core.succinct import primitive, sigma, succinct
+from repro.core.types import arrow, base, parse
+
+A, B = base("A"), base("B")
+
+
+def _decl(name, text, kind=DeclKind.LOCAL, **kwargs):
+    return Declaration(name, parse(text) if isinstance(text, str) else text,
+                       kind, **kwargs)
+
+
+def parse(text):
+    from repro.lang.parser import parse_type
+
+    return parse_type(text)
+
+
+class TestDeclaration:
+    def test_succinct_type(self):
+        decl = _decl("f", "A -> A -> B")
+        assert decl.succinct_type == succinct({primitive("A")}, "B")
+
+    def test_is_coercion(self):
+        decl = _decl("c", "A -> B", DeclKind.COERCION)
+        assert decl.is_coercion
+        assert not _decl("f", "A -> B").is_coercion
+
+    def test_str(self):
+        assert str(_decl("f", "A -> B")) == "f : A -> B"
+
+
+class TestEnvironment:
+    def test_lookup(self):
+        env = Environment([_decl("a", "A"), _decl("f", "A -> B")])
+        assert env.lookup("a").type == A
+        assert env.lookup("missing") is None
+
+    def test_contains(self):
+        env = Environment([_decl("a", "A")])
+        assert "a" in env
+        assert "b" not in env
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(EnvironmentError_):
+            Environment([_decl("a", "A"), _decl("a", "B")])
+
+    def test_select_groups_by_succinct_type(self):
+        env = Environment([
+            _decl("f", "A -> B"),
+            _decl("g", "A -> A -> B"),  # same succinct type {A} -> B
+            _decl("h", "B"),
+        ])
+        selected = env.select(succinct({primitive("A")}, "B"))
+        assert {decl.name for decl in selected} == {"f", "g"}
+
+    def test_select_empty_for_unknown(self):
+        env = Environment([_decl("a", "A")])
+        assert env.select(succinct({primitive("A")}, "Z")) == ()
+
+    def test_succinct_environment(self):
+        env = Environment([_decl("a", "A"), _decl("f", "A -> B"),
+                           _decl("g", "A -> A -> B")])
+        assert env.succinct_environment() == {
+            primitive("A"), succinct({primitive("A")}, "B")}
+
+    def test_len_and_iteration(self):
+        env = Environment([_decl("a", "A"), _decl("b", "B")])
+        assert len(env) == 2
+        assert [decl.name for decl in env] == ["a", "b"]
+
+    def test_variable_types(self):
+        env = Environment([_decl("a", "A")])
+        assert env.variable_types() == {"a": A}
+
+
+class TestExtension:
+    def test_extended_lookup_falls_through(self):
+        parent = Environment([_decl("a", "A")])
+        child = parent.extended([_decl("x", "B", DeclKind.LAMBDA)])
+        assert child.lookup("a").name == "a"
+        assert child.lookup("x").kind is DeclKind.LAMBDA
+        assert parent.lookup("x") is None
+
+    def test_extended_rejects_shadowing(self):
+        parent = Environment([_decl("a", "A")])
+        with pytest.raises(EnvironmentError_):
+            parent.extended([_decl("a", "B")])
+
+    def test_extended_select_merges(self):
+        parent = Environment([_decl("f", "A -> B")])
+        child = parent.extended([_decl("g", "A -> A -> B")])
+        names = {d.name for d in child.select(succinct({primitive("A")}, "B"))}
+        assert names == {"f", "g"}
+
+    def test_extended_succinct_environment_union(self):
+        parent = Environment([_decl("a", "A")])
+        child = parent.extended([_decl("b", "B")])
+        assert child.succinct_environment() == {primitive("A"), primitive("B")}
+
+    def test_extended_len(self):
+        parent = Environment([_decl("a", "A")])
+        child = parent.extended([_decl("b", "B"), _decl("c", "A -> B")])
+        assert len(child) == 3
+        assert len(parent) == 1
+
+    def test_deep_chain(self):
+        env = Environment([_decl("a", "A")])
+        for index in range(20):
+            env = env.extended([_decl(f"x{index}", "A", DeclKind.LAMBDA)])
+        assert len(env) == 21
+        assert env.lookup("x0") is not None
+        assert env.lookup("a") is not None

@@ -1,0 +1,191 @@
+"""Tests for the §9 extensions: evaluation, example filtering, combinators."""
+
+import pytest
+
+from repro.core.environment import Declaration, DeclKind, Environment
+from repro.core.subtyping import SubtypeGraph, coercion_name
+from repro.core.synthesizer import Synthesizer
+from repro.core.terms import Binder, LNFTerm, lnf
+from repro.core.types import base, parse
+from repro.extensions.combinators import (bounded_iteration_declaration,
+                                          control_flow_declarations,
+                                          denotations_for, fold_declaration,
+                                          if_then_else_declaration)
+from repro.extensions.semantics import (EvaluationError, Example,
+                                        evaluate_term, filter_snippets,
+                                        satisfies_examples)
+
+
+def parse(text):
+    from repro.lang.parser import parse_type
+
+    return parse_type(text)
+
+
+class TestEvaluate:
+    def test_ground_value(self):
+        assert evaluate_term(lnf("x"), {"x": 42}) == 42
+
+    def test_application(self):
+        term = lnf("double", lnf("x"))
+        assert evaluate_term(term, {"double": lambda v: v * 2, "x": 21}) == 42
+
+    def test_nested_application(self):
+        term = lnf("add", lnf("one"), lnf("double", lnf("one")))
+        denotations = {"add": lambda a, b: a + b,
+                       "double": lambda v: v * 2, "one": 1}
+        assert evaluate_term(term, denotations) == 3
+
+    def test_lambda_becomes_closure(self):
+        term = LNFTerm((Binder("x", base("Int")),), "double", (lnf("x"),))
+        closure = evaluate_term(term, {"double": lambda v: v * 2})
+        assert closure(5) == 10
+
+    def test_higher_order_argument(self):
+        # apply (\x. inc x) 10
+        inner = LNFTerm((Binder("x", base("Int")),), "inc", (lnf("x"),))
+        term = lnf("apply", inner, lnf("ten"))
+        denotations = {"apply": lambda f, v: f(v),
+                       "inc": lambda v: v + 1, "ten": 10}
+        assert evaluate_term(term, denotations) == 11
+
+    def test_coercions_are_identity(self):
+        term = lnf(coercion_name("Sub", "Super"), lnf("x"))
+        assert evaluate_term(term, {"x": 7}) == 7
+
+    def test_missing_denotation(self):
+        with pytest.raises(EvaluationError):
+            evaluate_term(lnf("ghost"), {})
+
+    def test_non_callable_applied(self):
+        with pytest.raises(EvaluationError):
+            evaluate_term(lnf("x", lnf("y")), {"x": 3, "y": 4})
+
+    def test_wrong_lambda_arity(self):
+        term = LNFTerm((Binder("x", base("Int")),), "x", ())
+        closure = evaluate_term(term, {})
+        with pytest.raises(EvaluationError):
+            closure(1, 2)
+
+    def test_exception_wrapped(self):
+        term = lnf("boom", lnf("x"))
+        with pytest.raises(EvaluationError):
+            evaluate_term(term, {"boom": lambda v: 1 // 0, "x": 0})
+
+
+class TestExamples:
+    def test_example_of(self):
+        example = Example.of(2, 3, 5)
+        assert example.inputs == (2, 3)
+        assert example.output == 5
+
+    def test_example_of_requires_output(self):
+        with pytest.raises(ValueError):
+            Example.of()
+
+    def test_satisfies_ground(self):
+        assert satisfies_examples(lnf("x"), [Example.of(42)], {"x": 42})
+        assert not satisfies_examples(lnf("x"), [Example.of(41)], {"x": 42})
+
+    def test_satisfies_function(self):
+        term = LNFTerm((Binder("x", base("Int")),), "double", (lnf("x"),))
+        denotations = {"double": lambda v: v * 2}
+        assert satisfies_examples(
+            term, [Example.of(2, 4), Example.of(5, 10)], denotations)
+        assert not satisfies_examples(
+            term, [Example.of(2, 5)], denotations)
+
+    def test_errors_count_as_disagreement(self):
+        assert not satisfies_examples(lnf("ghost"), [Example.of(1)], {})
+
+
+class TestFilterSnippets:
+    def test_semantic_filtering_pipeline(self):
+        # Synthesize Int -> Int candidates, keep the ones matching f(x)=x*2.
+        env = Environment([
+            Declaration("double", parse("Int -> Int"), DeclKind.LOCAL),
+            Declaration("inc", parse("Int -> Int"), DeclKind.LOCAL),
+            Declaration("zero", parse("Int"), DeclKind.LOCAL),
+        ])
+        result = Synthesizer(env).synthesize(parse("Int -> Int"), n=10)
+        denotations = {"double": lambda v: v * 2,
+                       "inc": lambda v: v + 1, "zero": 0}
+        survivors = filter_snippets(result.snippets,
+                                    [Example.of(2, 4), Example.of(3, 6)],
+                                    denotations)
+        assert survivors, "a doubling candidate must survive"
+        value = evaluate_term(survivors[0].surface_term, denotations)
+        assert value(7) == 14
+
+    def test_rank_order_preserved(self):
+        env = Environment([
+            Declaration("a", parse("Int"), DeclKind.LOCAL),
+            Declaration("inc", parse("Int -> Int"), DeclKind.LOCAL),
+        ])
+        result = Synthesizer(env).synthesize(parse("Int"), n=6)
+        survivors = filter_snippets(
+            result.snippets, [Example.of(2)],
+            {"a": 1, "inc": lambda v: v + 1})
+        ranks = [snippet.rank for snippet in survivors]
+        assert ranks == sorted(ranks)
+
+
+class TestCombinators:
+    def test_if_then_else_declaration_type(self):
+        decl = if_then_else_declaration("Int")
+        assert decl.type == parse("Boolean -> Int -> Int -> Int")
+
+    def test_iterate_declaration_type(self):
+        decl = bounded_iteration_declaration("Int")
+        assert decl.type == parse("int -> (Int -> Int) -> Int -> Int")
+
+    def test_fold_declaration_type(self):
+        decl = fold_declaration("Int", "IntList", "Int")
+        assert decl.type == parse(
+            "(Int -> Int -> Int) -> Int -> IntList -> Int")
+
+    def test_control_flow_declarations_per_type(self):
+        declarations = control_flow_declarations(["Int", "String"])
+        assert len(declarations) == 4
+
+    def test_denotations_execute(self):
+        declarations = [if_then_else_declaration("Int"),
+                        bounded_iteration_declaration("Int"),
+                        fold_declaration("Int", "IntList", "Int")]
+        semantics = denotations_for(declarations)
+        ite = semantics["$ite[Int]"]
+        assert ite(True, 1, 2) == 1 and ite(False, 1, 2) == 2
+        iterate = semantics["$iterate[Int]"]
+        assert iterate(3, lambda v: v + 5, 0) == 15
+        fold = semantics["$fold[Int,IntList,Int]"]
+        assert fold(lambda a, b: a + b, 0, [1, 2, 3]) == 6
+
+    def test_synthesis_with_conditional(self):
+        env = Environment([
+            Declaration("flag", parse("Boolean"), DeclKind.LOCAL),
+            Declaration("small", parse("Int"), DeclKind.LOCAL),
+            Declaration("big", parse("Int"), DeclKind.LOCAL),
+            if_then_else_declaration("Int"),
+        ])
+        result = Synthesizer(env).synthesize(parse("Int"), n=10)
+        codes = [snippet.code for snippet in result.snippets]
+        assert any(code.startswith("if(") for code in codes)
+
+    def test_conditional_filtered_by_examples(self):
+        # goal Boolean -> Int; examples pin down if(b) big else small.
+        declarations = [
+            Declaration("small", parse("Int"), DeclKind.LOCAL),
+            Declaration("big", parse("Int"), DeclKind.LOCAL),
+            if_then_else_declaration("Int"),
+        ]
+        env = Environment(declarations)
+        result = Synthesizer(env).synthesize(parse("Boolean -> Int"), n=30)
+        denotations = {"small": 1, "big": 9}
+        denotations.update(denotations_for(declarations))
+        survivors = filter_snippets(
+            result.snippets,
+            [Example.of(True, 9), Example.of(False, 1)],
+            denotations)
+        assert survivors
+        chosen = evaluate_term(survivors[0].surface_term, denotations)
+        assert chosen(True) == 9 and chosen(False) == 1

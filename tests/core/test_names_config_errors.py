@@ -1,0 +1,74 @@
+"""Unit tests for names, config and errors modules."""
+
+import pytest
+
+from repro.core.config import SynthesisConfig
+from repro.core.errors import (ReproError, SynthesisError, TypeCheckError,
+                               TypeSyntaxError)
+from repro.core.names import CountingSupply, NameSupply
+
+
+class TestNameSupply:
+    def test_sequential_names(self):
+        supply = NameSupply(prefix="x")
+        assert supply.fresh_many(3) == ["x0", "x1", "x2"]
+
+    def test_reserved_names_skipped(self):
+        supply = NameSupply(prefix="x", reserved=["x0", "x2"])
+        assert supply.fresh_many(3) == ["x1", "x3", "x4"]
+
+    def test_reserve_after_construction(self):
+        supply = NameSupply(prefix="v")
+        supply.reserve(["v0"])
+        assert supply.fresh() == "v1"
+
+    def test_never_repeats(self):
+        supply = NameSupply()
+        names = supply.fresh_many(50)
+        assert len(set(names)) == 50
+
+    def test_iterator_protocol(self):
+        supply = NameSupply(prefix="n")
+        iterator = iter(supply)
+        assert next(iterator) == "n0"
+        assert next(iterator) == "n1"
+
+
+class TestCountingSupply:
+    def test_monotone_ids(self):
+        supply = CountingSupply()
+        assert [supply.next_id() for _ in range(3)] == [0, 1, 2]
+
+
+class TestSynthesisConfig:
+    def test_paper_defaults(self):
+        config = SynthesisConfig.paper_defaults()
+        assert config.max_snippets == 10
+        assert config.prover_time_limit == 0.5
+        assert config.reconstruction_time_limit == 7.0
+
+    def test_exhaustive_has_no_limits(self):
+        config = SynthesisConfig.exhaustive()
+        assert config.prover_time_limit is None
+        assert config.reconstruction_time_limit is None
+
+    def test_with_overrides(self):
+        config = SynthesisConfig().with_(max_snippets=3)
+        assert config.max_snippets == 3
+        assert SynthesisConfig().max_snippets == 10  # original untouched
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SynthesisConfig().max_snippets = 5  # type: ignore[misc]
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(SynthesisError, ReproError)
+        assert issubclass(TypeCheckError, ReproError)
+        assert issubclass(TypeSyntaxError, ReproError)
+
+    def test_syntax_error_position(self):
+        error = TypeSyntaxError("bad token", line=3, column=7)
+        assert error.line == 3
+        assert "line 3" in str(error)

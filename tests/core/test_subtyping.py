@@ -1,0 +1,120 @@
+"""Unit tests for repro.core.subtyping (coercion functions, §6)."""
+
+from repro.core.environment import DeclKind, Environment
+from repro.core.subtyping import (SubtypeGraph, coercion_declarations,
+                                  coercion_name, count_coercions,
+                                  environment_with_subtyping, erase_coercions,
+                                  is_coercion_name)
+from repro.core.terms import Binder, LNFTerm, lnf
+from repro.core.types import arrow, base, parse
+
+
+class TestSubtypeGraph:
+    def test_reflexive(self):
+        graph = SubtypeGraph()
+        assert graph.is_subtype("A", "A")
+
+    def test_direct_edge(self):
+        graph = SubtypeGraph()
+        graph.add_edge("Sub", "Super")
+        assert graph.is_subtype("Sub", "Super")
+        assert not graph.is_subtype("Super", "Sub")
+
+    def test_transitive(self):
+        graph = SubtypeGraph()
+        graph.add_chain("A", "B", "C")
+        assert graph.is_subtype("A", "C")
+
+    def test_self_edge_ignored(self):
+        graph = SubtypeGraph()
+        graph.add_edge("A", "A")
+        assert len(graph) == 0
+
+    def test_supertypes_of(self):
+        graph = SubtypeGraph()
+        graph.add_chain("FileInputStream", "InputStream", "Object")
+        assert graph.supertypes_of("FileInputStream") == {
+            "FileInputStream", "InputStream", "Object"}
+
+    def test_edges_deterministic(self):
+        graph = SubtypeGraph()
+        graph.add_edge("B", "C")
+        graph.add_edge("A", "C")
+        assert graph.edges() == [("A", "C"), ("B", "C")]
+
+    def test_cycle_detection(self):
+        graph = SubtypeGraph()
+        graph.add_edge("A", "B")
+        assert not graph.has_cycle()
+        graph.add_edge("B", "A")
+        assert graph.has_cycle()
+
+    def test_arrow_subtyping_contravariant(self):
+        graph = SubtypeGraph()
+        graph.add_edge("Sub", "Super")
+        # Super -> Sub  <:  Sub -> Super
+        left = arrow(base("Super"), base("Sub"))
+        right = arrow(base("Sub"), base("Super"))
+        assert graph.is_subtype_type(left, right)
+        assert not graph.is_subtype_type(right, left)
+
+
+class TestCoercionDeclarations:
+    def test_one_declaration_per_edge(self):
+        graph = SubtypeGraph()
+        graph.add_chain("A", "B", "C")
+        declarations = coercion_declarations(graph)
+        assert len(declarations) == 2
+        assert all(decl.kind is DeclKind.COERCION for decl in declarations)
+
+    def test_declaration_type_is_unary_arrow(self):
+        graph = SubtypeGraph()
+        graph.add_edge("Sub", "Super")
+        (decl,) = coercion_declarations(graph)
+        assert decl.type == parse("Sub -> Super")
+        assert decl.name == coercion_name("Sub", "Super")
+
+    def test_environment_with_subtyping(self):
+        graph = SubtypeGraph()
+        graph.add_edge("Sub", "Super")
+        env = Environment([])
+        extended = environment_with_subtyping(env, graph)
+        assert len(extended) == 1
+
+    def test_no_edges_returns_same_environment(self):
+        env = Environment([])
+        assert environment_with_subtyping(env, SubtypeGraph()) is env
+
+
+class TestErasure:
+    def test_coercion_names_recognised(self):
+        assert is_coercion_name(coercion_name("A", "B"))
+        assert not is_coercion_name("FileInputStream.new")
+
+    def test_simple_erasure(self):
+        inner = lnf("x")
+        wrapped = lnf(coercion_name("Sub", "Super"), inner)
+        assert erase_coercions(wrapped) == inner
+
+    def test_nested_erasure(self):
+        term = lnf("f", lnf(coercion_name("A", "B"), lnf("a")))
+        erased = erase_coercions(term)
+        assert erased == lnf("f", lnf("a"))
+
+    def test_chained_coercions_erase_fully(self):
+        term = lnf(coercion_name("B", "C"),
+                   lnf(coercion_name("A", "B"), lnf("a")))
+        assert erase_coercions(term) == lnf("a")
+
+    def test_binders_preserved_on_erasure(self):
+        binder = Binder("x", base("A"))
+        term = LNFTerm((binder,), coercion_name("A", "B"), (lnf("x"),))
+        erased = erase_coercions(term)
+        assert erased.binders == (binder,)
+        assert erased.head == "x"
+
+    def test_count_coercions(self):
+        term = lnf("f", lnf(coercion_name("A", "B"), lnf("a")),
+                   lnf(coercion_name("C", "D"), lnf("c")))
+        assert count_coercions(term) == 2
+        assert count_coercions(erase_coercions(term)) == 0

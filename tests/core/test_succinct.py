@@ -1,0 +1,98 @@
+"""Unit tests for repro.core.succinct (the sigma conversion, §3.2)."""
+
+from repro.core.succinct import (SuccinctType, arguments_of, compression_ratio,
+                                 format_succinct, primitive, result_of, sigma,
+                                 sort_key, succinct, succinct_subterms)
+from repro.core.types import arrow, base, parse
+
+A, B, C = base("A"), base("B"), base("C")
+
+
+class TestSigma:
+    def test_base_type_becomes_primitive(self):
+        assert sigma(A) == primitive("A")
+        assert sigma(A).is_primitive
+
+    def test_simple_arrow(self):
+        assert sigma(arrow(A, B)) == succinct({primitive("A")}, "B")
+
+    def test_curried_arguments_merge_into_set(self):
+        # A -> B -> C  ==>  {A, B} -> C
+        assert sigma(arrow(A, B, C)) == succinct(
+            {primitive("A"), primitive("B")}, "C")
+
+    def test_argument_order_irrelevant(self):
+        assert sigma(arrow(A, B, C)) == sigma(arrow(B, A, C))
+
+    def test_duplicate_arguments_collapse(self):
+        # A -> A -> B  ==>  {A} -> B, the idempotence of conjunction.
+        assert sigma(arrow(A, A, B)) == sigma(arrow(A, B))
+
+    def test_higher_order_argument_preserved(self):
+        tpe = arrow(arrow(A, B), C)
+        expected = succinct({succinct({primitive("A")}, "B")}, "C")
+        assert sigma(tpe) == expected
+
+    def test_sigma_on_paper_example(self):
+        # f : Int -> Int -> Int -> String  ==>  {Int} -> String  (§3.4)
+        tpe = parse("Int -> Int -> Int -> String")
+        assert sigma(tpe) == succinct({primitive("Int")}, "String")
+
+    def test_nested_result_flattening(self):
+        # A -> (B -> C)  ==  A -> B -> C
+        assert sigma(parse("A -> (B -> C)")) == sigma(parse("A -> B -> C"))
+
+
+class TestAccessors:
+    def test_arguments_and_result(self):
+        stype = sigma(arrow(A, B, C))
+        assert arguments_of(stype) == frozenset({primitive("A"), primitive("B")})
+        assert result_of(stype) == "C"
+
+    def test_sorted_arguments_deterministic(self):
+        stype = sigma(arrow(B, A, C))
+        names = [argument.result for argument in stype.sorted_arguments()]
+        assert names == sorted(names)
+
+    def test_sort_key_total_order(self):
+        types = [sigma(arrow(A, B)), primitive("A"), sigma(arrow(A, B, C)),
+                 sigma(arrow(arrow(A, B), C))]
+        ordered = sorted(types, key=sort_key)
+        assert sorted(ordered, key=sort_key) == ordered
+        assert len(set(ordered)) == len(types)
+
+
+class TestSubterms:
+    def test_primitive_subterms(self):
+        assert succinct_subterms(primitive("A")) == {primitive("A")}
+
+    def test_nested_subterms(self):
+        stype = sigma(arrow(arrow(A, B), C))
+        inner = sigma(arrow(A, B))
+        assert succinct_subterms(stype) == {stype, inner, primitive("A")}
+
+
+class TestFormatting:
+    def test_primitive_formats_bare(self):
+        assert format_succinct(primitive("Int")) == "Int"
+
+    def test_function_format(self):
+        stype = sigma(arrow(A, B, C))
+        assert format_succinct(stype) == "{A, B} -> C"
+
+    def test_nested_format(self):
+        stype = sigma(arrow(arrow(A, B), C))
+        assert format_succinct(stype) == "{{A} -> B} -> C"
+
+
+class TestCompression:
+    def test_compression_ratio_counts_distinct_images(self):
+        types = [arrow(A, B, C), arrow(B, A, C), arrow(A, A, B), arrow(A, B)]
+        total, distinct = compression_ratio(types)
+        assert total == 4
+        assert distinct == 2  # {A,B}->C twice, {A}->B twice
+
+    def test_compression_never_increases(self):
+        types = [arrow(A, B), arrow(A, C), A, B]
+        total, distinct = compression_ratio(types)
+        assert distinct <= total

@@ -1,0 +1,174 @@
+"""Unit tests for repro.core.terms (generic terms and long normal forms)."""
+
+import pytest
+
+from repro.core.terms import (Abstraction, Application, Binder, LNFTerm,
+                              Variable, abstraction, alpha_equivalent,
+                              application, beta_normalize, canonicalize_lnf,
+                              eta_long_form, format_lnf, format_term,
+                              free_variables, is_long_normal_form, lnf,
+                              lnf_alpha_equivalent, lnf_depth, lnf_heads,
+                              lnf_size, lnf_to_term, substitute)
+from repro.core.types import arrow, base
+
+A, B, C = base("A"), base("B"), base("C")
+
+
+class TestGenericTerms:
+    def test_free_variables(self):
+        term = application(Variable("f"), Variable("x"))
+        assert free_variables(term) == {"f", "x"}
+
+    def test_abstraction_binds(self):
+        term = Abstraction("x", A, application(Variable("f"), Variable("x")))
+        assert free_variables(term) == {"f"}
+
+    def test_substitute_free_occurrence(self):
+        term = application(Variable("f"), Variable("x"))
+        replaced = substitute(term, "x", Variable("y"))
+        assert replaced == application(Variable("f"), Variable("y"))
+
+    def test_substitute_respects_binding(self):
+        term = Abstraction("x", A, Variable("x"))
+        assert substitute(term, "x", Variable("y")) == term
+
+    def test_substitute_avoids_capture(self):
+        # (\x. y x)[y := x]  must not capture the bound x.
+        term = Abstraction("x", A, application(Variable("y"), Variable("x")))
+        replaced = substitute(term, "y", Variable("x"))
+        assert isinstance(replaced, Abstraction)
+        assert replaced.parameter != "x"
+        assert free_variables(replaced) == {"x"}
+
+    def test_beta_normalize_identity_application(self):
+        identity = Abstraction("x", A, Variable("x"))
+        term = Application(identity, Variable("a"))
+        assert beta_normalize(term) == Variable("a")
+
+    def test_beta_normalize_nested(self):
+        # (\x. \y. x) a b  ->  a
+        const = Abstraction("x", A, Abstraction("y", B, Variable("x")))
+        term = application(const, Variable("a"), Variable("b"))
+        assert beta_normalize(term) == Variable("a")
+
+    def test_alpha_equivalence_of_renamed_binders(self):
+        left = Abstraction("x", A, Variable("x"))
+        right = Abstraction("y", A, Variable("y"))
+        assert alpha_equivalent(left, right)
+
+    def test_alpha_inequivalence_of_different_types(self):
+        left = Abstraction("x", A, Variable("x"))
+        right = Abstraction("x", B, Variable("x"))
+        assert not alpha_equivalent(left, right)
+
+    def test_alpha_inequivalence_free_vs_bound(self):
+        left = Abstraction("x", A, Variable("x"))
+        right = Abstraction("x", A, Variable("y"))
+        assert not alpha_equivalent(left, right)
+
+    def test_format_term(self):
+        term = Abstraction("x", A, application(Variable("f"), Variable("x")))
+        assert format_term(term) == "\\x:A. f x"
+
+
+class TestLNFTerms:
+    def test_lnf_depth_bare_head(self):
+        assert lnf_depth(lnf("a")) == 1
+
+    def test_lnf_depth_application(self):
+        term = lnf("f", lnf("a"), lnf("g", lnf("b")))
+        assert lnf_depth(term) == 3
+
+    def test_lnf_depth_ignores_binders(self):
+        term = LNFTerm((Binder("x", A),), "x", ())
+        assert lnf_depth(term) == 1
+
+    def test_lnf_size_counts_heads(self):
+        term = lnf("f", lnf("a"), lnf("g", lnf("b")))
+        assert lnf_size(term) == 4
+
+    def test_lnf_heads_preorder(self):
+        term = lnf("f", lnf("a"), lnf("g", lnf("b")))
+        assert lnf_heads(term) == ("f", "a", "g", "b")
+
+    def test_lnf_to_term(self):
+        term = LNFTerm((Binder("x", A),), "f", (lnf("x"),))
+        generic = lnf_to_term(term)
+        assert generic == Abstraction(
+            "x", A, Application(Variable("f"), Variable("x")))
+
+    def test_lnf_alpha_equivalence(self):
+        left = LNFTerm((Binder("x", A),), "f", (lnf("x"),))
+        right = LNFTerm((Binder("y", A),), "f", (lnf("y"),))
+        assert lnf_alpha_equivalent(left, right)
+
+    def test_canonicalize_lnf_renames_consistently(self):
+        left = LNFTerm((Binder("x", A), Binder("y", B)), "f",
+                       (lnf("y"), lnf("x")))
+        right = LNFTerm((Binder("p", A), Binder("q", B)), "f",
+                        (lnf("q"), lnf("p")))
+        assert canonicalize_lnf(left) == canonicalize_lnf(right)
+
+    def test_canonicalize_preserves_free_heads(self):
+        term = lnf("f", lnf("free"))
+        assert canonicalize_lnf(term) == term
+
+    def test_format_lnf(self):
+        term = LNFTerm((Binder("x", A),), "f", (lnf("x"), lnf("g", lnf("a"))))
+        assert format_lnf(term) == "\\x:A. f x (g a)"
+
+
+class TestEtaLongForm:
+    def test_already_long(self):
+        scope = {"a": A}
+        term = Variable("a")
+        assert eta_long_form(term, A, scope) == lnf("a")
+
+    def test_eta_expands_underapplied_head(self):
+        # f : A -> B used at type A -> B must become \x. f x.
+        scope = {"f": arrow(A, B)}
+        result = eta_long_form(Variable("f"), arrow(A, B), scope)
+        assert len(result.binders) == 1
+        assert result.head == "f"
+        assert result.arguments[0].head == result.binders[0].name
+
+    def test_eta_expansion_nested_argument(self):
+        # g : (A -> B) -> C applied to f : A -> B.
+        scope = {"g": arrow(arrow(A, B), C), "f": arrow(A, B)}
+        term = Application(Variable("g"), Variable("f"))
+        result = eta_long_form(term, C, scope)
+        assert result.head == "g"
+        inner = result.arguments[0]
+        assert inner.head == "f"
+        assert len(inner.binders) == 1
+
+    def test_rejects_non_normal_term(self):
+        redex = Application(Abstraction("x", A, Variable("x")), Variable("a"))
+        with pytest.raises(ValueError):
+            eta_long_form(redex, A, {"a": A})
+
+    def test_rejects_untyped_free_variable(self):
+        with pytest.raises(ValueError):
+            eta_long_form(Variable("mystery"), A, {})
+
+    def test_result_is_long_normal_form(self):
+        scope = {"g": arrow(arrow(A, B), C), "f": arrow(A, B)}
+        term = Application(Variable("g"), Variable("f"))
+        result = eta_long_form(term, C, scope)
+        assert is_long_normal_form(result, C, scope)
+
+
+class TestIsLongNormalForm:
+    def test_underapplied_head_is_not_lnf(self):
+        scope = {"f": arrow(A, B)}
+        term = lnf("f")  # f alone at type A -> B: not LNF
+        assert not is_long_normal_form(term, arrow(A, B), scope)
+
+    def test_missing_binder_is_not_lnf(self):
+        scope = {"b": B}
+        assert not is_long_normal_form(lnf("b"), arrow(A, B), scope)
+
+    def test_correct_lnf_accepted(self):
+        scope = {"f": arrow(A, B), "a": A}
+        term = lnf("f", lnf("a"))
+        assert is_long_normal_form(term, B, scope)

@@ -1,0 +1,115 @@
+"""Unit tests for repro.core.typecheck."""
+
+import pytest
+
+from repro.core.errors import TypeCheckError, UnknownDeclarationError
+from repro.core.subtyping import SubtypeGraph
+from repro.core.terms import (Abstraction, Application, Binder, LNFTerm,
+                              Variable, lnf)
+from repro.core.typecheck import (check_lnf, check_lnf_subsumed, check_term,
+                                  infer_type, lnf_type_checks)
+from repro.core.types import arrow, base
+
+A, B, C = base("A"), base("B"), base("C")
+
+
+class TestInferType:
+    def test_variable(self):
+        assert infer_type(Variable("a"), {"a": A}) == A
+
+    def test_unbound_variable(self):
+        with pytest.raises(UnknownDeclarationError):
+            infer_type(Variable("a"), {})
+
+    def test_abstraction(self):
+        term = Abstraction("x", A, Variable("x"))
+        assert infer_type(term, {}) == arrow(A, A)
+
+    def test_application(self):
+        term = Application(Variable("f"), Variable("a"))
+        assert infer_type(term, {"f": arrow(A, B), "a": A}) == B
+
+    def test_application_of_non_function(self):
+        term = Application(Variable("a"), Variable("a"))
+        with pytest.raises(TypeCheckError):
+            infer_type(term, {"a": A})
+
+    def test_argument_mismatch(self):
+        term = Application(Variable("f"), Variable("b"))
+        with pytest.raises(TypeCheckError):
+            infer_type(term, {"f": arrow(A, B), "b": B})
+
+    def test_check_term(self):
+        check_term(Variable("a"), A, {"a": A})
+        with pytest.raises(TypeCheckError):
+            check_term(Variable("a"), B, {"a": A})
+
+
+class TestCheckLNF:
+    def test_constant(self):
+        check_lnf(lnf("a"), A, {"a": A})
+
+    def test_application(self):
+        check_lnf(lnf("f", lnf("a")), B, {"f": arrow(A, B), "a": A})
+
+    def test_partial_application_rejected(self):
+        # f : A -> B -> C applied to one argument is not in LNF.
+        with pytest.raises(TypeCheckError):
+            check_lnf(lnf("f", lnf("a")), arrow(B, C),
+                      {"f": arrow(A, B, C), "a": A})
+
+    def test_abstraction_binders_must_match(self):
+        term = LNFTerm((Binder("x", A),), "f", (lnf("x"),))
+        check_lnf(term, arrow(A, B), {"f": arrow(A, B)})
+        with pytest.raises(TypeCheckError):
+            check_lnf(term, arrow(B, B), {"f": arrow(A, B)})
+
+    def test_wrong_result_type(self):
+        with pytest.raises(TypeCheckError):
+            check_lnf(lnf("a"), B, {"a": A})
+
+    def test_unbound_head(self):
+        with pytest.raises(UnknownDeclarationError):
+            check_lnf(lnf("ghost"), A, {})
+
+    def test_binder_shadow_scoping(self):
+        # \x:A. f x with f : A -> B — binder visible inside arguments.
+        term = LNFTerm((Binder("x", A),), "f", (lnf("x"),))
+        check_lnf(term, arrow(A, B), {"f": arrow(A, B)})
+
+    def test_higher_order_argument(self):
+        # h (\x. f x) : C with h : (A -> B) -> C.
+        inner = LNFTerm((Binder("x", A),), "f", (lnf("x"),))
+        term = lnf("h", inner)
+        check_lnf(term, C, {"h": arrow(arrow(A, B), C), "f": arrow(A, B)})
+
+
+class TestCheckLNFSubsumed:
+    def _graph(self):
+        graph = SubtypeGraph()
+        graph.add_chain("Sub", "Mid", "Super")
+        return graph
+
+    def test_result_subsumption(self):
+        check_lnf_subsumed(lnf("s"), base("Super"), {"s": base("Sub")},
+                           self._graph())
+
+    def test_argument_subsumption(self):
+        scope = {"f": arrow(base("Super"), B), "s": base("Sub")}
+        check_lnf_subsumed(lnf("f", lnf("s")), B, scope, self._graph())
+
+    def test_unrelated_types_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check_lnf_subsumed(lnf("s"), base("Other"), {"s": base("Sub")},
+                               self._graph())
+
+    def test_wrong_direction_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check_lnf_subsumed(lnf("s"), base("Sub"), {"s": base("Super")},
+                               self._graph())
+
+    def test_boolean_wrapper(self):
+        assert lnf_type_checks(lnf("a"), A, {"a": A})
+        assert not lnf_type_checks(lnf("a"), B, {"a": A})
+        assert lnf_type_checks(lnf("s"), base("Super"), {"s": base("Sub")},
+                               self._graph())

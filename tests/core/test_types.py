@@ -1,0 +1,114 @@
+"""Unit tests for repro.core.types."""
+
+import pytest
+
+from repro.core.types import (Arrow, BaseType, argument_types, arity, arrow,
+                              base, base_types, depth, final_result,
+                              format_type, function_type, is_arrow, is_base,
+                              parse, size, subterms, uncurry)
+
+
+class TestConstruction:
+    def test_base_type_equality(self):
+        assert base("Int") == BaseType("Int")
+        assert base("Int") != base("String")
+
+    def test_arrow_right_associative(self):
+        tpe = arrow(base("A"), base("B"), base("C"))
+        assert tpe == Arrow(base("A"), Arrow(base("B"), base("C")))
+
+    def test_arrow_single_argument_is_identity(self):
+        assert arrow(base("A")) == base("A")
+
+    def test_arrow_requires_an_argument(self):
+        with pytest.raises(ValueError):
+            arrow()
+
+    def test_function_type_empty_arguments(self):
+        assert function_type([], base("A")) == base("A")
+
+    def test_function_type_builds_curried_arrows(self):
+        tpe = function_type([base("A"), base("B")], base("C"))
+        assert uncurry(tpe) == ((base("A"), base("B")), base("C"))
+
+    def test_types_are_hashable(self):
+        types = {arrow(base("A"), base("B")), base("A"),
+                 arrow(base("A"), base("B"))}
+        assert len(types) == 2
+
+
+class TestPredicates:
+    def test_is_base(self):
+        assert is_base(base("A"))
+        assert not is_base(arrow(base("A"), base("B")))
+
+    def test_is_arrow(self):
+        assert is_arrow(arrow(base("A"), base("B")))
+        assert not is_arrow(base("A"))
+
+
+class TestViews:
+    def test_uncurry_base(self):
+        assert uncurry(base("V")) == ((), base("V"))
+
+    def test_uncurry_nested(self):
+        tpe = arrow(arrow(base("A"), base("B")), base("C"), base("D"))
+        args, result = uncurry(tpe)
+        assert args == (arrow(base("A"), base("B")), base("C"))
+        assert result == base("D")
+
+    def test_argument_types_and_final_result(self):
+        tpe = arrow(base("A"), base("B"), base("C"))
+        assert argument_types(tpe) == (base("A"), base("B"))
+        assert final_result(tpe) == base("C")
+
+    def test_arity(self):
+        assert arity(base("A")) == 0
+        assert arity(arrow(base("A"), base("B"), base("C"))) == 2
+
+    def test_higher_order_argument_does_not_add_arity(self):
+        tpe = arrow(arrow(base("A"), base("B")), base("C"))
+        assert arity(tpe) == 1
+
+
+class TestMeasures:
+    def test_size(self):
+        assert size(base("A")) == 1
+        assert size(arrow(base("A"), base("B"), base("C"))) == 3
+
+    def test_depth(self):
+        assert depth(base("A")) == 1
+        assert depth(arrow(base("A"), base("B"))) == 2
+        assert depth(arrow(arrow(base("A"), base("B")), base("C"))) == 3
+
+    def test_base_types_collects_names(self):
+        tpe = arrow(arrow(base("A"), base("B")), base("A"), base("C"))
+        assert base_types(tpe) == {"A", "B", "C"}
+
+    def test_subterms_includes_self_and_components(self):
+        inner = arrow(base("A"), base("B"))
+        tpe = arrow(inner, base("C"))
+        assert subterms(tpe) == {tpe, inner, base("A"), base("B"), base("C")}
+
+
+class TestFormatting:
+    def test_format_base(self):
+        assert format_type(base("Int")) == "Int"
+
+    def test_format_right_association_no_parens(self):
+        assert format_type(arrow(base("A"), base("B"), base("C"))) == "A -> B -> C"
+
+    def test_format_left_nesting_parenthesised(self):
+        tpe = arrow(arrow(base("A"), base("B")), base("C"))
+        assert format_type(tpe) == "(A -> B) -> C"
+
+    def test_parse_round_trip(self):
+        for text in ["A", "A -> B", "(A -> B) -> C", "A -> (B -> C) -> D"]:
+            assert format_type(parse(text)) == text
+
+    def test_parse_redundant_parens(self):
+        assert parse("((A))") == base("A")
+        assert parse("A -> (B -> C)") == parse("A -> B -> C")
+
+    def test_parse_qualified_names(self):
+        assert parse("java.io.File") == base("java.io.File")

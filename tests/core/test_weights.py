@@ -1,0 +1,119 @@
+"""Unit tests for repro.core.weights (Table 1 of the paper)."""
+
+import math
+
+import pytest
+
+from repro.core.environment import Declaration, DeclKind, Environment
+from repro.core.succinct import primitive, sigma, succinct
+from repro.core.terms import Binder, LNFTerm, lnf
+from repro.core.types import arrow, base
+from repro.core.weights import HOLE_WEIGHT, WeightPolicy
+
+A, B = base("A"), base("B")
+
+
+def _decl(name, tpe, kind, frequency=0):
+    return Declaration(name, tpe, kind, frequency=frequency)
+
+
+class TestTable1Constants:
+    """The published weight constants, verbatim from Table 1."""
+
+    policy = WeightPolicy.standard()
+
+    @pytest.mark.parametrize("kind,expected", [
+        (DeclKind.LAMBDA, 1.0),
+        (DeclKind.LOCAL, 5.0),
+        (DeclKind.COERCION, 10.0),
+        (DeclKind.CLASS_MEMBER, 20.0),
+        (DeclKind.PACKAGE_MEMBER, 25.0),
+        (DeclKind.LITERAL, 200.0),
+    ])
+    def test_fixed_kind_weights(self, kind, expected):
+        assert self.policy.declaration_weight(_decl("d", A, kind)) == expected
+
+    def test_imported_unseen_symbol_costs_1000(self):
+        decl = _decl("d", A, DeclKind.IMPORTED, frequency=0)
+        assert self.policy.declaration_weight(decl) == 215.0 + 785.0
+
+    def test_imported_weight_decreases_with_frequency(self):
+        weights = [
+            self.policy.declaration_weight(
+                _decl("d", A, DeclKind.IMPORTED, frequency=f))
+            for f in [0, 1, 10, 100, 5162]
+        ]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_imported_weight_approaches_base(self):
+        decl = _decl("d", A, DeclKind.IMPORTED, frequency=10_000_000)
+        assert abs(self.policy.declaration_weight(decl) - 215.0) < 0.01
+
+    def test_imported_formula_exact(self):
+        decl = _decl("d", A, DeclKind.IMPORTED, frequency=99)
+        assert self.policy.declaration_weight(decl) == 215.0 + 785.0 / 100.0
+
+
+class TestVariants:
+    def test_uniform_policy_flattens_everything(self):
+        policy = WeightPolicy.uniform_policy()
+        for kind in DeclKind:
+            assert policy.declaration_weight(_decl("d", A, kind)) == 1.0
+
+    def test_without_corpus_ignores_frequency(self):
+        policy = WeightPolicy.without_corpus()
+        high = _decl("h", A, DeclKind.IMPORTED, frequency=5000)
+        low = _decl("l", A, DeclKind.IMPORTED, frequency=0)
+        assert policy.declaration_weight(high) == policy.declaration_weight(low)
+        assert policy.declaration_weight(high) == 1000.0
+
+    def test_without_corpus_keeps_locality(self):
+        policy = WeightPolicy.without_corpus()
+        local = _decl("l", A, DeclKind.LOCAL)
+        imported = _decl("i", A, DeclKind.IMPORTED, frequency=5000)
+        assert policy.declaration_weight(local) < policy.declaration_weight(imported)
+
+    def test_with_constants_override(self):
+        policy = WeightPolicy.standard().with_constants(local_weight=7.0)
+        assert policy.declaration_weight(_decl("d", A, DeclKind.LOCAL)) == 7.0
+
+
+class TestTermWeight:
+    def test_hole_weight_is_zero(self):
+        assert HOLE_WEIGHT == 0.0
+
+    def test_single_head(self):
+        env = Environment([_decl("a", A, DeclKind.LOCAL)])
+        policy = WeightPolicy.standard()
+        assert policy.term_weight(lnf("a"), env) == 5.0
+
+    def test_sum_over_structure(self):
+        env = Environment([
+            _decl("f", arrow(A, B), DeclKind.IMPORTED, frequency=0),
+            _decl("a", A, DeclKind.LOCAL),
+        ])
+        policy = WeightPolicy.standard()
+        term = lnf("f", lnf("a"))
+        assert policy.term_weight(term, env) == 1000.0 + 5.0
+
+    def test_binders_count_as_lambda(self):
+        env = Environment([_decl("f", arrow(A, B), DeclKind.LOCAL)])
+        policy = WeightPolicy.standard()
+        term = LNFTerm((Binder("x", A),), "f", (lnf("x"),))
+        # binder (1) + head f (5) + binder reference treated as lambda (1)
+        assert policy.term_weight(term, env) == 1.0 + 5.0 + 1.0
+
+
+class TestTypeWeight:
+    def test_min_over_select(self):
+        env = Environment([
+            _decl("cheap", A, DeclKind.LOCAL),
+            _decl("pricey", A, DeclKind.IMPORTED, frequency=0),
+        ])
+        policy = WeightPolicy.standard()
+        assert policy.type_weight(primitive("A"), env) == 5.0
+
+    def test_unselectable_type_is_infinite(self):
+        env = Environment([_decl("a", A, DeclKind.LOCAL)])
+        policy = WeightPolicy.standard()
+        assert math.isinf(policy.type_weight(primitive("Z"), env))

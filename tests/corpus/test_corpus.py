@@ -1,0 +1,125 @@
+"""Tests for corpus generation, mining and statistics (§7.3, Table 3)."""
+
+import pytest
+
+from repro.core.errors import CorpusError
+from repro.corpus.mining import api_only, mine_frequencies, mine_project
+from repro.corpus.projects import CORPUS_PROJECTS, all_projects
+from repro.corpus.stats import FrequencyTable
+from repro.corpus.synthetic import (PAPER_DISTINCT_DECLARATIONS,
+                                    PAPER_MAX_USES, PAPER_MOST_USED,
+                                    PAPER_TOTAL_USES, SyntheticCorpus,
+                                    default_corpus, default_frequencies)
+from repro.javamodel.jdk import shared_jdk
+
+
+class TestProjects:
+    def test_eighteen_table3_projects(self):
+        assert len(CORPUS_PROJECTS) == 18
+
+    def test_scala_library_added_separately(self):
+        assert len(all_projects()) == 19
+
+    def test_known_rows_present(self):
+        names = {project.name for project in CORPUS_PROJECTS}
+        assert {"Akka", "LiftWeb", "Scala compiler", "Specs",
+                "Talking Puffin"} <= names
+
+
+class TestFrequencyTable:
+    def test_get_and_default(self):
+        table = FrequencyTable({"a": 3})
+        assert table.get("a") == 3
+        assert table.get("missing") == 0
+        assert table["a"] == 3
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(CorpusError):
+            FrequencyTable({"a": -1})
+
+    def test_merged_sums_counts(self):
+        left = FrequencyTable({"a": 2, "b": 1})
+        right = FrequencyTable({"a": 3, "c": 4})
+        merged = left.merged(right)
+        assert merged.as_mapping() == {"a": 5, "b": 1, "c": 4}
+
+    def test_summary_statistics(self):
+        table = FrequencyTable({"x": 200, "y": 50, "z": 1})
+        summary = table.summary()
+        assert summary.distinct_declarations == 3
+        assert summary.total_uses == 251
+        assert summary.max_uses == 200
+        assert summary.most_used_symbol == "x"
+        assert abs(summary.fraction_under_100 - 2 / 3) < 1e-9
+
+    def test_most_common_ordering(self):
+        table = FrequencyTable({"a": 1, "b": 9, "c": 5})
+        assert table.most_common(2) == [("b", 9), ("c", 5)]
+
+    def test_empty_table_summary_rejected(self):
+        with pytest.raises(CorpusError):
+            FrequencyTable({}).summary()
+
+
+class TestSyntheticCorpus:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return default_corpus(shared_jdk())
+
+    def test_paper_marginals_exact(self, corpus):
+        summary = corpus.calibrated_table().summary()
+        assert summary.distinct_declarations == PAPER_DISTINCT_DECLARATIONS
+        assert summary.total_uses == PAPER_TOTAL_USES
+        assert summary.max_uses == PAPER_MAX_USES
+        assert summary.most_used_symbol == PAPER_MOST_USED
+
+    def test_98_percent_under_100_uses(self, corpus):
+        summary = corpus.calibrated_table().summary()
+        assert summary.fraction_under_100 >= 0.98
+
+    def test_all_model_symbols_ranked(self, corpus):
+        table = corpus.calibrated_table()
+        for member in shared_jdk().members():
+            assert table.get(member.symbol) >= 1
+
+    def test_events_reproduce_calibration(self, corpus):
+        mined = mine_frequencies(corpus.events_by_project())
+        assert mined.as_mapping() == corpus.calibrated_table().as_mapping()
+
+    def test_events_cover_all_projects(self, corpus):
+        events = corpus.events_by_project()
+        assert set(events) == {project.name for project in all_projects()}
+        assert all(events[project.name] for project in all_projects())
+
+    def test_deterministic(self):
+        first = SyntheticCorpus(seed=11).calibrated_table()
+        second = SyntheticCorpus(seed=11).calibrated_table()
+        assert first.as_mapping() == second.as_mapping()
+
+    def test_custom_marginals(self):
+        corpus = SyntheticCorpus(distinct=100, total=1000, peak=300)
+        summary = corpus.calibrated_table().summary()
+        assert summary.distinct_declarations == 100
+        assert summary.total_uses == 1000
+        assert summary.max_uses == 300
+
+
+class TestMining:
+    def test_mine_project_counts(self):
+        table = mine_project(["a", "b", "a", "a"])
+        assert table.as_mapping() == {"a": 3, "b": 1}
+
+    def test_filter_keeps_api_prefixes(self):
+        keep = api_only(["java.", "javax."])
+        table = mine_project(
+            ["java.io.File.new", "com.app.Main.run", "javax.swing.JButton.new"],
+            keep=keep)
+        assert set(table.symbols()) == {"java.io.File.new",
+                                        "javax.swing.JButton.new"}
+
+    def test_mine_frequencies_merges_projects(self):
+        merged = mine_frequencies({"p1": ["a", "b"], "p2": ["a"]})
+        assert merged.as_mapping() == {"a": 2, "b": 1}
+
+    def test_default_frequencies_memoised(self):
+        assert default_frequencies() is default_frequencies()

@@ -1,0 +1,99 @@
+"""Shared test fixtures: tiny environments and hypothesis strategies.
+
+The random-environment strategies come in two flavours:
+
+* :func:`environments` — arbitrary simple-typed declaration sets (may admit
+  infinitely many inhabitants; used for soundness properties);
+* :func:`acyclic_environments` — declarations stratified so that every
+  function's argument types are strictly lower in a topological order than
+  its result type, guaranteeing a *finite* inhabitant set (used for the
+  completeness-versus-RCN oracle comparison).
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.environment import Declaration, DeclKind, Environment
+from repro.core.types import BaseType, Type, arrow, base, function_type
+
+BASE_NAMES = ["A", "B", "C", "D", "E"]
+
+
+def simple_env(*pairs: tuple[str, str],
+               kind: DeclKind = DeclKind.LOCAL) -> Environment:
+    """Build an environment from ``(name, type-string)`` pairs."""
+    from repro.lang.parser import parse_type
+
+    return Environment([Declaration(name, parse_type(text), kind)
+                        for name, text in pairs])
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+def base_types(names: list[str] | None = None) -> st.SearchStrategy[BaseType]:
+    return st.sampled_from([base(name) for name in (names or BASE_NAMES)])
+
+
+def simple_types(names: list[str] | None = None,
+                 max_depth: int = 3) -> st.SearchStrategy[Type]:
+    """Random simple types over a small base-type alphabet."""
+    return st.recursive(
+        base_types(names),
+        lambda inner: st.builds(
+            lambda argument, result: arrow(argument, result), inner, inner),
+        max_leaves=2 ** max_depth,
+    )
+
+
+@st.composite
+def environments(draw, min_size: int = 1, max_size: int = 8,
+                 names: list[str] | None = None) -> Environment:
+    """A random environment of first/higher-order declarations."""
+    size = draw(st.integers(min_size, max_size))
+    kinds = st.sampled_from([DeclKind.LOCAL, DeclKind.IMPORTED,
+                             DeclKind.CLASS_MEMBER])
+    declarations = []
+    for index in range(size):
+        tpe = draw(simple_types(names))
+        kind = draw(kinds)
+        frequency = draw(st.integers(0, 500)) if kind is DeclKind.IMPORTED else 0
+        declarations.append(
+            Declaration(f"d{index}", tpe, kind, frequency=frequency))
+    return Environment(declarations)
+
+
+@st.composite
+def acyclic_environments(draw, max_decls: int = 7) -> Environment:
+    """A random environment with finitely many inhabitants.
+
+    Base types are stratified ``L0 < L1 < ... < L4``; every declaration's
+    argument types use strictly lower strata than its result, so every term
+    strictly descends and the inhabitant set is finite.
+    """
+    strata = ["L0", "L1", "L2", "L3", "L4"]
+    size = draw(st.integers(1, max_decls))
+    declarations = []
+    for index in range(size):
+        level = draw(st.integers(0, len(strata) - 1))
+        result = base(strata[level])
+        argument_count = draw(st.integers(0, min(2, level)))
+        arguments = [base(strata[draw(st.integers(0, level - 1))])
+                     for _ in range(argument_count)]
+        declarations.append(Declaration(
+            f"d{index}", function_type(arguments, result), DeclKind.LOCAL))
+    return Environment(declarations)
+
+
+@st.composite
+def environment_and_goal(draw, acyclic: bool = False):
+    """An environment together with a goal type over the same alphabet."""
+    if acyclic:
+        env = draw(acyclic_environments())
+        goal = base(draw(st.sampled_from(["L0", "L1", "L2", "L3", "L4"])))
+    else:
+        env = draw(environments())
+        goal = draw(simple_types(max_depth=2))
+    return env, goal

@@ -1,0 +1,120 @@
+"""Integration tests: the paper's §2 motivating examples end to end.
+
+These assert the paper's *qualitative* outcomes: the published snippet
+appears, at the published rank or better (allowing a small slack where the
+paper itself reports rank > 1), with correct structure and typing.
+"""
+
+import pytest
+
+from repro.core.config import SynthesisConfig
+from repro.core.synthesizer import Synthesizer
+from repro.core.typecheck import check_lnf_subsumed
+from repro.javamodel.scenes import (drawing_layout_scene,
+                                    sequence_of_streams_scene,
+                                    tree_filter_scene)
+
+
+@pytest.fixture(scope="module")
+def figure1():
+    scene = sequence_of_streams_scene()
+    synthesizer = Synthesizer(scene.environment, subtypes=scene.subtypes)
+    return scene, synthesizer, synthesizer.synthesize(scene.goal, n=5)
+
+
+@pytest.fixture(scope="module")
+def tree_filter():
+    scene = tree_filter_scene()
+    synthesizer = Synthesizer(scene.environment, subtypes=scene.subtypes)
+    return scene, synthesizer, synthesizer.synthesize(scene.goal, n=5)
+
+
+@pytest.fixture(scope="module")
+def drawing_layout():
+    scene = drawing_layout_scene()
+    synthesizer = Synthesizer(scene.environment, subtypes=scene.subtypes)
+    return scene, synthesizer, synthesizer.synthesize(scene.goal, n=10)
+
+
+class TestSequenceOfStreams:
+    """§2.1 / Figure 1."""
+
+    def test_environment_size_matches_paper(self, figure1):
+        scene, _, _ = figure1
+        assert scene.initial_count == 3356
+
+    def test_five_ranked_snippets_returned(self, figure1):
+        _, _, result = figure1
+        assert len(result.snippets) == 5
+        assert [snippet.rank for snippet in result.snippets] == [1, 2, 3, 4, 5]
+
+    def test_expected_snippet_in_top_five(self, figure1):
+        _, _, result = figure1
+        codes = [snippet.code for snippet in result.snippets]
+        assert "new SequenceInputStream(body, sig)" in codes
+
+    def test_all_snippets_type_check_with_subsumption(self, figure1):
+        scene, synthesizer, result = figure1
+        variable_types = scene.environment.variable_types()
+        for snippet in result.snippets:
+            check_lnf_subsumed(snippet.surface_term, scene.goal,
+                               variable_types, scene.subtypes)
+
+    def test_interactive_latency(self, figure1):
+        # The paper reports < 250 ms; allow generous slack for Python.
+        _, _, result = figure1
+        assert result.total_seconds < 2.5
+
+
+class TestTreeFilter:
+    """§2.2 — higher-order function synthesis."""
+
+    def test_expected_snippet_ranked_first(self, tree_filter):
+        _, _, result = tree_filter
+        top = result.snippets[0]
+        # new FilterTypeTreeTraverser(var1 => p(var1))
+        term = top.surface_term
+        assert term.head.endswith("FilterTypeTreeTraverser.new(Tree -> Boolean)")
+        (argument,) = term.arguments
+        assert len(argument.binders) == 1
+        assert argument.head == "p"
+        assert argument.arguments[0].head == argument.binders[0].name
+
+    def test_rendering_shows_scala_closure(self, tree_filter):
+        _, _, result = tree_filter
+        code = result.snippets[0].code
+        assert code.startswith("new FilterTypeTreeTraverser(")
+        assert "=>" in code
+        assert "p(" in code
+
+    def test_latency(self, tree_filter):
+        _, _, result = tree_filter
+        assert result.total_seconds < 3.0
+
+
+class TestDrawingLayout:
+    """§2.3 — subtyping through coercion functions."""
+
+    def test_environment_size_matches_paper(self, drawing_layout):
+        scene, _, _ = drawing_layout
+        assert scene.initial_count == 4965
+
+    def test_panel_get_layout_in_top_two(self, drawing_layout):
+        # The paper reports the desired expression at rank 2.
+        _, _, result = drawing_layout
+        codes = [snippet.code for snippet in result.snippets[:2]]
+        assert "panel.getLayout()" in codes
+
+    def test_coercions_erased_from_surface(self, drawing_layout):
+        _, _, result = drawing_layout
+        for snippet in result.snippets:
+            assert "$coerce$" not in snippet.code
+
+    def test_raw_term_contains_coercion_for_panel(self, drawing_layout):
+        from repro.core.subtyping import count_coercions
+
+        _, _, result = drawing_layout
+        target = next(snippet for snippet in result.snippets
+                      if snippet.code == "panel.getLayout()")
+        assert count_coercions(target.term) >= 1
+        assert count_coercions(target.surface_term) == 0

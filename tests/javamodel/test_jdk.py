@@ -1,0 +1,97 @@
+"""Tests over the hand-modelled JDK surface."""
+
+import pytest
+
+from repro.core.succinct import sigma
+from repro.javamodel.jdk import build_jdk, shared_jdk
+
+
+@pytest.fixture(scope="module")
+def jdk():
+    return shared_jdk()
+
+
+class TestStructure:
+    def test_size_is_substantial(self, jdk):
+        assert len(jdk) > 600
+        assert len(jdk.classes()) > 200
+
+    def test_no_subtype_cycles(self, jdk):
+        assert not jdk.subtype_graph().has_cycle()
+
+    def test_build_returns_fresh_instances(self):
+        assert build_jdk() is not build_jdk()
+
+    def test_expected_packages_present(self, jdk):
+        packages = set(jdk.packages())
+        for package in ["java.io", "java.lang", "java.net", "java.awt",
+                        "javax.swing", "java.util"]:
+            assert package in packages
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("sub,super_", [
+        ("FileInputStream", "InputStream"),
+        ("BufferedInputStream", "InputStream"),
+        ("FileReader", "Reader"),
+        ("LineNumberReader", "BufferedReader"),
+        ("PrintStream", "OutputStream"),
+        ("Panel", "Component"),
+        ("JCheckBox", "JComponent"),
+        ("JButton", "AbstractButton"),
+        ("JWindow", "Window"),
+        ("MulticastSocket", "DatagramSocket"),
+        ("AWTPermission", "Permission"),
+        ("DefaultBoundedRangeModel", "BoundedRangeModel"),
+        ("MaskFormatter", "JFormattedTextField.AbstractFormatter"),
+        ("String", "CharSequence"),
+    ])
+    def test_subtype_edges(self, jdk, sub, super_):
+        assert jdk.subtype_graph().is_subtype(sub, super_)
+
+    def test_no_reverse_edges(self, jdk):
+        graph = jdk.subtype_graph()
+        assert not graph.is_subtype("InputStream", "FileInputStream")
+        assert not graph.is_subtype("Component", "Panel")
+
+
+class TestBenchmarkCoverage:
+    """Every Table 2 goal must have its key constructor modelled."""
+
+    @pytest.mark.parametrize("name,type_text", [
+        ("java.awt.AWTPermission.new(String)", "String -> AWTPermission"),
+        ("java.io.BufferedInputStream.new(InputStream)",
+         "InputStream -> BufferedInputStream"),
+        ("java.io.BufferedReader.new(Reader)", "Reader -> BufferedReader"),
+        ("java.net.DatagramSocket.new()", "DatagramSocket"),
+        ("java.awt.DisplayMode.new(int,int,int,int)",
+         "int -> int -> int -> int -> DisplayMode"),
+        ("java.io.FileInputStream.new(FileDescriptor)",
+         "FileDescriptor -> FileInputStream"),
+        ("javax.swing.GroupLayout.new(Container)",
+         "Container -> GroupLayout"),
+        ("javax.swing.JFormattedTextField.new(JFormattedTextField.AbstractFormatter)",
+         "JFormattedTextField.AbstractFormatter -> JFormattedTextField"),
+        ("javax.swing.JTable.new(ObjectArray2D,ObjectArray)",
+         "ObjectArray2D -> ObjectArray -> JTable"),
+        ("javax.swing.Timer.new(int,ActionListener)",
+         "int -> ActionListener -> Timer"),
+        ("java.net.URL.new(String)", "String -> URL"),
+        ("java.io.SequenceInputStream.new(InputStream,InputStream)",
+         "InputStream -> InputStream -> SequenceInputStream"),
+    ])
+    def test_member_present_with_type(self, jdk, name, type_text):
+        from repro.lang.parser import parse_type
+
+        members = {member.name: member for member in jdk.members()}
+        assert name in members, f"missing member {name}"
+        assert members[name].type == parse_type(type_text)
+
+    def test_member_names_globally_unique(self, jdk):
+        names = [member.name for member in jdk.members()]
+        assert len(names) == len(set(names))
+
+    def test_succinct_compression_happens(self, jdk):
+        types = [member.type for member in jdk.members()]
+        distinct = len({sigma(tpe) for tpe in types})
+        assert distinct < len(types)

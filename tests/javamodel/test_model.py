@@ -1,0 +1,109 @@
+"""Unit tests for the API model core."""
+
+import pytest
+
+from repro.core.environment import RenderStyle
+from repro.core.errors import EnvironmentError_
+from repro.core.types import parse
+from repro.javamodel.model import ApiModel
+
+
+@pytest.fixture
+def model():
+    api = ApiModel()
+    cls = api.add_class("com.example.Widget", extends=["Object"])
+    cls.constructor()
+    cls.constructor("String")
+    cls.method("render", ["String"], "String")
+    cls.method("create", ["int"], "Widget", static=True)
+    cls.field("name", "String")
+    cls.field("DEFAULT", "Widget", static=True)
+    api.add_class("java.lang.Object")
+    return api
+
+
+def parse(text):
+    from repro.lang.parser import parse_type
+
+    return parse_type(text)
+
+
+class TestClasses:
+    def test_qualified_name(self, model):
+        cls = model.lookup_class("Widget")
+        assert cls.qualified_name == "com.example.Widget"
+        assert cls.package == "com.example"
+
+    def test_unqualified_name_rejected(self):
+        with pytest.raises(EnvironmentError_):
+            ApiModel().add_class("NoPackage")
+
+    def test_duplicate_simple_name_rejected(self, model):
+        with pytest.raises(EnvironmentError_):
+            model.add_class("org.other.Widget")
+
+    def test_packages(self, model):
+        assert model.packages() == ["com.example", "java.lang"]
+
+
+class TestMemberLowering:
+    def _by_name(self, model, name):
+        return {member.name: member for member in model.members()}[name]
+
+    def test_constructor_type(self, model):
+        member = self._by_name(model, "com.example.Widget.new(String)")
+        assert member.type == parse("String -> Widget")
+        assert member.render.style is RenderStyle.CONSTRUCTOR
+        assert member.render.display == "Widget"
+
+    def test_zero_arg_constructor(self, model):
+        member = self._by_name(model, "com.example.Widget.new()")
+        assert member.type == parse("Widget")
+
+    def test_instance_method_takes_receiver(self, model):
+        member = self._by_name(model, "com.example.Widget.render(String)")
+        assert member.type == parse("Widget -> String -> String")
+        assert member.render.style is RenderStyle.METHOD
+
+    def test_static_method_has_no_receiver(self, model):
+        member = self._by_name(model, "com.example.Widget.create(int)")
+        assert member.type == parse("int -> Widget")
+        assert member.render.style is RenderStyle.STATIC_METHOD
+        assert member.render.display == "Widget.create"
+
+    def test_instance_field(self, model):
+        member = self._by_name(model, "com.example.Widget.name")
+        assert member.type == parse("Widget -> String")
+        assert member.render.style is RenderStyle.FIELD
+
+    def test_static_field(self, model):
+        member = self._by_name(model, "com.example.Widget.DEFAULT")
+        assert member.type == parse("Widget")
+        assert member.render.style is RenderStyle.STATIC_FIELD
+
+    def test_symbol_strips_overload_signature(self, model):
+        member = self._by_name(model, "com.example.Widget.new(String)")
+        assert member.symbol == "com.example.Widget.new"
+
+    def test_duplicate_member_rejected(self, model):
+        handle = model.add_class("com.example.Other")
+        handle.method("m", [], "int")
+        with pytest.raises(EnvironmentError_):
+            handle.method("m", [], "int")
+
+
+class TestQueries:
+    def test_members_of_packages(self, model):
+        members = model.members_of_packages(["com.example"])
+        assert len(members) == 6
+        assert all(member.package == "com.example" for member in members)
+
+    def test_subtype_graph_edges(self, model):
+        graph = model.subtype_graph()
+        assert graph.is_subtype("Widget", "Object")
+
+    def test_merge_conflicts_detected(self, model):
+        other = ApiModel()
+        other.add_class("org.dup.Widget")
+        with pytest.raises(EnvironmentError_):
+            model.merge(other)

@@ -1,0 +1,90 @@
+"""Tests for the Scala standard-library slice (higher-order members)."""
+
+import pytest
+
+from repro.core.environment import Declaration, DeclKind, Environment
+from repro.core.synthesizer import Synthesizer
+from repro.core.types import Arrow
+from repro.javamodel.jdk import scala_lib
+from repro.javamodel.model import ApiModel
+from repro.lang.parser import parse_type
+
+
+@pytest.fixture(scope="module")
+def model():
+    api = ApiModel()
+    scala_lib.build(api)
+    return api
+
+
+class TestModel:
+    def test_higher_order_members_present(self, model):
+        members = {member.name: member for member in model.members()}
+        map_member = members["scala.collection.StringList.map(String -> String)"]
+        assert map_member.type == parse_type(
+            "StringList -> (String -> String) -> StringList")
+
+    def test_fold_is_binary_higher_order(self, model):
+        members = {member.name: member for member in model.members()}
+        fold = members[
+            "scala.collection.IntList.foldLeft(int,int -> int -> int)"]
+        assert fold.type == parse_type(
+            "IntList -> int -> (int -> int -> int) -> int")
+
+    def test_function_valued_results(self, model):
+        members = {member.name: member for member in model.members()}
+        compose = members[
+            "scala.FunctionOps.compose(String -> String,String -> String)"]
+        # Result is itself a function type.
+        _, result = compose.type, compose.type
+        tail = compose.type
+        while isinstance(tail, Arrow):
+            last = tail
+            tail = tail.result
+        assert isinstance(last, Arrow)
+
+
+class TestSynthesisWithScalaApi:
+    def _environment(self, model, extra):
+        from repro.javamodel.scope import ProgramPoint
+
+        point = ProgramPoint(model, name="scala-scene")
+        point.import_all()
+        for name, type_text in extra:
+            point.add_local(name, type_text)
+        return point
+
+    def test_map_with_synthesized_closure(self, model):
+        point = self._environment(model, [("names", "StringList"),
+                                          ("shorten", "String -> String")])
+        point.set_goal("StringList")
+        scene = point.build()
+        result = Synthesizer(scene.environment,
+                             subtypes=scene.subtypes).synthesize(
+            scene.goal, n=10)
+        codes = [snippet.code for snippet in result.snippets]
+        assert "names" in codes
+        assert any(".map(" in code and "=>" in code for code in codes)
+
+    def test_get_or_else_chain(self, model):
+        point = self._environment(model, [("maybe", "StringOption"),
+                                          ("fallback", "String")])
+        point.set_goal("String")
+        scene = point.build()
+        result = Synthesizer(scene.environment,
+                             subtypes=scene.subtypes).synthesize(
+            scene.goal, n=10)
+        codes = [snippet.code for snippet in result.snippets]
+        assert "maybe.get()" in codes
+        assert "maybe.getOrElse(fallback)" in codes
+
+    def test_function_goal_via_combinators(self, model):
+        point = self._environment(model, [("exclaim", "String -> String")])
+        point.set_goal("String -> String")
+        scene = point.build()
+        result = Synthesizer(scene.environment,
+                             subtypes=scene.subtypes).synthesize(
+            scene.goal, n=10)
+        codes = [snippet.code for snippet in result.snippets]
+        # The eta-expansion of the local function must rank at the top.
+        assert any("exclaim(" in code for code in codes[:2])

@@ -1,0 +1,80 @@
+"""Structural tests for the §2 motivating-example scenes."""
+
+import pytest
+
+from repro.core.environment import DeclKind
+from repro.javamodel.scenes import (DRAWING_LAYOUT_INITIAL, FIGURE1_INITIAL,
+                                    TREE_FILTER_INITIAL,
+                                    drawing_layout_scene,
+                                    sequence_of_streams_scene,
+                                    tree_filter_scene)
+
+
+@pytest.fixture(scope="module")
+def figure1():
+    return sequence_of_streams_scene()
+
+
+@pytest.fixture(scope="module")
+def tree_filter():
+    return tree_filter_scene()
+
+
+@pytest.fixture(scope="module")
+def drawing():
+    return drawing_layout_scene()
+
+
+class TestFigure1Scene:
+    def test_declaration_count(self, figure1):
+        assert figure1.initial_count == FIGURE1_INITIAL == 3356
+
+    def test_locals_present(self, figure1):
+        body = figure1.environment.lookup("body")
+        sig = figure1.environment.lookup("sig")
+        assert body.kind is DeclKind.LOCAL
+        assert str(sig.type) == "FileInputStream"
+
+    def test_goal(self, figure1):
+        assert str(figure1.goal) == "SequenceInputStream"
+
+    def test_subtyping_for_sig(self, figure1):
+        assert figure1.subtypes.is_subtype("FileInputStream", "InputStream")
+
+    def test_deterministic(self):
+        first = sequence_of_streams_scene()
+        second = sequence_of_streams_scene()
+        assert [d.name for d in first.environment] == \
+            [d.name for d in second.environment]
+
+
+class TestTreeFilterScene:
+    def test_declaration_count(self, tree_filter):
+        assert tree_filter.initial_count == TREE_FILTER_INITIAL
+
+    def test_higher_order_local(self, tree_filter):
+        predicate = tree_filter.environment.lookup("p")
+        assert str(predicate.type) == "Tree -> Boolean"
+
+    def test_constructor_takes_function(self, tree_filter):
+        ctor = tree_filter.environment.lookup(
+            "scala.tools.eclipse.FilterTypeTreeTraverser.new(Tree -> Boolean)")
+        assert ctor is not None
+        assert str(ctor.type) == "(Tree -> Boolean) -> FilterTypeTreeTraverser"
+
+
+class TestDrawingLayoutScene:
+    def test_declaration_count(self, drawing):
+        assert drawing.initial_count == DRAWING_LAYOUT_INITIAL == 4965
+
+    def test_panel_local(self, drawing):
+        panel = drawing.environment.lookup("panel")
+        assert str(panel.type) == "Panel"
+
+    def test_subtype_chain_to_container(self, drawing):
+        assert drawing.subtypes.is_subtype("Panel", "Container")
+
+    def test_get_layout_member_present(self, drawing):
+        member = drawing.environment.lookup("java.awt.Container.getLayout()")
+        assert member is not None
+        assert str(member.type) == "Container -> LayoutManager"

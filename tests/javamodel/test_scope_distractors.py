@@ -1,0 +1,114 @@
+"""Tests for program points and distractor generation."""
+
+import pytest
+
+from repro.core.environment import DeclKind
+from repro.core.errors import BenchmarkError
+from repro.javamodel.distractors import DistractorGenerator
+from repro.javamodel.jdk import shared_jdk
+from repro.javamodel.scope import ProgramPoint
+
+
+class TestDistractorGenerator:
+    def test_exact_count(self):
+        members = DistractorGenerator(seed=1).generate(137)
+        assert len(members) == 137
+
+    def test_names_unique(self):
+        members = DistractorGenerator(seed=2).generate(2000)
+        names = [member.name for member in members]
+        assert len(names) == len(set(names))
+
+    def test_deterministic_across_instances(self):
+        first = DistractorGenerator(seed=3).generate(200)
+        second = DistractorGenerator(seed=3).generate(200)
+        assert [m.name for m in first] == [m.name for m in second]
+
+    def test_different_seeds_differ(self):
+        first = DistractorGenerator(seed=4).generate(50)
+        second = DistractorGenerator(seed=5).generate(50)
+        assert [m.name for m in first] != [m.name for m in second]
+
+    def test_confusable_producers_require_arguments(self):
+        members = DistractorGenerator(
+            seed=6, confusable_types=("Goal",)).generate(3000)
+        from repro.core.types import final_result, uncurry
+
+        for member in members:
+            arguments, result = uncurry(member.type)
+            if result.name == "Goal":
+                # Receiver plus at least one real parameter (see the
+                # no-corpus shape argument in the module docstring).
+                assert len(arguments) >= 2
+
+    def test_types_parse_and_lower(self):
+        members = DistractorGenerator(seed=7).generate(100)
+        assert all(member.type is not None for member in members)
+
+
+class TestProgramPoint:
+    def _point(self):
+        return ProgramPoint(shared_jdk(), {"java.io.File.new": 77})
+
+    def test_import_packages_filters(self):
+        point = self._point().import_packages("java.net")
+        scene = point.build()
+        names = [decl.name for decl in scene.environment]
+        assert any(name.startswith("java.net.") for name in names)
+        assert not any(name.startswith("javax.swing.") for name in names)
+
+    def test_kinds_assigned(self):
+        point = (self._point()
+                 .import_packages("java.io")
+                 .add_local("body", "InputStream")
+                 .add_class_member("helper", "String")
+                 .add_package_member("shared", "int")
+                 .add_literal('"x"', "String"))
+        scene = point.build()
+        kinds = {decl.name: decl.kind for decl in scene.environment
+                 if decl.kind is not DeclKind.IMPORTED}
+        assert kinds == {
+            "body": DeclKind.LOCAL,
+            "helper": DeclKind.CLASS_MEMBER,
+            "shared": DeclKind.PACKAGE_MEMBER,
+            '"x"': DeclKind.LITERAL,
+        }
+
+    def test_frequencies_applied_to_imports(self):
+        point = self._point().import_packages("java.io")
+        scene = point.build()
+        decl = next(decl for decl in scene.environment
+                    if decl.name == "java.io.File.new(String)")
+        assert decl.frequency == 77
+
+    def test_locals_come_last(self):
+        point = (self._point().import_packages("java.io")
+                 .add_local("z_local", "int"))
+        scene = point.build()
+        assert list(scene.environment)[-1].name == "z_local"
+
+    def test_distractors_pad_count(self):
+        base = self._point().import_packages("java.io").build()
+        padded = (self._point().import_packages("java.io")
+                  .add_distractors(500, seed=9).build())
+        assert padded.initial_count == base.initial_count + 500
+
+    def test_goal_recorded(self):
+        from repro.core.types import base
+
+        scene = self._point().set_goal("File").build()
+        assert scene.goal == base("File")
+
+    def test_subtype_graph_included(self):
+        scene = self._point().build()
+        assert scene.subtypes.is_subtype("FileInputStream", "InputStream")
+
+    def test_extra_subtype_edges(self):
+        scene = self._point().add_subtype("MyStream", "InputStream").build()
+        assert scene.subtypes.is_subtype("MyStream", "InputStream")
+
+    def test_duplicate_local_raises_benchmark_error(self):
+        point = (self._point().add_local("x", "int")
+                 .add_local("x", "String"))
+        with pytest.raises(BenchmarkError):
+            point.build()

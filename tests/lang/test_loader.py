@@ -1,0 +1,69 @@
+"""Unit tests for loading environment files into runtime objects."""
+
+import pytest
+
+from repro.core.environment import DeclKind, RenderStyle
+from repro.core.errors import TypeSyntaxError
+from repro.core.synthesizer import Synthesizer
+from repro.core.types import base
+from repro.lang.loader import load_environment_file, load_environment_text
+
+EXAMPLE = """
+# A miniature java.io scene.
+subtype FileInputStream <: InputStream
+
+local body : InputStream
+imported java.io.FileInputStream.new : String -> FileInputStream \
+[freq=300] [style=constructor] [display=FileInputStream]
+imported java.io.SequenceInputStream.new : \
+InputStream -> InputStream -> SequenceInputStream \
+[freq=50] [style=constructor] [display=SequenceInputStream]
+local sig : String
+
+goal SequenceInputStream
+"""
+
+
+class TestLoadText:
+    def test_environment_contents(self):
+        loaded = load_environment_text(EXAMPLE)
+        assert len(loaded.environment) == 4
+        body = loaded.environment.lookup("body")
+        assert body.kind is DeclKind.LOCAL
+        ctor = loaded.environment.lookup("java.io.FileInputStream.new")
+        assert ctor.frequency == 300
+        assert ctor.render.style is RenderStyle.CONSTRUCTOR
+
+    def test_subtype_graph(self):
+        loaded = load_environment_text(EXAMPLE)
+        assert loaded.subtypes.is_subtype("FileInputStream", "InputStream")
+
+    def test_goal(self):
+        loaded = load_environment_text(EXAMPLE)
+        assert loaded.goal == base("SequenceInputStream")
+
+    def test_literal_render_defaults_to_verbatim(self):
+        loaded = load_environment_text('literal "LPT1" : String')
+        decl = loaded.environment.lookup('"LPT1"')
+        assert decl.render.style is RenderStyle.LITERAL
+        assert decl.render.display == '"LPT1"'
+
+    def test_loaded_environment_synthesizes(self):
+        loaded = load_environment_text(EXAMPLE)
+        result = Synthesizer(loaded.environment,
+                             subtypes=loaded.subtypes).synthesize(loaded.goal)
+        assert result.inhabited
+        codes = [snippet.code for snippet in result.snippets]
+        assert any("SequenceInputStream" in code for code in codes)
+
+
+class TestLoadFile:
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "scene.ins"
+        path.write_text(EXAMPLE, encoding="utf-8")
+        loaded = load_environment_file(path)
+        assert loaded.goal == base("SequenceInputStream")
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(TypeSyntaxError):
+            load_environment_file(tmp_path / "missing.ins")

@@ -1,0 +1,126 @@
+"""Unit tests for the Scala-like snippet renderer."""
+
+from repro.core.environment import (Declaration, DeclKind, Environment,
+                                    RenderSpec, RenderStyle)
+from repro.core.terms import Binder, LNFTerm, lnf
+from repro.core.types import arrow, base, parse
+from repro.lang.printer import render_ranked, render_snippet, render_type
+
+A = base("A")
+
+
+def _env(*declarations):
+    return Environment(declarations)
+
+
+def _decl(name, text, style, display=""):
+    return Declaration(name, parse(text), DeclKind.IMPORTED,
+                       render=RenderSpec(style, display))
+
+
+class TestRenderType:
+    def test_scala_arrow(self):
+        assert render_type(parse("A -> B")) == "A => B"
+
+
+class TestRenderSnippet:
+    def test_value(self):
+        env = _env(Declaration("body", A, DeclKind.LOCAL))
+        assert render_snippet(lnf("body"), env) == "body"
+
+    def test_constructor(self):
+        env = _env(
+            _decl("java.io.File.new", "String -> File",
+                  RenderStyle.CONSTRUCTOR, "File"),
+            Declaration("name", base("String"), DeclKind.LOCAL))
+        term = lnf("java.io.File.new", lnf("name"))
+        assert render_snippet(term, env) == "new File(name)"
+
+    def test_constructor_display_defaults_to_simple_name(self):
+        env = _env(_decl("java.awt.GridBagLayout.new", "GridBagLayout",
+                         RenderStyle.CONSTRUCTOR))
+        assert render_snippet(lnf("java.awt.GridBagLayout.new"), env) == \
+            "new GridBagLayout()"
+
+    def test_method_with_receiver(self):
+        env = _env(
+            _decl("Container.getLayout", "Container -> LayoutManager",
+                  RenderStyle.METHOD, "getLayout"),
+            Declaration("panel", base("Container"), DeclKind.LOCAL))
+        term = lnf("Container.getLayout", lnf("panel"))
+        assert render_snippet(term, env) == "panel.getLayout()"
+
+    def test_method_with_arguments(self):
+        env = _env(
+            _decl("Tree.filter", "Tree -> Pred -> List",
+                  RenderStyle.METHOD, "filter"),
+            Declaration("tree", base("Tree"), DeclKind.LOCAL),
+            Declaration("p", base("Pred"), DeclKind.LOCAL))
+        term = lnf("Tree.filter", lnf("tree"), lnf("p"))
+        assert render_snippet(term, env) == "tree.filter(p)"
+
+    def test_field(self):
+        env = _env(
+            _decl("Point.x", "Point -> Int", RenderStyle.FIELD, "x"),
+            Declaration("pt", base("Point"), DeclKind.LOCAL))
+        assert render_snippet(lnf("Point.x", lnf("pt")), env) == "pt.x"
+
+    def test_static_method(self):
+        env = _env(_decl("System.currentTimeMillis", "Long",
+                         RenderStyle.STATIC_METHOD, "System.currentTimeMillis"))
+        assert render_snippet(lnf("System.currentTimeMillis"), env) == \
+            "System.currentTimeMillis()"
+
+    def test_static_field(self):
+        env = _env(_decl("System.out", "PrintStream",
+                         RenderStyle.STATIC_FIELD, "System.out"))
+        assert render_snippet(lnf("System.out"), env) == "System.out"
+
+    def test_literal(self):
+        env = _env(Declaration('"LPT1"', base("String"), DeclKind.LITERAL,
+                               render=RenderSpec(RenderStyle.LITERAL,
+                                                 '"LPT1"')))
+        assert render_snippet(lnf('"LPT1"'), env) == '"LPT1"'
+
+    def test_lambda_single_binder(self):
+        env = _env(_decl("p", "Tree -> Boolean", RenderStyle.FUNCTION, "p"))
+        term = LNFTerm((Binder("var1", base("Tree")),), "p", (lnf("var1"),))
+        assert render_snippet(term, env) == "var1 => p(var1)"
+
+    def test_lambda_multiple_binders(self):
+        env = _env(_decl("f", "A -> B -> C", RenderStyle.FUNCTION, "f"))
+        term = LNFTerm((Binder("a", base("A")), Binder("b", base("B"))),
+                       "f", (lnf("a"), lnf("b")))
+        assert render_snippet(term, env) == "(a, b) => f(a, b)"
+
+    def test_lambda_receiver_parenthesised(self):
+        # A method whose receiver is itself a lambda must parenthesise it.
+        env = _env(
+            _decl("Wrapper.run", "Wrapper -> Result", RenderStyle.METHOD,
+                  "run"),
+            _decl("mk", "(A -> A) -> Wrapper", RenderStyle.FUNCTION, "mk"))
+        identity = LNFTerm((Binder("x", A),), "x", ())
+        term = lnf("Wrapper.run", lnf("mk", identity))
+        assert render_snippet(term, env) == "mk(x => x).run()"
+
+    def test_unknown_head_falls_back_to_name(self):
+        env = _env(Declaration("known", A, DeclKind.LOCAL))
+        assert render_snippet(lnf("binder7"), env) == "binder7"
+
+    def test_coercion_style_transparent(self):
+        env = _env(
+            _decl("c", "Sub -> Super", RenderStyle.COERCION),
+            Declaration("s", base("Sub"), DeclKind.LOCAL))
+        assert render_snippet(lnf("c", lnf("s")), env) == "s"
+
+
+class TestRenderRanked:
+    def test_ranked_listing(self):
+        from repro.core.synthesizer import Snippet
+
+        snippets = [
+            Snippet(lnf("a"), lnf("a"), 5.0, 1, "a"),
+            Snippet(lnf("b"), lnf("b"), 7.0, 2, "new B()"),
+        ]
+        listing = render_ranked(snippets)
+        assert listing.splitlines() == ["  1. a", "  2. new B()"]

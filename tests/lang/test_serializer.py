@@ -1,0 +1,94 @@
+"""Round-trip tests: environment -> .ins text -> environment."""
+
+import pytest
+
+from repro.core.environment import (Declaration, DeclKind, Environment,
+                                    RenderSpec, RenderStyle)
+from repro.core.subtyping import SubtypeGraph, environment_with_subtyping
+from repro.core.types import base
+from repro.lang.loader import load_environment_text
+from repro.lang.parser import parse_type
+from repro.lang.serializer import save_scene, serialize_environment
+
+
+@pytest.fixture
+def scene():
+    environment = Environment([
+        Declaration("body", parse_type("InputStream"), DeclKind.LOCAL),
+        Declaration("helper", parse_type("int -> String"),
+                    DeclKind.CLASS_MEMBER),
+        Declaration("shared", parse_type("Object"),
+                    DeclKind.PACKAGE_MEMBER),
+        Declaration('"LPT1"', parse_type("String"), DeclKind.LITERAL,
+                    render=RenderSpec(RenderStyle.LITERAL, '"LPT1"')),
+        Declaration("java.io.FileWriter.new", parse_type("String -> FileWriter"),
+                    DeclKind.IMPORTED, frequency=120,
+                    render=RenderSpec(RenderStyle.CONSTRUCTOR, "FileWriter")),
+    ])
+    graph = SubtypeGraph()
+    graph.add_edge("FileWriter", "Writer")
+    return environment, graph, parse_type("FileWriter")
+
+
+class TestRoundTrip:
+    def test_declarations_survive(self, scene):
+        environment, graph, goal = scene
+        text = serialize_environment(environment, graph, goal)
+        loaded = load_environment_text(text)
+        assert len(loaded.environment) == len(environment)
+        for declaration in environment:
+            reloaded = loaded.environment.lookup(declaration.name)
+            assert reloaded is not None
+            assert reloaded.type == declaration.type
+            assert reloaded.kind == declaration.kind
+            assert reloaded.frequency == declaration.frequency
+
+    def test_render_styles_survive(self, scene):
+        environment, graph, goal = scene
+        loaded = load_environment_text(
+            serialize_environment(environment, graph, goal))
+        ctor = loaded.environment.lookup("java.io.FileWriter.new")
+        assert ctor.render.style is RenderStyle.CONSTRUCTOR
+        assert ctor.render.display == "FileWriter"
+
+    def test_subtypes_and_goal_survive(self, scene):
+        environment, graph, goal = scene
+        loaded = load_environment_text(
+            serialize_environment(environment, graph, goal))
+        assert loaded.subtypes.is_subtype("FileWriter", "Writer")
+        assert loaded.goal == goal
+
+    def test_generated_coercions_skipped(self, scene):
+        environment, graph, goal = scene
+        with_coercions = environment_with_subtyping(environment, graph)
+        text = serialize_environment(with_coercions, graph, goal)
+        assert "$coerce$" not in text
+        loaded = load_environment_text(text)
+        assert len(loaded.environment) == len(environment)
+
+    def test_header_comments(self, scene):
+        environment, graph, goal = scene
+        text = serialize_environment(environment, graph, goal,
+                                     header="benchmark 20\nFileWriter LPT1")
+        assert text.startswith("# benchmark 20\n# FileWriter LPT1")
+        load_environment_text(text)  # still parses
+
+    def test_save_scene_writes_file(self, scene, tmp_path):
+        environment, graph, goal = scene
+        path = tmp_path / "scene.ins"
+        save_scene(path, environment, graph, goal)
+        loaded = load_environment_text(path.read_text(encoding="utf-8"))
+        assert loaded.goal == goal
+
+    def test_round_trip_synthesis_equivalence(self, scene):
+        from repro.core.synthesizer import Synthesizer
+
+        environment, graph, goal = scene
+        direct = Synthesizer(environment, subtypes=graph).synthesize(goal, n=5)
+        loaded = load_environment_text(
+            serialize_environment(environment, graph, goal))
+        reloaded = Synthesizer(loaded.environment,
+                               subtypes=loaded.subtypes).synthesize(
+            loaded.goal, n=5)
+        assert [s.code for s in direct.snippets] == \
+            [s.code for s in reloaded.snippets]

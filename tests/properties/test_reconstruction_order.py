@@ -1,0 +1,88 @@
+"""Properties of the reconstruction order machinery.
+
+The best-first enumeration relies on two internal invariants:
+
+* the completion bound is *admissible* — it never exceeds the weight of
+  the cheapest actual completion of a hole;
+* candidates are walked in non-decreasing completion-bound order, so the
+  lazy sibling chain cannot emit out of order.
+
+Both are checked here against ground truth obtained by running the full
+enumeration, on random environments.
+"""
+
+import math
+
+from hypothesis import given, settings
+
+from repro.core.config import SynthesisConfig
+from repro.core.explore import explore
+from repro.core.generate_patterns import generate_patterns
+from repro.core.reconstruct import Reconstructor
+from repro.core.succinct import sigma
+from repro.core.synthesizer import Synthesizer
+from repro.core.weights import WeightPolicy
+from tests.helpers import environment_and_goal
+
+FAST = SynthesisConfig(max_snippets=30, prover_time_limit=None,
+                       reconstruction_time_limit=1.0,
+                       max_reconstruction_steps=5000)
+
+
+def _reconstructor(environment, goal):
+    space = explore(environment.succinct_environment(), sigma(goal))
+    patterns = generate_patterns(space)
+    return Reconstructor(patterns, environment, WeightPolicy.standard(),
+                         max_steps=5000, time_limit=1.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(environment_and_goal(acyclic=True))
+def test_hole_bound_is_admissible(env_goal):
+    environment, goal = env_goal
+    reconstructor = _reconstructor(environment, goal)
+    snippets = list(reconstructor.enumerate(goal))
+    bound = reconstructor._hole_bound(goal)
+    if snippets:
+        cheapest = min(snippet.weight for snippet in snippets)
+        assert bound <= cheapest + 1e-9
+    if not reconstructor.stats.truncated and not snippets:
+        # Nothing synthesizable: the bound may be infinite or finite (it is
+        # only a lower bound), but infinity must imply emptiness.
+        if math.isinf(bound):
+            assert not snippets
+
+
+@settings(max_examples=50, deadline=None)
+@given(environment_and_goal(acyclic=True))
+def test_ordered_candidates_sorted_by_completion_bound(env_goal):
+    environment, goal = env_goal
+    reconstructor = _reconstructor(environment, goal)
+    candidates = reconstructor._ordered_candidates(goal, ())
+    bounds = [reconstructor._completion_bound(candidate, ())
+              for candidate in candidates]
+    assert bounds == sorted(bounds)
+
+
+@settings(max_examples=50, deadline=None)
+@given(environment_and_goal())
+def test_emission_monotone_under_all_policies(env_goal):
+    environment, goal = env_goal
+    for policy in (WeightPolicy.standard(), WeightPolicy.without_corpus(),
+                   WeightPolicy.uniform_policy()):
+        result = Synthesizer(environment, policy=policy,
+                             config=FAST).synthesize(goal)
+        weights = [snippet.weight for snippet in result.snippets]
+        assert weights == sorted(weights)
+
+
+@settings(max_examples=40, deadline=None)
+@given(environment_and_goal(acyclic=True))
+def test_enumeration_exhaustive_on_acyclic(env_goal):
+    # On acyclic environments the enumeration terminates by itself and the
+    # candidate caches must agree with a fresh run (no cross-run state).
+    environment, goal = env_goal
+    first = list(_reconstructor(environment, goal).enumerate(goal))
+    second = list(_reconstructor(environment, goal).enumerate(goal))
+    assert [snippet.term for snippet in first] == \
+        [snippet.term for snippet in second]

@@ -1,0 +1,94 @@
+"""Property-based tests for the sigma conversion (§3.2).
+
+Succinct types are simple types modulo commutativity, associativity and
+idempotence of conjunction (currying/product isomorphisms).  These
+properties pin the algebra down on random types.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.succinct import (sigma, sort_key, succinct_subterms)
+from repro.core.types import (Arrow, Type, arrow, base, function_type,
+                              uncurry)
+from tests.helpers import simple_types
+
+
+@given(simple_types())
+def test_sigma_is_deterministic(tpe):
+    assert sigma(tpe) == sigma(tpe)
+
+
+@given(simple_types())
+def test_result_name_matches_final_result(tpe):
+    _, result = uncurry(tpe)
+    assert sigma(tpe).result == result.name
+
+
+@given(simple_types(), st.randoms())
+def test_argument_permutation_invariance(tpe, rng):
+    arguments, result = uncurry(tpe)
+    if len(arguments) < 2:
+        return
+    shuffled = list(arguments)
+    rng.shuffle(shuffled)
+    assert sigma(function_type(shuffled, result)) == sigma(tpe)
+
+
+@given(simple_types(), st.integers(0, 3))
+def test_argument_duplication_invariance(tpe, copies):
+    arguments, result = uncurry(tpe)
+    if not arguments:
+        return
+    duplicated = list(arguments) + [arguments[0]] * copies
+    assert sigma(function_type(duplicated, result)) == sigma(tpe)
+
+
+@given(simple_types())
+def test_currying_grouping_invariance(tpe):
+    # A -> (B -> C) == A -> B -> C structurally in our representation, but
+    # check the deeper claim: sigma(t) == sigma(args -> result) rebuilt from
+    # the curried view.
+    arguments, result = uncurry(tpe)
+    assert sigma(function_type(arguments, result)) == sigma(tpe)
+
+
+@given(simple_types())
+def test_arguments_are_sigma_images_of_curried_arguments(tpe):
+    arguments, _ = uncurry(tpe)
+    assert sigma(tpe).arguments == frozenset(sigma(a) for a in arguments)
+
+
+@given(st.lists(simple_types(), max_size=8))
+def test_distribution_over_unions(types):
+    # sigma over a union of environments is the union of sigma images.
+    middle = len(types) // 2
+    left, right = types[:middle], types[middle:]
+    union_image = {sigma(t) for t in types}
+    assert {sigma(t) for t in left} | {sigma(t) for t in right} == union_image
+
+
+@given(simple_types())
+def test_subterms_contains_self(tpe):
+    stype = sigma(tpe)
+    assert stype in succinct_subterms(stype)
+
+
+@given(simple_types(), simple_types())
+def test_sort_key_consistent_with_equality(left, right):
+    sleft, sright = sigma(left), sigma(right)
+    if sleft == sright:
+        assert sort_key(sleft) == sort_key(sright)
+    else:
+        assert sort_key(sleft) != sort_key(sright)
+
+
+@given(st.lists(simple_types(), min_size=1, max_size=10))
+def test_compression_never_increases(types):
+    from repro.core.succinct import compression_ratio
+
+    total, distinct = compression_ratio(types)
+    assert distinct <= total
+    assert distinct >= 1

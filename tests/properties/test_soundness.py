@@ -1,0 +1,99 @@
+"""Soundness properties: everything the synthesizer emits type-checks.
+
+This is the soundness half of Theorem 3.3, checked end-to-end on random
+environments: every snippet is a long-normal-form term of the requested
+type, weights are non-decreasing, results are deterministic, and coercion-
+erased terms type-check under subsumption.
+"""
+
+from hypothesis import given, settings
+
+from repro.core.config import SynthesisConfig
+from repro.core.subtyping import SubtypeGraph
+from repro.core.synthesizer import Synthesizer
+from repro.core.terms import is_long_normal_form
+from repro.core.typecheck import check_lnf, check_lnf_subsumed
+from repro.core.types import base
+from repro.core.weights import WeightPolicy
+from tests.helpers import environment_and_goal
+
+FAST = SynthesisConfig(max_snippets=8, prover_time_limit=None,
+                       reconstruction_time_limit=1.0,
+                       max_reconstruction_steps=3000)
+
+
+@settings(max_examples=60, deadline=None)
+@given(environment_and_goal())
+def test_snippets_type_check(env_goal):
+    environment, goal = env_goal
+    synthesizer = Synthesizer(environment, config=FAST)
+    result = synthesizer.synthesize(goal)
+    variable_types = environment.variable_types()
+    for snippet in result.snippets:
+        check_lnf(snippet.term, goal, variable_types)
+
+
+@settings(max_examples=60, deadline=None)
+@given(environment_and_goal())
+def test_snippets_are_long_normal_form(env_goal):
+    environment, goal = env_goal
+    result = Synthesizer(environment, config=FAST).synthesize(goal)
+    variable_types = environment.variable_types()
+    for snippet in result.snippets:
+        assert is_long_normal_form(snippet.term, goal, variable_types)
+
+
+@settings(max_examples=60, deadline=None)
+@given(environment_and_goal())
+def test_weights_non_decreasing(env_goal):
+    environment, goal = env_goal
+    result = Synthesizer(environment, config=FAST).synthesize(goal)
+    weights = [snippet.weight for snippet in result.snippets]
+    assert weights == sorted(weights)
+
+
+@settings(max_examples=60, deadline=None)
+@given(environment_and_goal())
+def test_reported_weight_matches_term_weight(env_goal):
+    environment, goal = env_goal
+    policy = WeightPolicy.standard()
+    synthesizer = Synthesizer(environment, policy=policy, config=FAST)
+    result = synthesizer.synthesize(goal)
+    for snippet in result.snippets:
+        recomputed = policy.term_weight(snippet.term, synthesizer.environment)
+        assert abs(recomputed - snippet.weight) < 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(environment_and_goal())
+def test_synthesis_is_deterministic(env_goal):
+    environment, goal = env_goal
+    first = Synthesizer(environment, config=FAST).synthesize(goal)
+    second = Synthesizer(environment, config=FAST).synthesize(goal)
+    assert [s.term for s in first.snippets] == [s.term for s in second.snippets]
+
+
+@settings(max_examples=40, deadline=None)
+@given(environment_and_goal())
+def test_inhabited_iff_snippets_exist(env_goal):
+    environment, goal = env_goal
+    # Without time truncation, inhabited implies at least one snippet.
+    result = Synthesizer(environment, config=FAST).synthesize(goal)
+    if result.inhabited and not result.reconstruction_truncated:
+        assert result.snippets
+    if not result.inhabited:
+        assert not result.snippets
+
+
+@settings(max_examples=40, deadline=None)
+@given(environment_and_goal())
+def test_subtyped_snippets_check_under_subsumption(env_goal):
+    environment, goal = env_goal
+    graph = SubtypeGraph()
+    graph.add_edge("A", "B")
+    graph.add_edge("B", "C")
+    synthesizer = Synthesizer(environment, config=FAST, subtypes=graph)
+    result = synthesizer.synthesize(goal)
+    variable_types = environment.variable_types()
+    for snippet in result.snippets:
+        check_lnf_subsumed(snippet.surface_term, goal, variable_types, graph)

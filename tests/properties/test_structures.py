@@ -1,0 +1,136 @@
+"""Property tests on the structural substrate: terms, LNF, coercions.
+
+These pin down the algebraic glue between representations: LNF <-> generic
+terms, canonicalisation, eta-long conversion, coercion erasure and the
+declaration-language round trip.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.environment import Declaration, DeclKind, Environment
+from repro.core.subtyping import coercion_name, count_coercions, erase_coercions
+from repro.core.terms import (Binder, LNFTerm, beta_normalize,
+                              canonicalize_lnf, eta_long_form,
+                              is_long_normal_form, lnf, lnf_alpha_equivalent,
+                              lnf_depth, lnf_size, lnf_to_term)
+from repro.core.typecheck import infer_type
+from repro.core.types import base, format_type, parse
+from repro.lang.parser import parse_type
+from tests.helpers import simple_types
+
+# ---------------------------------------------------------------------------
+# Random LNF terms over a tiny fixed scope
+# ---------------------------------------------------------------------------
+
+SCOPE = {
+    "a": parse_type("A"),
+    "b": parse_type("B"),
+    "f": parse_type("A -> B"),
+    "g": parse_type("A -> B -> C"),
+    "h": parse_type("(A -> B) -> C"),
+}
+
+
+@st.composite
+def lnf_terms(draw, depth: int = 3):
+    """Random *well-typed* LNF terms of type C-ish shapes over SCOPE."""
+
+    def term_of(type_text: str, budget: int) -> LNFTerm:
+        if type_text == "A":
+            return lnf("a")
+        if type_text == "B":
+            if budget <= 0 or draw(st.booleans()):
+                return lnf("b")
+            return lnf("f", term_of("A", budget - 1))
+        if type_text == "C":
+            if budget <= 0 or draw(st.booleans()):
+                return lnf("g", term_of("A", budget - 1),
+                           term_of("B", budget - 1))
+            binder = Binder(f"x{draw(st.integers(0, 99))}", base("A"))
+            inner = LNFTerm((binder,), "f", (lnf(binder.name),))
+            return lnf("h", inner)
+        raise AssertionError(type_text)
+
+    goal = draw(st.sampled_from(["A", "B", "C"]))
+    return term_of(goal, depth), parse_type(goal)
+
+
+@settings(max_examples=100, deadline=None)
+@given(lnf_terms())
+def test_lnf_round_trips_through_generic_terms(term_goal):
+    term, goal = term_goal
+    generic = lnf_to_term(term)
+    assert infer_type(generic, SCOPE) == goal
+    rebuilt = eta_long_form(beta_normalize(generic), goal, SCOPE)
+    assert lnf_alpha_equivalent(rebuilt, term)
+
+
+@settings(max_examples=100, deadline=None)
+@given(lnf_terms())
+def test_generated_terms_are_long_normal(term_goal):
+    term, goal = term_goal
+    assert is_long_normal_form(term, goal, SCOPE)
+
+
+@settings(max_examples=100, deadline=None)
+@given(lnf_terms())
+def test_canonicalize_idempotent_and_alpha_invariant(term_goal):
+    term, _ = term_goal
+    canonical = canonicalize_lnf(term)
+    assert canonicalize_lnf(canonical) == canonical
+    assert lnf_alpha_equivalent(canonical, term)
+
+
+@settings(max_examples=100, deadline=None)
+@given(lnf_terms())
+def test_size_and_depth_measures(term_goal):
+    term, _ = term_goal
+    assert 1 <= lnf_depth(term) <= lnf_size(term)
+
+
+@settings(max_examples=100, deadline=None)
+@given(lnf_terms(), st.integers(0, 3))
+def test_coercion_erasure(term_goal, wraps):
+    term, _ = term_goal
+    wrapped = term
+    for level in range(wraps):
+        wrapped = lnf(coercion_name(f"T{level}", f"T{level + 1}"), wrapped)
+    erased = erase_coercions(wrapped)
+    assert count_coercions(erased) == 0
+    assert erased == erase_coercions(erased)  # idempotent
+    assert canonicalize_lnf(erased) == canonicalize_lnf(erase_coercions(term))
+
+
+# ---------------------------------------------------------------------------
+# Type syntax round trip
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=150, deadline=None)
+@given(simple_types(max_depth=4))
+def test_type_format_parse_round_trip(tpe):
+    assert parse_type(format_type(tpe)) == tpe
+
+
+# ---------------------------------------------------------------------------
+# Environment invariants
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(simple_types(), min_size=1, max_size=10))
+def test_select_partitions_by_sigma(types):
+    from repro.core.succinct import sigma
+
+    env = Environment([Declaration(f"d{i}", tpe, DeclKind.LOCAL)
+                       for i, tpe in enumerate(types)])
+    # Every declaration is found by selecting its own succinct type, and
+    # select never returns a declaration with a different sigma image.
+    for declaration in env:
+        selected = env.select(declaration.succinct_type)
+        assert declaration in selected
+        assert all(sigma(d.type) == declaration.succinct_type
+                   for d in selected)
+    # The buckets cover the environment exactly.
+    covered = sum(len(env.select(stype))
+                  for stype in env.succinct_environment())
+    assert covered == len(env)

@@ -1,0 +1,75 @@
+"""Three-way prover agreement: succinct engine == G4ip == inverse method.
+
+Type inhabitation in the simply typed lambda calculus is provability in
+implicational intuitionistic logic (the paper's §1, citing Statman and
+Urzyczyn).  All three engines must therefore agree on every query.  Random
+implicational formulas provide the adversarial workload.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.synthesizer import Synthesizer
+from repro.core.config import SynthesisConfig
+from repro.provers.formulas import Implication, atom
+from repro.provers.g4ip import G4ipProver
+from repro.provers.interface import SuccinctProver, prove_timed
+from repro.provers.inverse import InverseMethodProver
+from repro.provers.translation import (environment_to_sequent,
+                                       formula_to_type, type_to_formula)
+from tests.helpers import environment_and_goal
+
+ATOMS = [atom(name) for name in ["a", "b", "c", "d"]]
+
+
+def implicational_formulas(max_leaves: int = 8):
+    return st.recursive(
+        st.sampled_from(ATOMS),
+        lambda inner: st.builds(Implication, inner, inner),
+        max_leaves=max_leaves,
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(implicational_formulas(), max_size=5),
+       implicational_formulas())
+def test_three_way_agreement_on_random_formulas(hypotheses, goal):
+    succinct = SuccinctProver().prove(hypotheses, goal)
+    g4ip = G4ipProver().prove(hypotheses, goal)
+    inverse = InverseMethodProver().prove(hypotheses, goal)
+    assert succinct == g4ip == inverse
+
+
+@settings(max_examples=60, deadline=None)
+@given(environment_and_goal())
+def test_provers_agree_with_synthesizer_on_environments(env_goal):
+    environment, goal = env_goal
+    hypotheses, goal_formula = environment_to_sequent(environment, goal)
+    config = SynthesisConfig(prover_time_limit=None)
+    synthesizer_says = Synthesizer(environment, config=config).is_inhabited(goal)
+    assert G4ipProver().prove(hypotheses, goal_formula) == synthesizer_says
+    assert InverseMethodProver().prove(hypotheses, goal_formula) == \
+        synthesizer_says
+
+
+@settings(max_examples=60, deadline=None)
+@given(implicational_formulas(max_leaves=10))
+def test_translation_round_trip(formula):
+    assert type_to_formula(formula_to_type(formula)) == formula
+
+
+class TestProveTimed:
+    def test_result_fields(self):
+        result = prove_timed(G4ipProver(), [atom("a")], atom("a"))
+        assert result.prover == "g4ip"
+        assert result.provable is True
+        assert not result.timed_out
+        assert result.seconds >= 0
+        assert result.milliseconds == result.seconds * 1000.0
+
+    def test_timeout_reported(self):
+        hard = [Implication(Implication(atom(f"a{i}"), atom(f"b{i}")),
+                            atom(f"c{i}")) for i in range(60)]
+        result = prove_timed(G4ipProver(time_limit=0.0), hard, atom("z"))
+        assert result.timed_out
+        assert result.provable is None

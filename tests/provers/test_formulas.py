@@ -1,0 +1,63 @@
+"""Unit tests for repro.provers.formulas."""
+
+import pytest
+
+from repro.provers.formulas import (Atom, Bottom, Conjunction, Disjunction,
+                                    Implication, atom, atoms_of, conj, disj,
+                                    format_formula, formula_size, implies,
+                                    is_implicational)
+
+A, B, C = atom("a"), atom("b"), atom("c")
+
+
+class TestConstruction:
+    def test_implies_right_associative(self):
+        assert implies(A, B, C) == Implication(A, Implication(B, C))
+
+    def test_implies_single(self):
+        assert implies(A) == A
+
+    def test_implies_empty_rejected(self):
+        with pytest.raises(ValueError):
+            implies()
+
+    def test_conj_and_disj(self):
+        assert conj(A, B) == Conjunction(A, B)
+        assert disj(A, B) == Disjunction(A, B)
+
+    def test_formulas_hashable(self):
+        assert len({implies(A, B), implies(A, B), A}) == 2
+
+
+class TestPredicates:
+    def test_is_implicational(self):
+        assert is_implicational(implies(A, B, C))
+        assert not is_implicational(conj(A, B))
+        assert not is_implicational(implies(A, disj(B, C)))
+        assert not is_implicational(Bottom())
+
+    def test_atoms_of(self):
+        assert atoms_of(implies(A, conj(B, C))) == {"a", "b", "c"}
+        assert atoms_of(Bottom()) == frozenset()
+
+    def test_formula_size(self):
+        assert formula_size(A) == 1
+        assert formula_size(implies(A, B)) == 3
+        assert formula_size(conj(implies(A, B), C)) == 5
+
+
+class TestFormatting:
+    def test_atom(self):
+        assert format_formula(A) == "a"
+
+    def test_implication_right_assoc_no_parens(self):
+        assert format_formula(implies(A, B, C)) == "a -> b -> c"
+
+    def test_nested_implication_parenthesised(self):
+        assert format_formula(Implication(implies(A, B), C)) == "(a -> b) -> c"
+
+    def test_conjunction(self):
+        assert format_formula(conj(A, B)) == "a /\\ b"
+
+    def test_bottom(self):
+        assert format_formula(Bottom()) == "_|_"

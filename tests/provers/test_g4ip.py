@@ -1,0 +1,102 @@
+"""Unit tests for the G4ip prover on known theorems and non-theorems."""
+
+import pytest
+
+from repro.core.errors import BudgetExhaustedError
+from repro.provers.formulas import (Atom, Bottom, atom, conj, disj, implies)
+from repro.provers.g4ip import G4ipProver, prove_g4ip
+
+a, b, c, p, q = atom("a"), atom("b"), atom("c"), atom("p"), atom("q")
+
+
+class TestTheorems:
+    """Valid intuitionistic formulas must be provable from no hypotheses."""
+
+    @pytest.mark.parametrize("theorem", [
+        implies(a, a),                                    # identity
+        implies(a, b, a),                                 # K
+        implies(implies(a, b, c), implies(a, b), a, c),   # S
+        implies(a, implies(a, b), b),                     # modus ponens
+        implies(conj(a, b), a),
+        implies(conj(a, b), b),
+        implies(a, b, conj(a, b)),
+        implies(a, disj(a, b)),
+        implies(b, disj(a, b)),
+        implies(disj(a, b), implies(a, c), implies(b, c), c),
+        implies(Bottom(), a),                             # ex falso
+        implies(implies(a, b), implies(b, c), a, c),      # composition
+        # Peirce's law restricted (intuitionistically valid form):
+        implies(implies(implies(a, b), a), implies(a, b), a, b),
+        # double-negation introduction
+        implies(a, implies(implies(a, Bottom()), Bottom())),
+        # triple negation collapses to single
+        implies(
+            implies(implies(implies(a, Bottom()), Bottom()), Bottom()),
+            implies(a, Bottom())),
+    ])
+    def test_valid(self, theorem):
+        assert prove_g4ip([], theorem)
+
+
+class TestNonTheorems:
+    """Classically valid but intuitionistically invalid (or plain invalid)."""
+
+    @pytest.mark.parametrize("formula", [
+        a,
+        implies(a, b),
+        disj(a, implies(a, Bottom())),                    # excluded middle
+        implies(implies(implies(a, b), a), a),            # Peirce's law
+        implies(implies(implies(a, Bottom()), Bottom()), a),  # DNE
+        implies(implies(conj(a, b), Bottom()),
+                disj(implies(a, Bottom()), implies(b, Bottom()))),
+    ])
+    def test_invalid(self, formula):
+        assert not prove_g4ip([], formula)
+
+
+class TestWithHypotheses:
+    def test_modus_ponens_from_context(self):
+        assert prove_g4ip([a, implies(a, b)], b)
+
+    def test_chained_implications(self):
+        assert prove_g4ip([a, implies(a, b), implies(b, c)], c)
+
+    def test_unrelated_hypotheses_do_not_help(self):
+        assert not prove_g4ip([p, q, implies(p, q)], a)
+
+    def test_nested_implication_hypothesis(self):
+        # (a -> b) -> c together with b proves c (since b makes a -> b).
+        assert prove_g4ip([implies(implies(a, b), c), b], c)
+
+    def test_disjunctive_hypothesis(self):
+        assert prove_g4ip([disj(a, b), implies(a, c), implies(b, c)], c)
+
+    def test_conjunctive_hypothesis(self):
+        assert prove_g4ip([conj(a, b)], a)
+
+    def test_bottom_hypothesis_proves_anything(self):
+        assert prove_g4ip([Bottom()], a)
+
+    def test_large_irrelevant_context(self):
+        noise = [implies(atom(f"x{i}"), atom(f"y{i}")) for i in range(300)]
+        assert prove_g4ip(noise + [a, implies(a, b)], b)
+        assert not prove_g4ip(noise + [implies(a, b)], b)
+
+
+class TestProverObject:
+    def test_memo_reused_across_queries(self):
+        prover = G4ipProver()
+        assert prover.prove([a, implies(a, b)], b)
+        before = prover.stats.sequents_visited
+        assert prover.prove([a, implies(a, b)], b)
+        assert prover.stats.cache_hits > 0
+        assert prover.stats.sequents_visited == before
+
+    def test_time_limit_raises(self):
+        # A hard query family for G4ip with a tiny budget.
+        hard = [implies(implies(implies(atom(f"a{i}"), atom(f"b{i}")),
+                                atom(f"c{i}")), atom(f"d{i}"))
+                for i in range(40)]
+        prover = G4ipProver(time_limit=0.0)
+        with pytest.raises(BudgetExhaustedError):
+            prover.prove(hard, atom("zzz"))

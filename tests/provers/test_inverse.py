@@ -1,0 +1,66 @@
+"""Unit tests for the inverse-method prover."""
+
+import pytest
+
+from repro.provers.formulas import atom, conj, implies
+from repro.provers.inverse import InverseMethodProver, prove_inverse
+
+a, b, c = atom("a"), atom("b"), atom("c")
+
+
+class TestTheorems:
+    @pytest.mark.parametrize("theorem", [
+        implies(a, a),
+        implies(a, b, a),
+        implies(implies(a, b, c), implies(a, b), a, c),
+        implies(a, implies(a, b), b),
+        implies(implies(a, b), implies(b, c), a, c),
+    ])
+    def test_valid(self, theorem):
+        assert prove_inverse([], theorem)
+
+
+class TestNonTheorems:
+    @pytest.mark.parametrize("formula", [
+        a,
+        implies(a, b),
+        implies(implies(implies(a, b), a), a),  # Peirce
+        implies(implies(a, b), b),
+    ])
+    def test_invalid(self, formula):
+        assert not prove_inverse([], formula)
+
+
+class TestWithHypotheses:
+    def test_modus_ponens(self):
+        assert prove_inverse([a, implies(a, b)], b)
+
+    def test_chain(self):
+        assert prove_inverse([a, implies(a, b), implies(b, c)], c)
+
+    def test_underivable(self):
+        assert not prove_inverse([implies(a, b)], b)
+
+    def test_nested_hypothesis(self):
+        assert prove_inverse([implies(implies(a, b), c), b], c)
+
+    def test_higher_order_goal(self):
+        assert prove_inverse([implies(a, b)], implies(a, b))
+
+    def test_irrelevant_context(self):
+        noise = [implies(atom(f"x{i}"), atom(f"y{i}")) for i in range(30)]
+        assert prove_inverse(noise + [a, implies(a, b)], b)
+        assert not prove_inverse(noise + [implies(a, b)], b)
+
+
+class TestRestrictions:
+    def test_non_implicational_rejected(self):
+        with pytest.raises(ValueError):
+            prove_inverse([], conj(a, b))
+        with pytest.raises(ValueError):
+            prove_inverse([conj(a, b)], a)
+
+    def test_stats_populated(self):
+        prover = InverseMethodProver()
+        prover.prove([a, implies(a, b)], b)
+        assert prover.stats.kept > 0

@@ -1,0 +1,121 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+SCENE = """
+local name : String
+imported java.io.File.new : String -> File \
+[freq=100] [style=constructor] [display=File]
+goal File
+"""
+
+BAD_SCENE = "local broken :\n"
+
+NO_GOAL_SCENE = """
+local name : String
+"""
+
+
+@pytest.fixture
+def scene_file(tmp_path):
+    path = tmp_path / "scene.ins"
+    path.write_text(SCENE, encoding="utf-8")
+    return str(path)
+
+
+class TestSynthesizeCommand:
+    def test_prints_ranked_snippets(self, scene_file, capsys):
+        code = main(["synthesize", scene_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "new File(name)" in out
+        assert "goal: File" in out
+
+    def test_n_limits_output(self, scene_file, capsys):
+        code = main(["synthesize", scene_file, "--n", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("\n  1.") + out.count("  1.") >= 1
+        assert "  2." not in out
+
+    def test_show_weights(self, scene_file, capsys):
+        main(["synthesize", scene_file, "--show-weights"])
+        out = capsys.readouterr().out
+        assert "[" in out and "]" in out
+
+    def test_goal_override(self, scene_file, capsys):
+        code = main(["synthesize", scene_file, "--goal", "String"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "name" in out
+
+    def test_uninhabited_goal_exit_code(self, scene_file, capsys):
+        code = main(["synthesize", scene_file, "--goal", "Unobtainium"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "not inhabited" in out
+
+    def test_variant_flag(self, scene_file, capsys):
+        code = main(["synthesize", scene_file, "--variant", "no_weights"])
+        assert code == 0
+        assert "no_weights" in capsys.readouterr().out
+
+    def test_missing_goal_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "nogoal.ins"
+        path.write_text(NO_GOAL_SCENE, encoding="utf-8")
+        code = main(["synthesize", str(path)])
+        assert code == 2
+        assert "no goal" in capsys.readouterr().err
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.ins"
+        path.write_text(BAD_SCENE, encoding="utf-8")
+        code = main(["synthesize", str(path)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file_reported(self, capsys):
+        code = main(["synthesize", "/nonexistent/scene.ins"])
+        assert code == 2
+
+    def test_shipped_example_scene(self, capsys):
+        code = main(["synthesize", "examples/scenes/url_reader.ins",
+                     "--n", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "new BufferedReader" in out
+
+
+class TestBenchCommand:
+    def test_single_row_single_variant(self, capsys):
+        code = main(["bench", "--rows", "9", "--variants", "full"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "DatagramSocket" in out
+
+    def test_all_variants_prints_summary(self, capsys):
+        code = main(["bench", "--rows", "9"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "top 10" in out
+
+
+class TestCorpusStatsCommand:
+    def test_prints_marginals(self, capsys):
+        code = main(["corpus-stats"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "7516 declarations" in out
+        assert "scala.Boolean.&&" in out
+
+
+class TestArgumentErrors:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_variant_rejected(self, scene_file):
+        with pytest.raises(SystemExit):
+            main(["synthesize", scene_file, "--variant", "psychic"])
