@@ -13,6 +13,20 @@ import pytest
 from repro.bench.runner import run_suite
 
 
+def pytest_collection_modifyitems(items):
+    """Mark every test under ``benchmarks/`` as ``slow``.
+
+    CI runs the blocking job with ``-m "not slow"`` and pushes this whole
+    directory into a separate non-blocking job; a plain ``pytest`` still
+    collects and runs everything.  (This hook sees the whole session's
+    items, so filter to this directory.)
+    """
+    here = os.path.dirname(os.path.abspath(__file__))
+    for item in items:
+        if str(item.fspath).startswith(here):
+            item.add_marker(pytest.mark.slow)
+
+
 def _selected_rows():
     raw = os.environ.get("REPRO_BENCH_ROWS", "").strip()
     if not raw:

@@ -1,0 +1,108 @@
+"""Engine serving benchmarks: warm-cache speedup and direct parity.
+
+Two properties anchor the :mod:`repro.engine` serving layer:
+
+* **speedup** — once a (scene, goal, policy, budgets) query has been
+  served, re-serving it must come from the LRU result cache and beat a
+  cold :class:`~repro.core.synthesizer.Synthesizer` run by well over the
+  5x the roadmap demands (in practice it is orders of magnitude);
+* **parity** — engine-served snippets are byte-identical (term, surface
+  term, weight, rank, rendered code) to what a direct ``synthesize`` call
+  over the same scene produces, on every Table 2 scene.
+
+Set ``REPRO_BENCH_ROWS`` to restrict the parity sweep.
+"""
+
+import os
+import time
+
+from repro.bench.runner import scene_for
+from repro.bench.suite import BENCHMARKS, benchmark_by_number
+from repro.core.config import SynthesisConfig
+from repro.core.synthesizer import Synthesizer
+from repro.core.weights import WeightPolicy
+from repro.engine import CompletionEngine
+
+SPEEDUP_ROW = 9  # DatagramSocket — a mid-weight scene
+REQUIRED_SPEEDUP = 5.0
+
+
+def _rows():
+    raw = os.environ.get("REPRO_BENCH_ROWS", "").strip()
+    if not raw:
+        return tuple(spec.number for spec in BENCHMARKS)
+    return tuple(int(part) for part in raw.split(",") if part.strip())
+
+
+def _snippet_identity(result):
+    return [(s.term, s.surface_term, s.weight, s.rank, s.code)
+            for s in result.snippets]
+
+
+def test_warm_cache_speedup():
+    spec = benchmark_by_number(SPEEDUP_ROW)
+    scene = scene_for(spec)
+    engine = CompletionEngine()
+    prepared = engine.prepare_scene(scene)
+
+    # Cold: a from-scratch synthesizer, the pre-engine serving cost.
+    cold_start = time.perf_counter()
+    direct = Synthesizer(scene.environment,
+                         policy=WeightPolicy.standard(),
+                         config=SynthesisConfig.paper_defaults(),
+                         subtypes=scene.subtypes).synthesize(scene.goal, n=10)
+    cold_seconds = time.perf_counter() - cold_start
+
+    # Populate, then measure repeated warm serves.
+    populate = engine.complete(prepared, scene.goal, variant="full", n=10)
+    assert not populate.cache_hit
+    rounds = 25
+    warm_start = time.perf_counter()
+    for _ in range(rounds):
+        served = engine.complete(prepared, scene.goal, variant="full", n=10)
+        assert served.cache_hit
+    warm_seconds = (time.perf_counter() - warm_start) / rounds
+
+    speedup = cold_seconds / max(warm_seconds, 1e-9)
+    print(f"\n=== engine warm-cache speedup (row {SPEEDUP_ROW}) ===")
+    print(f"cold direct synthesis: {cold_seconds * 1000:.2f} ms")
+    print(f"warm engine serve:     {warm_seconds * 1000:.4f} ms")
+    print(f"speedup:               {speedup:.0f}x (required >= "
+          f"{REQUIRED_SPEEDUP:.0f}x)")
+
+    assert served.result.snippets, "the warm result must carry snippets"
+    assert served.result is populate.result
+    assert [s.rank for s in served.result.snippets] == \
+        [s.rank for s in direct.snippets]
+    assert speedup >= REQUIRED_SPEEDUP
+
+
+def test_engine_parity_on_all_table2_scenes():
+    """Engine-served output == direct Synthesizer output, scene by scene.
+
+    Wall-clock budgets make time-truncated runs load-sensitive, so the
+    comparison uses deterministic budgets (node/step caps only) on a fresh
+    engine: both sides then run the identical, reproducible pipeline.
+    """
+    config = SynthesisConfig.paper_defaults().with_(
+        prover_time_limit=None, reconstruction_time_limit=None)
+    engine = CompletionEngine(config=config)
+    mismatches = []
+    for number in _rows():
+        spec = benchmark_by_number(number)
+        scene = scene_for(spec)
+        direct = Synthesizer(scene.environment,
+                             policy=WeightPolicy.standard(),
+                             config=config,
+                             subtypes=scene.subtypes).synthesize(scene.goal,
+                                                                 n=10)
+        served = engine.complete(scene, scene.goal, variant="full", n=10)
+        assert not served.cache_hit
+        if _snippet_identity(direct) != _snippet_identity(served.result):
+            mismatches.append(number)
+        rerun = engine.complete(scene, scene.goal, variant="full", n=10)
+        assert rerun.cache_hit and rerun.result is served.result
+
+    print(f"\n=== engine/direct parity over {len(_rows())} Table 2 scenes "
+          f"===\nmismatches: {mismatches or 'none'}")
+    assert not mismatches

@@ -26,7 +26,10 @@ Packages:
 * :mod:`repro.corpus` — corpus generation and frequency mining (§7.3);
 * :mod:`repro.provers` — baseline intuitionistic provers (G4ip, inverse
   method) used in the Table 2 comparison;
-* :mod:`repro.bench` — the 50-benchmark suite of Table 2 and its runner.
+* :mod:`repro.bench` — the 50-benchmark suite of Table 2 and its runner;
+* :mod:`repro.engine` — the serving layer: a long-lived
+  :class:`~repro.engine.CompletionEngine` with prepared scenes, an LRU
+  result cache and a batched (optionally multi-process) query API.
 """
 
 from repro.core import (Arrow, BaseType, Binder, Declaration, DeclKind,
@@ -35,6 +38,8 @@ from repro.core import (Arrow, BaseType, Binder, Declaration, DeclKind,
                         SynthesisResult, Synthesizer, Type, WeightPolicy,
                         arrow, base, declaration, erase_coercions, lnf,
                         sigma, synthesize)
+from repro.engine import (CompletionEngine, EngineQuery, EngineResult,
+                          PreparedScene)
 from repro.lang.parser import parse_environment, parse_type
 from repro.lang.printer import render_ranked, render_snippet
 
@@ -47,5 +52,6 @@ __all__ = [
     "Type", "WeightPolicy", "arrow", "base", "declaration",
     "erase_coercions", "lnf", "sigma", "synthesize",
     "parse_environment", "parse_type", "render_ranked", "render_snippet",
+    "CompletionEngine", "EngineQuery", "EngineResult", "PreparedScene",
     "__version__",
 ]

@@ -1,15 +1,21 @@
 """Command-line interface: InSynth as a terminal tool.
 
-Three subcommands mirror the library's main entry points::
+Five subcommands mirror the library's main entry points::
 
     python -m repro.cli synthesize SCENE.ins [--n 10] [--variant full]
+    python -m repro.cli batch SCENE.ins [SCENE2.ins ...] [--goals T1,T2]
+    python -m repro.cli warm SCENE.ins [--goals T1,T2] [--variants ...]
     python -m repro.cli bench [--rows 9,15,44] [--variants full,no_corpus]
     python -m repro.cli corpus-stats
 
 ``synthesize`` loads a scene written in the declaration language (see
 `repro.lang`), runs the requested algorithm variant and prints the ranked
 suggestions — the closest a terminal gets to the paper's Ctrl+Space.
-``bench`` runs Table 2 rows; ``corpus-stats`` prints the §7.3 marginals.
+``batch`` serves many goals over many scenes in one invocation through the
+:class:`~repro.engine.CompletionEngine` (optionally on a process pool);
+``warm`` pre-populates the engine's result cache and reports the cold/warm
+speedup.  ``bench`` runs Table 2 rows; ``corpus-stats`` prints the §7.3
+marginals.
 """
 
 from __future__ import annotations
@@ -46,6 +52,34 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="prover time budget, seconds (default 0.5)")
     synthesize.add_argument("--recon-limit", type=float, default=7.0,
                             help="reconstruction budget, seconds (default 7)")
+
+    batch = commands.add_parser(
+        "batch", help="serve many goals/scenes in one engine invocation")
+    batch.add_argument("scenes", nargs="+",
+                       help="paths to .ins environment files")
+    batch.add_argument("--goals", default=None,
+                       help="comma-separated goal types queried on every "
+                            "scene (default: each scene's own goal)")
+    batch.add_argument("--n", type=int, default=10,
+                       help="snippets per query (default 10)")
+    batch.add_argument("--variant", default="full",
+                       choices=("full", "no_corpus", "no_weights"),
+                       help="weight-policy variant (default full)")
+    batch.add_argument("--workers", type=int, default=1,
+                       help="process-pool workers (default 1 = sequential)")
+    batch.add_argument("--show-weights", action="store_true",
+                       help="print each snippet's weight")
+
+    warm = commands.add_parser(
+        "warm", help="pre-populate the engine result cache for a scene")
+    warm.add_argument("scene", help="path to a .ins environment file")
+    warm.add_argument("--goals", default=None,
+                      help="comma-separated goal types (default: the "
+                           "scene's own goal)")
+    warm.add_argument("--variants", default="full",
+                      help="comma-separated variants to warm (default full)")
+    warm.add_argument("--n", type=int, default=10,
+                      help="snippets per query (default 10)")
 
     bench = commands.add_parser("bench",
                                 help="run Table 2 benchmark rows")
@@ -95,6 +129,105 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_goals(raw: Optional[str]):
+    from repro.lang.parser import parse_type
+
+    if not raw:
+        return None
+    return [parse_type(part.strip()) for part in raw.split(",")
+            if part.strip()]
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.engine import CompletionEngine, EngineQuery
+    from repro.lang.loader import load_environment_file
+
+    goals = _parse_goals(args.goals)
+    engine = CompletionEngine()
+    queries: list[EngineQuery] = []
+    labels: list[tuple[str, object]] = []
+    for path in args.scenes:
+        loaded = load_environment_file(path)
+        prepared = engine.prepare(loaded.environment, loaded.subtypes,
+                                  goal=loaded.goal, name=path)
+        scene_goals = goals if goals is not None else [loaded.goal]
+        for goal in scene_goals:
+            if goal is None:
+                print(f"error: scene {path} has no goal; pass --goals",
+                      file=sys.stderr)
+                return 2
+            queries.append(EngineQuery(goal=goal, scene=prepared,
+                                       variant=args.variant, n=args.n))
+            labels.append((path, goal))
+
+    served = engine.complete_batch(queries, max_workers=args.workers)
+
+    failures = 0
+    for (path, goal), outcome in zip(labels, served):
+        result = outcome.result
+        source = "cache" if outcome.cache_hit else "computed"
+        print(f"== {path} :: goal {goal}  "
+              f"[{args.variant}, {source}, "
+              f"{result.total_seconds * 1000:.0f} ms]")
+        if not result.inhabited:
+            failures += 1
+            print("   (not inhabited)")
+            continue
+        for snippet in result.snippets:
+            if args.show_weights:
+                print(f"  {snippet.rank:>3}. [{snippet.weight:8.1f}] "
+                      f"{snippet.code}")
+            else:
+                print(f"  {snippet.rank:>3}. {snippet.code}")
+    print(f"-- {len(served)} queries over {len(args.scenes)} scenes; "
+          f"cache: {engine.cache_stats.as_text()}")
+    return 1 if failures else 0
+
+
+def _cmd_warm(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.engine import CompletionEngine
+    from repro.lang.loader import load_environment_file
+
+    variants = tuple(part.strip() for part in args.variants.split(",")
+                     if part.strip())
+    loaded = load_environment_file(args.scene)
+    goals = _parse_goals(args.goals) or [loaded.goal]
+    if any(goal is None for goal in goals):
+        print("error: the scene has no goal; pass --goals TYPES",
+              file=sys.stderr)
+        return 2
+
+    engine = CompletionEngine()
+    prepared = engine.prepare(loaded.environment, loaded.subtypes,
+                              goal=loaded.goal, name=args.scene)
+
+    cold_start = time.perf_counter()
+    computed = engine.warm(prepared, goals, variants=variants, n=args.n)
+    cold_seconds = time.perf_counter() - cold_start
+
+    warm_start = time.perf_counter()
+    hits = 0
+    for goal in goals:
+        for variant in variants:
+            served = engine.complete(prepared, goal, variant=variant,
+                                     n=args.n)
+            hits += 1 if served.cache_hit else 0
+    warm_seconds = time.perf_counter() - warm_start
+
+    entries = len(goals) * len(variants)
+    print(f"warmed {computed} entries "
+          f"({len(goals)} goal(s) x {len(variants)} variant(s)) "
+          f"in {cold_seconds * 1000:.1f} ms")
+    print(f"re-served all {entries} from cache: {hits}/{entries} hits "
+          f"in {warm_seconds * 1000:.1f} ms")
+    if warm_seconds > 0 and cold_seconds > 0:
+        print(f"speedup: {cold_seconds / warm_seconds:.0f}x")
+    print(f"cache: {engine.cache_stats.as_text()}")
+    return 0 if hits == entries else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.reporting import format_table, summarize
     from repro.bench.runner import run_suite
@@ -133,6 +266,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "synthesize":
             return _cmd_synthesize(args)
+        if args.command == "batch":
+            return _cmd_batch(args)
+        if args.command == "warm":
+            return _cmd_warm(args)
         if args.command == "bench":
             return _cmd_bench(args)
         if args.command == "corpus-stats":

@@ -24,6 +24,7 @@ declarations whose type's sigma image equals the requested succinct type.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional
 
@@ -118,6 +119,7 @@ class Environment:
             self._by_name[decl.name] = decl
             self._by_succinct.setdefault(decl.succinct_type, []).append(decl)
         self._succinct_env: Optional[frozenset[SuccinctType]] = None
+        self._fingerprint: Optional[str] = None
 
     # -- construction -------------------------------------------------------
 
@@ -158,6 +160,30 @@ class Environment:
                 own |= self._parent.succinct_environment()
             self._succinct_env = own
         return self._succinct_env
+
+    def fingerprint(self) -> str:
+        """A stable content hash of the environment (for result caching).
+
+        Covers every declaration in scope order — name, type, kind,
+        frequency and render metadata all participate, and so does the
+        order itself, because tie-breaking among equal-weight candidates
+        follows declaration order.  Child environments chain the parent's
+        fingerprint, so extending stays O(new declarations).
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            if self._parent is not None:
+                digest.update(self._parent.fingerprint().encode("ascii"))
+            for decl in self._declarations:
+                render = decl.render
+                digest.update(repr((
+                    decl.name, str(decl.type), decl.kind.value, decl.frequency,
+                    render.style.value if render is not None else None,
+                    render.display if render is not None else None,
+                )).encode("utf-8"))
+                digest.update(b"\x00")
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def declarations(self) -> Iterator[Declaration]:
         """All declarations, outermost scope first."""

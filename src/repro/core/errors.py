@@ -52,3 +52,8 @@ class CorpusError(ReproError):
 
 class BenchmarkError(ReproError):
     """A benchmark scene is inconsistent (missing goal, bad expectations)."""
+
+
+class EngineError(ReproError):
+    """The completion engine was asked something it cannot serve
+    (no goal, conflicting policy/variant, unpreparable scene, ...)."""

@@ -50,15 +50,49 @@ class SuccinctType:
         return format_succinct(self)
 
 
+#: Canonical-instance table: one shared object per distinct succinct type.
+#: A long-lived engine holds many environments whose signatures overlap
+#: heavily; interning keeps one copy of each type and makes repeated
+#: hashing/equality cheap (dict hits instead of deep structural work).
+#:
+#: The table (like the ``sigma``/``sort_key`` memo caches, which predate
+#: it) grows with the set of distinct types ever seen and is never evicted
+#: automatically; a process serving unbounded scene churn should call
+#: :func:`clear_intern_table` at tenancy boundaries.  Bounding this with
+#: weak references is on the roadmap's serving-scale list.
+_INTERN_TABLE: dict["SuccinctType", "SuccinctType"] = {}
+
+
+def intern_succinct(stype: SuccinctType) -> SuccinctType:
+    """The canonical shared instance structurally equal to *stype*."""
+    canonical = _INTERN_TABLE.get(stype)
+    if canonical is None:
+        _INTERN_TABLE[stype] = stype
+        canonical = stype
+    return canonical
+
+
+def intern_table_size() -> int:
+    """Number of distinct succinct types currently interned."""
+    return len(_INTERN_TABLE)
+
+
+def clear_intern_table() -> None:
+    """Drop all interned instances (and the memoised conversions over them)."""
+    _INTERN_TABLE.clear()
+    sigma.cache_clear()
+    sort_key.cache_clear()
+
+
 def primitive(name: str) -> SuccinctType:
     """The succinct type ``{} -> name``."""
-    return SuccinctType(frozenset(), name)
+    return intern_succinct(SuccinctType(frozenset(), name))
 
 
 def succinct(arguments: frozenset[SuccinctType] | set[SuccinctType] | tuple,
              result: str) -> SuccinctType:
     """Construct ``{arguments} -> result``."""
-    return SuccinctType(frozenset(arguments), result)
+    return intern_succinct(SuccinctType(frozenset(arguments), result))
 
 
 @lru_cache(maxsize=None)
@@ -79,8 +113,9 @@ def sigma(tpe: Type) -> SuccinctType:
         return primitive(tpe.name)
     assert isinstance(tpe, Arrow)
     tail = sigma(tpe.result)
-    return SuccinctType(frozenset((sigma(tpe.argument),)) | tail.arguments,
-                        tail.result)
+    return intern_succinct(
+        SuccinctType(frozenset((sigma(tpe.argument),)) | tail.arguments,
+                     tail.result))
 
 
 def arguments_of(stype: SuccinctType) -> frozenset[SuccinctType]:

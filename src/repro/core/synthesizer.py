@@ -120,6 +120,29 @@ class Synthesizer:
                                                       self.subtype_graph)
         self._env_key = self.environment.succinct_environment()
 
+    @classmethod
+    def from_prepared(cls, prepared_environment: Environment,
+                      base_environment: Environment,
+                      subtype_graph: SubtypeGraph,
+                      policy: Optional[WeightPolicy] = None,
+                      config: Optional[SynthesisConfig] = None) -> "Synthesizer":
+        """Build a synthesizer over an already coercion-extended environment.
+
+        ``prepared_environment`` must be ``environment_with_subtyping(
+        base_environment, subtype_graph)`` (or an equivalent).  Skipping that
+        rebuild lets a long-lived engine prepare a scene once and then spin
+        up per-policy synthesizers at near-zero cost, since the succinct
+        signature is cached on the shared environment instance.
+        """
+        self = cls.__new__(cls)
+        self.policy = policy or WeightPolicy.standard()
+        self.config = config or SynthesisConfig.paper_defaults()
+        self.subtype_graph = subtype_graph
+        self.base_environment = base_environment
+        self.environment = prepared_environment
+        self._env_key = prepared_environment.succinct_environment()
+        return self
+
     # -- prover -----------------------------------------------------------
 
     def prove(self, goal: Type) -> tuple[SearchSpace, PatternSet]:

@@ -1,0 +1,35 @@
+"""The serving layer: a long-lived, caching, batching completion engine.
+
+``repro.core`` implements the paper's per-query pipeline; this package
+amortises it for production-style workloads.  A scene is *prepared* once
+(coercion extension, succinct signature, interning, fingerprinting) and
+then serves many queries, with an LRU result cache and an order-preserving
+batch API that can fan out across processes.  The benchmark runner and the
+CLI both sit on top of this seam, and so should every future scaling layer
+(sharding, async serving, multi-backend).
+"""
+
+from repro.engine.cache import CacheStats, LRUCache
+from repro.engine.engine import (VARIANTS, CompletionEngine, EngineQuery,
+                                 EngineResult, PreparedScene,
+                                 default_engine_workers, policy_for_variant)
+from repro.engine.keys import QueryKey, config_key, policy_key, query_key
+from repro.engine.pool import default_worker_count, run_batch
+
+__all__ = [
+    "CacheStats",
+    "CompletionEngine",
+    "EngineQuery",
+    "EngineResult",
+    "LRUCache",
+    "PreparedScene",
+    "QueryKey",
+    "VARIANTS",
+    "config_key",
+    "default_engine_workers",
+    "default_worker_count",
+    "policy_for_variant",
+    "policy_key",
+    "query_key",
+    "run_batch",
+]

@@ -1,0 +1,98 @@
+"""A small LRU result cache with observable statistics.
+
+The completion engine answers repeated queries — same scene, same goal,
+same policy and budgets — straight from memory.  The cache is a plain
+ordered-dict LRU: ``get`` promotes, ``put`` evicts the least recently used
+entry once ``max_entries`` is exceeded.  :class:`CacheStats` counts hits,
+misses, insertions and evictions so benchmarks (and the ``warm`` CLI
+command) can report hit rates.
+
+Keys are opaque hashables; the engine builds them from the environment
+fingerprint, the goal type, the weight policy and the synthesis budgets
+(see ``repro.engine.keys``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterator, Optional
+
+
+@dataclass
+class CacheStats:
+    """Counters describing one cache's lifetime behaviour."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never queried)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_text(self) -> str:
+        return (f"{self.hits} hits / {self.lookups} lookups "
+                f"({self.hit_rate:.0%}), {self.insertions} insertions, "
+                f"{self.evictions} evictions")
+
+
+class LRUCache:
+    """Least-recently-used mapping with bounded size and stats."""
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self.stats = CacheStats()
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """The cached value for *key* (promoting it), or *default*."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.stats.misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Like :meth:`get` but without promoting or counting the lookup."""
+        return self._entries.get(key, default)
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) ``key -> value``, evicting if over capacity."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        self.stats.insertions += 1
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        """Keys, least recently used first."""
+        return iter(self._entries)
+
+    def clear(self, reset_stats: bool = False) -> None:
+        self._entries.clear()
+        if reset_stats:
+            self.stats = CacheStats()
+
+    def __repr__(self) -> str:
+        return (f"LRUCache({len(self)}/{self.max_entries} entries, "
+                f"{self.stats.as_text()})")

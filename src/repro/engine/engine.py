@@ -1,0 +1,419 @@
+"""The long-lived completion engine: prepare once, answer many.
+
+The paper's pipeline (Fig. 5: Explore -> GenerateP -> GenerateT) is run per
+query, but its expensive inputs are per *scene*: the coercion-extended
+environment, its succinct signature, and the interned succinct types.  A
+:class:`CompletionEngine` separates the two lifetimes:
+
+* :meth:`~CompletionEngine.prepare` builds a :class:`PreparedScene` —
+  environment with subtyping applied, content fingerprint, cached
+  per-policy synthesizers — and registers it in an LRU scene table keyed by
+  the *base* environment fingerprint plus the subtype edges, so preparing
+  the same scene twice is free;
+* :meth:`~CompletionEngine.complete` answers one query, consulting an LRU
+  result cache keyed by (prepared-environment fingerprint, goal type,
+  weight policy, budgets) before running the pipeline;
+* :meth:`~CompletionEngine.complete_batch` serves many queries (across one
+  or many scenes) in input order, deduplicating identical misses and
+  optionally fanning the remainder out over a process pool;
+* :meth:`~CompletionEngine.warm` pre-populates the result cache.
+
+Engine-served results are *identical* to direct
+:meth:`~repro.core.synthesizer.Synthesizer.synthesize` output: a cache miss
+runs the very same pipeline over the very same prepared environment, and a
+hit returns what that run produced.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.core.config import SynthesisConfig
+from repro.core.environment import Environment
+from repro.core.errors import EngineError
+from repro.core.subtyping import SubtypeGraph, environment_with_subtyping
+from repro.core.synthesizer import SynthesisResult, Synthesizer
+from repro.core.types import Type
+from repro.core.weights import WeightPolicy
+from repro.engine.cache import CacheStats, LRUCache
+from repro.engine.keys import QueryKey, config_key, policy_key, query_key
+from repro.engine.pool import default_worker_count, run_batch
+
+#: The three Table 2 policy variants, by name.
+VARIANTS = ("no_weights", "no_corpus", "full")
+
+
+def policy_for_variant(variant: str) -> WeightPolicy:
+    """The weight policy behind a Table 2 variant name."""
+    if variant == "no_weights":
+        return WeightPolicy.uniform_policy()
+    if variant == "no_corpus":
+        return WeightPolicy.without_corpus()
+    if variant == "full":
+        return WeightPolicy.standard()
+    raise EngineError(f"unknown variant {variant!r}; expected one of {VARIANTS}")
+
+
+@dataclass
+class PreparedScene:
+    """One scene's reusable synthesis state.
+
+    ``environment`` is the coercion-extended environment (what the pipeline
+    actually searches); ``fingerprint`` hashes it, so any change to the
+    declarations *or* the subtype edges yields a different prepared identity
+    and therefore different cache keys.
+    """
+
+    name: str
+    base_environment: Environment
+    environment: Environment
+    subtypes: SubtypeGraph
+    fingerprint: str
+    goal: Optional[Type] = None
+    _synthesizers: dict = field(default_factory=dict, repr=False)
+
+    def synthesizer(self, policy: WeightPolicy,
+                    config: SynthesisConfig) -> Synthesizer:
+        """A (cached) synthesizer over this scene for one policy/config."""
+        key = (policy_key(policy), config_key(config))
+        synthesizer = self._synthesizers.get(key)
+        if synthesizer is None:
+            synthesizer = Synthesizer.from_prepared(
+                self.environment, self.base_environment, self.subtypes,
+                policy=policy, config=config)
+            self._synthesizers[key] = synthesizer
+        return synthesizer
+
+    def __repr__(self) -> str:
+        return (f"PreparedScene({self.name!r}, "
+                f"{len(self.environment)} declarations, "
+                f"fingerprint {self.fingerprint[:12]}...)")
+
+
+#: Anything ``complete`` accepts as a scene: already-prepared state, a bare
+#: environment, or a Scene-like object (``.environment``/``.subtypes``/...).
+SceneLike = Union[PreparedScene, Environment, object]
+
+
+@dataclass(frozen=True)
+class EngineQuery:
+    """One entry of a :meth:`CompletionEngine.complete_batch` request."""
+
+    goal: Type
+    scene: Optional[SceneLike] = None     # falls back to the batch default
+    variant: Optional[str] = None
+    policy: Optional[WeightPolicy] = None
+    config: Optional[SynthesisConfig] = None
+    n: Optional[int] = None
+
+
+@dataclass
+class EngineResult:
+    """A synthesis result plus how the engine served it."""
+
+    result: SynthesisResult
+    key: QueryKey
+    cache_hit: bool
+    scene_name: str
+    engine_seconds: float
+
+    @property
+    def snippets(self):
+        return self.result.snippets
+
+
+@dataclass(frozen=True)
+class _ResolvedQuery:
+    """One query after default resolution: everything needed to serve it."""
+
+    prepared: PreparedScene
+    goal: Type
+    policy: WeightPolicy
+    config: SynthesisConfig
+    n: Optional[int]
+    key: QueryKey
+
+
+@dataclass(frozen=True)
+class _RemoteQuery:
+    """A picklable, self-contained query for process-pool workers."""
+
+    environment: Environment
+    subtype_edges: tuple[tuple[str, str], ...]
+    goal: Type
+    policy: WeightPolicy
+    config: SynthesisConfig
+    n: Optional[int]
+
+
+#: Per-process scene memo for pool workers: chunked maps hand several
+#: payloads to the same worker, and re-preparing a multi-thousand-
+#: declaration scene per payload would repay the cost the engine
+#: amortizes.  Keyed like the engine's own scene table; bounded because
+#: workers can outlive one batch.
+_WORKER_SCENES = LRUCache(max_entries=8)
+
+
+def _execute_remote(query: _RemoteQuery) -> SynthesisResult:
+    """Worker entry point: (re)prepare the scene once, run the pipeline."""
+    key = (query.environment.fingerprint(), query.subtype_edges)
+    prepared = _WORKER_SCENES.get(key)
+    if prepared is None:
+        graph = SubtypeGraph()
+        for subtype, supertype in query.subtype_edges:
+            graph.add_edge(subtype, supertype)
+        extended = environment_with_subtyping(query.environment, graph)
+        prepared = (query.environment, extended, graph)
+        _WORKER_SCENES.put(key, prepared)
+    base, extended, graph = prepared
+    synthesizer = Synthesizer.from_prepared(extended, base, graph,
+                                            policy=query.policy,
+                                            config=query.config)
+    return synthesizer.synthesize(query.goal, n=query.n)
+
+
+class CompletionEngine:
+    """A reusable, caching front end over the synthesis pipeline."""
+
+    def __init__(self, policy: Optional[WeightPolicy] = None,
+                 config: Optional[SynthesisConfig] = None,
+                 result_entries: int = 512,
+                 scene_entries: int = 16,
+                 max_workers: int = 1):
+        self.default_policy = policy or WeightPolicy.standard()
+        self.default_config = config or SynthesisConfig.paper_defaults()
+        self.results = LRUCache(result_entries)
+        self.scenes = LRUCache(scene_entries)
+        self.max_workers = max_workers
+
+    # -- scene preparation ---------------------------------------------------
+
+    def prepare(self, environment: Environment,
+                subtypes: Optional[SubtypeGraph] = None,
+                goal: Optional[Type] = None,
+                name: str = "scene") -> PreparedScene:
+        """Prepare (or fetch the already-prepared state of) one scene."""
+        subtypes = subtypes or SubtypeGraph()
+        scene_key = (environment.fingerprint(), tuple(subtypes.edges()))
+        prepared = self.scenes.get(scene_key)
+        if prepared is None:
+            extended = environment_with_subtyping(environment, subtypes)
+            extended.succinct_environment()  # precompute sigma(Gamma_o)
+            prepared = PreparedScene(
+                name=name,
+                base_environment=environment,
+                environment=extended,
+                subtypes=subtypes,
+                fingerprint=extended.fingerprint(),
+                goal=goal,
+            )
+            self.scenes.put(scene_key, prepared)
+            return prepared
+        # Cache hit: the expensive state is shared, but the caller's default
+        # goal (and label) must win — two scenes with identical declarations
+        # may still ask for different things.
+        overrides = {}
+        if goal is not None and goal != prepared.goal:
+            overrides["goal"] = goal
+        if name != "scene" and name != prepared.name:
+            overrides["name"] = name
+        if overrides:
+            prepared = dataclasses.replace(prepared, **overrides)
+        return prepared
+
+    def prepare_scene(self, scene) -> PreparedScene:
+        """Prepare a Scene-like object (``.environment``/``.subtypes``/...)."""
+        return self.prepare(scene.environment,
+                            subtypes=getattr(scene, "subtypes", None),
+                            goal=getattr(scene, "goal", None),
+                            name=getattr(scene, "name", "scene"))
+
+    def _as_prepared(self, scene: Optional[SceneLike]) -> PreparedScene:
+        if isinstance(scene, PreparedScene):
+            return scene
+        if isinstance(scene, Environment):
+            return self.prepare(scene)
+        if scene is not None and hasattr(scene, "environment"):
+            return self.prepare_scene(scene)
+        raise EngineError(f"cannot prepare a scene from {scene!r}")
+
+    # -- single queries ------------------------------------------------------
+
+    def _resolve_policy(self, variant: Optional[str],
+                        policy: Optional[WeightPolicy]) -> WeightPolicy:
+        if policy is not None and variant is not None:
+            raise EngineError("pass either variant= or policy=, not both")
+        if policy is not None:
+            return policy
+        if variant is not None:
+            return policy_for_variant(variant)
+        return self.default_policy
+
+    def _resolve_query(self, scene: Optional[SceneLike], goal: Optional[Type],
+                       variant: Optional[str], policy: Optional[WeightPolicy],
+                       config: Optional[SynthesisConfig], n: Optional[int],
+                       ) -> "_ResolvedQuery":
+        """Normalise one query to (prepared scene, goal, policy, config, key).
+
+        Shared by :meth:`complete` and :meth:`complete_batch` so the two
+        serving paths can never drift in key construction or defaults.
+        """
+        prepared = self._as_prepared(scene)
+        goal = goal if goal is not None else prepared.goal
+        if goal is None:
+            raise EngineError(
+                f"scene {prepared.name!r} has no goal; pass one explicitly")
+        policy = self._resolve_policy(variant, policy)
+        config = config or self.default_config
+        key = query_key(prepared.fingerprint, goal, policy, config, n)
+        return _ResolvedQuery(prepared, goal, policy, config, n, key)
+
+    def complete(self, scene: SceneLike, goal: Optional[Type] = None, *,
+                 variant: Optional[str] = None,
+                 policy: Optional[WeightPolicy] = None,
+                 config: Optional[SynthesisConfig] = None,
+                 n: Optional[int] = None) -> EngineResult:
+        """Serve one query, from cache when possible.
+
+        The returned :class:`~repro.core.synthesizer.SynthesisResult` is
+        shared between callers that hit the same cache entry — treat it as
+        read-only.
+        """
+        start = time.perf_counter()
+        query = self._resolve_query(scene, goal, variant, policy, config, n)
+        prepared, key = query.prepared, query.key
+        cached = self.results.get(key)
+        if cached is not None:
+            return EngineResult(cached, key, True, prepared.name,
+                                time.perf_counter() - start)
+
+        result = prepared.synthesizer(query.policy, query.config).synthesize(
+            query.goal, n=n)
+        self.results.put(key, result)
+        return EngineResult(result, key, False, prepared.name,
+                            time.perf_counter() - start)
+
+    # -- batched queries -----------------------------------------------------
+
+    def complete_batch(self, queries: Sequence[EngineQuery],
+                       scene: Optional[SceneLike] = None,
+                       max_workers: Optional[int] = None,
+                       ) -> list[EngineResult]:
+        """Serve many queries, returning results in input order.
+
+        Cache hits are answered immediately; identical misses are computed
+        once; remaining misses run sequentially or, with ``max_workers > 1``
+        (default: the engine's setting), on a process pool.
+
+        ``engine_seconds`` is per query on hits and sequential misses; on
+        the pooled path the pool's wall-clock time is attributed to every
+        computed result (per-result attribution inside one parallel map is
+        not meaningful).
+        """
+        workers = self.max_workers if max_workers is None else max_workers
+
+        resolved: list[_ResolvedQuery] = []
+        outcomes: list[Optional[EngineResult]] = [None] * len(queries)
+        miss_keys: dict[QueryKey, list[int]] = {}
+        for index, query in enumerate(queries):
+            lookup_start = time.perf_counter()
+            entry = self._resolve_query(
+                query.scene if query.scene is not None else scene,
+                query.goal, query.variant, query.policy, query.config,
+                query.n)
+            resolved.append(entry)
+            cached = self.results.get(entry.key)
+            if cached is not None:
+                outcomes[index] = EngineResult(
+                    cached, entry.key, True, entry.prepared.name,
+                    time.perf_counter() - lookup_start)
+            else:
+                miss_keys.setdefault(entry.key, []).append(index)
+
+        if miss_keys:
+            # One representative query per distinct key.
+            order = [indices[0] for indices in miss_keys.values()]
+            if workers > 1:
+                payloads = [
+                    _RemoteQuery(
+                        environment=resolved[i].prepared.base_environment,
+                        subtype_edges=tuple(
+                            resolved[i].prepared.subtypes.edges()),
+                        goal=resolved[i].goal,
+                        policy=resolved[i].policy,
+                        config=resolved[i].config,
+                        n=resolved[i].n,
+                    )
+                    for i in order
+                ]
+                pool_start = time.perf_counter()
+                computed = run_batch(_execute_remote, payloads,
+                                     max_workers=workers)
+                pool_seconds = time.perf_counter() - pool_start
+                elapsed = [pool_seconds] * len(order)
+            else:
+                computed = []
+                elapsed = []
+                for i in order:
+                    entry = resolved[i]
+                    compute_start = time.perf_counter()
+                    computed.append(
+                        entry.prepared.synthesizer(
+                            entry.policy, entry.config).synthesize(
+                                entry.goal, n=entry.n))
+                    elapsed.append(time.perf_counter() - compute_start)
+            for representative, result, seconds in zip(order, computed,
+                                                       elapsed):
+                key = resolved[representative].key
+                self.results.put(key, result)
+                for index in miss_keys[key]:
+                    duplicate = index != representative
+                    if duplicate:
+                        # Serve duplicates through the cache so the stats
+                        # agree with the per-result ``cache_hit`` flags.
+                        serve_start = time.perf_counter()
+                        result = self.results.get(key)
+                        seconds = time.perf_counter() - serve_start
+                    outcomes[index] = EngineResult(
+                        result, key, duplicate, resolved[index].prepared.name,
+                        seconds)
+
+        assert all(outcome is not None for outcome in outcomes)
+        return outcomes  # type: ignore[return-value]
+
+    # -- cache management ----------------------------------------------------
+
+    def warm(self, scene: SceneLike, goals: Iterable[Type],
+             variants: Sequence[str] = ("full",),
+             config: Optional[SynthesisConfig] = None,
+             n: Optional[int] = None) -> int:
+        """Pre-populate the result cache; returns fresh computations done."""
+        computed = 0
+        for goal in goals:
+            for variant in variants:
+                served = self.complete(scene, goal, variant=variant,
+                                       config=config, n=n)
+                if not served.cache_hit:
+                    computed += 1
+        return computed
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self.results.stats
+
+    def clear(self) -> None:
+        """Drop all cached results and prepared scenes."""
+        self.results.clear()
+        self.scenes.clear()
+
+    def __repr__(self) -> str:
+        return (f"CompletionEngine({len(self.scenes)} scenes, "
+                f"{len(self.results)} results, {self.cache_stats.as_text()})")
+
+
+def default_engine_workers() -> int:
+    """Worker count hint for batch CLIs (one per core)."""
+    return default_worker_count()

@@ -1,0 +1,64 @@
+"""Cache keys for engine-served synthesis results.
+
+A result is reusable exactly when everything that can influence it is
+unchanged: the prepared environment (declarations *and* their order, plus
+the coercions induced by subtyping — all captured by the environment
+fingerprint), the goal type, the weight policy, and the synthesis budgets.
+:func:`query_key` folds those into one frozen, hashable :class:`QueryKey`.
+
+Policies and configs are frozen dataclasses, so their field tuples are
+stable fingerprints; ``max_snippets`` is replaced by the effective request
+limit ``n`` so ``synthesize(goal, n=3)`` and ``n=10`` never share an entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Optional
+
+from repro.core.config import SynthesisConfig
+from repro.core.types import Type
+from repro.core.weights import WeightPolicy
+
+
+def policy_key(policy: WeightPolicy) -> tuple:
+    """A stable value tuple identifying a weight policy."""
+    return tuple(getattr(policy, field.name) for field in fields(policy))
+
+
+def config_key(config: SynthesisConfig, n: Optional[int] = None) -> tuple:
+    """A stable value tuple identifying the budgets of one query.
+
+    ``n`` (the per-call snippet limit) overrides ``config.max_snippets``,
+    mirroring :meth:`repro.core.synthesizer.Synthesizer.synthesize`.
+    """
+    limit = n if n is not None else config.max_snippets
+    values = []
+    for field in fields(config):
+        if field.name == "max_snippets":
+            values.append(limit)
+        else:
+            values.append(getattr(config, field.name))
+    return tuple(values)
+
+
+@dataclass(frozen=True)
+class QueryKey:
+    """The full identity of one synthesis query."""
+
+    environment_fingerprint: str
+    goal: str
+    policy: tuple
+    budgets: tuple
+
+
+def query_key(environment_fingerprint: str, goal: Type,
+              policy: WeightPolicy, config: SynthesisConfig,
+              n: Optional[int] = None) -> QueryKey:
+    """Build the cache key for one query against a prepared scene."""
+    return QueryKey(
+        environment_fingerprint=environment_fingerprint,
+        goal=str(goal),
+        policy=policy_key(policy),
+        budgets=config_key(config, n),
+    )

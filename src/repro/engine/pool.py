@@ -1,0 +1,59 @@
+"""Order-preserving batch execution, sequential or across processes.
+
+``run_batch(worker, payloads)`` is the engine's fan-out primitive: it
+returns ``[worker(p) for p in payloads]`` — same order as the input — but
+executes the calls on a process pool when ``max_workers > 1``.  Synthesis
+is CPU-bound pure Python, so threads cannot help; processes can, and every
+payload/result the engine ships is plain picklable data (environments,
+types, terms and results are all dataclasses).
+
+Sandboxes without working multiprocessing primitives (no ``sem_open``, no
+fork) are common, so pool construction failures degrade to the sequential
+path instead of erroring: parallelism is an optimisation, never a
+correctness requirement.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional, Sequence, TypeVar
+
+Payload = TypeVar("Payload")
+Result = TypeVar("Result")
+
+
+def default_worker_count() -> int:
+    """A sensible worker count for this machine (at least 1)."""
+    return max(os.cpu_count() or 1, 1)
+
+
+def run_batch(worker: Callable[[Payload], Result],
+              payloads: Sequence[Payload],
+              max_workers: int = 1,
+              chunksize: Optional[int] = None) -> list[Result]:
+    """Apply *worker* to every payload, preserving input order.
+
+    With ``max_workers <= 1`` (or a single payload) this is a plain loop.
+    Otherwise payloads are distributed over a process pool; *worker* must
+    then be a module-level function and payloads/results picklable.
+    """
+    if max_workers <= 1 or len(payloads) <= 1:
+        return [worker(payload) for payload in payloads]
+
+    try:
+        from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+    except ImportError:
+        return [worker(payload) for payload in payloads]
+    try:
+        workers = min(max_workers, len(payloads))
+        if chunksize is None:
+            chunksize = max(len(payloads) // (workers * 4), 1)
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            return list(executor.map(worker, payloads, chunksize=chunksize))
+    except (OSError, PermissionError, BrokenExecutor):
+        # Restricted environments: pool construction can fail outright (no
+        # semaphores / no fork -> OSError), or construction can succeed and
+        # the forked workers then be killed (seccomp/cgroup ->
+        # BrokenProcessPool).  Either way the work is pure, so rerun it
+        # serially — parallelism is an optimisation, never a requirement.
+        return [worker(payload) for payload in payloads]

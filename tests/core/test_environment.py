@@ -117,3 +117,46 @@ class TestExtension:
         assert len(env) == 21
         assert env.lookup("x0") is not None
         assert env.lookup("a") is not None
+
+
+class TestFingerprint:
+    def test_stable_across_rebuilds(self):
+        build = lambda: Environment([_decl("a", "A"), _decl("f", "A -> B")])
+        assert build().fingerprint() == build().fingerprint()
+
+    def test_cached_on_instance(self):
+        env = Environment([_decl("a", "A")])
+        assert env.fingerprint() is env.fingerprint()
+
+    def test_content_changes_fingerprint(self):
+        base_env = Environment([_decl("a", "A")])
+        renamed = Environment([_decl("b", "A")])
+        retyped = Environment([_decl("a", "B")])
+        rekinded = Environment([_decl("a", "A", DeclKind.IMPORTED)])
+        refreq = Environment([_decl("a", "A", frequency=7)])
+        prints = {env.fingerprint()
+                  for env in (base_env, renamed, retyped, rekinded, refreq)}
+        assert len(prints) == 5
+
+    def test_render_metadata_participates(self):
+        plain = Environment([_decl("a", "A")])
+        styled = Environment([_decl(
+            "a", "A", render=RenderSpec(RenderStyle.FIELD, "a"))])
+        assert plain.fingerprint() != styled.fingerprint()
+
+    def test_declaration_order_matters(self):
+        forward = Environment([_decl("a", "A"), _decl("b", "B")])
+        backward = Environment([_decl("b", "B"), _decl("a", "A")])
+        assert forward.fingerprint() != backward.fingerprint()
+
+    def test_extension_changes_fingerprint(self):
+        parent = Environment([_decl("a", "A")])
+        child = parent.extended([_decl("b", "B")])
+        assert parent.fingerprint() != child.fingerprint()
+
+    def test_chained_equals_flat_content_hash(self):
+        chained = Environment([_decl("a", "A")]).extended([_decl("b", "B")])
+        # Chained fingerprints mix the parent digest, so they are *stable*
+        # per chain shape; two identical chains agree.
+        again = Environment([_decl("a", "A")]).extended([_decl("b", "B")])
+        assert chained.fingerprint() == again.fingerprint()

@@ -96,3 +96,33 @@ class TestCompression:
         types = [arrow(A, B), arrow(A, C), A, B]
         total, distinct = compression_ratio(types)
         assert distinct <= total
+
+
+class TestInterning:
+    def test_constructors_return_canonical_instances(self):
+        from repro.core.succinct import intern_succinct
+
+        first = succinct({primitive("A")}, "B")
+        second = succinct({primitive("A")}, "B")
+        assert first is second
+        assert intern_succinct(SuccinctType(frozenset((primitive("A"),)),
+                                            "B")) is first
+
+    def test_sigma_produces_interned_types(self):
+        assert sigma(arrow(A, B)) is succinct({primitive("A")}, "B")
+
+    def test_primitives_are_interned(self):
+        assert primitive("A") is primitive("A")
+
+    def test_table_grows_and_clears(self):
+        from repro.core.succinct import (clear_intern_table,
+                                         intern_table_size)
+
+        before = intern_table_size()
+        succinct({primitive("A"), primitive("B")},
+                 "FreshlyMintedResultType")
+        assert intern_table_size() > before
+        clear_intern_table()
+        assert intern_table_size() == 0
+        # the library still works after a clear (fresh canonical instances)
+        assert sigma(arrow(A, B)) == succinct({primitive("A")}, "B")

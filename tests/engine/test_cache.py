@@ -1,0 +1,95 @@
+"""Unit tests for the engine's LRU result cache."""
+
+import pytest
+
+from repro.engine.cache import CacheStats, LRUCache
+
+
+class TestLRUCache:
+    def test_miss_then_hit(self):
+        cache = LRUCache(max_entries=4)
+        assert cache.get("k") is None
+        cache.put("k", 42)
+        assert cache.get("k") == 42
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_default_on_miss(self):
+        cache = LRUCache()
+        assert cache.get("absent", default="fallback") == "fallback"
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)          # evicts "a"
+        assert "a" not in cache
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_get_promotes(self):
+        cache = LRUCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")             # "a" becomes most recent
+        cache.put("c", 3)          # evicts "b", not "a"
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_put_refreshes_existing_key(self):
+        cache = LRUCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)         # refresh, no growth
+        cache.put("c", 3)          # evicts "b"
+        assert cache.get("a") == 10
+        assert "b" not in cache
+        assert len(cache) == 2
+
+    def test_peek_neither_promotes_nor_counts(self):
+        cache = LRUCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.peek("a") == 1
+        assert cache.stats.lookups == 0
+        cache.put("c", 3)          # "a" was NOT promoted -> evicted
+        assert "a" not in cache
+
+    def test_iteration_order_lru_first(self):
+        cache = LRUCache(max_entries=3)
+        for key in ("a", "b", "c"):
+            cache.put(key, key)
+        cache.get("a")
+        assert list(cache) == ["b", "c", "a"]
+
+    def test_clear(self):
+        cache = LRUCache()
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1          # stats survive by default
+        cache.put("a", 1)
+        cache.clear(reset_stats=True)
+        assert cache.stats.hits == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(max_entries=0)
+
+
+class TestCacheStats:
+    def test_hit_rate(self):
+        stats = CacheStats(hits=3, misses=1)
+        assert stats.lookups == 4
+        assert stats.hit_rate == pytest.approx(0.75)
+
+    def test_hit_rate_without_lookups(self):
+        assert CacheStats().hit_rate == 0.0
+
+    def test_as_text_mentions_counts(self):
+        text = CacheStats(hits=2, misses=2, insertions=2,
+                          evictions=1).as_text()
+        assert "2 hits / 4 lookups" in text
+        assert "1 evictions" in text

@@ -1,0 +1,221 @@
+"""CompletionEngine behaviour: caching, invalidation, parity, warming."""
+
+import pytest
+
+from repro.core.config import SynthesisConfig
+from repro.core.environment import Declaration, DeclKind, Environment
+from repro.core.errors import EngineError
+from repro.core.synthesizer import Synthesizer
+from repro.core.weights import WeightPolicy
+from repro.engine import CompletionEngine, PreparedScene
+from repro.lang.loader import load_environment_text
+from repro.lang.parser import parse_type
+
+SCENE = """
+subtype HttpURLConnection <: URLConnection
+
+local address : String
+local conn : HttpURLConnection
+
+imported java.net.URL.new : String -> URL \
+[freq=210] [style=constructor] [display=URL]
+imported java.net.URL.openConnection : URL -> URLConnection \
+[freq=150] [style=method] [display=openConnection]
+imported java.net.URLConnection.getInputStream : \
+URLConnection -> InputStream \
+[freq=180] [style=method] [display=getInputStream]
+
+goal InputStream
+"""
+
+
+@pytest.fixture
+def loaded():
+    return load_environment_text(SCENE)
+
+
+@pytest.fixture
+def engine():
+    return CompletionEngine()
+
+
+def _identity(result):
+    return [(s.term, s.surface_term, s.weight, s.rank, s.code)
+            for s in result.snippets]
+
+
+class TestPrepare:
+    def test_prepare_is_idempotent(self, engine, loaded):
+        first = engine.prepare(loaded.environment, loaded.subtypes)
+        second = engine.prepare(loaded.environment, loaded.subtypes)
+        assert first is second
+
+    def test_prepare_scene_like_object(self, engine, loaded):
+        class SceneLike:
+            environment = loaded.environment
+            subtypes = loaded.subtypes
+            goal = loaded.goal
+            name = "url-scene"
+
+        prepared = engine.prepare_scene(SceneLike())
+        assert isinstance(prepared, PreparedScene)
+        assert prepared.name == "url-scene"
+        assert prepared.goal == loaded.goal
+
+    def test_prepared_environment_includes_coercions(self, engine, loaded):
+        prepared = engine.prepare(loaded.environment, loaded.subtypes)
+        assert len(prepared.environment) > len(loaded.environment)
+
+    def test_subtype_edges_participate_in_identity(self, engine, loaded):
+        with_edges = engine.prepare(loaded.environment, loaded.subtypes)
+        without = engine.prepare(loaded.environment, None)
+        assert with_edges is not without
+        assert with_edges.fingerprint != without.fingerprint
+
+    def test_unpreparable_input_rejected(self, engine):
+        with pytest.raises(EngineError):
+            engine.complete(object(), parse_type("A"))
+
+    def test_same_scene_different_default_goal(self, engine, loaded):
+        """Identical declarations, different goals: the caller's goal wins."""
+        first = engine.prepare(loaded.environment, loaded.subtypes,
+                               goal=parse_type("InputStream"), name="a")
+        second = engine.prepare(loaded.environment, loaded.subtypes,
+                                goal=parse_type("URL"), name="b")
+        assert first.goal == parse_type("InputStream")
+        assert second.goal == parse_type("URL")
+        assert second.name == "b"
+        # the expensive state is still shared, not re-prepared
+        assert second.environment is first.environment
+        served = engine.complete(second)
+        assert served.result.snippets[0].code == "new URL(address)"
+
+
+class TestCaching:
+    def test_miss_then_hit_shares_result(self, engine, loaded):
+        prepared = engine.prepare(loaded.environment, loaded.subtypes,
+                                  goal=loaded.goal)
+        cold = engine.complete(prepared)
+        warm = engine.complete(prepared)
+        assert not cold.cache_hit
+        assert warm.cache_hit
+        assert warm.result is cold.result
+        assert engine.cache_stats.hits == 1
+        assert engine.cache_stats.misses == 1
+
+    def test_different_goal_misses(self, engine, loaded):
+        prepared = engine.prepare(loaded.environment, loaded.subtypes)
+        engine.complete(prepared, parse_type("InputStream"))
+        other = engine.complete(prepared, parse_type("URL"))
+        assert not other.cache_hit
+
+    def test_different_variant_misses(self, engine, loaded):
+        prepared = engine.prepare(loaded.environment, loaded.subtypes,
+                                  goal=loaded.goal)
+        engine.complete(prepared, variant="full")
+        other = engine.complete(prepared, variant="no_weights")
+        assert not other.cache_hit
+
+    def test_different_limit_misses(self, engine, loaded):
+        prepared = engine.prepare(loaded.environment, loaded.subtypes,
+                                  goal=loaded.goal)
+        engine.complete(prepared, n=2)
+        other = engine.complete(prepared, n=1)
+        assert not other.cache_hit
+        assert len(other.result.snippets) == 1
+
+    def test_different_budgets_miss(self, engine, loaded):
+        prepared = engine.prepare(loaded.environment, loaded.subtypes,
+                                  goal=loaded.goal)
+        engine.complete(prepared)
+        tighter = engine.complete(
+            prepared, config=SynthesisConfig(prover_time_limit=0.1))
+        assert not tighter.cache_hit
+
+    def test_uninhabited_results_are_cached_too(self, engine, loaded):
+        prepared = engine.prepare(loaded.environment, loaded.subtypes)
+        goal = parse_type("Unobtainium")
+        cold = engine.complete(prepared, goal)
+        warm = engine.complete(prepared, goal)
+        assert not cold.result.inhabited
+        assert warm.cache_hit
+
+    def test_fingerprint_invalidation_on_environment_change(self, engine,
+                                                            loaded):
+        prepared = engine.prepare(loaded.environment, loaded.subtypes,
+                                  goal=loaded.goal)
+        engine.complete(prepared)
+
+        grown = Environment(
+            list(loaded.environment.declarations())
+            + [Declaration("stream", parse_type("InputStream"),
+                           DeclKind.LOCAL)])
+        regrown = engine.prepare(grown, loaded.subtypes, goal=loaded.goal)
+        assert regrown.fingerprint != prepared.fingerprint
+
+        served = engine.complete(regrown)
+        assert not served.cache_hit              # new identity, new entry
+        codes = [snippet.code for snippet in served.result.snippets]
+        assert "stream" in codes                 # and the new local shows up
+
+
+class TestParityAndErrors:
+    def test_engine_matches_direct_synthesizer(self, engine, loaded):
+        for variant, policy in (
+                ("full", WeightPolicy.standard()),
+                ("no_corpus", WeightPolicy.without_corpus()),
+                ("no_weights", WeightPolicy.uniform_policy())):
+            direct = Synthesizer(loaded.environment, policy=policy,
+                                 subtypes=loaded.subtypes).synthesize(
+                                     loaded.goal, n=10)
+            served = engine.complete(
+                engine.prepare(loaded.environment, loaded.subtypes),
+                loaded.goal, variant=variant)
+            assert _identity(served.result) == _identity(direct)
+
+    def test_missing_goal_rejected(self, engine, loaded):
+        prepared = engine.prepare(loaded.environment, loaded.subtypes)
+        with pytest.raises(EngineError):
+            engine.complete(prepared)
+
+    def test_variant_and_policy_conflict(self, engine, loaded):
+        prepared = engine.prepare(loaded.environment, loaded.subtypes,
+                                  goal=loaded.goal)
+        with pytest.raises(EngineError):
+            engine.complete(prepared, variant="full",
+                            policy=WeightPolicy.standard())
+
+    def test_unknown_variant_rejected(self, engine, loaded):
+        prepared = engine.prepare(loaded.environment, loaded.subtypes,
+                                  goal=loaded.goal)
+        with pytest.raises(EngineError):
+            engine.complete(prepared, variant="psychic")
+
+
+class TestWarm:
+    def test_warm_populates_cache(self, engine, loaded):
+        prepared = engine.prepare(loaded.environment, loaded.subtypes)
+        goals = [parse_type("InputStream"), parse_type("URL")]
+        computed = engine.warm(prepared, goals,
+                               variants=("full", "no_weights"))
+        assert computed == 4
+        for goal in goals:
+            for variant in ("full", "no_weights"):
+                assert engine.complete(prepared, goal,
+                                       variant=variant).cache_hit
+
+    def test_warm_is_idempotent(self, engine, loaded):
+        prepared = engine.prepare(loaded.environment, loaded.subtypes,
+                                  goal=loaded.goal)
+        assert engine.warm(prepared, [loaded.goal]) == 1
+        assert engine.warm(prepared, [loaded.goal]) == 0
+
+    def test_clear_forgets_everything(self, engine, loaded):
+        prepared = engine.prepare(loaded.environment, loaded.subtypes,
+                                  goal=loaded.goal)
+        engine.complete(prepared)
+        engine.clear()
+        assert len(engine.results) == 0
+        assert not engine.complete(
+            engine.prepare(loaded.environment, loaded.subtypes,
+                           goal=loaded.goal)).cache_hit

@@ -88,6 +88,72 @@ class TestSynthesizeCommand:
         assert "new BufferedReader" in out
 
 
+class TestBatchCommand:
+    def test_many_scenes_one_invocation(self, scene_file, tmp_path, capsys):
+        other = tmp_path / "reader.ins"
+        other.write_text(
+            "local path : String\n"
+            "imported java.io.FileReader.new : String -> FileReader "
+            "[freq=90] [style=constructor] [display=FileReader]\n"
+            "goal FileReader\n", encoding="utf-8")
+        code = main(["batch", scene_file, str(other), "--n", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "new File(name)" in out
+        assert "new FileReader(path)" in out
+        assert "2 queries over 2 scenes" in out
+
+    def test_many_goals_one_scene(self, scene_file, capsys):
+        code = main(["batch", scene_file, "--goals", "File,String"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "goal File" in out
+        assert "goal String" in out
+
+    def test_workers_flag_accepted(self, scene_file, capsys):
+        code = main(["batch", scene_file, "--workers", "2"])
+        assert code == 0
+        assert "new File(name)" in capsys.readouterr().out
+
+    def test_uninhabited_goal_reported(self, scene_file, capsys):
+        code = main(["batch", scene_file, "--goals", "Unobtainium"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "not inhabited" in out
+
+    def test_scene_without_goal_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "nogoal.ins"
+        path.write_text(NO_GOAL_SCENE, encoding="utf-8")
+        code = main(["batch", str(path)])
+        assert code == 2
+        assert "no goal" in capsys.readouterr().err
+
+
+class TestWarmCommand:
+    def test_warm_reports_cache_round_trip(self, scene_file, capsys):
+        code = main(["warm", scene_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "warmed 1 entries" in out
+        assert "1/1 hits" in out
+        assert "cache:" in out
+
+    def test_warm_multiple_goals_and_variants(self, scene_file, capsys):
+        code = main(["warm", scene_file, "--goals", "File,String",
+                     "--variants", "full,no_weights"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "warmed 4 entries" in out
+        assert "4/4 hits" in out
+
+    def test_warm_without_goal_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "nogoal.ins"
+        path.write_text(NO_GOAL_SCENE, encoding="utf-8")
+        code = main(["warm", str(path)])
+        assert code == 2
+        assert "no goal" in capsys.readouterr().err
+
+
 class TestBenchCommand:
     def test_single_row_single_variant(self, capsys):
         code = main(["bench", "--rows", "9", "--variants", "full"])
