@@ -1,0 +1,141 @@
+"""Load benchmark for the async completion server.
+
+Auto-marked ``slow`` by the benchmarks conftest, so CI runs it in the
+non-blocking telemetry job.  Asserts the ISSUE-2 serving targets:
+
+* warm-path (cache hit / coalesced) p95 latency under 50 ms;
+* a burst of identical cold requests costs exactly one synthesis;
+* the event loop never stalls longer than one synthesis timeout while
+  cold synthesis traffic is in flight (executor offload works).
+"""
+
+import asyncio
+import time
+from pathlib import Path
+
+from repro.server.client import AsyncCompletionClient
+from repro.server.server import AsyncCompletionServer, ServerConfig
+
+SCENES_DIR = Path(__file__).resolve().parents[1] / "examples/scenes"
+
+#: One synthesis timeout under paper budgets (0.5 s prover + 7 s recon).
+SYNTHESIS_TIMEOUT_S = 7.5
+
+WARM_REQUESTS = 400
+BURST = 100
+
+
+class _LoopStallProbe:
+    """Samples event-loop responsiveness: max observed scheduling drift."""
+
+    def __init__(self, interval: float = 0.005):
+        self.interval = interval
+        self.max_stall = 0.0
+        self._task = None
+
+    async def _tick(self):
+        loop = asyncio.get_running_loop()
+        while True:
+            before = loop.time()
+            await asyncio.sleep(self.interval)
+            stall = (loop.time() - before) - self.interval
+            if stall > self.max_stall:
+                self.max_stall = stall
+
+    def start(self):
+        self._task = asyncio.ensure_future(self._tick())
+
+    async def stop(self):
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+
+
+async def _run_load() -> dict:
+    server = AsyncCompletionServer(config=ServerConfig(
+        port=0, max_pending=128, max_scenes=16))
+    await server.start()
+    client = AsyncCompletionClient(server.host, server.port)
+    probe = _LoopStallProbe()
+    try:
+        scene_ids = []
+        for path in sorted(SCENES_DIR.glob("*.ins")):
+            registered = await client.register_scene(
+                path.read_text(encoding="utf-8"), name=path.name)
+            scene_ids.append(registered["scene_id"])
+        assert scene_ids, "no shipped example scenes found"
+
+        probe.start()
+
+        # Cold phase: distinct (scene, n) keys, all misses, all synthesized
+        # on the executor while the probe watches the loop.
+        cold_start = time.perf_counter()
+        cold = await asyncio.gather(
+            *(client.complete(scene_id, n=n)
+              for scene_id in scene_ids
+              for n in range(1, 11)))
+        cold_seconds = time.perf_counter() - cold_start
+        assert all(r["snippets"] for r in cold)
+
+        # Warm phase: hammer the now-cached keys concurrently.
+        warm_start = time.perf_counter()
+        warm = await asyncio.gather(
+            *(client.complete(scene_ids[i % len(scene_ids)],
+                              n=1 + (i % 10))
+              for i in range(WARM_REQUESTS)))
+        warm_seconds = time.perf_counter() - warm_start
+        assert all(r["cache_hit"] or r["coalesced"] for r in warm)
+
+        # Coalescing burst: one fresh key, many concurrent callers.
+        before = (await client.stats())["server"]
+        await asyncio.gather(
+            *(client.complete(scene_ids[0], n=25) for _ in range(BURST)))
+        after = (await client.stats())["server"]
+
+        await probe.stop()
+        stats = await client.stats()
+        return {
+            "stats": stats,
+            "cold_count": len(cold),
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "burst_synthesized": after["synthesized"] - before["synthesized"],
+            "burst_coalesced": after["coalesced"] - before["coalesced"],
+            "burst_hits": after["cache_hits"] - before["cache_hits"],
+            "max_stall": probe.max_stall,
+        }
+    finally:
+        await probe.stop()
+        await client.close()
+        await server.close()
+
+
+def test_server_load_targets():
+    report = asyncio.run(_run_load())
+    server_stats = report["stats"]["server"]
+    warm_latency = server_stats["latency"]["warm"]
+
+    print(f"\nserver load: {report['cold_count']} cold in "
+          f"{report['cold_seconds'] * 1000:.0f} ms, "
+          f"{WARM_REQUESTS} warm in {report['warm_seconds'] * 1000:.0f} ms")
+    print(f"warm latency: p50 {warm_latency['p50_ms']} ms, "
+          f"p95 {warm_latency['p95_ms']} ms, max {warm_latency['max_ms']} ms")
+    print(f"burst: {BURST} identical -> {report['burst_synthesized']} "
+          f"synthesis, {report['burst_coalesced']} coalesced, "
+          f"{report['burst_hits']} hits")
+    print(f"max event-loop stall: {report['max_stall'] * 1000:.1f} ms; "
+          f"queue peak {server_stats['queue']['peak']}")
+
+    # ISSUE 2 acceptance targets.
+    assert warm_latency["p95_ms"] is not None
+    assert warm_latency["p95_ms"] < 50.0, (
+        f"warm p95 {warm_latency['p95_ms']} ms exceeds the 50 ms target")
+    assert report["burst_synthesized"] == 1
+    assert (report["burst_coalesced"] + report["burst_hits"]) == BURST - 1
+    assert report["max_stall"] < SYNTHESIS_TIMEOUT_S, (
+        f"event loop stalled {report['max_stall']:.2f}s — executor offload "
+        f"is not protecting the loop")
+    assert server_stats["rejected_overload"] == 0

@@ -1,10 +1,11 @@
 """Command-line interface: InSynth as a terminal tool.
 
-Five subcommands mirror the library's main entry points::
+Six subcommands mirror the library's main entry points::
 
     python -m repro.cli synthesize SCENE.ins [--n 10] [--variant full]
     python -m repro.cli batch SCENE.ins [SCENE2.ins ...] [--goals T1,T2]
     python -m repro.cli warm SCENE.ins [--goals T1,T2] [--variants ...]
+    python -m repro.cli serve [--port 8777] [--scenes a.ins b.ins]
     python -m repro.cli bench [--rows 9,15,44] [--variants full,no_corpus]
     python -m repro.cli corpus-stats
 
@@ -13,9 +14,12 @@ Five subcommands mirror the library's main entry points::
 suggestions — the closest a terminal gets to the paper's Ctrl+Space.
 ``batch`` serves many goals over many scenes in one invocation through the
 :class:`~repro.engine.CompletionEngine` (optionally on a process pool);
-``warm`` pre-populates the engine's result cache and reports the cold/warm
-speedup.  ``bench`` runs Table 2 rows; ``corpus-stats`` prints the §7.3
-marginals.
+with ``-`` (or ``--stdin``) it instead reads one JSON query per stdin
+line — ``{"scene": "a.ins", "goal": "Reader", "variant": "full", "n": 5}``
+— which is how the load tools pipe workloads in.  ``warm`` pre-populates
+the engine's result cache and reports the cold/warm speedup.  ``serve``
+runs the long-lived asyncio completion server (`repro.server`).  ``bench``
+runs Table 2 rows; ``corpus-stats`` prints the §7.3 marginals.
 """
 
 from __future__ import annotations
@@ -55,8 +59,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     batch = commands.add_parser(
         "batch", help="serve many goals/scenes in one engine invocation")
-    batch.add_argument("scenes", nargs="+",
-                       help="paths to .ins environment files")
+    batch.add_argument("scenes", nargs="*",
+                       help="paths to .ins environment files; '-' reads "
+                            "JSON queries (one per line) from stdin")
+    batch.add_argument("--stdin", action="store_true",
+                       help="read JSON queries from stdin (same as '-')")
     batch.add_argument("--goals", default=None,
                        help="comma-separated goal types queried on every "
                             "scene (default: each scene's own goal)")
@@ -69,6 +76,26 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="process-pool workers (default 1 = sequential)")
     batch.add_argument("--show-weights", action="store_true",
                        help="print each snippet's weight")
+
+    serve = commands.add_parser(
+        "serve", help="run the long-lived asyncio completion server")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8777,
+                       help="bind port; 0 picks an ephemeral port "
+                            "(default 8777)")
+    serve.add_argument("--scenes", nargs="*", default=[],
+                       help=".ins files to pre-register at startup")
+    serve.add_argument("--max-pending", type=int, default=64,
+                       help="admission-control bound on queued syntheses "
+                            "(default 64)")
+    serve.add_argument("--max-scenes", type=int, default=32,
+                       help="registered-scene LRU size (default 32)")
+    serve.add_argument("--executor-workers", type=int, default=4,
+                       help="synthesis executor threads (default 4)")
+    serve.add_argument("--deadline-ms", type=int, default=None,
+                       help="default per-request deadline when the client "
+                            "sends none")
 
     warm = commands.add_parser(
         "warm", help="pre-populate the engine result cache for a scene")
@@ -138,19 +165,73 @@ def _parse_goals(raw: Optional[str]):
             if part.strip()]
 
 
+def _read_stdin_queries(stream) -> list[dict]:
+    """Parse one JSON query object per line (blank lines skipped)."""
+    import json
+
+    from repro.engine.engine import VARIANTS as valid_variants
+
+    entries = []
+    for number, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"stdin line {number}: invalid JSON: {exc}")
+        if not isinstance(entry, dict) or "scene" not in entry:
+            raise ValueError(
+                f"stdin line {number}: expected an object with a 'scene' "
+                f"path, got {line[:60]!r}")
+        if not isinstance(entry["scene"], str):
+            raise ValueError(
+                f"stdin line {number}: 'scene' must be a path string")
+        if not isinstance(entry.get("goal", ""), str):
+            raise ValueError(
+                f"stdin line {number}: 'goal' must be a type string")
+        if entry.get("variant", "full") not in valid_variants:
+            raise ValueError(
+                f"stdin line {number}: 'variant' must be one of "
+                f"{valid_variants}")
+        n = entry.get("n", 1)
+        if isinstance(n, bool) or not isinstance(n, int) or n < 1:
+            raise ValueError(
+                f"stdin line {number}: 'n' must be a positive integer")
+        entries.append(entry)
+    return entries
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.engine import CompletionEngine, EngineQuery
     from repro.lang.loader import load_environment_file
+    from repro.lang.parser import parse_type
+
+    use_stdin = args.stdin or "-" in args.scenes
+    scene_paths = [path for path in args.scenes if path != "-"]
+    if not use_stdin and not scene_paths:
+        print("error: pass scene files, or '-'/--stdin for JSON queries "
+              "on stdin", file=sys.stderr)
+        return 2
 
     goals = _parse_goals(args.goals)
     engine = CompletionEngine()
+    prepared_by_path: dict = {}
+
+    def _prepared(path: str):
+        prepared = prepared_by_path.get(path)
+        if prepared is None:
+            loaded = load_environment_file(path)
+            prepared = engine.prepare(loaded.environment, loaded.subtypes,
+                                      goal=loaded.goal, name=path)
+            prepared_by_path[path] = prepared
+        return prepared
+
     queries: list[EngineQuery] = []
     labels: list[tuple[str, object]] = []
-    for path in args.scenes:
-        loaded = load_environment_file(path)
-        prepared = engine.prepare(loaded.environment, loaded.subtypes,
-                                  goal=loaded.goal, name=path)
-        scene_goals = goals if goals is not None else [loaded.goal]
+    for path in scene_paths:
+        prepared = _prepared(path)
+        scene_goals = goals if goals is not None else [prepared.goal]
         for goal in scene_goals:
             if goal is None:
                 print(f"error: scene {path} has no goal; pass --goals",
@@ -160,14 +241,38 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                                        variant=args.variant, n=args.n))
             labels.append((path, goal))
 
+    if use_stdin:
+        try:
+            entries = _read_stdin_queries(sys.stdin)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for entry in entries:
+            prepared = _prepared(entry["scene"])
+            goal = (parse_type(entry["goal"]) if entry.get("goal")
+                    else prepared.goal)
+            if goal is None:
+                print(f"error: stdin query for {entry['scene']} has no "
+                      f"goal (scene defines none)", file=sys.stderr)
+                return 2
+            queries.append(EngineQuery(
+                goal=goal, scene=prepared,
+                variant=entry.get("variant", args.variant),
+                n=entry.get("n", args.n)))
+            labels.append((entry["scene"], goal))
+
+    if not queries:
+        print("error: no queries (stdin was empty?)", file=sys.stderr)
+        return 2
+
     served = engine.complete_batch(queries, max_workers=args.workers)
 
     failures = 0
-    for (path, goal), outcome in zip(labels, served):
+    for (path, goal), query, outcome in zip(labels, queries, served):
         result = outcome.result
         source = "cache" if outcome.cache_hit else "computed"
         print(f"== {path} :: goal {goal}  "
-              f"[{args.variant}, {source}, "
+              f"[{query.variant}, {source}, "
               f"{result.total_seconds * 1000:.0f} ms]")
         if not result.inhabited:
             failures += 1
@@ -179,9 +284,66 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                       f"{snippet.code}")
             else:
                 print(f"  {snippet.rank:>3}. {snippet.code}")
-    print(f"-- {len(served)} queries over {len(args.scenes)} scenes; "
+    print(f"-- {len(served)} queries over {len(prepared_by_path)} scenes; "
           f"cache: {engine.cache_stats.as_text()}")
     return 1 if failures else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    from pathlib import Path
+
+    from repro.server import AsyncCompletionServer, ServerConfig
+    from repro.server.protocol import MAX_DEADLINE_MS
+
+    if args.deadline_ms is not None and not (
+            1 <= args.deadline_ms <= MAX_DEADLINE_MS):
+        print(f"error: --deadline-ms must be between 1 and "
+              f"{MAX_DEADLINE_MS}, got {args.deadline_ms}", file=sys.stderr)
+        return 2
+    for flag, value in (("--max-pending", args.max_pending),
+                        ("--max-scenes", args.max_scenes),
+                        ("--executor-workers", args.executor_workers)):
+        if value < 1:
+            print(f"error: {flag} must be at least 1, got {value}",
+                  file=sys.stderr)
+            return 2
+    config = ServerConfig(host=args.host, port=args.port,
+                          max_pending=args.max_pending,
+                          max_scenes=args.max_scenes,
+                          executor_workers=args.executor_workers,
+                          default_deadline_ms=args.deadline_ms)
+    server = AsyncCompletionServer(config=config)
+
+    # Read the preload scenes before binding the port, so a typo'd path
+    # fails fast with the CLI's usual error contract.
+    scene_texts = []
+    for path in args.scenes:
+        try:
+            scene_texts.append((path, Path(path).read_text(encoding="utf-8")))
+        except OSError as exc:
+            print(f"error: cannot read scene {path}: {exc}", file=sys.stderr)
+            return 2
+
+    async def _run() -> None:
+        await server.start()
+        print(f"serving on http://{server.host}:{server.port}", flush=True)
+        for path, text in scene_texts:
+            scene, already = await server.register_scene_text(text,
+                                                              name=path)
+            state = "already registered" if already else "registered"
+            print(f"scene {scene.scene_id} {state}: {path} "
+                  f"({scene.declarations} declarations)", flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
 
 
 def _cmd_warm(args: argparse.Namespace) -> int:
@@ -270,6 +432,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_batch(args)
         if args.command == "warm":
             return _cmd_warm(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "bench":
             return _cmd_bench(args)
         if args.command == "corpus-stats":

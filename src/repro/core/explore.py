@@ -244,7 +244,11 @@ def explore(env: EnvKey, goal: SuccinctType,
                 if child not in visited:
                     worklist.push(priority(premise) if priority else 0.0, child)
 
-    space.predecessors = {request: tuple(edges)
+    # Deduplicate watchers at the source: two premises of one edge can
+    # strip to the same child request (a higher-order premise next to a
+    # direct one), and a consumer counting *distinct* children must see
+    # each watcher once or it double-decrements (see GenerateP §5.7).
+    space.predecessors = {request: tuple(dict.fromkeys(edges))
                           for request, edges in predecessors.items()}
     space.order = tuple(order)
     space.iterations = iterations

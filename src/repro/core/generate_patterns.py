@@ -230,7 +230,10 @@ def generate_patterns_with_predecessor_map(space: SearchSpace) -> PatternSet:
         if request in inhabited:
             continue
         inhabited.add(request)
-        # §5.7: predecessors(request) is exactly the compatible set.
+        # §5.7: predecessors(request) is exactly the compatible set.  The
+        # backward map is watcher-deduplicated at build time (explore),
+        # matching the distinct-children countdown above — a twice-watched
+        # request must decrement its edge once, not once per occurrence.
         for watcher in space.predecessors.get(request, ()):
             if watcher not in waiting:
                 continue  # predecessor edge outside the (truncated) space

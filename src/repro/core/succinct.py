@@ -19,6 +19,7 @@ the paper's running example, and the whole exploration phase works on it.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from functools import lru_cache
 
@@ -55,20 +56,59 @@ class SuccinctType:
 #: heavily; interning keeps one copy of each type and makes repeated
 #: hashing/equality cheap (dict hits instead of deep structural work).
 #:
-#: The table (like the ``sigma``/``sort_key`` memo caches, which predate
-#: it) grows with the set of distinct types ever seen and is never evicted
-#: automatically; a process serving unbounded scene churn should call
-#: :func:`clear_intern_table` at tenancy boundaries.  Bounding this with
-#: weak references is on the roadmap's serving-scale list.
+#: The table is *bounded*: once it holds more than the configured limit,
+#: the oldest entries (dict insertion order) are dropped.  Eviction is
+#: always safe — interning is a sharing optimisation, never a correctness
+#: requirement: equality and hashing on :class:`SuccinctType` are
+#: structural, so a live scene that still references an evicted instance
+#: keeps working, and a later request for the same structure simply
+#: interns a fresh canonical copy.  Long-lived multi-tenant processes can
+#: additionally call :func:`trim_intern_table` (the engine's
+#: ``release_scene`` path does) or :func:`clear_intern_table` at tenancy
+#: boundaries.
 _INTERN_TABLE: dict["SuccinctType", "SuccinctType"] = {}
+
+#: Default bound on interned instances.  The paper's biggest scene maps
+#: 3356 declarations to 1783 succinct types, so a quarter-million entries
+#: is room for hundreds of concurrently-live large scenes.
+DEFAULT_INTERN_LIMIT = 1 << 18
+
+#: Bound on the ``sigma``/``sort_key`` memo caches (per-type conversion
+#: results; small entries, but previously unbounded).
+MEMO_CACHE_SIZE = 1 << 16
+
+_INTERN_LIMIT = DEFAULT_INTERN_LIMIT
+_INTERN_EVICTIONS = 0
+
+#: Guards table *mutation*: the async server interns from executor
+#: threads while the event loop trims at scene release.  Lock-free reads
+#: (plain dict get) stay on the hot path; insert/evict take the lock.
+_INTERN_LOCK = threading.Lock()
+
+
+def _evict_oldest_locked() -> bool:
+    """Drop the oldest entry; caller holds :data:`_INTERN_LOCK`."""
+    global _INTERN_EVICTIONS
+    try:
+        del _INTERN_TABLE[next(iter(_INTERN_TABLE))]
+    except StopIteration:                   # empty table
+        return False
+    _INTERN_EVICTIONS += 1
+    return True
 
 
 def intern_succinct(stype: SuccinctType) -> SuccinctType:
     """The canonical shared instance structurally equal to *stype*."""
     canonical = _INTERN_TABLE.get(stype)
     if canonical is None:
-        _INTERN_TABLE[stype] = stype
-        canonical = stype
+        with _INTERN_LOCK:
+            canonical = _INTERN_TABLE.get(stype)
+            if canonical is None:
+                _INTERN_TABLE[stype] = stype
+                canonical = stype
+                while (len(_INTERN_TABLE) > _INTERN_LIMIT
+                       and _evict_oldest_locked()):
+                    pass
     return canonical
 
 
@@ -77,9 +117,73 @@ def intern_table_size() -> int:
     return len(_INTERN_TABLE)
 
 
+def intern_table_stats() -> dict:
+    """Size, limit and lifetime evictions of the intern table."""
+    return {"size": len(_INTERN_TABLE), "limit": _INTERN_LIMIT,
+            "evictions": _INTERN_EVICTIONS}
+
+
+def set_intern_table_limit(limit: int) -> int:
+    """Set the intern-table bound; returns the previous limit.
+
+    The new bound is applied immediately (oldest entries evicted first);
+    if that evicted anything, the ``sigma``/``sort_key`` memos — which
+    pin interned instances — are cleared too, so the memory actually
+    frees.
+    """
+    global _INTERN_LIMIT
+    if limit <= 0:
+        raise ValueError(f"intern table limit must be positive, got {limit}")
+    with _INTERN_LOCK:
+        previous = _INTERN_LIMIT
+        _INTERN_LIMIT = limit
+        before = len(_INTERN_TABLE)
+        while len(_INTERN_TABLE) > _INTERN_LIMIT and _evict_oldest_locked():
+            pass
+        evicted = before - len(_INTERN_TABLE)
+    if evicted:
+        sigma.cache_clear()
+        sort_key.cache_clear()
+    return previous
+
+
+#: Entries evicted per lock acquisition by :func:`trim_intern_table`, so a
+#: large shed never holds interning threads on the lock for long.
+TRIM_CHUNK = 4096
+
+
+def trim_intern_table(max_entries: int = 0) -> int:
+    """Shed interned instances down to *max_entries*; returns evicted count.
+
+    The ``sigma``/``sort_key`` memo caches pin interned instances, so a
+    trim that actually evicts also clears them — they are pure memos and
+    rebuild on demand.  This is the engine's scene-release hook: evicting
+    a prepared scene calls this so the types it interned can be freed.
+    Eviction happens in :data:`TRIM_CHUNK`-sized bites, releasing the
+    intern lock between chunks, so a multi-hundred-thousand-entry shed
+    stays a sequence of short pauses rather than one long stall.
+    """
+    total = 0
+    while True:
+        with _INTERN_LOCK:
+            chunk = 0
+            while (len(_INTERN_TABLE) > max_entries and chunk < TRIM_CHUNK
+                   and _evict_oldest_locked()):
+                chunk += 1
+            done = len(_INTERN_TABLE) <= max_entries or chunk == 0
+        total += chunk
+        if done:
+            break
+    if total:
+        sigma.cache_clear()
+        sort_key.cache_clear()
+    return total
+
+
 def clear_intern_table() -> None:
     """Drop all interned instances (and the memoised conversions over them)."""
-    _INTERN_TABLE.clear()
+    with _INTERN_LOCK:
+        _INTERN_TABLE.clear()
     sigma.cache_clear()
     sort_key.cache_clear()
 
@@ -95,7 +199,7 @@ def succinct(arguments: frozenset[SuccinctType] | set[SuccinctType] | tuple,
     return intern_succinct(SuccinctType(frozenset(arguments), result))
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=MEMO_CACHE_SIZE)
 def sort_key(stype: SuccinctType) -> tuple:
     """A total order on succinct types (for deterministic iteration).
 
@@ -106,7 +210,7 @@ def sort_key(stype: SuccinctType) -> tuple:
             tuple(sorted(sort_key(argument) for argument in stype.arguments)))
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=MEMO_CACHE_SIZE)
 def sigma(tpe: Type) -> SuccinctType:
     """The sigma conversion from simple to succinct types (§3.2)."""
     if isinstance(tpe, BaseType):

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Hashable, Iterator, Optional
+from typing import Any, Callable, Hashable, Iterator, Optional
 
 
 @dataclass
@@ -46,10 +46,12 @@ class CacheStats:
 class LRUCache:
     """Least-recently-used mapping with bounded size and stats."""
 
-    def __init__(self, max_entries: int = 256):
+    def __init__(self, max_entries: int = 256,
+                 on_evict: Optional[Callable[[Hashable, Any], None]] = None):
         if max_entries <= 0:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
         self.max_entries = max_entries
+        self.on_evict = on_evict
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
         self.stats = CacheStats()
 
@@ -75,8 +77,14 @@ class LRUCache:
         self._entries[key] = value
         self.stats.insertions += 1
         while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+            evicted_key, evicted_value = self._entries.popitem(last=False)
             self.stats.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(evicted_key, evicted_value)
+
+    def pop(self, key: Hashable, default: Any = None) -> Any:
+        """Remove and return *key*'s value (no eviction callback, no stats)."""
+        return self._entries.pop(key, default)
 
     def __contains__(self, key: Hashable) -> bool:
         return key in self._entries

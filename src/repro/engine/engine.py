@@ -73,6 +73,10 @@ class PreparedScene:
     subtypes: SubtypeGraph
     fingerprint: str
     goal: Optional[Type] = None
+    #: The engine scene-table key this state lives under (set by
+    #: :meth:`CompletionEngine.prepare`); release and LRU promotion use it
+    #: without re-fingerprinting the base environment.
+    scene_key: Optional[tuple] = None
     _synthesizers: dict = field(default_factory=dict, repr=False)
 
     def synthesizer(self, policy: WeightPolicy,
@@ -209,6 +213,7 @@ class CompletionEngine:
                 subtypes=subtypes,
                 fingerprint=extended.fingerprint(),
                 goal=goal,
+                scene_key=scene_key,
             )
             self.scenes.put(scene_key, prepared)
             return prepared
@@ -403,6 +408,60 @@ class CompletionEngine:
     @property
     def cache_stats(self) -> CacheStats:
         return self.results.stats
+
+    # -- scene lifecycle -----------------------------------------------------
+
+    def purge_results(self, fingerprint: str) -> int:
+        """Drop every cached result computed against *fingerprint*."""
+        stale = [key for key in self.results
+                 if key.environment_fingerprint == fingerprint]
+        for key in stale:
+            self.results.pop(key)
+        return len(stale)
+
+    def release_scene(self, prepared: PreparedScene, *,
+                      shed_types: bool = True) -> int:
+        """Release one prepared scene at a tenancy boundary.
+
+        Drops the scene-table entry, every result cached against the
+        scene's fingerprint, and the scene's per-policy synthesizers; with
+        ``shed_types`` (the default) also sheds the global succinct-type
+        intern table — cleared outright when this was the last prepared
+        scene, trimmed to its configured bound otherwise (see
+        :func:`repro.core.succinct.trim_intern_table`).  This is the hook
+        a serving layer's scene eviction calls so dropping a tenant
+        actually frees memory.  Returns the number of purged results.
+
+        Releasing is always safe: a subsequent :meth:`prepare` of the same
+        scene simply rebuilds (and re-interns) from scratch.
+        """
+        scene_key = prepared.scene_key
+        if scene_key is None:
+            scene_key = (prepared.base_environment.fingerprint(),
+                         tuple(prepared.subtypes.edges()))
+        self.scenes.pop(scene_key)
+        purged = self.purge_results(prepared.fingerprint)
+        prepared._synthesizers.clear()
+        if shed_types:
+            self.shed_types()
+        return purged
+
+    def shed_types(self) -> None:
+        """Shed the global succinct-type tables for this engine's tenancy.
+
+        Cleared outright when no prepared scenes remain; trimmed to a
+        quarter of the *currently configured* intern-table bound otherwise
+        (so operator-tuned limits keep shedding proportionally).  Split
+        out from :meth:`release_scene` so a serving layer can run the shed
+        off its event loop (``release_scene(..., shed_types=False)`` then
+        ``shed_types()`` on an executor).
+        """
+        from repro.core import succinct
+        if len(self.scenes) == 0:
+            succinct.clear_intern_table()
+        else:
+            limit = succinct.intern_table_stats()["limit"]
+            succinct.trim_intern_table(limit // 4)
 
     def clear(self) -> None:
         """Drop all cached results and prepared scenes."""

@@ -1,0 +1,234 @@
+"""Async client for the completion server.
+
+A minimal stdlib HTTP/1.1 client over ``asyncio.open_connection`` with a
+small keep-alive connection pool, so ``asyncio.gather`` over many
+:meth:`AsyncCompletionClient.complete` calls genuinely runs concurrently
+(one socket per in-flight request, reused afterwards).
+
+Server-side failures surface as typed exceptions keyed by the protocol's
+error codes: :class:`OverloadedError` (admission control said 429 — back
+off and retry), :class:`SceneNotFoundError` (the scene id was evicted —
+re-register), :class:`ServerError` (everything else), and
+:class:`ClientConnectionError` for transport failures.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Optional, Sequence
+
+from repro.core.errors import ReproError
+from repro.server.protocol import (PROTOCOL_VERSION, CompleteRequest,
+                                   RegisterSceneRequest, encode_body)
+
+
+class ServerError(ReproError):
+    """The server answered with an error envelope."""
+
+    def __init__(self, code: str, message: str, status: int):
+        self.code = code
+        self.status = status
+        super().__init__(f"[{code}] {message}")
+
+
+class OverloadedError(ServerError):
+    """Admission control rejected the request (429); retry with backoff."""
+
+
+class SceneNotFoundError(ServerError):
+    """The scene id is unknown or was evicted; re-register the scene."""
+
+
+class ClientConnectionError(ReproError):
+    """The server could not be reached or the connection broke mid-call."""
+
+
+def _error_for(payload: dict, status: int) -> ServerError:
+    error = payload.get("error") or {}
+    code = error.get("code", "internal")
+    message = error.get("message", "unknown server error")
+    if code == "overloaded":
+        return OverloadedError(code, message, status)
+    if code == "not_found" and "scene id" in message:
+        return SceneNotFoundError(code, message, status)
+    return ServerError(code, message, status)
+
+
+class AsyncCompletionClient:
+    """Talks the server's JSON protocol; safe for concurrent use."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8777, *,
+                 timeout: float = 60.0, max_idle_connections: int = 32):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._idle: list[tuple[asyncio.StreamReader,
+                               asyncio.StreamWriter]] = []
+        self._max_idle = max_idle_connections
+        self._closed = False
+
+    async def __aenter__(self) -> "AsyncCompletionClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        self._closed = True
+        idle, self._idle = self._idle, []
+        for _reader, writer in idle:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # -- transport -----------------------------------------------------------
+
+    async def _connection(self) -> tuple[asyncio.StreamReader,
+                                         asyncio.StreamWriter, bool]:
+        """An idle pooled connection (pooled=True) or a fresh one."""
+        if self._idle:
+            reader, writer = self._idle.pop()
+            return reader, writer, True
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port), self.timeout)
+        except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+            raise ClientConnectionError(
+                f"cannot connect to {self.host}:{self.port}: {exc}") from exc
+        return reader, writer, False
+
+    async def _request(self, method: str, path: str,
+                       payload: Optional[dict] = None) -> dict:
+        if self._closed:
+            raise ClientConnectionError("client is closed")
+        body = encode_body(payload) if payload is not None else b""
+        head = (f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: keep-alive\r\n"
+                f"\r\n")
+        message = head.encode("latin-1") + body
+
+        while True:
+            reader, writer, pooled = await self._connection()
+            reuse = False
+            try:
+                writer.write(message)
+                await writer.drain()
+                status, headers, response = await asyncio.wait_for(
+                    self._read_response(reader), self.timeout)
+                reuse = (headers.get("connection", "keep-alive").lower()
+                         != "close")
+            except (ConnectionError, OSError, asyncio.IncompleteReadError,
+                    asyncio.TimeoutError) as exc:
+                writer.close()
+                if pooled and not isinstance(exc, asyncio.TimeoutError):
+                    # A pooled keep-alive socket can be stale (server
+                    # restarted, idle timeout); retry once on a fresh
+                    # connection before giving up.
+                    continue
+                raise ClientConnectionError(
+                    f"request {method} {path} failed: {exc}") from exc
+            finally:
+                if reuse and not self._closed and \
+                        len(self._idle) < self._max_idle:
+                    self._idle.append((reader, writer))
+                else:
+                    # Not poolable (close-marked, pool full, or client
+                    # closed): always close, never leak the socket.
+                    writer.close()
+            break
+
+        try:
+            decoded = json.loads(response.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ClientConnectionError(
+                f"undecodable response body from {path}: {exc}") from exc
+        if not isinstance(decoded, dict) or decoded.get("v") is None:
+            raise ClientConnectionError(
+                f"response from {path} is not a protocol envelope")
+        if decoded["v"] != PROTOCOL_VERSION:
+            raise ServerError(
+                "internal",
+                f"protocol version mismatch: server v{decoded['v']}, "
+                f"client v{PROTOCOL_VERSION}", status)
+        if not decoded.get("ok", False):
+            raise _error_for(decoded, status)
+        return decoded
+
+    @staticmethod
+    async def _read_response(reader: asyncio.StreamReader
+                             ) -> tuple[int, dict, bytes]:
+        line = await reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        parts = line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ConnectionError(f"malformed status line {line!r}")
+        status = int(parts[1])
+        headers: dict = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        body = await reader.readexactly(length) if length else b""
+        return status, headers, body
+
+    # -- protocol calls ------------------------------------------------------
+
+    async def healthz(self) -> dict:
+        return await self._request("GET", "/healthz")
+
+    async def stats(self) -> dict:
+        return await self._request("GET", "/v1/stats")
+
+    async def register_scene(self, text: str,
+                             name: Optional[str] = None) -> dict:
+        request = RegisterSceneRequest(text=text, name=name)
+        return await self._request("POST", "/v1/register-scene",
+                                   request.to_payload())
+
+    async def complete(self, scene_id: Optional[str] = None, *,
+                       scene: Optional[str] = None,
+                       goal: Optional[str] = None,
+                       variant: Optional[str] = None,
+                       n: Optional[int] = None,
+                       deadline_ms: Optional[int] = None) -> dict:
+        request = CompleteRequest(scene_id=scene_id, scene=scene, goal=goal,
+                                  variant=variant, n=n,
+                                  deadline_ms=deadline_ms)
+        return await self._request("POST", "/v1/complete",
+                                   request.to_payload())
+
+    async def complete_batch(self,
+                             queries: Sequence[CompleteRequest | dict]
+                             ) -> list[dict]:
+        payload = {"queries": [
+            q.to_payload() if isinstance(q, CompleteRequest) else dict(q)
+            for q in queries]}
+        response = await self._request("POST", "/v1/complete-batch", payload)
+        return list(response["results"])
+
+
+async def wait_until_healthy(client: AsyncCompletionClient,
+                             timeout: float = 10.0,
+                             interval: float = 0.05) -> dict:
+    """Poll ``/healthz`` until the server answers (startup helper)."""
+    deadline = asyncio.get_running_loop().time() + timeout
+    last: Any = None
+    while asyncio.get_running_loop().time() < deadline:
+        try:
+            return await client.healthz()
+        except ClientConnectionError as exc:
+            last = exc
+            await asyncio.sleep(interval)
+    raise ClientConnectionError(
+        f"server at {client.host}:{client.port} never became healthy "
+        f"within {timeout}s: {last}")

@@ -1,0 +1,273 @@
+"""The server's versioned JSON wire protocol.
+
+Every response body is an envelope ``{"v": 1, "ok": true/false, ...}``;
+errors carry a machine-readable ``error.code`` from :data:`ERROR_CODES`
+plus a human message.  Requests are validated here — the server and the
+client both go through this module, so the two ends can never drift.
+
+Endpoints (all bodies JSON):
+
+======================  ======  ==============================================
+``/v1/register-scene``  POST    upload ``.ins`` text, get a stable scene id
+``/v1/complete``        POST    one completion query (by scene id or inline)
+``/v1/complete-batch``  POST    many queries, answered concurrently
+``/v1/stats``           GET     live metrics snapshot
+``/healthz``            GET     liveness probe
+======================  ======  ==============================================
+
+Deadlines: a request's ``deadline_ms`` is mapped onto the paper's anytime
+budgets by :func:`deadline_config` — the prover and reconstruction limits
+are scaled so their sum fits the deadline while keeping the evaluation's
+0.5 s : 7 s proportion.  An expired deadline is not an error: synthesis
+returns whatever it proved/reconstructed in time and the response marks
+``"partial": true`` (the paper's §5.6 anytime behaviour on the wire).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.core.config import SynthesisConfig
+from repro.core.errors import ReproError
+from repro.engine.engine import VARIANTS
+
+#: Bump when the wire schema changes incompatibly.
+PROTOCOL_VERSION = 1
+
+#: Machine-readable error codes carried in ``error.code``.
+ERROR_CODES = (
+    "bad_request",      # malformed JSON / missing or invalid fields -> 400
+    "not_found",        # unknown path or scene id -> 404
+    "overloaded",       # admission control rejected the request -> 429
+    "scene_error",      # the scene text failed to parse/load -> 422
+    "internal",         # unexpected server-side failure -> 500
+)
+
+#: HTTP status for each error code.
+STATUS_FOR_CODE = {
+    "bad_request": 400,
+    "not_found": 404,
+    "overloaded": 429,
+    "scene_error": 422,
+    "internal": 500,
+}
+
+#: Hard ceiling on request deadlines (guards against absurd budgets).
+MAX_DEADLINE_MS = 600_000
+
+#: Most queries accepted in one ``complete-batch`` body: each entry
+#: becomes a concurrent task on the event loop before admission control
+#: can see it, so the count must be bounded at the protocol edge.
+MAX_BATCH_QUERIES = 256
+
+#: Floor for a mapped per-phase budget: never hand the pipeline a zero or
+#: negative limit, even for a 1 ms deadline.
+MIN_PHASE_SECONDS = 0.001
+
+
+class ProtocolError(ReproError):
+    """A request failed protocol validation."""
+
+    def __init__(self, message: str, code: str = "bad_request"):
+        assert code in ERROR_CODES
+        self.code = code
+        self.status = STATUS_FOR_CODE[code]
+        super().__init__(message)
+
+
+def _require(payload: Any) -> dict:
+    if not isinstance(payload, dict):
+        raise ProtocolError("request body must be a JSON object")
+    return payload
+
+
+def _optional_str(payload: dict, field: str) -> Optional[str]:
+    value = payload.get(field)
+    if value is None:
+        return None
+    if not isinstance(value, str) or not value.strip():
+        raise ProtocolError(f"{field!r} must be a non-empty string")
+    return value
+
+
+def _optional_int(payload: dict, field: str, minimum: int,
+                  maximum: Optional[int] = None) -> Optional[int]:
+    value = payload.get(field)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"{field!r} must be an integer")
+    if value < minimum:
+        raise ProtocolError(f"{field!r} must be >= {minimum}, got {value}")
+    if maximum is not None and value > maximum:
+        raise ProtocolError(f"{field!r} must be <= {maximum}, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class RegisterSceneRequest:
+    """``POST /v1/register-scene``: upload one ``.ins`` scene."""
+
+    text: str
+    name: Optional[str] = None
+
+    @staticmethod
+    def from_payload(payload: Any) -> "RegisterSceneRequest":
+        payload = _require(payload)
+        text = payload.get("text")
+        if not isinstance(text, str) or not text.strip():
+            raise ProtocolError("'text' (the .ins scene source) is required")
+        return RegisterSceneRequest(text=text,
+                                    name=_optional_str(payload, "name"))
+
+    def to_payload(self) -> dict:
+        payload: dict = {"text": self.text}
+        if self.name is not None:
+            payload["name"] = self.name
+        return payload
+
+
+@dataclass(frozen=True)
+class CompleteRequest:
+    """``POST /v1/complete`` (and each entry of ``complete-batch``).
+
+    Exactly one of ``scene_id`` (a previously registered scene) or
+    ``scene`` (inline ``.ins`` text, registered on the fly) names the
+    environment; ``goal`` defaults to the scene's own goal line.
+    """
+
+    scene_id: Optional[str] = None
+    scene: Optional[str] = None
+    goal: Optional[str] = None
+    variant: Optional[str] = None
+    n: Optional[int] = None
+    deadline_ms: Optional[int] = None
+
+    @staticmethod
+    def from_payload(payload: Any) -> "CompleteRequest":
+        payload = _require(payload)
+        scene_id = _optional_str(payload, "scene_id")
+        scene = _optional_str(payload, "scene")
+        if (scene_id is None) == (scene is None):
+            raise ProtocolError(
+                "pass exactly one of 'scene_id' or 'scene' (inline text)")
+        variant = _optional_str(payload, "variant")
+        if variant is not None and variant not in VARIANTS:
+            raise ProtocolError(
+                f"unknown variant {variant!r}; expected one of {VARIANTS}")
+        return CompleteRequest(
+            scene_id=scene_id,
+            scene=scene,
+            goal=_optional_str(payload, "goal"),
+            variant=variant,
+            n=_optional_int(payload, "n", minimum=1, maximum=10_000),
+            deadline_ms=_optional_int(payload, "deadline_ms", minimum=1,
+                                      maximum=MAX_DEADLINE_MS),
+        )
+
+    def to_payload(self) -> dict:
+        payload = {}
+        for field in ("scene_id", "scene", "goal", "variant", "n",
+                      "deadline_ms"):
+            value = getattr(self, field)
+            if value is not None:
+                payload[field] = value
+        return payload
+
+
+def parse_batch_payload(payload: Any) -> list[CompleteRequest]:
+    """Validate a ``complete-batch`` body into its per-query requests."""
+    payload = _require(payload)
+    queries = payload.get("queries")
+    if not isinstance(queries, list) or not queries:
+        raise ProtocolError("'queries' must be a non-empty list")
+    if len(queries) > MAX_BATCH_QUERIES:
+        raise ProtocolError(
+            f"batch of {len(queries)} queries exceeds the "
+            f"{MAX_BATCH_QUERIES}-query limit; split the request")
+    return [CompleteRequest.from_payload(entry) for entry in queries]
+
+
+# -- responses ---------------------------------------------------------------
+
+
+def ok_payload(**fields: Any) -> dict:
+    """An ``ok`` response envelope."""
+    return {"v": PROTOCOL_VERSION, "ok": True, **fields}
+
+
+def error_payload(code: str, message: str) -> dict:
+    """An error response envelope."""
+    assert code in ERROR_CODES
+    return {"v": PROTOCOL_VERSION, "ok": False,
+            "error": {"code": code, "message": message}}
+
+
+def snippet_payload(snippet) -> dict:
+    """One ranked suggestion on the wire."""
+    return {"rank": snippet.rank, "code": snippet.code,
+            "weight": round(snippet.weight, 4)}
+
+
+def completion_payload(*, scene_id: str, goal, variant: str, result,
+                       cache_hit: bool, coalesced: bool,
+                       deadline_ms: Optional[int],
+                       server_seconds: float) -> dict:
+    """The response body for one served completion."""
+    return ok_payload(
+        scene_id=scene_id,
+        goal=str(goal),
+        variant=variant,
+        inhabited=result.inhabited,
+        snippets=[snippet_payload(s) for s in result.snippets],
+        partial=bool(result.explore_truncated
+                     or result.reconstruction_truncated),
+        cache_hit=cache_hit,
+        coalesced=coalesced,
+        deadline_ms=deadline_ms,
+        synthesis_ms=round(result.total_seconds * 1000, 3),
+        server_ms=round(server_seconds * 1000, 3),
+    )
+
+
+def encode_body(payload: dict) -> bytes:
+    return json.dumps(payload, separators=(",", ":"),
+                      sort_keys=True).encode("utf-8")
+
+
+def decode_body(body: bytes) -> Any:
+    if not body:
+        raise ProtocolError("empty request body; expected JSON")
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"invalid JSON body: {exc}") from exc
+
+
+# -- deadlines ---------------------------------------------------------------
+
+
+def deadline_config(base: SynthesisConfig,
+                    deadline_ms: Optional[int]) -> SynthesisConfig:
+    """Map a request deadline onto the paper's anytime budgets.
+
+    The deadline is split between the prover and reconstruction phases in
+    the proportion of the base config's limits (the evaluation's 0.5 s
+    prover : 7 s reconstruction by default), and each phase limit is also
+    clamped by its base value — a generous deadline never *extends* the
+    configured budgets.  Deterministic: equal deadlines yield equal
+    configs, so they share cache keys and coalesce.
+    """
+    if deadline_ms is None:
+        return base
+    budget = deadline_ms / 1000.0
+    prover_base = base.prover_time_limit if base.prover_time_limit else 0.5
+    recon_base = (base.reconstruction_time_limit
+                  if base.reconstruction_time_limit else 7.0)
+    share = prover_base / (prover_base + recon_base)
+    prover = max(min(prover_base, budget * share), MIN_PHASE_SECONDS)
+    recon = max(min(recon_base, budget - prover), MIN_PHASE_SECONDS)
+    return base.with_(prover_time_limit=round(prover, 6),
+                      reconstruction_time_limit=round(recon, 6))

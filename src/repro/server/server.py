@@ -1,0 +1,531 @@
+"""The asyncio completion server.
+
+One event loop, one engine, many editors.  The serving rules:
+
+* **Never block the loop.**  Synthesis and scene preparation are
+  CPU-bound, so they run on a thread executor; the loop only does cache
+  lookups, key construction and byte shuffling.  (Pure-Python synthesis
+  holds the GIL, so threads buy loop *responsiveness*, not CPU
+  parallelism — process-level fan-out stays the engine batch API's job.)
+* **Coalesce identical work.**  Concurrent requests that resolve to the
+  same :class:`~repro.engine.keys.QueryKey` share one in-flight synthesis
+  (single-flight): the first starts it, the rest ``await`` its future and
+  are counted as *coalesced*.  50 identical Ctrl+Space storms cost one
+  pipeline run.
+* **Admit or reject fast.**  At most ``max_pending`` syntheses may be
+  queued or running; a miss beyond that is rejected immediately with a
+  429/``overloaded`` error rather than queued into a latency collapse.
+  Cache hits and coalesced joins bypass admission — they add no work.
+* **Deadlines are anytime budgets.**  ``deadline_ms`` maps onto the
+  paper's prover/reconstruction limits (§5.6); an expired budget returns
+  the partial ranking found in time, marked ``"partial": true``.
+
+The cache/coalescing discipline: the engine's result cache and in-flight
+table are touched *only* from the event loop; executor threads run the
+pure pipeline (`_run_synthesis`) and nothing else.  That single-writer
+rule is what makes the stdlib dicts safe without locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.errors import ReproError
+from repro.core.synthesizer import SynthesisResult
+from repro.core.types import Type
+from repro.engine.engine import (CompletionEngine, PreparedScene,
+                                 policy_for_variant)
+from repro.engine.keys import query_key
+from repro.server import protocol
+from repro.server.metrics import ServerMetrics
+from repro.server.protocol import (CompleteRequest, ProtocolError,
+                                   RegisterSceneRequest, deadline_config)
+from repro.engine.cache import LRUCache
+from repro.server.registry import RegisteredScene, SceneRegistry, build_scene
+
+#: Largest accepted request body (a scene upload is a few KB; 8 MiB is
+#: already absurdly generous).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Most header lines accepted per request (clients send a handful).
+MAX_HEADER_LINES = 100
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    422: "Unprocessable Entity", 429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Knobs for one :class:`AsyncCompletionServer`."""
+
+    host: str = "127.0.0.1"
+    port: int = 8777                       # 0 = ephemeral
+    max_pending: int = 64                  # admission-control bound
+    max_scenes: int = 32                   # registry LRU size
+    executor_workers: int = 4              # synthesis threads
+    default_deadline_ms: Optional[int] = None
+    latency_window: int = 2048
+    #: Idle/read timeout per request on a connection: a half-sent request
+    #: (or an idle keep-alive socket) releases its handler task and fd
+    #: after this many seconds instead of pinning them forever.  The
+    #: client's stale-pool retry makes idle closes transparent.
+    read_timeout: float = 60.0
+
+
+@dataclass(frozen=True)
+class _HttpRequest:
+    method: str
+    path: str
+    headers: dict
+    body: bytes
+
+    @property
+    def keep_alive(self) -> bool:
+        return (self.headers.get("connection", "keep-alive").lower()
+                != "close")
+
+
+class _HttpError(Exception):
+    """A request we can't parse but can still answer over HTTP."""
+
+    def __init__(self, status: int, message: str):
+        self.status = status
+        super().__init__(message)
+
+
+def _run_synthesis(prepared: PreparedScene, goal: Type, policy, config,
+                   n: Optional[int]) -> SynthesisResult:
+    """The executor entry point: one pure pipeline run.
+
+    Module-level so tests can monkeypatch it (to count, delay or stub
+    synthesis) without touching the serving logic around it.
+    """
+    return prepared.synthesizer(policy, config).synthesize(goal, n=n)
+
+
+@dataclass
+class _ServedCompletion:
+    result: SynthesisResult
+    cache_hit: bool
+    coalesced: bool
+
+
+class AsyncCompletionServer:
+    """HTTP/JSON front end over one :class:`CompletionEngine`."""
+
+    def __init__(self, engine: Optional[CompletionEngine] = None,
+                 config: Optional[ServerConfig] = None):
+        self.config = config or ServerConfig()
+        # The engine's scene LRU must cover every registered scene plus
+        # the one being prepared (engine.prepare inserts *before* the
+        # registry evicts), or prepared state the registry still serves
+        # gets dropped out from under it.
+        scene_capacity = self.config.max_scenes + 1
+        self.engine = engine or CompletionEngine(
+            result_entries=2048,
+            scene_entries=max(scene_capacity, 16))
+        if self.engine.scenes.max_entries < scene_capacity:
+            self.engine.scenes.max_entries = scene_capacity
+        self.metrics = ServerMetrics(self.config.latency_window)
+        # Type-shedding on eviction is deferred to the executor (see
+        # _scene_evicted) so a large intern-table trim never runs on the
+        # event loop.
+        self.registry = SceneRegistry(
+            self.engine, max_scenes=self.config.max_scenes,
+            on_evict=self._scene_evicted, shed_types_on_release=False)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.executor_workers,
+            thread_name_prefix="synthesis")
+        self._inflight: dict = {}          # QueryKey -> asyncio.Future
+        self._inflight_scenes: dict = {}   # text digest -> asyncio.Future
+        self._register_lock = asyncio.Lock()
+        #: text digest -> scene id: lets repeated inline-scene completes
+        #: skip the parse/prepare path (and its lock) entirely.
+        self._inline_ids = LRUCache(max_entries=256)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self.host = self.config.host
+        self.port = self.config.port
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host,
+            port=self.config.port)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def _scene_evicted(self, scene: RegisteredScene) -> None:
+        self.metrics.scenes_evicted += 1
+        try:
+            self._executor.submit(self.engine.shed_types)
+        except RuntimeError:
+            pass                            # executor already shut down
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await asyncio.wait_for(
+                        self._read_request(reader),
+                        self.config.read_timeout)
+                except asyncio.TimeoutError:
+                    break                   # idle or half-sent: reclaim
+                except _HttpError as error:
+                    # Still answer over HTTP (then close): a diagnosable
+                    # 400/413 beats a bare connection reset.
+                    self.metrics.record_error("bad_request")
+                    writer.write(_http_response(
+                        error.status,
+                        protocol.error_payload("bad_request", str(error)),
+                        keep_alive=False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                status, payload = await self._dispatch(request)
+                writer.write(_http_response(status, payload,
+                                            request.keep_alive))
+                await writer.drain()
+                if not request.keep_alive:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionError, ValueError):
+            pass                            # torn connection
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass                        # teardown race during close()
+
+    async def _read_request(self,
+                            reader: asyncio.StreamReader
+                            ) -> Optional[_HttpRequest]:
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise _HttpError(400, f"malformed request line: "
+                                  f"{line[:80]!r}")
+        method, target, _version = parts
+        headers: dict = {}
+        header_lines = 0
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            header_lines += 1
+            if header_lines > MAX_HEADER_LINES:
+                raise _HttpError(400, f"more than {MAX_HEADER_LINES} "
+                                      f"header lines")
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise _HttpError(400, "non-numeric Content-Length")
+        if length < 0:
+            raise _HttpError(400, f"negative Content-Length {length}")
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, f"request body of {length} bytes exceeds "
+                                  f"the {MAX_BODY_BYTES}-byte limit")
+        body = await reader.readexactly(length) if length else b""
+        path = target.split("?", 1)[0]
+        return _HttpRequest(method=method, path=path, headers=headers,
+                            body=body)
+
+    # -- routing -------------------------------------------------------------
+
+    #: The served surface; anything else is counted under one bucket so a
+    #: path-scanning client cannot grow the metrics counter without bound.
+    KNOWN_PATHS = ("/healthz", "/v1/stats", "/v1/register-scene",
+                   "/v1/complete", "/v1/complete-batch")
+
+    async def _dispatch(self, request: _HttpRequest) -> tuple[int, dict]:
+        route = (request.method, request.path)
+        # Count only the served surface (path AND method): both tokens are
+        # client-chosen, so anything else buckets under "other" to keep
+        # the counter bounded.
+        if request.path in self.KNOWN_PATHS and request.method in ("GET",
+                                                                   "POST"):
+            self.metrics.requests[f"{request.method} {request.path}"] += 1
+        else:
+            self.metrics.requests["other"] += 1
+        try:
+            if route == ("GET", "/healthz"):
+                return 200, self._healthz_payload()
+            if route == ("GET", "/v1/stats"):
+                return 200, self._stats_payload()
+            if route == ("POST", "/v1/register-scene"):
+                return 200, await self._handle_register(
+                    protocol.decode_body(request.body))
+            if route == ("POST", "/v1/complete"):
+                return 200, await self._handle_complete(
+                    protocol.decode_body(request.body))
+            if route == ("POST", "/v1/complete-batch"):
+                return 200, await self._handle_batch(
+                    protocol.decode_body(request.body))
+            if request.path in self.KNOWN_PATHS:
+                self.metrics.record_error("bad_request")
+                return 405, protocol.error_payload(
+                    "bad_request",
+                    f"method {request.method} not allowed on {request.path}")
+            raise ProtocolError(f"unknown path {request.path!r}",
+                                code="not_found")
+        except ProtocolError as error:
+            self.metrics.record_error(error.code)
+            return error.status, protocol.error_payload(error.code,
+                                                        str(error))
+        except ReproError as error:
+            self.metrics.record_error("bad_request")
+            return 400, protocol.error_payload("bad_request", str(error))
+        except Exception as error:          # noqa: BLE001 — serving boundary
+            self.metrics.record_error("internal")
+            return 500, protocol.error_payload(
+                "internal", f"{type(error).__name__}: {error}")
+
+    # -- endpoint: register-scene -------------------------------------------
+
+    async def register_scene_text(self, text: str,
+                                  name: Optional[str] = None
+                                  ) -> tuple[RegisteredScene, bool]:
+        """Register ``.ins`` text; returns ``(scene, already_registered)``.
+
+        Public so the CLI can preload scenes through the exact serving
+        path.  Registration is CPU work (parse + prepare), so it is
+        admission-controlled like synthesis: beyond ``max_pending`` queued
+        jobs it answers 429 instead of queueing without bound.  Known text
+        (by digest) short-circuits to the registered scene without touching
+        the executor or the lock — repeated inline-scene completes are a
+        dict hit.  The lock serialises engine scene-table mutation
+        (prepare on the executor vs. release on eviction).
+        """
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        known_id = self._inline_ids.get(digest)
+        if known_id is not None and known_id in self.registry:
+            return self.registry.get(known_id), True
+
+        # Single-flight per digest, like synthesis: a storm of identical
+        # registrations costs one parse+prepare and one admission slot.
+        inflight = self._inflight_scenes.get(digest)
+        if inflight is not None:
+            scene = await asyncio.shield(inflight)
+            return scene, True
+
+        self._admit_or_reject()
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._inflight_scenes[digest] = future
+        self.metrics.enter_queue()
+        try:
+            async with self._register_lock:
+                scene = await loop.run_in_executor(
+                    self._executor, build_scene, self.engine, text, name)
+                scene, already = self.registry.adopt(scene)
+        except BaseException as error:
+            if isinstance(error, asyncio.CancelledError):
+                future.set_exception(ProtocolError(
+                    "registration cancelled (server shutting down)",
+                    code="internal"))
+            else:
+                future.set_exception(error)
+            future.exception()              # mark retrieved for no-waiter case
+            raise
+        else:
+            future.set_result(scene)
+        finally:
+            self.metrics.leave_queue()
+            self._inflight_scenes.pop(digest, None)
+        if not already:
+            self.metrics.scenes_registered += 1
+        self._inline_ids.put(digest, scene.scene_id)
+        return scene, already
+
+    async def _handle_register(self, payload) -> dict:
+        request = RegisterSceneRequest.from_payload(payload)
+        scene, already = await self.register_scene_text(request.text,
+                                                        request.name)
+        return protocol.ok_payload(
+            scene_id=scene.scene_id,
+            name=scene.name,
+            declarations=scene.declarations,
+            fingerprint=scene.prepared.fingerprint,
+            goal=str(scene.prepared.goal) if scene.prepared.goal else None,
+            cached=already,
+        )
+
+    # -- endpoint: complete --------------------------------------------------
+
+    async def _handle_complete(self, payload) -> dict:
+        return await self._complete_one(CompleteRequest.from_payload(payload))
+
+    async def _handle_batch(self, payload) -> dict:
+        requests = protocol.parse_batch_payload(payload)
+
+        async def _serve(request: CompleteRequest) -> dict:
+            try:
+                return await self._complete_one(request)
+            except ProtocolError as error:
+                self.metrics.record_error(error.code)
+                return protocol.error_payload(error.code, str(error))
+            except ReproError as error:
+                self.metrics.record_error("bad_request")
+                return protocol.error_payload("bad_request", str(error))
+
+        results = await asyncio.gather(*(_serve(r) for r in requests))
+        return protocol.ok_payload(results=list(results))
+
+    async def _complete_one(self, request: CompleteRequest) -> dict:
+        from repro.lang.parser import parse_type
+
+        start = time.perf_counter()
+        if request.scene_id is not None:
+            scene = self.registry.get(request.scene_id)
+        else:
+            scene, _ = await self.register_scene_text(request.scene)
+        prepared = scene.prepared
+
+        goal = (parse_type(request.goal) if request.goal is not None
+                else prepared.goal)
+        if goal is None:
+            raise ProtocolError(
+                f"scene {scene.scene_id} has no goal; pass 'goal'")
+        variant = request.variant or "full"
+        policy = policy_for_variant(variant)
+        deadline_ms = (request.deadline_ms
+                       if request.deadline_ms is not None
+                       else self.config.default_deadline_ms)
+        config = deadline_config(self.engine.default_config, deadline_ms)
+        key = query_key(prepared.fingerprint, goal, policy, config,
+                        request.n)
+
+        served = await self._serve_key(key, prepared, goal, policy, config,
+                                       request.n)
+        scene.completions += 1
+        seconds = time.perf_counter() - start
+        partial = bool(served.result.explore_truncated
+                       or served.result.reconstruction_truncated)
+        self.metrics.record_completion(seconds, cache_hit=served.cache_hit,
+                                       coalesced=served.coalesced,
+                                       partial=partial)
+        return protocol.completion_payload(
+            scene_id=scene.scene_id, goal=goal, variant=variant,
+            result=served.result, cache_hit=served.cache_hit,
+            coalesced=served.coalesced, deadline_ms=deadline_ms,
+            server_seconds=seconds)
+
+    async def _serve_key(self, key, prepared: PreparedScene, goal: Type,
+                         policy, config, n: Optional[int]
+                         ) -> _ServedCompletion:
+        """Cache -> join in-flight -> admit -> synthesize, in that order."""
+        cached = self.engine.results.get(key)
+        if cached is not None:
+            return _ServedCompletion(cached, cache_hit=True, coalesced=False)
+
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            result = await asyncio.shield(inflight)
+            return _ServedCompletion(result, cache_hit=False, coalesced=True)
+
+        self._admit_or_reject()
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._inflight[key] = future
+        self.metrics.enter_queue()
+        synthesis_start = time.perf_counter()
+        try:
+            result = await loop.run_in_executor(
+                self._executor, _run_synthesis, prepared, goal, policy,
+                config, n)
+        except BaseException as error:
+            if isinstance(error, asyncio.CancelledError):
+                # Only the leader's task was cancelled (shutdown); give
+                # coalesced waiters an answerable error, not cancellation.
+                future.set_exception(ProtocolError(
+                    "synthesis cancelled (server shutting down)",
+                    code="internal"))
+            else:
+                future.set_exception(error)
+            future.exception()              # mark retrieved for no-waiter case
+            raise
+        else:
+            self.engine.results.put(key, result)
+            self.metrics.record_synthesis(
+                time.perf_counter() - synthesis_start)
+            future.set_result(result)
+        finally:
+            self.metrics.leave_queue()
+            self._inflight.pop(key, None)
+        return _ServedCompletion(result, cache_hit=False, coalesced=False)
+
+    def _admit_or_reject(self) -> None:
+        """Admission control: one gauge (queue depth) bounds all CPU work."""
+        if self.metrics.queue_depth >= self.config.max_pending:
+            self.metrics.rejected_overload += 1
+            raise ProtocolError(
+                f"server overloaded: {self.metrics.queue_depth} jobs "
+                f"pending (limit {self.config.max_pending}); retry later",
+                code="overloaded")
+
+    # -- endpoints: stats / health ------------------------------------------
+
+    def _healthz_payload(self) -> dict:
+        return protocol.ok_payload(
+            status="ok", uptime_s=round(self.metrics.uptime_seconds, 3))
+
+    def _stats_payload(self) -> dict:
+        from repro.core.succinct import intern_table_stats
+
+        stats = self.engine.cache_stats
+        return protocol.ok_payload(
+            server=self.metrics.snapshot(),
+            engine={
+                "result_entries": len(self.engine.results),
+                "result_capacity": self.engine.results.max_entries,
+                "result_stats": {
+                    "hits": stats.hits, "misses": stats.misses,
+                    "insertions": stats.insertions,
+                    "evictions": stats.evictions,
+                    "hit_rate": round(stats.hit_rate, 4),
+                },
+                "prepared_scenes": len(self.engine.scenes),
+            },
+            scenes=self.registry.describe(),
+            core={"interned_types": intern_table_stats()},
+        )
+
+
+def _http_response(status: int, payload: dict, keep_alive: bool) -> bytes:
+    body = protocol.encode_body(payload)
+    connection = "keep-alive" if keep_alive else "close"
+    head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {connection}\r\n"
+            f"\r\n")
+    return head.encode("latin-1") + body

@@ -1,0 +1,146 @@
+"""End-to-end server smoke test: ``python -m repro.server.smoke``.
+
+Boots a real ``repro serve`` subprocess on an ephemeral port, then drives
+it with the async client: register every shipped example scene, complete
+each one cold and again warm (asserting a cache hit), fire a burst of
+concurrent identical requests and assert — via ``/v1/stats`` — that they
+coalesced into exactly one synthesis.  Exit code 0 means the serving path
+works end-to-end; CI runs this after the unit suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.server.client import AsyncCompletionClient, wait_until_healthy
+
+#: Default scene set: every shipped example scene.
+DEFAULT_SCENES_DIR = Path(__file__).resolve().parents[3] / "examples/scenes"
+
+_LISTEN_RE = re.compile(r"serving on http://([\d.]+):(\d+)")
+
+
+def _spawn_server(extra_args: Sequence[str] = ()) -> tuple:
+    """Start ``repro serve --port 0``; returns (process, host, port)."""
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = src_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         *extra_args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env)
+    assert process.stdout is not None
+    while True:
+        line = process.stdout.readline()
+        if not line:
+            raise RuntimeError(
+                f"repro serve exited before listening "
+                f"(rc={process.poll()})")
+        match = _LISTEN_RE.search(line)
+        if match:
+            return process, match.group(1), int(match.group(2))
+
+
+async def _drive(host: str, port: int, scene_paths: Sequence[Path],
+                 burst: int) -> list[str]:
+    report: list[str] = []
+    async with AsyncCompletionClient(host, port) as client:
+        await wait_until_healthy(client)
+
+        for path in scene_paths:
+            text = path.read_text(encoding="utf-8")
+            registered = await client.register_scene(text, name=path.name)
+            scene_id = registered["scene_id"]
+
+            cold = await client.complete(scene_id)
+            assert not cold["cache_hit"], f"{path.name}: cold hit?"
+            assert cold["snippets"], f"{path.name}: no snippets"
+            warm = await client.complete(scene_id)
+            assert warm["cache_hit"], f"{path.name}: warm request missed"
+            assert warm["snippets"] == cold["snippets"], (
+                f"{path.name}: warm snippets differ from cold")
+            report.append(
+                f"{path.name}: {len(cold['snippets'])} snippets, "
+                f"best {cold['snippets'][0]['code']!r}, "
+                f"cold {cold['synthesis_ms']:.0f} ms, "
+                f"warm hit {warm['server_ms']:.2f} ms")
+
+        # Coalescing: a burst of identical *uncached* queries (fresh n)
+        # must cost exactly one synthesis.
+        scene_id = (await client.register_scene(
+            scene_paths[0].read_text(encoding="utf-8"),
+            name=scene_paths[0].name))["scene_id"]
+        before = (await client.stats())["server"]
+        burst_results = await asyncio.gather(
+            *(client.complete(scene_id, n=7) for _ in range(burst)))
+        after = (await client.stats())["server"]
+
+        synthesized = after["synthesized"] - before["synthesized"]
+        coalesced = after["coalesced"] - before["coalesced"]
+        hits = after["cache_hits"] - before["cache_hits"]
+        assert synthesized == 1, (
+            f"burst of {burst} identical requests ran {synthesized} "
+            f"syntheses, expected exactly 1")
+        assert coalesced + hits == burst - 1, (
+            f"burst accounting off: {coalesced} coalesced + {hits} hits "
+            f"!= {burst - 1}")
+        codes = {tuple(s["code"] for s in r["snippets"])
+                 for r in burst_results}
+        assert len(codes) == 1, "burst responses disagree"
+        report.append(
+            f"burst: {burst} identical requests -> 1 synthesis, "
+            f"{coalesced} coalesced, {hits} cache hits")
+
+        stats = await client.stats()
+        warm_latency = stats["server"]["latency"]["warm"]
+        report.append(
+            f"stats: {stats['server']['completions']} completions, "
+            f"warm p95 {warm_latency['p95_ms']} ms, "
+            f"{stats['core']['interned_types']['size']} interned types")
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server.smoke",
+        description="end-to-end smoke test of the completion server")
+    parser.add_argument("scenes", nargs="*",
+                        help="paths to .ins scenes (default: all shipped "
+                             "example scenes)")
+    parser.add_argument("--burst", type=int, default=50,
+                        help="concurrent identical requests (default 50)")
+    args = parser.parse_args(argv)
+
+    scene_paths = [Path(p) for p in args.scenes]
+    if not scene_paths:
+        scene_paths = sorted(DEFAULT_SCENES_DIR.glob("*.ins"))
+    if not scene_paths:
+        print("smoke: no scenes found", file=sys.stderr)
+        return 2
+
+    process, host, port = _spawn_server()
+    try:
+        report = asyncio.run(_drive(host, port, scene_paths, args.burst))
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait()
+    for line in report:
+        print(f"smoke: {line}")
+    print(f"smoke: OK ({len(scene_paths)} scenes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

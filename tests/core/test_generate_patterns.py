@@ -150,6 +150,19 @@ class TestPredecessorMap:
         assert (generate_patterns(space).patterns
                 == generate_patterns_with_predecessor_map(space).patterns)
 
+    def test_duplicate_child_with_missing_sibling_premise(self):
+        # Like the case above, B is watched twice by the C edge (direct
+        # premise and stripped {B} -> B) — but here the third premise A is
+        # *uninhabited*.  A double decrement for B would bring the
+        # countdown to zero and wrongly mark C inhabited (found by
+        # hypothesis; the fixpoint reference correctly says uninhabited).
+        space = _space(["B", "(B -> B) -> A -> B -> C"], "C")
+        batch = generate_patterns(space)
+        via_map = generate_patterns_with_predecessor_map(space)
+        assert not batch.is_inhabited(space.root)
+        assert batch.patterns == via_map.patterns
+        assert batch.inhabited == via_map.inhabited
+
     @settings(max_examples=60, deadline=None)
     @given(environment_and_goal())
     def test_agreement_on_random_environments(self, env_goal):

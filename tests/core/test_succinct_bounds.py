@@ -1,0 +1,116 @@
+"""Bounded memo tables: intern-table limits, trimming, capped lru_caches."""
+
+import pytest
+
+from repro.core import succinct
+from repro.core.succinct import (clear_intern_table, intern_table_size,
+                                 intern_table_stats, primitive,
+                                 set_intern_table_limit, sigma, sort_key,
+                                 trim_intern_table)
+from repro.core.types import BaseType
+
+
+@pytest.fixture(autouse=True)
+def fresh_tables():
+    """Isolate the global tables and restore the default limit."""
+    clear_intern_table()
+    previous = set_intern_table_limit(succinct.DEFAULT_INTERN_LIMIT)
+    yield
+    set_intern_table_limit(succinct.DEFAULT_INTERN_LIMIT)
+    clear_intern_table()
+    del previous
+
+
+class TestInternTableBound:
+    def test_limit_evicts_oldest(self):
+        set_intern_table_limit(5)
+        for index in range(8):
+            primitive(f"T{index}")
+        assert intern_table_size() == 5
+        stats = intern_table_stats()
+        assert stats["limit"] == 5
+        assert stats["evictions"] >= 3
+
+    def test_eviction_is_safe_for_live_references(self):
+        set_intern_table_limit(2)
+        first = primitive("Alpha")
+        primitive("Beta")
+        primitive("Gamma")                  # evicts Alpha from the table
+        # A fresh intern of the same structure yields an *equal* type, even
+        # though the canonical instance was shed.
+        again = primitive("Alpha")
+        assert again == first
+        assert hash(again) == hash(first)
+
+    def test_shrinking_limit_applies_immediately(self):
+        for index in range(10):
+            primitive(f"T{index}")
+        set_intern_table_limit(3)
+        assert intern_table_size() == 3
+
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(ValueError):
+            set_intern_table_limit(0)
+
+
+class TestTrim:
+    def test_trim_to_zero_clears_everything(self):
+        for index in range(6):
+            sigma(BaseType(f"T{index}"))
+        assert intern_table_size() == 6
+        assert trim_intern_table(0) == 6
+        assert intern_table_size() == 0
+        # The memo caches were cleared with it (they pin interned types).
+        assert sigma.cache_info().currsize == 0
+
+    def test_trim_keeps_newest(self):
+        for index in range(6):
+            primitive(f"T{index}")
+        assert trim_intern_table(2) == 4
+        assert intern_table_size() == 2
+
+    def test_trim_below_target_is_noop(self):
+        primitive("Only")
+        before = sort_key(primitive("Only"))
+        assert trim_intern_table(10) == 0
+        assert intern_table_size() == 1
+        assert sort_key(primitive("Only")) == before
+
+
+class TestThreadSafety:
+    def test_concurrent_interning_with_eviction_pressure(self):
+        """Executor threads intern while the bound forces evictions.
+
+        The server interns from synthesis threads and trims from the
+        event loop; concurrent mutation must never raise or overshoot
+        the bound."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        set_intern_table_limit(16)
+
+        def hammer(worker: int):
+            for index in range(300):
+                primitive(f"W{worker}_T{index % 40}")
+                if index % 50 == 0:
+                    trim_intern_table(4)
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            for future in [pool.submit(hammer, worker)
+                           for worker in range(4)]:
+                future.result()             # raises if any thread blew up
+
+        assert intern_table_size() <= 16
+
+
+class TestCappedMemoCaches:
+    def test_sigma_and_sort_key_are_bounded(self):
+        assert sigma.cache_info().maxsize == succinct.MEMO_CACHE_SIZE
+        assert sort_key.cache_info().maxsize == succinct.MEMO_CACHE_SIZE
+
+    def test_sigma_still_interns_after_trim(self):
+        tpe = BaseType("Roundtrip")
+        first = sigma(tpe)
+        trim_intern_table(0)
+        second = sigma(tpe)
+        assert first == second
+        assert sigma(tpe) is second         # re-memoised and re-interned

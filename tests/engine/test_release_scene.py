@@ -1,0 +1,90 @@
+"""Scene lifecycle: release_scene, result purging, intern-table shedding."""
+
+import pytest
+
+from repro.core.succinct import intern_table_size
+from repro.engine import CompletionEngine
+from repro.lang.loader import load_environment_text
+
+SCENE = """
+local name : String
+imported java.io.File.new : String -> File \
+[freq=100] [style=constructor] [display=File]
+goal File
+"""
+
+OTHER_SCENE = """
+local count : Int
+imported demo.Box.new : Int -> Box \
+[freq=10] [style=constructor] [display=Box]
+goal Box
+"""
+
+
+@pytest.fixture
+def engine():
+    return CompletionEngine()
+
+
+def _prepare(engine, text, name="scene"):
+    loaded = load_environment_text(text)
+    return engine.prepare(loaded.environment, loaded.subtypes,
+                          goal=loaded.goal, name=name)
+
+
+class TestReleaseScene:
+    def test_release_drops_scene_and_results(self, engine):
+        prepared = _prepare(engine, SCENE)
+        engine.complete(prepared)
+        engine.complete(prepared, n=3)
+        assert len(engine.scenes) == 1
+        assert len(engine.results) == 2
+
+        purged = engine.release_scene(prepared)
+        assert purged == 2
+        assert len(engine.scenes) == 0
+        assert len(engine.results) == 0
+
+    def test_release_keeps_other_scenes_results(self, engine):
+        first = _prepare(engine, SCENE)
+        second = _prepare(engine, OTHER_SCENE)
+        engine.complete(first)
+        engine.complete(second)
+
+        engine.release_scene(first)
+        assert len(engine.scenes) == 1
+        assert len(engine.results) == 1
+        # The survivor still serves from cache.
+        assert engine.complete(second).cache_hit
+
+    def test_release_last_scene_sheds_intern_table(self, engine):
+        prepared = _prepare(engine, SCENE)
+        assert intern_table_size() > 0
+        engine.release_scene(prepared)
+        assert intern_table_size() == 0
+
+    def test_released_scene_can_be_reprepared(self, engine):
+        prepared = _prepare(engine, SCENE)
+        before = engine.complete(prepared)
+        engine.release_scene(prepared)
+
+        again = _prepare(engine, SCENE)
+        served = engine.complete(again)
+        assert not served.cache_hit         # results were really purged
+        assert ([snippet.code for snippet in served.snippets]
+                == [snippet.code for snippet in before.snippets])
+
+    def test_release_without_shedding_keeps_types(self, engine):
+        prepared = _prepare(engine, SCENE)
+        assert intern_table_size() > 0
+        engine.release_scene(prepared, shed_types=False)
+        assert intern_table_size() > 0
+
+    def test_purge_results_counts_only_matching_fingerprint(self, engine):
+        first = _prepare(engine, SCENE)
+        second = _prepare(engine, OTHER_SCENE)
+        engine.complete(first)
+        engine.complete(second)
+        assert engine.purge_results(first.fingerprint) == 1
+        assert engine.purge_results(first.fingerprint) == 0
+        assert len(engine.results) == 1

@@ -1,0 +1,161 @@
+"""Wire-protocol round-trips, validation and deadline mapping."""
+
+import pytest
+
+from repro.core.config import SynthesisConfig
+from repro.server.protocol import (MIN_PHASE_SECONDS, PROTOCOL_VERSION,
+                                   CompleteRequest, ProtocolError,
+                                   RegisterSceneRequest, completion_payload,
+                                   deadline_config, decode_body, encode_body,
+                                   error_payload, ok_payload,
+                                   parse_batch_payload)
+
+
+class TestRegisterSceneRequest:
+    def test_roundtrip(self):
+        request = RegisterSceneRequest(text="local x : A\ngoal A",
+                                       name="demo")
+        assert (RegisterSceneRequest.from_payload(request.to_payload())
+                == request)
+
+    def test_text_required(self):
+        with pytest.raises(ProtocolError, match="'text'"):
+            RegisterSceneRequest.from_payload({"name": "demo"})
+
+    def test_blank_text_rejected(self):
+        with pytest.raises(ProtocolError):
+            RegisterSceneRequest.from_payload({"text": "   "})
+
+    def test_body_must_be_object(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            RegisterSceneRequest.from_payload(["not", "a", "dict"])
+
+
+class TestCompleteRequest:
+    def test_roundtrip(self):
+        request = CompleteRequest(scene_id="scn_abc", goal="Reader",
+                                  variant="full", n=5, deadline_ms=250)
+        assert CompleteRequest.from_payload(request.to_payload()) == request
+
+    def test_exactly_one_scene_source(self):
+        with pytest.raises(ProtocolError, match="exactly one"):
+            CompleteRequest.from_payload({"goal": "A"})
+        with pytest.raises(ProtocolError, match="exactly one"):
+            CompleteRequest.from_payload(
+                {"scene_id": "scn_x", "scene": "local x : A"})
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ProtocolError, match="variant"):
+            CompleteRequest.from_payload(
+                {"scene_id": "scn_x", "variant": "turbo"})
+
+    def test_n_bounds(self):
+        with pytest.raises(ProtocolError, match="'n'"):
+            CompleteRequest.from_payload({"scene_id": "scn_x", "n": 0})
+        with pytest.raises(ProtocolError, match="'n'"):
+            CompleteRequest.from_payload({"scene_id": "scn_x", "n": True})
+
+    def test_deadline_bounds(self):
+        with pytest.raises(ProtocolError, match="deadline_ms"):
+            CompleteRequest.from_payload(
+                {"scene_id": "scn_x", "deadline_ms": 0})
+        with pytest.raises(ProtocolError, match="deadline_ms"):
+            CompleteRequest.from_payload(
+                {"scene_id": "scn_x", "deadline_ms": 10_000_000})
+
+
+class TestBatchPayload:
+    def test_parses_each_query(self):
+        queries = parse_batch_payload(
+            {"queries": [{"scene_id": "a"}, {"scene_id": "b", "n": 3}]})
+        assert [q.scene_id for q in queries] == ["a", "b"]
+        assert queries[1].n == 3
+
+    def test_requires_nonempty_list(self):
+        with pytest.raises(ProtocolError, match="queries"):
+            parse_batch_payload({"queries": []})
+        with pytest.raises(ProtocolError, match="queries"):
+            parse_batch_payload({})
+
+    def test_oversized_batch_rejected(self):
+        from repro.server.protocol import MAX_BATCH_QUERIES
+        queries = [{"scene_id": "x"}] * (MAX_BATCH_QUERIES + 1)
+        with pytest.raises(ProtocolError, match="limit"):
+            parse_batch_payload({"queries": queries})
+
+
+class TestEnvelopes:
+    def test_ok_envelope(self):
+        payload = ok_payload(answer=42)
+        assert payload["v"] == PROTOCOL_VERSION
+        assert payload["ok"] is True
+        assert payload["answer"] == 42
+
+    def test_error_envelope(self):
+        payload = error_payload("overloaded", "busy")
+        assert payload["ok"] is False
+        assert payload["error"] == {"code": "overloaded", "message": "busy"}
+
+    def test_body_roundtrip(self):
+        payload = ok_payload(nested={"a": [1, 2]})
+        assert decode_body(encode_body(payload)) == payload
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ProtocolError, match="invalid JSON"):
+            decode_body(b"{nope")
+        with pytest.raises(ProtocolError, match="empty"):
+            decode_body(b"")
+
+
+class TestCompletionPayload:
+    def test_reports_partial_and_serving_flags(self):
+        from repro.core.synthesizer import SynthesisResult
+
+        result = SynthesisResult(inhabited=True, explore_truncated=True)
+        payload = completion_payload(
+            scene_id="scn_x", goal="Reader", variant="full", result=result,
+            cache_hit=False, coalesced=True, deadline_ms=100,
+            server_seconds=0.01)
+        assert payload["partial"] is True
+        assert payload["coalesced"] is True
+        assert payload["cache_hit"] is False
+        assert payload["deadline_ms"] == 100
+        assert payload["snippets"] == []
+
+
+class TestDeadlineConfig:
+    BASE = SynthesisConfig.paper_defaults()     # 0.5 s prover, 7 s recon
+
+    def test_none_is_identity(self):
+        assert deadline_config(self.BASE, None) is self.BASE
+
+    def test_generous_deadline_never_extends_budgets(self):
+        config = deadline_config(self.BASE, 600_000)
+        assert config.prover_time_limit <= self.BASE.prover_time_limit
+        assert (config.reconstruction_time_limit
+                <= self.BASE.reconstruction_time_limit)
+
+    def test_proportional_split(self):
+        config = deadline_config(self.BASE, 750)
+        total = config.prover_time_limit + config.reconstruction_time_limit
+        assert total == pytest.approx(0.75, rel=0.01)
+        # 0.5 : 7 proportion -> prover gets 1/15th of the budget.
+        assert config.prover_time_limit == pytest.approx(0.05, rel=0.01)
+
+    def test_tiny_deadline_floors_phases(self):
+        config = deadline_config(self.BASE, 1)
+        assert config.prover_time_limit >= MIN_PHASE_SECONDS
+        assert config.reconstruction_time_limit >= MIN_PHASE_SECONDS
+
+    def test_deterministic_for_cache_keys(self):
+        assert (deadline_config(self.BASE, 333)
+                == deadline_config(self.BASE, 333))
+        assert (deadline_config(self.BASE, 333)
+                != deadline_config(self.BASE, 334))
+
+    def test_unlimited_base_uses_paper_proportion(self):
+        base = SynthesisConfig(prover_time_limit=None,
+                               reconstruction_time_limit=None)
+        config = deadline_config(base, 1500)
+        total = config.prover_time_limit + config.reconstruction_time_limit
+        assert total == pytest.approx(1.5, rel=0.01)

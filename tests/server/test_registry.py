@@ -1,0 +1,159 @@
+"""Scene registry: content-derived ids, LRU eviction, engine release."""
+
+import pytest
+
+from repro.core.succinct import intern_table_size
+from repro.engine import CompletionEngine
+from repro.server.protocol import ProtocolError
+from repro.server.registry import (SceneRegistry, UnknownSceneError,
+                                   build_scene)
+
+SCENE = """
+local name : String
+imported java.io.File.new : String -> File \
+[freq=100] [style=constructor] [display=File]
+goal File
+"""
+
+OTHER_SCENE = """
+local count : Int
+imported demo.Box.new : Int -> Box \
+[freq=10] [style=constructor] [display=Box]
+goal Box
+"""
+
+THIRD_SCENE = """
+local flag : Boolean
+imported demo.Gate.new : Boolean -> Gate \
+[freq=10] [style=constructor] [display=Gate]
+goal Gate
+"""
+
+
+@pytest.fixture
+def engine():
+    return CompletionEngine()
+
+
+class TestBuildScene:
+    def test_builds_prepared_scene(self, engine):
+        scene = build_scene(engine, SCENE, name="demo")
+        assert scene.scene_id.startswith("scn_")
+        assert scene.name == "demo"
+        assert scene.declarations == 2
+        assert str(scene.prepared.goal) == "File"
+
+    def test_identical_text_same_id(self, engine):
+        first = build_scene(engine, SCENE)
+        second = build_scene(engine, SCENE)
+        assert first.scene_id == second.scene_id
+        # The engine's scene table dedups the prepared state too.
+        assert first.prepared.fingerprint == second.prepared.fingerprint
+
+    def test_different_goal_different_id(self, engine):
+        moved = SCENE.replace("goal File", "goal String")
+        assert (build_scene(engine, SCENE).scene_id
+                != build_scene(engine, moved).scene_id)
+
+    def test_unparsable_text_raises_scene_error(self, engine):
+        with pytest.raises(ProtocolError) as excinfo:
+            build_scene(engine, "local broken :\n")
+        assert excinfo.value.code == "scene_error"
+        assert excinfo.value.status == 422
+
+
+class TestSceneRegistry:
+    def test_adopt_and_get(self, engine):
+        registry = SceneRegistry(engine, max_scenes=4)
+        scene, already = registry.adopt(build_scene(engine, SCENE))
+        assert not already
+        assert registry.get(scene.scene_id) is scene
+        assert len(registry) == 1
+
+    def test_reregistration_is_idempotent(self, engine):
+        registry = SceneRegistry(engine, max_scenes=4)
+        first, _ = registry.adopt(build_scene(engine, SCENE))
+        second, already = registry.adopt(build_scene(engine, SCENE))
+        assert already
+        assert second is first
+        assert len(registry) == 1
+
+    def test_unknown_scene_raises_not_found(self, engine):
+        registry = SceneRegistry(engine, max_scenes=4)
+        with pytest.raises(UnknownSceneError) as excinfo:
+            registry.get("scn_missing")
+        assert excinfo.value.status == 404
+
+    def test_eviction_releases_engine_state(self, engine):
+        evicted = []
+        registry = SceneRegistry(engine, max_scenes=2,
+                                 on_evict=evicted.append)
+        first, _ = registry.adopt(build_scene(engine, SCENE))
+        # Cache a result against the first scene so release has work to do.
+        engine.complete(first.prepared)
+        assert len(engine.results) == 1
+
+        registry.adopt(build_scene(engine, OTHER_SCENE))
+        registry.adopt(build_scene(engine, THIRD_SCENE))
+
+        assert len(registry) == 2
+        assert first.scene_id not in registry
+        assert registry.evictions == 1
+        assert [scene.scene_id for scene in evicted] == [first.scene_id]
+        # The engine dropped the scene's results and prepared state.
+        assert len(engine.results) == 0
+        with pytest.raises(UnknownSceneError):
+            registry.get(first.scene_id)
+
+    def test_lru_order_follows_use(self, engine):
+        registry = SceneRegistry(engine, max_scenes=2)
+        first, _ = registry.adopt(build_scene(engine, SCENE))
+        second, _ = registry.adopt(build_scene(engine, OTHER_SCENE))
+        registry.get(first.scene_id)        # promote first; second is LRU
+        registry.adopt(build_scene(engine, THIRD_SCENE))
+        assert first.scene_id in registry
+        assert second.scene_id not in registry
+
+    def test_release_last_scene_clears_intern_table(self, engine):
+        registry = SceneRegistry(engine, max_scenes=2)
+        scene, _ = registry.adopt(build_scene(engine, SCENE))
+        assert intern_table_size() > 0
+        assert registry.release(scene.scene_id)
+        assert intern_table_size() == 0
+        assert not registry.release(scene.scene_id)
+
+    def test_sibling_goals_share_prepared_state_until_last_release(
+            self, engine):
+        """Same declarations + different goals = same fingerprint.
+
+        Evicting one sibling must not purge the other's warm results —
+        release only fires when the last scene on a fingerprint goes.
+        """
+        registry = SceneRegistry(engine, max_scenes=4)
+        first, _ = registry.adopt(build_scene(engine, SCENE))
+        sibling_text = SCENE.replace("goal File", "goal String")
+        second, _ = registry.adopt(build_scene(engine, sibling_text))
+        assert first.scene_id != second.scene_id
+        assert (first.prepared.fingerprint
+                == second.prepared.fingerprint)
+
+        engine.complete(first.prepared)
+        engine.complete(second.prepared, goal=second.prepared.goal)
+        assert len(engine.results) == 2
+
+        assert registry.release(first.scene_id)
+        # The sibling's cached result and prepared state survive.
+        assert len(engine.results) == 2
+        assert engine.complete(second.prepared,
+                               goal=second.prepared.goal).cache_hit
+
+        assert registry.release(second.scene_id)
+        assert len(engine.results) == 0
+
+    def test_describe(self, engine):
+        registry = SceneRegistry(engine, max_scenes=4)
+        registry.adopt(build_scene(engine, SCENE, name="demo"))
+        description = registry.describe()
+        assert description["count"] == 1
+        assert description["limit"] == 4
+        assert description["scenes"][0]["name"] == "demo"

@@ -128,6 +128,151 @@ class TestBatchCommand:
         assert code == 2
         assert "no goal" in capsys.readouterr().err
 
+    def test_no_scenes_and_no_stdin_is_an_error(self, capsys):
+        code = main(["batch"])
+        assert code == 2
+        assert "stdin" in capsys.readouterr().err
+
+
+class TestBatchStdinQueries:
+    def _feed(self, monkeypatch, lines):
+        import io
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(lines)))
+
+    def test_json_lines_queries(self, scene_file, monkeypatch, capsys):
+        import json
+        self._feed(monkeypatch, [
+            json.dumps({"scene": scene_file, "goal": "File"}),
+            "",                                       # blank lines skipped
+            json.dumps({"scene": scene_file, "goal": "String", "n": 1}),
+        ])
+        code = main(["batch", "-"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "new File(name)" in out
+        assert "goal String" in out
+        assert "2 queries over 1 scenes" in out
+
+    def test_stdin_flag_equivalent_to_dash(self, scene_file, monkeypatch,
+                                           capsys):
+        import json
+        self._feed(monkeypatch,
+                   [json.dumps({"scene": scene_file})])   # scene's own goal
+        code = main(["batch", "--stdin"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "new File(name)" in out
+
+    def test_stdin_queries_combine_with_file_scenes(self, scene_file,
+                                                    monkeypatch, capsys):
+        import json
+        self._feed(monkeypatch, [
+            json.dumps({"scene": scene_file, "goal": "String",
+                        "variant": "no_weights"}),
+        ])
+        code = main(["batch", scene_file, "-"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no_weights" in out
+        assert "2 queries over 1 scenes" in out
+
+    def test_invalid_json_line_is_an_error(self, monkeypatch, capsys):
+        self._feed(monkeypatch, ["{broken"])
+        code = main(["batch", "-"])
+        assert code == 2
+        assert "line 1" in capsys.readouterr().err
+
+    def test_missing_scene_field_is_an_error(self, scene_file, monkeypatch,
+                                             capsys):
+        self._feed(monkeypatch, ['{"goal": "File"}'])
+        code = main(["batch", "-"])
+        assert code == 2
+        assert "'scene'" in capsys.readouterr().err
+
+    def test_wrongly_typed_fields_are_clean_errors(self, scene_file,
+                                                   monkeypatch, capsys):
+        import json
+        for bad in ({"scene": scene_file, "n": "5"},
+                    {"scene": 5},
+                    {"scene": scene_file, "goal": 7},
+                    {"scene": scene_file, "variant": "turbo"}):
+            self._feed(monkeypatch, [json.dumps(bad)])
+            code = main(["batch", "-"])
+            assert code == 2, f"{bad} should be a usage error"
+            assert "error:" in capsys.readouterr().err
+
+    def test_empty_stdin_is_an_error(self, monkeypatch, capsys):
+        self._feed(monkeypatch, [])
+        code = main(["batch", "-"])
+        assert code == 2
+        assert "no queries" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_parser_accepts_serving_flags(self):
+        from repro.cli import _build_parser
+        args = _build_parser().parse_args(
+            ["serve", "--port", "0", "--max-pending", "8",
+             "--max-scenes", "4", "--deadline-ms", "500",
+             "--scenes", "a.ins", "b.ins"])
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.max_pending == 8
+        assert args.scenes == ["a.ins", "b.ins"]
+
+    def test_invalid_deadline_is_a_usage_error(self, capsys):
+        code = main(["serve", "--port", "0", "--deadline-ms", "0"])
+        assert code == 2
+        assert "--deadline-ms" in capsys.readouterr().err
+
+    def test_serve_registers_scenes_and_answers(self, scene_file):
+        """Boot the real server via the CLI path and complete against it."""
+        import asyncio
+        import threading
+
+        from repro.server import AsyncCompletionServer, ServerConfig
+        from repro.server.client import (AsyncCompletionClient,
+                                         wait_until_healthy)
+
+        # Exercise the serve wiring in-process (the subprocess path is
+        # covered by repro.server.smoke / CI).
+        server = AsyncCompletionServer(config=ServerConfig(port=0))
+        started = threading.Event()
+        stop_loop: list = []
+
+        def _run():
+            async def _main():
+                await server.start()
+                started.set()
+                stop_loop.append(asyncio.get_running_loop())
+                try:
+                    await server.serve_forever()
+                except asyncio.CancelledError:
+                    pass
+                finally:
+                    await server.close()
+
+            asyncio.run(_main())
+
+        thread = threading.Thread(target=_run, daemon=True)
+        thread.start()
+        assert started.wait(10)
+
+        async def _drive():
+            async with AsyncCompletionClient(server.host,
+                                             server.port) as client:
+                await wait_until_healthy(client)
+                registered = await client.register_scene(SCENE, name="cli")
+                served = await client.complete(registered["scene_id"])
+                assert served["snippets"][0]["code"] == "new File(name)"
+
+        asyncio.run(_drive())
+        stop_loop[0].call_soon_threadsafe(
+            lambda: [task.cancel() for task in
+                     asyncio.all_tasks(stop_loop[0])])
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
 
 class TestWarmCommand:
     def test_warm_reports_cache_round_trip(self, scene_file, capsys):
