@@ -1,0 +1,207 @@
+"""Core prover/reconstruction benchmark — the ``BENCH_core.json`` emitter.
+
+Measures warm per-query synthesis latency on a fixed set of Table 2
+scenes under the serving protocol the engine actually uses: the scene is
+prepared once (coercion-extended environment, succinct signature, scene
+arena), then every timed run constructs a *fresh*
+:class:`~repro.core.synthesizer.Synthesizer` over the shared prepared
+state and executes one full ``Synthesize`` (explore + patterns +
+reconstruction, paper budgets, ``n`` = 10, ``full`` policy).  That is the
+quantity the arena work optimises — cache-served repeats would measure
+nothing, cold one-shot runs would mostly measure scene build.
+
+Usage::
+
+    python -m repro.bench.core_bench --output BENCH_core.json
+    python -m repro.bench.core_bench --check BENCH_core.json \
+        [--output benchmarks/out/BENCH_core.json]
+
+``--check`` re-measures and fails (exit 1) when the summed prove time
+regresses more than ``--max-regression`` (default 25%) against the
+``current`` numbers committed in the given file — the CI slow job runs
+exactly this, so the repository carries a perf trajectory that PRs must
+defend.  Timings are machine-dependent; the gate compares sums across
+rows to damp per-row noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from typing import Optional, Sequence
+
+#: Default measured rows: a spread of scene sizes, including the largest
+#: bundled scene (row 28, 10700 declarations — the acceptance row).
+DEFAULT_ROWS = (2, 9, 15, 21, 28, 44)
+
+DEFAULT_REPEATS = 8
+
+SCHEMA = "bench-core/v1"
+
+#: The acceptance row (largest bundled scene by declaration count).
+LARGEST_ROW = 28
+
+
+def measure_rows(rows: Sequence[int] = DEFAULT_ROWS,
+                 repeats: int = DEFAULT_REPEATS) -> dict:
+    """Measure every row; returns ``{row: {prove_ms, recon_ms, ...}}``."""
+    from repro.bench.suite import BENCHMARKS, build_scene
+    from repro.core.config import SynthesisConfig
+    from repro.core.subtyping import environment_with_subtyping
+    from repro.core.synthesizer import Synthesizer
+    from repro.core.weights import WeightPolicy
+
+    results: dict[str, dict] = {}
+    for number in rows:
+        spec = BENCHMARKS[number - 1]
+        scene = build_scene(spec)
+        extended = environment_with_subtyping(scene.environment,
+                                              scene.subtypes)
+        extended.succinct_environment()
+        samples = []
+        for _ in range(repeats + 1):
+            synthesizer = Synthesizer.from_prepared(
+                extended, scene.environment, scene.subtypes,
+                policy=WeightPolicy.standard(),
+                config=SynthesisConfig.paper_defaults())
+            start = time.perf_counter()
+            result = synthesizer.synthesize(scene.goal, n=10)
+            total = time.perf_counter() - start
+            samples.append((result.prove_seconds * 1000,
+                            result.reconstruction_seconds * 1000,
+                            total * 1000))
+        cold, warm = samples[0], samples[1:]
+        results[str(number)] = {
+            "name": spec.name,
+            "declarations": spec.row.n_initial,
+            "cold_total_ms": round(cold[2], 2),
+            "prove_ms": round(statistics.median(s[0] for s in warm), 2),
+            "recon_ms": round(statistics.median(s[1] for s in warm), 2),
+            "total_ms": round(statistics.median(s[2] for s in warm), 2),
+            "best_total_ms": round(min(s[2] for s in warm), 2),
+        }
+    return results
+
+
+def _summed(rows: dict, field: str) -> float:
+    return round(sum(row[field] for row in rows.values()), 2)
+
+
+def build_report(rows: dict, baseline: Optional[dict] = None,
+                 repeats: int = DEFAULT_REPEATS) -> dict:
+    """The ``BENCH_core.json`` document for one measurement."""
+    report = {
+        "schema": SCHEMA,
+        "protocol": {
+            "statistic": f"median over {repeats} warm runs "
+                         "(fresh synthesizer, shared prepared scene)",
+            "config": "paper defaults (0.5 s prover / 7 s recon), "
+                      "n=10, full policy",
+            "rows": sorted(int(number) for number in rows),
+            "largest_scene": LARGEST_ROW,
+        },
+        "current": rows,
+        "summary": {
+            "prove_ms_sum": _summed(rows, "prove_ms"),
+            "recon_ms_sum": _summed(rows, "recon_ms"),
+            "total_ms_sum": _summed(rows, "total_ms"),
+        },
+    }
+    if baseline is not None:
+        report["baseline"] = baseline
+        speedups = {}
+        for number, row in rows.items():
+            base = baseline.get(number)
+            if base and row["total_ms"]:
+                speedups[number] = round(base["total_ms"] / row["total_ms"],
+                                         2)
+        report["speedup_total"] = speedups
+    return report
+
+
+def check_regression(committed: dict, measured: dict,
+                     max_regression: float) -> list[str]:
+    """Regression findings of *measured* against the *committed* report."""
+    failures = []
+    reference = committed.get("current", {})
+    common = [number for number in reference if number in measured]
+    if not common:
+        return [f"no comparable rows between committed and measured sets "
+                f"({sorted(reference)} vs {sorted(measured)})"]
+    committed_prove = sum(reference[number]["prove_ms"] for number in common)
+    measured_prove = sum(measured[number]["prove_ms"] for number in common)
+    allowed = committed_prove * (1.0 + max_regression)
+    if measured_prove > allowed:
+        failures.append(
+            f"prove-time regression: {measured_prove:.1f} ms summed over "
+            f"rows {common} exceeds the committed {committed_prove:.1f} ms "
+            f"by more than {max_regression:.0%} (limit {allowed:.1f} ms)")
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.core_bench",
+        description="measure warm core synthesis latency "
+                    "(prove/recon/total per Table 2 scene)")
+    parser.add_argument("--rows", default=None,
+                        help="comma-separated Table 2 row numbers "
+                             f"(default {','.join(map(str, DEFAULT_ROWS))})")
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS,
+                        help=f"timed runs per row (default {DEFAULT_REPEATS})")
+    parser.add_argument("--output", default=None,
+                        help="write the measured report to this path")
+    parser.add_argument("--check", default=None, metavar="BENCH_core.json",
+                        help="compare against a committed report and fail "
+                             "on prove-time regression")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional prove-time regression for "
+                             "--check (default 0.25)")
+    args = parser.parse_args(argv)
+
+    rows = DEFAULT_ROWS
+    if args.rows:
+        rows = tuple(int(part) for part in args.rows.split(",") if part.strip())
+
+    committed = None
+    baseline = None
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as handle:
+            committed = json.load(handle)
+        baseline = committed.get("baseline")
+
+    measured = measure_rows(rows, repeats=args.repeats)
+    report = build_report(measured, baseline=baseline, repeats=args.repeats)
+
+    for number, row in sorted(measured.items(), key=lambda kv: int(kv[0])):
+        print(f"row {number:>2} ({row['name']}, {row['declarations']} decls): "
+              f"prove {row['prove_ms']:.1f} ms, recon {row['recon_ms']:.1f} ms, "
+              f"total {row['total_ms']:.1f} ms")
+    summary = report["summary"]
+    print(f"summed: prove {summary['prove_ms_sum']:.1f} ms, "
+          f"recon {summary['recon_ms_sum']:.1f} ms, "
+          f"total {summary['total_ms_sum']:.1f} ms")
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+
+    if committed is not None:
+        failures = check_regression(committed, measured,
+                                    args.max_regression)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"regression check passed "
+              f"(within {args.max_regression:.0%} of committed prove time)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

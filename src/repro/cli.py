@@ -1,12 +1,13 @@
 """Command-line interface: InSynth as a terminal tool.
 
-Six subcommands mirror the library's main entry points::
+The subcommands mirror the library's main entry points::
 
     python -m repro.cli synthesize SCENE.ins [--n 10] [--variant full]
     python -m repro.cli batch SCENE.ins [SCENE2.ins ...] [--goals T1,T2]
     python -m repro.cli warm SCENE.ins [--goals T1,T2] [--variants ...]
-    python -m repro.cli serve [--port 8777] [--scenes a.ins b.ins]
+    python -m repro.cli serve [--port 8777] [--workers N] [--scenes a.ins]
     python -m repro.cli bench [--rows 9,15,44] [--variants full,no_corpus]
+    python -m repro.cli stats [--host H] [--port P] [--json]
     python -m repro.cli corpus-stats
 
 ``synthesize`` loads a scene written in the declaration language (see
@@ -18,8 +19,11 @@ with ``-`` (or ``--stdin``) it instead reads one JSON query per stdin
 line — ``{"scene": "a.ins", "goal": "Reader", "variant": "full", "n": 5}``
 — which is how the load tools pipe workloads in.  ``warm`` pre-populates
 the engine's result cache and reports the cold/warm speedup.  ``serve``
-runs the long-lived asyncio completion server (`repro.server`).  ``bench``
-runs Table 2 rows; ``corpus-stats`` prints the §7.3 marginals.
+runs the long-lived asyncio completion server (`repro.server`); with
+``--workers N`` cache-miss syntheses fan out over a process pool for real
+CPU parallelism.  ``bench`` runs Table 2 rows; ``stats`` pretty-prints a
+running server's ``/v1/stats`` (cache, intern-table and environment-arena
+counters); ``corpus-stats`` prints the §7.3 marginals.
 """
 
 from __future__ import annotations
@@ -93,6 +97,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="registered-scene LRU size (default 32)")
     serve.add_argument("--executor-workers", type=int, default=4,
                        help="synthesis executor threads (default 4)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="synthesis process-pool workers (default 1 = "
+                            "threads only; N > 1 adds CPU throughput by "
+                            "fanning cache misses over N processes)")
     serve.add_argument("--deadline-ms", type=int, default=None,
                        help="default per-request deadline when the client "
                             "sends none")
@@ -115,6 +123,15 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--variants", default="no_weights,no_corpus,full",
                        help="comma-separated variants to run")
     bench.add_argument("--n", type=int, default=10)
+
+    stats = commands.add_parser(
+        "stats", help="fetch and pretty-print a running server's /v1/stats")
+    stats.add_argument("--host", default="127.0.0.1",
+                       help="server address (default 127.0.0.1)")
+    stats.add_argument("--port", type=int, default=8777,
+                       help="server port (default 8777)")
+    stats.add_argument("--json", action="store_true",
+                       help="print the raw JSON payload instead")
 
     commands.add_parser("corpus-stats",
                         help="print the §7.3 corpus marginals")
@@ -303,7 +320,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
     for flag, value in (("--max-pending", args.max_pending),
                         ("--max-scenes", args.max_scenes),
-                        ("--executor-workers", args.executor_workers)):
+                        ("--executor-workers", args.executor_workers),
+                        ("--workers", args.workers)):
         if value < 1:
             print(f"error: {flag} must be at least 1, got {value}",
                   file=sys.stderr)
@@ -312,6 +330,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                           max_pending=args.max_pending,
                           max_scenes=args.max_scenes,
                           executor_workers=args.executor_workers,
+                          workers=args.workers,
                           default_deadline_ms=args.deadline_ms)
     server = AsyncCompletionServer(config=config)
 
@@ -407,6 +426,67 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.server.client import AsyncCompletionClient
+
+    async def _fetch() -> dict:
+        async with AsyncCompletionClient(args.host, args.port,
+                                         timeout=10.0) as client:
+            return await client.stats()
+
+    try:
+        payload = asyncio.run(_fetch())
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    server = payload.get("server", {})
+    engine = payload.get("engine", {})
+    core = payload.get("core", {})
+    executor = payload.get("executor", {})
+    scenes = payload.get("scenes", {})
+    print(f"server at http://{args.host}:{args.port}")
+    latency = server.get("latency", {})
+    for window in ("complete", "warm", "synthesis"):
+        row = latency.get(window) or {}
+        print(f"  {window:<9} count={row.get('count', 0):<7} "
+              f"p50={row.get('p50_ms')} ms  p95={row.get('p95_ms')} ms")
+    print(f"  completions={server.get('completions', 0)} "
+          f"cache_hits={server.get('cache_hits', 0)} "
+          f"coalesced={server.get('coalesced', 0)} "
+          f"rejected={server.get('rejected_overload', 0)}")
+    print(f"executor: threads={executor.get('threads')} "
+          f"workers={executor.get('workers')} "
+          f"process_pool={executor.get('process_pool')}")
+    result_stats = engine.get("result_stats", {})
+    print(f"engine: results {engine.get('result_entries')}/"
+          f"{engine.get('result_capacity')} "
+          f"(hit rate {result_stats.get('hit_rate')}), "
+          f"{engine.get('prepared_scenes')} prepared scenes")
+    print(f"scenes: {scenes.get('count')}/{scenes.get('limit')} registered, "
+          f"{scenes.get('evictions')} evictions")
+    interned = core.get("interned_types", {})
+    print(f"interned types: size={interned.get('size')} "
+          f"limit={interned.get('limit')} "
+          f"evictions={interned.get('evictions')} "
+          f"ids_assigned={interned.get('type_ids_assigned')}")
+    arena = core.get("env_arena", {})
+    print(f"env arena: live={arena.get('live_arenas')} "
+          f"envs={arena.get('env_count')} "
+          f"transition_hits={arena.get('transition_memo_hits')} "
+          f"misses={arena.get('transition_memo_misses')} "
+          f"merges={arena.get('index_merges')} "
+          f"retired={arena.get('retired_arenas')}")
+    return 0
+
+
 def _cmd_corpus_stats() -> int:
     from repro.corpus.projects import CORPUS_PROJECTS
     from repro.corpus.synthetic import default_frequencies
@@ -436,6 +516,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_serve(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "stats":
+            return _cmd_stats(args)
         if args.command == "corpus-stats":
             return _cmd_corpus_stats()
     except ReproError as error:

@@ -111,15 +111,21 @@ class Environment:
         self._parent = _parent
         self._declarations: tuple[Declaration, ...] = tuple(declarations)
         self._by_name: dict[str, Declaration] = {}
-        self._by_succinct: dict[SuccinctType, list[Declaration]] = {}
+        grouped: dict[SuccinctType, list[Declaration]] = {}
         for decl in self._declarations:
             if decl.name in self._by_name or (
                     _parent is not None and _parent.lookup(decl.name) is not None):
                 raise EnvironmentError_(f"duplicate declaration name: {decl.name!r}")
             self._by_name[decl.name] = decl
-            self._by_succinct.setdefault(decl.succinct_type, []).append(decl)
+            grouped.setdefault(decl.succinct_type, []).append(decl)
+        # Stored as tuples so ``select`` returns them without a copy.
+        self._by_succinct: dict[SuccinctType, tuple[Declaration, ...]] = {
+            stype: tuple(decls) for stype, decls in grouped.items()}
+        self._weight_memos: dict = {}  # WeightPolicy -> {SuccinctType: float}
+        self._decl_weight_memos: dict = {}  # WeightPolicy -> {id(decl): float}
         self._succinct_env: Optional[frozenset[SuccinctType]] = None
         self._fingerprint: Optional[str] = None
+        self._arena = None  # lazily built EnvArena (see succinct_arena)
 
     # -- construction -------------------------------------------------------
 
@@ -149,8 +155,8 @@ class Environment:
         """All declarations whose sigma image is *stype* (Fig. 4's Select)."""
         local = self._by_succinct.get(stype, ())
         if self._parent is None:
-            return tuple(local)
-        return self._parent.select(stype) + tuple(local)
+            return local
+        return self._parent.select(stype) + local
 
     def succinct_environment(self) -> frozenset[SuccinctType]:
         """sigma(Gamma_o): the set of succinct types of all declarations."""
@@ -160,6 +166,63 @@ class Environment:
                 own |= self._parent.succinct_environment()
             self._succinct_env = own
         return self._succinct_env
+
+    def type_weight_memo(self, policy) -> dict:
+        """The mutable ``succinct type -> w(t, Gamma_o)`` memo for *policy*.
+
+        Request priorities (§5.6) are pure in (environment, policy), and
+        environments are immutable, so the memo lives here: every fresh
+        :class:`~repro.core.synthesizer.Synthesizer` over this environment
+        starts with the weights earlier ones already computed.
+        """
+        memo = self._weight_memos.get(policy)
+        if memo is None:
+            memo = self._weight_memos.setdefault(policy, {})
+        return memo
+
+    def declaration_weight_memo(self, policy) -> dict:
+        """The ``id(declaration) -> weight`` memo for *policy*.
+
+        Keyed by identity: every declaration in scope is pinned by this
+        environment for its whole lifetime, and reconstruction weighs
+        thousands of them per query.  Like :meth:`type_weight_memo`, the
+        values are pure in (environment, policy).
+        """
+        memo = self._decl_weight_memos.get(policy)
+        if memo is None:
+            memo = self._decl_weight_memos.setdefault(policy, {})
+        return memo
+
+    def succinct_arena(self):
+        """The scene-scoped :class:`~repro.core.space.EnvArena` for this
+        environment, built lazily over ``sigma(Gamma_o)``.
+
+        The arena carries the prover's STRIP transition memo and MATCH
+        indexes from query to query, which is what makes warm per-query
+        prover latency cheap.  An arena that has outgrown its bound is
+        *replaced* here (never cleared in place), so any exploration that
+        started on the old one keeps its consistent snapshot.
+        """
+        from repro.core.space import EnvArena  # deferred: keeps import DAG flat
+
+        arena = self._arena
+        if arena is None or arena.oversized():
+            if arena is not None:
+                arena.retire()
+            arena = EnvArena(self.succinct_environment())
+            self._arena = arena
+        return arena
+
+    def release_arena(self) -> None:
+        """Drop the cached arena (engine scene release calls this).
+
+        In-flight explorations keep their reference and finish on the old
+        arena; the memory goes when the last of them does.
+        """
+        arena = self._arena
+        if arena is not None:
+            arena.retire()
+            self._arena = None
 
     def fingerprint(self) -> str:
         """A stable content hash of the environment (for result caching).
@@ -201,6 +264,25 @@ class Environment:
     def variable_types(self) -> dict[str, Type]:
         """A ``name -> type`` mapping (for the generic type checker)."""
         return {decl.name: decl.type for decl in self.declarations()}
+
+    def __getstate__(self) -> dict:
+        # The arena is process-local (it holds a lock and per-process type
+        # ids), and the weight memos must not cross either: the
+        # declaration-weight memo is keyed by raw id() addresses, which
+        # mean nothing — and could silently collide — in another process.
+        # Pool workers rebuild all three lazily.
+        state = dict(self.__dict__)
+        state["_arena"] = None
+        state["_weight_memos"] = {}
+        state["_decl_weight_memos"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # Unpickled instances from older payloads may predate the memos.
+        self.__dict__.setdefault("_arena", None)
+        self.__dict__.setdefault("_weight_memos", {})
+        self.__dict__.setdefault("_decl_weight_memos", {})
 
     def __repr__(self) -> str:
         return f"Environment({len(self)} declarations)"

@@ -20,6 +20,23 @@ weighted discipline is what makes the search goal-directed in practice.
 
 Termination: every type ever added to an environment is a succinct subterm
 of the initial environment or the goal, so the request space is finite.
+
+Two implementations live here:
+
+* :func:`explore` — the production path.  It runs entirely over integer
+  ids: environments are interned in an :class:`~repro.core.space.EnvArena`
+  (STRIP is a transition-memo hit, MATCH an incremental per-env index
+  lookup) and requests are dense ``(target, env_id)`` node ids, so the
+  inner loop hashes small ints instead of multi-thousand-member
+  frozensets.  The resulting :class:`SearchSpace` carries the raw
+  :class:`IndexedSpace` and materialises the classic
+  :class:`Request`/:class:`ReachabilityEdge` views lazily, on first
+  access — consumers that only need counts or the indexed form never pay
+  for view construction.
+* :func:`explore_reference` — the direct structural transcription of
+  Fig. 7 (the pre-arena implementation), kept as the executable
+  specification.  The property suite checks that both produce identical
+  spaces, truncated runs included.
 """
 
 from __future__ import annotations
@@ -30,6 +47,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
+from repro.core.space import EnvArena
 from repro.core.succinct import SuccinctType, sort_key
 
 #: An environment in succinct space: just the set of member types.
@@ -91,6 +109,56 @@ def child_request(premise: SuccinctType, env: EnvKey) -> Request:
 
 
 @dataclass
+class IndexedSpace:
+    """The explored space in integer form: dense node and edge arrays.
+
+    Nodes are requests, numbered in order of first *mention* (the root,
+    then children as PROP discovers them); a node can therefore exist
+    without ever having been visited — truncated runs reference such
+    frontier nodes from their edges.  Edges are numbered in discovery
+    order and grouped per visited node as a contiguous span.
+    """
+
+    arena: EnvArena
+    root: int = 0
+    node_targets: list = field(default_factory=list)   # node -> basic type
+    node_envs: list = field(default_factory=list)      # node -> env id
+    order: list = field(default_factory=list)          # visited, pop order
+    edge_node: list = field(default_factory=list)      # edge -> its request
+    edge_source: list = field(default_factory=list)    # edge -> matched member
+    edge_children: list = field(default_factory=list)  # edge -> child nodes
+    node_edges: dict = field(default_factory=dict)     # node -> (start, end)
+    predecessors: dict = field(default_factory=dict)   # node -> [edge, ...]
+    _requests: dict = field(default_factory=dict, repr=False)
+    _edges: dict = field(default_factory=dict, repr=False)
+
+    def node_count(self) -> int:
+        return len(self.node_targets)
+
+    def edge_count(self) -> int:
+        return len(self.edge_node)
+
+    # -- classic views -------------------------------------------------------
+
+    def request_view(self, node: int) -> Request:
+        """The :class:`Request` behind one node id (memoised)."""
+        view = self._requests.get(node)
+        if view is None:
+            view = Request(self.node_targets[node],
+                           self.arena.members(self.node_envs[node]))
+            self._requests[node] = view
+        return view
+
+    def edge_view(self, edge: int) -> ReachabilityEdge:
+        """The :class:`ReachabilityEdge` behind one edge id (memoised)."""
+        view = self._edges.get(edge)
+        if view is None:
+            view = ReachabilityEdge(self.request_view(self.edge_node[edge]),
+                                    self.edge_source[edge])
+            self._edges[edge] = view
+        return view
+
+
 class SearchSpace:
     """The explored search space: nodes, edges and exploration statistics.
 
@@ -98,16 +166,70 @@ class SearchSpace:
     exploration: for every request, the reachability edges whose premises
     propagate to it.  Pattern generation can then resolve its "compatible"
     set by lookup instead of scanning the space.
+
+    Arena-backed spaces (``indexed`` is set) materialise ``edges`` /
+    ``predecessors`` / ``order`` lazily from the integer arrays on first
+    access; the reference explorer fills them eagerly.
     """
 
-    root: Request
-    edges: dict[Request, tuple[ReachabilityEdge, ...]] = field(default_factory=dict)
-    predecessors: dict[Request, tuple[ReachabilityEdge, ...]] = \
-        field(default_factory=dict)
-    order: tuple[Request, ...] = ()
-    iterations: int = 0
-    truncated: bool = False
-    elapsed_seconds: float = 0.0
+    def __init__(self, root: Request,
+                 indexed: Optional[IndexedSpace] = None):
+        self.root = root
+        self.iterations = 0
+        self.truncated = False
+        self.elapsed_seconds = 0.0
+        self.indexed = indexed
+        self._edges: Optional[dict] = None if indexed else {}
+        self._predecessors: Optional[dict] = None if indexed else {}
+        self._order: Optional[tuple] = None if indexed else ()
+
+    # -- lazily materialised views ------------------------------------------
+
+    def _materialize(self) -> None:
+        isp = self.indexed
+        request = isp.request_view
+        edge = isp.edge_view
+        self._order = tuple(request(node) for node in isp.order)
+        self._edges = {
+            request(node): tuple(edge(j) for j in range(*isp.node_edges[node]))
+            for node in isp.order
+        }
+        self._predecessors = {
+            request(node): tuple(edge(j) for j in edges)
+            for node, edges in isp.predecessors.items()
+        }
+
+    @property
+    def edges(self) -> dict:
+        if self._edges is None:
+            self._materialize()
+        return self._edges
+
+    @edges.setter
+    def edges(self, value: dict) -> None:
+        self._edges = value
+
+    @property
+    def predecessors(self) -> dict:
+        if self._predecessors is None:
+            self._materialize()
+        return self._predecessors
+
+    @predecessors.setter
+    def predecessors(self, value: dict) -> None:
+        self._predecessors = value
+
+    @property
+    def order(self) -> tuple:
+        if self._order is None:
+            self._materialize()
+        return self._order
+
+    @order.setter
+    def order(self, value: tuple) -> None:
+        self._order = value
+
+    # -- queries -------------------------------------------------------------
 
     def nodes(self) -> tuple[Request, ...]:
         return self.order
@@ -115,11 +237,18 @@ class SearchSpace:
     def all_edges(self) -> list[ReachabilityEdge]:
         return [edge for edges in self.edges.values() for edge in edges]
 
+    def node_count(self) -> int:
+        """Visited requests, without materialising the views."""
+        return (len(self.indexed.order) if self._order is None
+                else len(self._order))
+
     def edge_count(self) -> int:
+        if self.indexed is not None:
+            return self.indexed.edge_count()
         return sum(len(edges) for edges in self.edges.values())
 
     def __repr__(self) -> str:
-        return (f"SearchSpace({len(self.order)} nodes, "
+        return (f"SearchSpace({self.node_count()} nodes, "
                 f"{self.edge_count()} edges, truncated={self.truncated})")
 
 
@@ -128,6 +257,8 @@ class _EnvIndex:
 
     Environments encountered during a search share almost all content, but
     they are distinct frozensets; we memoise one index per distinct key.
+    (Reference path only — the production explorer uses the arena's
+    incrementally built per-env indexes.)
     """
 
     def __init__(self) -> None:
@@ -150,7 +281,7 @@ RequestPriority = Callable[[SuccinctType], float]
 
 
 class _Worklist:
-    """FIFO or weighted-priority worklist over (priority, request) pairs."""
+    """FIFO or weighted-priority worklist over (priority, item) pairs."""
 
     def __init__(self, prioritised: bool):
         self._prioritised = prioritised
@@ -158,14 +289,14 @@ class _Worklist:
         self._heap: list = []
         self._seq = 0
 
-    def push(self, priority: float, request: Request) -> None:
+    def push(self, priority: float, item) -> None:
         if self._prioritised:
-            heapq.heappush(self._heap, (priority, self._seq, request))
+            heapq.heappush(self._heap, (priority, self._seq, item))
         else:
-            self._fifo.append(request)
+            self._fifo.append(item)
         self._seq += 1
 
-    def pop(self) -> Request:
+    def pop(self):
         if self._prioritised:
             return heapq.heappop(self._heap)[2]
         return self._fifo.popleft()
@@ -179,8 +310,10 @@ def explore(env: EnvKey, goal: SuccinctType,
             max_nodes: Optional[int] = None,
             time_limit: Optional[float] = None,
             on_edges: Optional[Callable[[Iterable[ReachabilityEdge]], None]] = None,
+            arena: Optional[EnvArena] = None,
+            on_edges_indexed: Optional[Callable[[IndexedSpace, int, int], None]] = None,
             ) -> SearchSpace:
-    """Run the Explore algorithm of Fig. 7.
+    """Run the Explore algorithm of Fig. 7 over the integer-ID arena.
 
     Parameters
     ----------
@@ -198,9 +331,128 @@ def explore(env: EnvKey, goal: SuccinctType,
     on_edges:
         Optional callback invoked with each batch of new edges — the hook
         the interleaved prover (§5.6) uses to trigger incremental pattern
-        generation as soon as new reachability terms appear.
+        generation as soon as new reachability terms appear.  Receives
+        classic :class:`ReachabilityEdge` views (materialised per batch).
+    arena:
+        Optional long-lived :class:`~repro.core.space.EnvArena` to run in.
+        A scene-scoped arena (see ``Environment.succinct_arena``) carries
+        its STRIP transition memo and MATCH indexes from query to query;
+        omitted, a private arena lives for just this call.
+    on_edges_indexed:
+        Like ``on_edges`` but in integer form: called as ``(space, start,
+        end)`` with the half-open edge-id range just produced.  The
+        engine's interleaved pattern generator consumes this hook — no
+        view objects are built.  Both hooks may be passed; the indexed one
+        fires first.
 
     Returns the explored :class:`SearchSpace`.
+    """
+    start = time.perf_counter()
+    env = frozenset(env)
+    if arena is None:
+        arena = EnvArena(env)
+    root_env = arena.intern(env)
+
+    isp = IndexedSpace(arena=arena)
+    node_targets = isp.node_targets
+    node_envs = isp.node_envs
+    edge_node = isp.edge_node
+    edge_source = isp.edge_source
+    edge_children = isp.edge_children
+    node_edges = isp.node_edges
+    order = isp.order
+    predecessors: dict[int, list[int]] = {}
+    node_of: dict[tuple[str, int], int] = {}
+    arena_strip = arena.strip
+    arena_members = arena.members_returning
+
+    def node_for(target: str, env_id: int) -> int:
+        key = (target, env_id)
+        node = node_of.get(key)
+        if node is None:
+            node = len(node_targets)
+            node_of[key] = node
+            node_targets.append(target)
+            node_envs.append(env_id)
+        return node
+
+    root_target, root_env_id = arena_strip(goal, root_env)
+    root = node_for(root_target, root_env_id)
+    isp.root = root
+
+    worklist = _Worklist(prioritised=priority is not None)
+    worklist.push(priority(goal) if priority else 0.0, root)
+
+    visited: set[int] = set()
+    truncated = False
+
+    while worklist:
+        if max_nodes is not None and len(visited) >= max_nodes:
+            truncated = True
+            break
+        if time_limit is not None and time.perf_counter() - start > time_limit:
+            truncated = True
+            break
+        current = worklist.pop()
+        if current in visited:
+            continue
+        visited.add(current)
+        order.append(current)
+
+        env_id = node_envs[current]
+        span_start = len(edge_node)
+        for member in arena_members(env_id, node_targets[current]):
+            edge = len(edge_node)
+            edge_node.append(current)
+            edge_source.append(member)
+            children = []
+            for premise in member.sorted_arguments():
+                child = node_for(*arena_strip(premise, env_id))
+                children.append(child)
+                # The §5.7 backward map: `edge` waits on `child`.
+                waiters = predecessors.get(child)
+                if waiters is None:
+                    predecessors[child] = [edge]
+                else:
+                    waiters.append(edge)
+                if child not in visited:
+                    worklist.push(priority(premise) if priority else 0.0,
+                                  child)
+            edge_children.append(tuple(children))
+        span_end = len(edge_node)
+        node_edges[current] = (span_start, span_end)
+        if span_end > span_start:
+            if on_edges_indexed is not None:
+                on_edges_indexed(isp, span_start, span_end)
+            if on_edges is not None:
+                on_edges([isp.edge_view(j)
+                          for j in range(span_start, span_end)])
+
+    # Deduplicate watchers at the source: two premises of one edge can
+    # strip to the same child request (a higher-order premise next to a
+    # direct one), and a consumer counting *distinct* children must see
+    # each watcher once or it double-decrements (see GenerateP §5.7).
+    isp.predecessors = {node: list(dict.fromkeys(edges))
+                        for node, edges in predecessors.items()}
+
+    space = SearchSpace(root=isp.request_view(root), indexed=isp)
+    space.truncated = truncated
+    space.iterations = len(order)
+    space.elapsed_seconds = time.perf_counter() - start
+    return space
+
+
+def explore_reference(env: EnvKey, goal: SuccinctType,
+                      priority: Optional[RequestPriority] = None,
+                      max_nodes: Optional[int] = None,
+                      time_limit: Optional[float] = None,
+                      on_edges: Optional[Callable[[Iterable[ReachabilityEdge]], None]] = None,
+                      ) -> SearchSpace:
+    """Fig. 7 in direct structural form — the retained reference path.
+
+    Semantically identical to :func:`explore` (the property suite asserts
+    node/edge/pattern equality, truncated runs included); kept as the
+    executable specification the arena implementation is checked against.
     """
     start = time.perf_counter()
     env = frozenset(env)
@@ -239,15 +491,10 @@ def explore(env: EnvKey, goal: SuccinctType,
         for edge in found:
             for premise in edge.premises():
                 child = child_request(premise, current.env)
-                # The §5.7 backward map: `edge` waits on `child`.
                 predecessors.setdefault(child, []).append(edge)
                 if child not in visited:
                     worklist.push(priority(premise) if priority else 0.0, child)
 
-    # Deduplicate watchers at the source: two premises of one edge can
-    # strip to the same child request (a higher-order premise next to a
-    # direct one), and a consumer counting *distinct* children must see
-    # each watcher once or it double-decrements (see GenerateP §5.7).
     space.predecessors = {request: tuple(dict.fromkeys(edges))
                           for request, edges in predecessors.items()}
     space.order = tuple(order)

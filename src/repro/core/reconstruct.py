@@ -174,8 +174,19 @@ class Reconstructor:
         self._pattern_env_cache: dict[frozenset, frozenset] = {}
         # Candidate cache: (hole type, binders in scope) -> sorted fillings.
         self._candidate_cache: dict[tuple, tuple[Candidate, ...]] = {}
-        # Completion-bound cache: (hole type, depth) -> admissible bound.
-        self._bound_cache: dict[tuple, float] = {}
+        # Completion-bound caches, one flat dict per lookahead depth (the
+        # inner fixpoint loop hits these once per candidate parameter).
+        self._bound_levels: list[dict[Type, float]] = [
+            {} for _ in range(self._HEURISTIC_DEPTH + 1)]
+        # Per-candidate empty-context completion bounds, keyed by identity
+        # (candidates are pinned by _candidate_cache for our lifetime).
+        self._candidate_bounds: dict[int, float] = {}
+        # Declaration weights, keyed by identity; shared through the
+        # environment so repeated queries over one scene stay warm.  Only
+        # environment-owned declarations may enter this memo: they live
+        # exactly as long as the memo does, so their ids can never be
+        # reused under it (a fresh binder declaration's could).
+        self._decl_weights = environment.declaration_weight_memo(policy)
         # Candidates re-sorted by completion bound (what enumeration walks).
         self._ordered_cache: dict[tuple, tuple[Candidate, ...]] = {}
 
@@ -317,15 +328,25 @@ class Reconstructor:
     def _completion_bound(self, candidate: Candidate,
                           path_binders: tuple[Binder, ...]) -> float:
         """Lower bound on the weight this candidate adds, completions
-        of its fresh parameter holes included."""
+        of its fresh parameter holes included.
+
+        Memoised per candidate: only two values are ever possible (the
+        bare added weight under binders, the parameter-summed bound in the
+        empty context), and the lazy-sibling chain re-asks on every pop.
+        """
         if path_binders or candidate.binder_types:
             # Under binders (or introducing them) cheaper binder-headed
             # completions may exist that the empty-context tables cannot
             # see; stay conservative.
             return candidate.added_weight
-        return candidate.added_weight + sum(
-            self._hole_bound(parameter)
-            for parameter in candidate.parameter_types)
+        key = id(candidate)
+        bound = self._candidate_bounds.get(key)
+        if bound is None:
+            bound = candidate.added_weight + sum(
+                self._hole_bound(parameter)
+                for parameter in candidate.parameter_types)
+            self._candidate_bounds[key] = bound
+        return bound
 
     def _hole_bound(self, hole_type: Type, depth: Optional[int] = None) -> float:
         """Lower bound on the cheapest completion of an empty-context hole."""
@@ -333,22 +354,30 @@ class Reconstructor:
             depth = self._HEURISTIC_DEPTH
         if depth <= 0:
             return 0.0
-        key = (hole_type, depth)
-        cached = self._bound_cache.get(key)
+        levels = self._bound_levels
+        while len(levels) <= depth:        # robust to overridden lookahead
+            levels.append({})
+        level = levels[depth]
+        cached = level.get(hole_type)
         if cached is not None:
             return cached
-        self._bound_cache[key] = 0.0  # cycle guard (admissible placeholder)
+        level[hole_type] = 0.0  # cycle guard (admissible placeholder)
         best = math.inf
+        next_depth = depth - 1
+        next_level = self._bound_levels[next_depth] if next_depth > 0 else None
         for candidate in self._candidates(hole_type, ()):
-            if candidate.binder_types:
-                value = candidate.added_weight
-            else:
-                value = candidate.added_weight + sum(
-                    self._hole_bound(parameter, depth - 1)
-                    for parameter in candidate.parameter_types)
+            value = candidate.added_weight
+            if not candidate.binder_types and next_level is not None:
+                # Inlined recursion fast path: one dict hit per parameter
+                # (depth 0 contributes nothing, so the loop is skipped).
+                for parameter in candidate.parameter_types:
+                    bound = next_level.get(parameter)
+                    if bound is None:
+                        bound = self._hole_bound(parameter, next_depth)
+                    value += bound
             if value < best:
                 best = value
-        self._bound_cache[key] = best
+        level[hole_type] = best
         return best
 
     def _open_holes_bound(self, node: PartialNode, exclude_id: int,
@@ -394,13 +423,20 @@ class Reconstructor:
         probe_positions = {binder.name: position
                            for position, binder in enumerate(binders)}
         found: list[Candidate] = []
+        decl_weights = self._decl_weights
+        declaration_weight = self._policy.declaration_weight
+        environment_lookup = self._environment.lookup
         for pattern in self._patterns.lookup(pattern_env, result.name):
-            wanted = SuccinctType(pattern.premises, result.name)
+            wanted = pattern.succinct_type()
             for decl in inner_env.select(wanted):
                 parameter_types, _ = uncurry(decl.type)
+                weight = decl_weights.get(id(decl))
+                if weight is None:
+                    weight = declaration_weight(decl)
+                    if environment_lookup(decl.name) is decl:
+                        decl_weights[id(decl)] = weight
                 found.append(Candidate(
-                    added_weight=binder_cost
-                    + self._policy.declaration_weight(decl),
+                    added_weight=binder_cost + weight,
                     declaration=decl,
                     binder_types=tuple(argument_types),
                     parameter_types=parameter_types,

@@ -1,0 +1,240 @@
+"""Integer-ID arena for succinct environments (the prover hot path).
+
+Exploration (§5.3) repeatedly extends environments with STRIP and asks
+each one "which members return ``t``?".  Environments are frozensets of
+thousands of :class:`~repro.core.succinct.SuccinctType`; manipulating
+them structurally — hashing a whole set per request, re-sorting and
+re-grouping every member for each distinct environment — dominates the
+per-query prover cost once the serving layers (engine, server) have
+amortised everything else.
+
+:class:`EnvArena` interns environments as small integers and keeps three
+memo structures per arena:
+
+* ``env -> env_id`` — structural interning (one frozenset hash per
+  *distinct* environment, ever);
+* ``(env_id, stripped-type id) -> (result, env_id')`` — the STRIP
+  transition memo: stripping the same type in the same environment is a
+  dict hit, no set union;
+* ``env_id -> {result -> sorted members}`` — the MATCH index, built
+  *incrementally*: an extended environment merges only its added members
+  into the parent's (already sorted) groups, never re-sorting the whole
+  environment.
+
+An arena is a cache, never a correctness requirement: every query it
+answers is derivable from the structural data it stores, dropping it
+merely costs re-interning.  Arenas grow append-only — ids handed out
+stay valid for the arena's lifetime — which is what makes concurrent
+readers (the async server synthesises on several executor threads) safe
+without read locks: insertion takes a per-arena lock, published ids
+always point at fully built rows, and "release" is *replacement* (the
+holder forgets the arena object) rather than in-place clearing, so an
+in-flight exploration keeps its consistent snapshot until it finishes.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import Iterable, Optional
+
+from repro.core.succinct import SuccinctType, sort_key, type_id
+
+#: An environment in succinct space: just the set of member types.
+EnvKey = frozenset  # frozenset[SuccinctType]
+
+#: Default bound on interned environments per arena.  The request space of
+#: one scene is finite (subterm-closure), but adversarial scenes could
+#: push it far; past the bound the *next* `arena_for`-style accessor swaps
+#: in a fresh arena (see `Environment.succinct_arena`).
+DEFAULT_MAX_ENVS = 1 << 14
+
+#: Live arenas, for aggregate statistics only.
+_LIVE_ARENAS: "weakref.WeakSet[EnvArena]" = weakref.WeakSet()
+
+#: Lifetime counters over arenas that have already been released/collected
+#: (so `/v1/stats` totals do not shrink when a tenant is dropped).
+_RETIRED = {"arenas": 0, "envs": 0, "transition_hits": 0,
+            "transition_misses": 0, "index_merges": 0}
+_RETIRED_LOCK = threading.Lock()
+
+
+class EnvArena:
+    """Intern table mapping succinct environments to dense integer ids."""
+
+    def __init__(self, root: Optional[Iterable[SuccinctType]] = None,
+                 max_envs: int = DEFAULT_MAX_ENVS):
+        self._lock = threading.Lock()
+        self._ids_by_key: dict[EnvKey, int] = {}
+        self._members: list[EnvKey] = []
+        self._indexes: list[dict[str, tuple[SuccinctType, ...]]] = []
+        #: (env_id, type_id of the stripped type) -> (result, env_id').
+        self._strips: dict[tuple[int, int], tuple[str, int]] = {}
+        self.max_envs = max_envs
+        self.transition_hits = 0
+        self.transition_misses = 0
+        self.index_merges = 0
+        self._retired = False
+        with _RETIRED_LOCK:                # adds vs. arena_stats snapshot
+            _LIVE_ARENAS.add(self)
+        if root is not None:
+            self.intern(frozenset(root))
+
+    # -- interning -----------------------------------------------------------
+
+    def intern(self, members: EnvKey, parent: int = -1) -> int:
+        """The id of *members*, interning (with index build) if new.
+
+        ``parent`` is an optional id of an environment *members* extends;
+        when given, the MATCH index is derived from the parent's by
+        merging only the added members.
+        """
+        env_id = self._ids_by_key.get(members)
+        if env_id is not None:
+            return env_id
+        with self._lock:
+            env_id = self._ids_by_key.get(members)
+            if env_id is not None:
+                return env_id
+            index = self._build_index(members, parent)
+            self._members.append(members)
+            self._indexes.append(index)
+            env_id = len(self._members) - 1
+            # Publish last: any thread that can see the id sees full rows.
+            self._ids_by_key[members] = env_id
+            return env_id
+
+    def _build_index(self, members: EnvKey,
+                     parent: int) -> dict[str, tuple[SuccinctType, ...]]:
+        """``result -> members returning result``, sorted by `sort_key`.
+
+        With a parent, only ``members - parent`` is sorted and merged into
+        the parent's groups; concatenating two runs that are each already
+        in `sort_key` order keeps every group exactly as a full re-sort
+        would produce it (`sort_key` is a total structural order).
+        """
+        if parent < 0:
+            grouped: dict[str, list[SuccinctType]] = {}
+            for member in sorted(members, key=sort_key):
+                grouped.setdefault(member.result, []).append(member)
+            return {result: tuple(group)
+                    for result, group in grouped.items()}
+        self.index_merges += 1
+        added: dict[str, list[SuccinctType]] = {}
+        for member in sorted(members - self._members[parent], key=sort_key):
+            added.setdefault(member.result, []).append(member)
+        index = dict(self._indexes[parent])
+        for result, group in added.items():
+            existing = index.get(result)
+            if existing is None:
+                index[result] = tuple(group)
+            else:
+                index[result] = tuple(sorted(existing + tuple(group),
+                                             key=sort_key))
+        return index
+
+    # -- the STRIP transition ------------------------------------------------
+
+    def strip(self, target: SuccinctType, env_id: int) -> tuple[str, int]:
+        """The STRIP rule over ids: ``(S -> t) ;Gamma ?  =>  t ;Gamma+S ?``.
+
+        Returns ``(basic result name, id of the extended environment)``.
+        """
+        if not target.arguments:
+            return target.result, env_id
+        key = (env_id, type_id(target))
+        memo = self._strips.get(key)
+        if memo is not None:
+            self.transition_hits += 1
+            return memo
+        self.transition_misses += 1
+        members = self._members[env_id]
+        if target.arguments <= members:
+            extended = env_id
+        else:
+            extended = self.intern(members | target.arguments, parent=env_id)
+        memo = (target.result, extended)
+        self._strips[key] = memo
+        return memo
+
+    # -- queries -------------------------------------------------------------
+
+    def members(self, env_id: int) -> EnvKey:
+        """The environment behind *env_id*, as the original frozenset."""
+        return self._members[env_id]
+
+    def members_returning(self, env_id: int,
+                          target: str) -> tuple[SuccinctType, ...]:
+        """All members of *env_id* whose result type is *target* (MATCH)."""
+        return self._indexes[env_id].get(target, ())
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def oversized(self) -> bool:
+        """True once the arena should be replaced at the next boundary.
+
+        Never acted on mid-exploration: a running search keeps using the
+        arena it started with (append-only growth stays valid), and the
+        holder swaps in a fresh arena before the *next* query.
+        """
+        return len(self._members) > self.max_envs
+
+    def stats(self) -> dict:
+        return {
+            "env_count": len(self._members),
+            "max_envs": self.max_envs,
+            "transitions": len(self._strips),
+            "transition_hits": self.transition_hits,
+            "transition_misses": self.transition_misses,
+            "index_merges": self.index_merges,
+        }
+
+    def retire(self) -> None:
+        """Fold this arena's counters into the lifetime totals.
+
+        Called when the holder releases the arena (engine scene release);
+        the object itself stays usable for any in-flight exploration and
+        is garbage-collected when the last reference drops.
+        """
+        if self._retired:
+            return
+        self._retired = True
+        with _RETIRED_LOCK:
+            _RETIRED["arenas"] += 1
+            _RETIRED["envs"] += len(self._members)
+            _RETIRED["transition_hits"] += self.transition_hits
+            _RETIRED["transition_misses"] += self.transition_misses
+            _RETIRED["index_merges"] += self.index_merges
+
+    def __repr__(self) -> str:
+        return (f"EnvArena({len(self._members)} envs, "
+                f"{len(self._strips)} transitions)")
+
+
+def arena_stats() -> dict:
+    """Aggregate arena statistics: live arenas plus retired totals.
+
+    The ``transition_memo_hits``-style counters are process-lifetime
+    (live + retired), so serving dashboards see monotone rates; the
+    ``env_count`` gauge covers live arenas only.
+    """
+    with _RETIRED_LOCK:
+        # Snapshot under the same lock that guards registration: a WeakSet
+        # mutated mid-iteration raises RuntimeError, and synthesis threads
+        # create arenas while the serving loop reads stats.
+        live = [arena for arena in _LIVE_ARENAS if not arena._retired]
+        retired = dict(_RETIRED)
+    return {
+        "live_arenas": len(live),
+        "env_count": sum(len(arena) for arena in live),
+        "transition_memo_hits":
+            retired["transition_hits"] + sum(a.transition_hits for a in live),
+        "transition_memo_misses":
+            retired["transition_misses"]
+            + sum(a.transition_misses for a in live),
+        "index_merges":
+            retired["index_merges"] + sum(a.index_merges for a in live),
+        "retired_arenas": retired["arenas"],
+        "retired_envs": retired["envs"],
+    }

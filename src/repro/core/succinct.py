@@ -44,11 +44,41 @@ class SuccinctType:
         return not self.arguments
 
     def sorted_arguments(self) -> tuple["SuccinctType", ...]:
-        """The argument set in canonical (deterministic) order."""
-        return tuple(sorted(self.arguments, key=sort_key))
+        """The argument set in canonical (deterministic) order.
+
+        Memoised per structural value: exploration asks for the premises
+        of every matched member at every visit, and re-sorting the same
+        small set thousands of times adds up.
+        """
+        cached = _SORTED_ARGS.get(self)
+        if cached is None:
+            cached = tuple(sorted(self.arguments, key=sort_key))
+            if len(_SORTED_ARGS) >= MEMO_CACHE_SIZE:
+                _SORTED_ARGS.clear()
+            _SORTED_ARGS[self] = cached
+        return cached
 
     def __str__(self) -> str:
         return format_succinct(self)
+
+    def __hash__(self) -> int:
+        # Cached: succinct types key the intern table, environment sets and
+        # per-env indexes; the generated hash re-hashes the argument
+        # frozenset tuple on every lookup.
+        try:
+            return object.__getattribute__(self, "_hash_cache")
+        except AttributeError:
+            value = hash((self.arguments, self.result))
+            object.__setattr__(self, "_hash_cache", value)
+            return value
+
+    def __getstate__(self):
+        # Never pickle the cached hash: string hashing is per-process
+        # randomised, so a restored cache would be silently wrong in the
+        # engine's pool workers.
+        state = dict(self.__dict__)
+        state.pop("_hash_cache", None)
+        return state
 
 
 #: Canonical-instance table: one shared object per distinct succinct type.
@@ -67,6 +97,22 @@ class SuccinctType:
 #: ``release_scene`` path does) or :func:`clear_intern_table` at tenancy
 #: boundaries.
 _INTERN_TABLE: dict["SuccinctType", "SuccinctType"] = {}
+
+#: Stable per-process integer id of each interned instance.  Ids are
+#: assigned from a monotonic counter that never resets, so an id can
+#: never be reused for a different structure: consumers (the environment
+#: arena in :mod:`repro.core.space`) key memo tables by id and rely only
+#: on "same id => same structure", which eviction cannot violate — an
+#: evicted-and-re-interned type simply gets a *fresh* id and the stale
+#: memo entry goes cold.
+_TYPE_IDS: dict["SuccinctType", int] = {}
+_NEXT_TYPE_ID = 0
+
+#: Structural-value memo for :meth:`SuccinctType.sorted_arguments`.
+_SORTED_ARGS: dict["SuccinctType", tuple] = {}
+
+#: Per-instance memo for :func:`succinct_subterms` (see there).
+_SUBTERMS: dict["SuccinctType", frozenset] = {}
 
 #: Default bound on interned instances.  The paper's biggest scene maps
 #: 3356 declarations to 1783 succinct types, so a quarter-million entries
@@ -90,26 +136,57 @@ def _evict_oldest_locked() -> bool:
     """Drop the oldest entry; caller holds :data:`_INTERN_LOCK`."""
     global _INTERN_EVICTIONS
     try:
-        del _INTERN_TABLE[next(iter(_INTERN_TABLE))]
+        oldest = next(iter(_INTERN_TABLE))
     except StopIteration:                   # empty table
         return False
+    del _INTERN_TABLE[oldest]
+    _TYPE_IDS.pop(oldest, None)
     _INTERN_EVICTIONS += 1
     return True
 
 
 def intern_succinct(stype: SuccinctType) -> SuccinctType:
     """The canonical shared instance structurally equal to *stype*."""
+    global _NEXT_TYPE_ID
     canonical = _INTERN_TABLE.get(stype)
     if canonical is None:
         with _INTERN_LOCK:
             canonical = _INTERN_TABLE.get(stype)
             if canonical is None:
                 _INTERN_TABLE[stype] = stype
+                _TYPE_IDS[stype] = _NEXT_TYPE_ID
+                _NEXT_TYPE_ID += 1
                 canonical = stype
                 while (len(_INTERN_TABLE) > _INTERN_LIMIT
                        and _evict_oldest_locked()):
                     pass
     return canonical
+
+
+def type_id(stype: SuccinctType) -> int:
+    """The stable per-process integer id of *stype* (interning it first).
+
+    Two structurally equal types always map to the same id while either
+    stays interned; distinct structures never share an id (the counter is
+    monotonic and never reset, even by :func:`clear_intern_table`).
+    """
+    global _NEXT_TYPE_ID
+    assigned = _TYPE_IDS.get(stype)
+    if assigned is not None:
+        return assigned
+    canonical = intern_succinct(stype)
+    assigned = _TYPE_IDS.get(canonical)
+    if assigned is None:
+        # The instance predates id-tracking (interned before this module
+        # was reloaded) or was evicted between the intern and the lookup;
+        # assign directly.
+        with _INTERN_LOCK:
+            assigned = _TYPE_IDS.get(canonical)
+            if assigned is None:
+                assigned = _NEXT_TYPE_ID
+                _NEXT_TYPE_ID += 1
+                _TYPE_IDS[canonical] = assigned
+    return assigned
 
 
 def intern_table_size() -> int:
@@ -118,9 +195,19 @@ def intern_table_size() -> int:
 
 
 def intern_table_stats() -> dict:
-    """Size, limit and lifetime evictions of the intern table."""
+    """Size, limit, id high-water mark and lifetime evictions."""
     return {"size": len(_INTERN_TABLE), "limit": _INTERN_LIMIT,
-            "evictions": _INTERN_EVICTIONS}
+            "evictions": _INTERN_EVICTIONS,
+            "type_ids_assigned": _NEXT_TYPE_ID,
+            "subterm_memo": len(_SUBTERMS)}
+
+
+def _clear_derived_memos() -> None:
+    """Drop every memo that pins interned instances (they all rebuild)."""
+    sigma.cache_clear()
+    sort_key.cache_clear()
+    _SORTED_ARGS.clear()
+    _SUBTERMS.clear()
 
 
 def set_intern_table_limit(limit: int) -> int:
@@ -142,8 +229,7 @@ def set_intern_table_limit(limit: int) -> int:
             pass
         evicted = before - len(_INTERN_TABLE)
     if evicted:
-        sigma.cache_clear()
-        sort_key.cache_clear()
+        _clear_derived_memos()
     return previous
 
 
@@ -175,8 +261,7 @@ def trim_intern_table(max_entries: int = 0) -> int:
         if done:
             break
     if total:
-        sigma.cache_clear()
-        sort_key.cache_clear()
+        _clear_derived_memos()
     return total
 
 
@@ -184,8 +269,8 @@ def clear_intern_table() -> None:
     """Drop all interned instances (and the memoised conversions over them)."""
     with _INTERN_LOCK:
         _INTERN_TABLE.clear()
-    sigma.cache_clear()
-    sort_key.cache_clear()
+        _TYPE_IDS.clear()
+    _clear_derived_memos()
 
 
 def primitive(name: str) -> SuccinctType:
@@ -237,11 +322,24 @@ def succinct_subterms(stype: SuccinctType) -> frozenset[SuccinctType]:
 
     The backward search (§5.3) only ever adds such subterms to the
     environment, which is what makes its state space finite.
+
+    Memoised per interned instance: the bare recursion re-walks shared
+    argument structure, which is worst-case exponential on deeply nested
+    curried types (each nesting level revisits every subterm below it);
+    with the memo each distinct subterm is expanded exactly once.
     """
+    stype = intern_succinct(stype)
+    cached = _SUBTERMS.get(stype)
+    if cached is not None:
+        return cached
     collected = {stype}
     for argument in stype.arguments:
         collected |= succinct_subterms(argument)
-    return frozenset(collected)
+    result = frozenset(collected)
+    if len(_SUBTERMS) >= MEMO_CACHE_SIZE:
+        _SUBTERMS.clear()
+    _SUBTERMS[stype] = result
+    return result
 
 
 def format_succinct(stype: SuccinctType) -> str:

@@ -27,7 +27,7 @@ from repro.core.config import SynthesisConfig
 from repro.core.environment import Environment
 from repro.core.errors import SynthesisError
 from repro.core.explore import SearchSpace, explore
-from repro.core.generate_patterns import (IncrementalPatternGenerator,
+from repro.core.generate_patterns import (IndexedPatternGenerator,
                                           PatternSet, generate_patterns)
 from repro.core.reconstruct import Reconstructor
 from repro.core.subtyping import (SubtypeGraph, environment_with_subtyping,
@@ -119,6 +119,7 @@ class Synthesizer:
         self.environment = environment_with_subtyping(environment,
                                                       self.subtype_graph)
         self._env_key = self.environment.succinct_environment()
+        self._type_weights = self.environment.type_weight_memo(self.policy)
 
     @classmethod
     def from_prepared(cls, prepared_environment: Environment,
@@ -141,32 +142,53 @@ class Synthesizer:
         self.base_environment = base_environment
         self.environment = prepared_environment
         self._env_key = prepared_environment.succinct_environment()
+        self._type_weights = prepared_environment.type_weight_memo(self.policy)
         return self
 
     # -- prover -----------------------------------------------------------
 
+    def _priority(self, stype) -> float:
+        """Memoised §5.6 request priority: w(t, Gamma_o), cached per type.
+
+        The weight of a succinct type in the initial environment never
+        changes for a given (environment, policy) pair, but exploration
+        asks for it once per premise *occurrence*; the memo turns the
+        repeated Select scans into dict hits.
+        """
+        weight = self._type_weights.get(stype)
+        if weight is None:
+            weight = self.policy.type_weight(stype, self.environment)
+            self._type_weights[stype] = weight
+        return weight
+
     def prove(self, goal: Type) -> tuple[SearchSpace, PatternSet]:
-        """Run exploration + pattern generation for *goal*."""
+        """Run exploration + pattern generation for *goal*.
+
+        Runs over the environment's scene-scoped integer-ID arena
+        (:meth:`Environment.succinct_arena`), so repeated queries against
+        one scene share STRIP transitions and MATCH indexes.
+        """
         succinct_goal = sigma(goal)
         priority = None
         if self.config.prioritised_exploration and not self.policy.uniform:
-            environment = self.environment
-            policy = self.policy
-            priority = lambda stype: policy.type_weight(stype, environment)
+            priority = self._priority
+        arena = self.environment.succinct_arena()
 
         if self.config.interleaved:
-            generator = IncrementalPatternGenerator()
+            generator = IndexedPatternGenerator()
             space = explore(self._env_key, succinct_goal,
                             priority=priority,
                             max_nodes=self.config.max_explore_nodes,
                             time_limit=self.config.prover_time_limit,
-                            on_edges=generator.add_edges)
+                            arena=arena,
+                            on_edges_indexed=generator.add_span)
             patterns = generator.result()
         else:
             space = explore(self._env_key, succinct_goal,
                             priority=priority,
                             max_nodes=self.config.max_explore_nodes,
-                            time_limit=self.config.prover_time_limit)
+                            time_limit=self.config.prover_time_limit,
+                            arena=arena)
             patterns = generate_patterns(space)
         return space, patterns
 
@@ -189,7 +211,7 @@ class Synthesizer:
         space, patterns = self.prove(goal)
         prove_elapsed = time.perf_counter() - prove_start
 
-        result.nodes_explored = len(space.order)
+        result.nodes_explored = space.node_count()
         result.edges_found = space.edge_count()
         result.pattern_count = len(patterns)
         result.explore_truncated = space.truncated

@@ -39,6 +39,25 @@ class Arrow:
     def __str__(self) -> str:
         return format_type(self)
 
+    def __hash__(self) -> int:
+        # Cached: arrows key many memo tables (candidate caches, completion
+        # bounds, query keys) and the generated dataclass hash re-walks the
+        # whole spine on every lookup.
+        try:
+            return object.__getattribute__(self, "_hash_cache")
+        except AttributeError:
+            value = hash((self.argument, self.result))
+            object.__setattr__(self, "_hash_cache", value)
+            return value
+
+    def __getstate__(self):
+        # Never pickle the cached hash: string hashing is per-process
+        # randomised, so a restored cache would be silently wrong in the
+        # engine's pool workers.
+        state = dict(self.__dict__)
+        state.pop("_hash_cache", None)
+        return state
+
 
 Type = Union[BaseType, Arrow]
 
@@ -79,12 +98,14 @@ def is_arrow(tpe: Type) -> bool:
     return isinstance(tpe, Arrow)
 
 
+@lru_cache(maxsize=1 << 16)
 def uncurry(tpe: Type) -> tuple[tuple[Type, ...], BaseType]:
     """Split ``t1 -> ... -> tn -> v`` into ``((t1, ..., tn), v)``.
 
     The final result of a simple type is always a basic type, so the second
     component is a :class:`BaseType`.  For a basic type the argument tuple is
-    empty.
+    empty.  Memoised (reconstruction uncurries the same declaration types
+    once per candidate-list build); callers treat the result as read-only.
     """
     arguments: list[Type] = []
     while isinstance(tpe, Arrow):

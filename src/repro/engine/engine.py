@@ -143,14 +143,34 @@ class _ResolvedQuery:
 
 @dataclass(frozen=True)
 class _RemoteQuery:
-    """A picklable, self-contained query for process-pool workers."""
+    """A picklable query for process-pool workers.
 
-    environment: Environment
+    ``environment`` may be ``None`` when ``fingerprint`` is set: the
+    worker then serves from its per-process scene memo and raises
+    :class:`WorkerSceneUnavailable` on a miss, letting the caller retry
+    with the full environment.  Shipping the reference instead of the
+    scene is what makes pooled serving cheap — a multi-thousand-
+    declaration environment costs tens of milliseconds to pickle per
+    query, the reference costs microseconds.
+    """
+
+    environment: Optional[Environment]
     subtype_edges: tuple[tuple[str, str], ...]
     goal: Type
     policy: WeightPolicy
     config: SynthesisConfig
     n: Optional[int]
+    #: Content fingerprint of ``environment``; pass it when known so the
+    #: worker's memo lookup never re-hashes thousands of declarations.
+    fingerprint: Optional[str] = None
+
+
+class WorkerSceneUnavailable(Exception):
+    """A reference-only remote query missed the worker's scene memo.
+
+    Picklable across the pool boundary; the dispatching side retries the
+    same query with the environment attached.
+    """
 
 
 #: Per-process scene memo for pool workers: chunked maps hand several
@@ -163,9 +183,13 @@ _WORKER_SCENES = LRUCache(max_entries=8)
 
 def _execute_remote(query: _RemoteQuery) -> SynthesisResult:
     """Worker entry point: (re)prepare the scene once, run the pipeline."""
-    key = (query.environment.fingerprint(), query.subtype_edges)
+    fingerprint = (query.fingerprint if query.fingerprint is not None
+                   else query.environment.fingerprint())
+    key = (fingerprint, query.subtype_edges)
     prepared = _WORKER_SCENES.get(key)
     if prepared is None:
+        if query.environment is None:
+            raise WorkerSceneUnavailable(fingerprint)
         graph = SubtypeGraph()
         for subtype, supertype in query.subtype_edges:
             graph.add_edge(subtype, supertype)
@@ -351,6 +375,8 @@ class CompletionEngine:
                         policy=resolved[i].policy,
                         config=resolved[i].config,
                         n=resolved[i].n,
+                        fingerprint=resolved[
+                            i].prepared.base_environment.fingerprint(),
                     )
                     for i in order
                 ]
@@ -424,16 +450,20 @@ class CompletionEngine:
         """Release one prepared scene at a tenancy boundary.
 
         Drops the scene-table entry, every result cached against the
-        scene's fingerprint, and the scene's per-policy synthesizers; with
-        ``shed_types`` (the default) also sheds the global succinct-type
-        intern table — cleared outright when this was the last prepared
-        scene, trimmed to its configured bound otherwise (see
-        :func:`repro.core.succinct.trim_intern_table`).  This is the hook
-        a serving layer's scene eviction calls so dropping a tenant
+        scene's fingerprint, the scene's per-policy synthesizers, and the
+        scene's environment arena (the prover's STRIP/MATCH memo state —
+        see :meth:`~repro.core.environment.Environment.succinct_arena`);
+        with ``shed_types`` (the default) also sheds the global
+        succinct-type intern table — cleared outright when this was the
+        last prepared scene, trimmed to its configured bound otherwise
+        (see :func:`repro.core.succinct.trim_intern_table`).  This is the
+        hook a serving layer's scene eviction calls so dropping a tenant
         actually frees memory.  Returns the number of purged results.
 
         Releasing is always safe: a subsequent :meth:`prepare` of the same
-        scene simply rebuilds (and re-interns) from scratch.
+        scene simply rebuilds (and re-interns) from scratch, and any
+        in-flight synthesis keeps the arena it started with alive until it
+        finishes.
         """
         scene_key = prepared.scene_key
         if scene_key is None:
@@ -442,6 +472,8 @@ class CompletionEngine:
         self.scenes.pop(scene_key)
         purged = self.purge_results(prepared.fingerprint)
         prepared._synthesizers.clear()
+        prepared.environment.release_arena()
+        prepared.base_environment.release_arena()
         if shed_types:
             self.shed_types()
         return purged

@@ -32,6 +32,7 @@ import asyncio
 import hashlib
 import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Optional
 
@@ -39,7 +40,8 @@ from repro.core.errors import ReproError
 from repro.core.synthesizer import SynthesisResult
 from repro.core.types import Type
 from repro.engine.engine import (CompletionEngine, PreparedScene,
-                                 policy_for_variant)
+                                 WorkerSceneUnavailable, _execute_remote,
+                                 _RemoteQuery, policy_for_variant)
 from repro.engine.keys import query_key
 from repro.server import protocol
 from repro.server.metrics import ServerMetrics
@@ -72,6 +74,13 @@ class ServerConfig:
     max_pending: int = 64                  # admission-control bound
     max_scenes: int = 32                   # registry LRU size
     executor_workers: int = 4              # synthesis threads
+    #: Process-pool workers for synthesis.  Threads only keep the event
+    #: loop responsive (pure-Python synthesis holds the GIL); processes
+    #: add real CPU throughput.  1 = in-process threads only; N > 1
+    #: dispatches cache-miss syntheses through the engine's pool worker
+    #: (`repro.engine.engine._execute_remote`), which keeps a per-process
+    #: prepared-scene memo so each worker prepares a scene once.
+    workers: int = 1
     default_deadline_ms: Optional[int] = None
     latency_window: int = 2048
     #: Idle/read timeout per request on a connection: a half-sent request
@@ -145,6 +154,7 @@ class AsyncCompletionServer:
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.executor_workers,
             thread_name_prefix="synthesis")
+        self._pool = self._build_pool()
         self._inflight: dict = {}          # QueryKey -> asyncio.Future
         self._inflight_scenes: dict = {}   # text digest -> asyncio.Future
         self._register_lock = asyncio.Lock()
@@ -175,6 +185,25 @@ class AsyncCompletionServer:
             await self._server.wait_closed()
             self._server = None
         self._executor.shutdown(wait=False, cancel_futures=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def _build_pool(self):
+        """The synthesis process pool, or ``None`` (threads only).
+
+        Pool construction can fail outright in restricted sandboxes (no
+        semaphores, no fork); parallelism is an optimisation, never a
+        requirement, so failure degrades to the thread executor.
+        """
+        if self.config.workers <= 1:
+            return None
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            return ProcessPoolExecutor(max_workers=self.config.workers)
+        except (ImportError, OSError, PermissionError):
+            return None
 
     def _scene_evicted(self, scene: RegisteredScene) -> None:
         self.metrics.scenes_evicted += 1
@@ -459,9 +488,8 @@ class AsyncCompletionServer:
         self.metrics.enter_queue()
         synthesis_start = time.perf_counter()
         try:
-            result = await loop.run_in_executor(
-                self._executor, _run_synthesis, prepared, goal, policy,
-                config, n)
+            result = await self._dispatch_synthesis(loop, prepared, goal,
+                                                    policy, config, n)
         except BaseException as error:
             if isinstance(error, asyncio.CancelledError):
                 # Only the leader's task was cancelled (shutdown); give
@@ -483,6 +511,45 @@ class AsyncCompletionServer:
             self._inflight.pop(key, None)
         return _ServedCompletion(result, cache_hit=False, coalesced=False)
 
+    async def _dispatch_synthesis(self, loop, prepared: PreparedScene,
+                                  goal: Type, policy, config,
+                                  n: Optional[int]) -> SynthesisResult:
+        """One pipeline run: on the process pool when configured, else on
+        the thread executor.
+
+        A broken pool (workers killed by the sandbox mid-flight) downgrades
+        the server to threads permanently rather than failing requests —
+        the work is pure, so rerunning it in-process is always valid.
+        """
+        if self._pool is not None:
+            base = prepared.base_environment
+            edges = tuple(prepared.subtypes.edges())
+            fingerprint = base.fingerprint()
+            # First try the cheap reference-only payload; a worker whose
+            # scene memo misses answers WorkerSceneUnavailable and we
+            # resend once with the environment attached (teaching that
+            # worker the scene for every later query).
+            slim = _RemoteQuery(environment=None, subtype_edges=edges,
+                                goal=goal, policy=policy, config=config,
+                                n=n, fingerprint=fingerprint)
+            try:
+                try:
+                    return await loop.run_in_executor(
+                        self._pool, _execute_remote, slim)
+                except WorkerSceneUnavailable:
+                    full = _RemoteQuery(environment=base,
+                                        subtype_edges=edges, goal=goal,
+                                        policy=policy, config=config,
+                                        n=n, fingerprint=fingerprint)
+                    return await loop.run_in_executor(
+                        self._pool, _execute_remote, full)
+            except BrokenProcessPool:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+                self.metrics.record_error("pool_broken")
+        return await loop.run_in_executor(
+            self._executor, _run_synthesis, prepared, goal, policy, config, n)
+
     def _admit_or_reject(self) -> None:
         """Admission control: one gauge (queue depth) bounds all CPU work."""
         if self.metrics.queue_depth >= self.config.max_pending:
@@ -499,11 +566,17 @@ class AsyncCompletionServer:
             status="ok", uptime_s=round(self.metrics.uptime_seconds, 3))
 
     def _stats_payload(self) -> dict:
+        from repro.core.space import arena_stats
         from repro.core.succinct import intern_table_stats
 
         stats = self.engine.cache_stats
         return protocol.ok_payload(
             server=self.metrics.snapshot(),
+            executor={
+                "threads": self.config.executor_workers,
+                "workers": self.config.workers,
+                "process_pool": self._pool is not None,
+            },
             engine={
                 "result_entries": len(self.engine.results),
                 "result_capacity": self.engine.results.max_entries,
@@ -516,7 +589,8 @@ class AsyncCompletionServer:
                 "prepared_scenes": len(self.engine.scenes),
             },
             scenes=self.registry.describe(),
-            core={"interned_types": intern_table_stats()},
+            core={"interned_types": intern_table_stats(),
+                  "env_arena": arena_stats()},
         )
 
 

@@ -1,0 +1,60 @@
+"""Unit tests for the BENCH_core emitter/regression gate (no timing)."""
+
+import json
+from pathlib import Path
+
+from repro.bench.core_bench import (DEFAULT_ROWS, LARGEST_ROW, SCHEMA,
+                                    build_report, check_regression)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _rows(prove: float) -> dict:
+    return {
+        "28": {"name": "x", "declarations": 10700, "cold_total_ms": 1.0,
+               "prove_ms": prove, "recon_ms": 2.0,
+               "total_ms": prove + 2.0, "best_total_ms": prove},
+    }
+
+
+class TestRegressionGate:
+    def test_within_bound_passes(self):
+        committed = build_report(_rows(100.0))
+        assert check_regression(committed, _rows(120.0), 0.25) == []
+
+    def test_over_bound_fails(self):
+        committed = build_report(_rows(100.0))
+        failures = check_regression(committed, _rows(130.0), 0.25)
+        assert failures and "prove-time regression" in failures[0]
+
+    def test_disjoint_row_sets_are_reported(self):
+        committed = build_report(_rows(100.0))
+        failures = check_regression(
+            committed, {"9": _rows(1.0)["28"]}, 0.25)
+        assert failures and "no comparable rows" in failures[0]
+
+
+class TestReportShape:
+    def test_report_carries_schema_protocol_and_summary(self):
+        report = build_report(_rows(100.0), baseline=_rows(250.0))
+        assert report["schema"] == SCHEMA
+        assert report["protocol"]["largest_scene"] == LARGEST_ROW
+        assert report["summary"]["prove_ms_sum"] == 100.0
+        assert report["speedup_total"]["28"] == round(252.0 / 102.0, 2)
+
+    def test_committed_bench_core_is_valid_and_meets_acceptance(self):
+        """The repo-root BENCH_core.json must parse, cover the default
+        rows, and record the >= 2x total speedup on the largest scene."""
+        path = REPO_ROOT / "BENCH_core.json"
+        committed = json.loads(path.read_text(encoding="utf-8"))
+        assert committed["schema"] == SCHEMA
+        for number in DEFAULT_ROWS:
+            row = committed["current"][str(number)]
+            assert row["prove_ms"] > 0
+            assert row["recon_ms"] >= 0
+            assert row["total_ms"] > 0
+            assert str(number) in committed["baseline"]
+        largest = str(committed["protocol"]["largest_scene"])
+        assert committed["speedup_total"][largest] >= 2.0
+        # The gate must accept its own committed numbers.
+        assert check_regression(committed, committed["current"], 0.25) == []

@@ -1,0 +1,149 @@
+"""Unit tests for repro.core.space (the environment arena)."""
+
+from repro.core.environment import Environment
+from repro.core.space import EnvArena, arena_stats
+from repro.core.succinct import primitive, sort_key, succinct, type_id
+from tests.helpers import simple_env
+
+
+def _env(*pairs):
+    return simple_env(*pairs).succinct_environment()
+
+
+class TestInterning:
+    def test_same_environment_same_id(self):
+        env = _env(("a", "A"), ("f", "A -> B"))
+        arena = EnvArena()
+        assert arena.intern(env) == arena.intern(frozenset(env))
+
+    def test_distinct_environments_distinct_ids(self):
+        arena = EnvArena()
+        first = arena.intern(_env(("a", "A")))
+        second = arena.intern(_env(("b", "B")))
+        assert first != second
+        assert len(arena) == 2
+
+    def test_members_round_trip(self):
+        env = _env(("a", "A"), ("f", "A -> B"), ("g", "A -> B -> C"))
+        arena = EnvArena(env)
+        assert arena.members(arena.intern(env)) == env
+
+
+class TestStrip:
+    def test_primitive_target_keeps_environment(self):
+        env = _env(("a", "A"))
+        arena = EnvArena(env)
+        env_id = arena.intern(env)
+        assert arena.strip(primitive("B"), env_id) == ("B", env_id)
+
+    def test_subset_arguments_keep_environment(self):
+        env = _env(("a", "A"), ("f", "A -> B"))
+        arena = EnvArena(env)
+        env_id = arena.intern(env)
+        target = succinct({primitive("A")}, "B")   # {A} -> B; A is a member
+        result, extended = arena.strip(target, env_id)
+        assert result == "B"
+        assert extended == env_id
+
+    def test_new_arguments_extend_environment(self):
+        env = _env(("a", "A"))
+        arena = EnvArena(env)
+        env_id = arena.intern(env)
+        target = succinct({primitive("Z")}, "B")
+        result, extended = arena.strip(target, env_id)
+        assert result == "B"
+        assert extended != env_id
+        assert primitive("Z") in arena.members(extended)
+
+    def test_transition_memo_hits(self):
+        env = _env(("a", "A"))
+        arena = EnvArena(env)
+        env_id = arena.intern(env)
+        target = succinct({primitive("Z")}, "B")
+        first = arena.strip(target, env_id)
+        misses = arena.transition_misses
+        second = arena.strip(target, env_id)
+        assert first == second
+        assert arena.transition_misses == misses
+        assert arena.transition_hits >= 1
+
+    def test_incremental_index_matches_full_sort(self):
+        env = _env(("a", "A"), ("f", "A -> B"), ("g", "B -> B"),
+                   ("h", "A -> B -> C"))
+        arena = EnvArena(env)
+        env_id = arena.intern(env)
+        target = succinct({primitive("Z"), succinct({primitive("Z")}, "B")},
+                          "C")
+        _, extended = arena.strip(target, env_id)
+        merged = arena.members_returning(extended, "B")
+        # The merged group must equal a from-scratch sort+group of the
+        # extended environment.
+        extended_env = arena.members(extended)
+        expected = tuple(sorted(
+            (member for member in extended_env if member.result == "B"),
+            key=sort_key))
+        assert merged == expected
+        assert arena.index_merges >= 1
+
+
+class TestLifecycle:
+    def test_oversized_flags_past_bound(self):
+        arena = EnvArena(max_envs=1)
+        arena.intern(_env(("a", "A")))
+        assert not arena.oversized()
+        arena.intern(_env(("b", "B")))
+        assert arena.oversized()
+
+    def test_environment_replaces_oversized_arena(self):
+        environment = simple_env(("a", "A"), ("f", "A -> B"))
+        arena = environment.succinct_arena()
+        arena.max_envs = 0  # force: any content is now oversized
+        arena.intern(_env(("z", "C")))
+        replacement = environment.succinct_arena()
+        assert replacement is not arena
+        assert environment.succinct_arena() is replacement
+
+    def test_release_retires_and_detaches(self):
+        environment = simple_env(("a", "A"))
+        arena = environment.succinct_arena()
+        before = arena_stats()["retired_arenas"]
+        environment.release_arena()
+        assert arena_stats()["retired_arenas"] == before + 1
+        assert environment.succinct_arena() is not arena
+
+    def test_retire_is_idempotent(self):
+        arena = EnvArena(_env(("a", "A")))
+        before = arena_stats()["retired_arenas"]
+        arena.retire()
+        arena.retire()
+        assert arena_stats()["retired_arenas"] == before + 1
+
+    def test_stats_shape(self):
+        arena = EnvArena(_env(("a", "A"), ("f", "A -> B")))
+        stats = arena.stats()
+        assert stats["env_count"] == 1
+        assert set(stats) == {"env_count", "max_envs", "transitions",
+                              "transition_hits", "transition_misses",
+                              "index_merges"}
+        aggregate = arena_stats()
+        for key in ("live_arenas", "env_count", "transition_memo_hits",
+                    "transition_memo_misses", "index_merges",
+                    "retired_arenas", "retired_envs"):
+            assert key in aggregate
+
+    def test_type_ids_stable_and_distinct(self):
+        first = primitive("A")
+        second = succinct({primitive("A")}, "B")
+        assert type_id(first) == type_id(primitive("A"))
+        assert type_id(first) != type_id(second)
+
+    def test_environment_pickles_without_arena(self):
+        import pickle
+
+        environment = simple_env(("a", "A"), ("f", "A -> B"))
+        environment.succinct_arena()
+        clone = pickle.loads(pickle.dumps(environment))
+        assert clone._arena is None
+        assert clone.succinct_environment() == \
+            environment.succinct_environment()
+        assert isinstance(clone.succinct_arena(), EnvArena)

@@ -71,6 +71,24 @@ class TestSubterms:
         inner = sigma(arrow(A, B))
         assert succinct_subterms(stype) == {stype, inner, primitive("A")}
 
+    def test_subterms_shared_structure_is_memoised(self):
+        # Fibonacci-style sharing: t[n] = {t[n-1], t[n-2]} -> A.  The bare
+        # recursion re-walks shared arguments (exponential in n); the
+        # per-instance memo makes this linear — depth 60 must be instant.
+        previous, current = primitive("A"), succinct({primitive("A")}, "A")
+        for _ in range(60):
+            previous, current = current, succinct({previous, current}, "A")
+        subterms = succinct_subterms(current)
+        assert current in subterms
+        assert primitive("A") in subterms
+        assert len(subterms) == 62
+
+    def test_subterms_memo_survives_equal_fresh_instances(self):
+        inner = succinct({primitive("A")}, "B")
+        stype = SuccinctType(frozenset((inner,)), "C")  # not interned
+        assert succinct_subterms(stype) == \
+            succinct_subterms(succinct({inner}, "C"))
+
 
 class TestFormatting:
     def test_primitive_formats_bare(self):

@@ -33,6 +33,20 @@ def _prepare(engine, text, name="scene"):
 
 
 class TestReleaseScene:
+    def test_release_retires_environment_arena(self, engine):
+        from repro.core.space import arena_stats
+
+        prepared = _prepare(engine, SCENE)
+        engine.complete(prepared)  # builds the scene arena
+        arena = prepared.environment.succinct_arena()
+        before = arena_stats()["retired_arenas"]
+        engine.release_scene(prepared)
+        assert arena_stats()["retired_arenas"] >= before + 1
+        # A fresh accessor gets a new arena; the old one stayed intact for
+        # any in-flight search that captured it.
+        assert prepared.environment.succinct_arena() is not arena
+        assert len(arena) >= 1
+
     def test_release_drops_scene_and_results(self, engine):
         prepared = _prepare(engine, SCENE)
         engine.complete(prepared)

@@ -225,6 +225,14 @@ class TestServeCommand:
         assert code == 2
         assert "--deadline-ms" in capsys.readouterr().err
 
+    def test_workers_flag_parsed_and_validated(self, capsys):
+        from repro.cli import _build_parser
+        args = _build_parser().parse_args(["serve", "--workers", "4"])
+        assert args.workers == 4
+        code = main(["serve", "--port", "0", "--workers", "0"])
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
+
     def test_serve_registers_scenes_and_answers(self, scene_file):
         """Boot the real server via the CLI path and complete against it."""
         import asyncio
@@ -311,6 +319,59 @@ class TestBenchCommand:
         out = capsys.readouterr().out
         assert code == 0
         assert "top 10" in out
+
+
+class TestStatsCommand:
+    def test_unreachable_server_is_a_clean_error(self, capsys):
+        # Port 1 is never listening; the client raises a typed error the
+        # CLI maps to the usual exit-2 contract.
+        code = main(["stats", "--port", "1"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err.lower()
+
+    def test_pretty_prints_running_server_stats(self, capsys):
+        import asyncio
+        import threading
+
+        from repro.server import AsyncCompletionServer, ServerConfig
+
+        server = AsyncCompletionServer(config=ServerConfig(port=0))
+        started = threading.Event()
+        stop_loop: list = []
+
+        def _run():
+            async def _main():
+                await server.start()
+                started.set()
+                stop_loop.append(asyncio.get_running_loop())
+                try:
+                    await server.serve_forever()
+                except asyncio.CancelledError:
+                    pass
+                finally:
+                    await server.close()
+
+            asyncio.run(_main())
+
+        thread = threading.Thread(target=_run, daemon=True)
+        thread.start()
+        assert started.wait(10)
+        try:
+            code = main(["stats", "--port", str(server.port)])
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "env arena" in out
+            assert "interned types" in out
+            code = main(["stats", "--port", str(server.port), "--json"])
+            out = capsys.readouterr().out
+            assert code == 0
+            assert '"env_arena"' in out
+        finally:
+            stop_loop[0].call_soon_threadsafe(
+                lambda: [task.cancel() for task in
+                         asyncio.all_tasks(stop_loop[0])])
+            thread.join(timeout=10)
+        assert not thread.is_alive()
 
 
 class TestCorpusStatsCommand:
