@@ -17,10 +17,11 @@ Usage::
         [--output benchmarks/out/BENCH_core.json]
 
 ``--check`` re-measures and fails (exit 1) when the summed prove time
-regresses more than ``--max-regression`` (default 25%) against the
-``current`` numbers committed in the given file — the CI slow job runs
-exactly this, so the repository carries a perf trajectory that PRs must
-defend.  Timings are machine-dependent; the gate compares sums across
+*or* the summed reconstruction time regresses more than
+``--max-regression`` (default 25%) against the ``current`` numbers
+committed in the given file — the CI slow job runs exactly this, so the
+repository carries a perf trajectory that PRs must defend on both
+phases.  Timings are machine-dependent; the gate compares sums across
 rows to damp per-row noise.
 """
 
@@ -124,21 +125,29 @@ def build_report(rows: dict, baseline: Optional[dict] = None,
 
 def check_regression(committed: dict, measured: dict,
                      max_regression: float) -> list[str]:
-    """Regression findings of *measured* against the *committed* report."""
+    """Regression findings of *measured* against the *committed* report.
+
+    Gates both phases independently: summed prove time and summed recon
+    time each may not regress more than *max_regression* against the
+    committed ``current`` numbers — a PR that halves prove but doubles
+    recon must not pass on the total.
+    """
     failures = []
     reference = committed.get("current", {})
     common = [number for number in reference if number in measured]
     if not common:
         return [f"no comparable rows between committed and measured sets "
                 f"({sorted(reference)} vs {sorted(measured)})"]
-    committed_prove = sum(reference[number]["prove_ms"] for number in common)
-    measured_prove = sum(measured[number]["prove_ms"] for number in common)
-    allowed = committed_prove * (1.0 + max_regression)
-    if measured_prove > allowed:
-        failures.append(
-            f"prove-time regression: {measured_prove:.1f} ms summed over "
-            f"rows {common} exceeds the committed {committed_prove:.1f} ms "
-            f"by more than {max_regression:.0%} (limit {allowed:.1f} ms)")
+    for field, label in (("prove_ms", "prove"), ("recon_ms", "recon")):
+        committed_sum = sum(reference[number][field] for number in common)
+        measured_sum = sum(measured[number][field] for number in common)
+        allowed = committed_sum * (1.0 + max_regression)
+        if measured_sum > allowed:
+            failures.append(
+                f"{label}-time regression: {measured_sum:.1f} ms summed "
+                f"over rows {common} exceeds the committed "
+                f"{committed_sum:.1f} ms by more than {max_regression:.0%} "
+                f"(limit {allowed:.1f} ms)")
     return failures
 
 
@@ -156,10 +165,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="write the measured report to this path")
     parser.add_argument("--check", default=None, metavar="BENCH_core.json",
                         help="compare against a committed report and fail "
-                             "on prove-time regression")
+                             "on prove- or recon-time regression")
     parser.add_argument("--max-regression", type=float, default=0.25,
-                        help="allowed fractional prove-time regression for "
-                             "--check (default 0.25)")
+                        help="allowed fractional prove/recon-time "
+                             "regression for --check (default 0.25)")
     args = parser.parse_args(argv)
 
     rows = DEFAULT_ROWS
@@ -198,8 +207,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"FAIL: {failure}", file=sys.stderr)
         if failures:
             return 1
-        print(f"regression check passed "
-              f"(within {args.max_regression:.0%} of committed prove time)")
+        print(f"regression check passed (within {args.max_regression:.0%} "
+              f"of committed prove and recon times)")
     return 0
 
 

@@ -104,6 +104,14 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--deadline-ms", type=int, default=None,
                        help="default per-request deadline when the client "
                             "sends none")
+    serve.add_argument("--gc-tune", action="store_true",
+                       help="tune the collector for serving: freeze each "
+                            "prepared scene into the permanent generation "
+                            "and raise the collection thresholds (gen-2 "
+                            "pauses are the main warm-latency noise)")
+    serve.add_argument("--gc-thresholds", default=None, metavar="G0[,G1,G2]",
+                       help="collection thresholds applied with --gc-tune "
+                            "(default 50000,25,25)")
 
     warm = commands.add_parser(
         "warm", help="pre-populate the engine result cache for a scene")
@@ -326,12 +334,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"error: {flag} must be at least 1, got {value}",
                   file=sys.stderr)
             return 2
+    gc_thresholds = ServerConfig.gc_thresholds
+    if args.gc_thresholds is not None:
+        try:
+            parts = [int(part) for part in args.gc_thresholds.split(",")]
+        except ValueError:
+            parts = []
+        if not 1 <= len(parts) <= 3 or any(part < 1 for part in parts):
+            print(f"error: --gc-thresholds expects 1-3 positive integers "
+                  f"(G0[,G1,G2]), got {args.gc_thresholds!r}",
+                  file=sys.stderr)
+            return 2
+        gc_thresholds = tuple(parts + list(gc_thresholds[len(parts):]))
     config = ServerConfig(host=args.host, port=args.port,
                           max_pending=args.max_pending,
                           max_scenes=args.max_scenes,
                           executor_workers=args.executor_workers,
                           workers=args.workers,
-                          default_deadline_ms=args.deadline_ms)
+                          default_deadline_ms=args.deadline_ms,
+                          gc_tune=args.gc_tune,
+                          gc_thresholds=gc_thresholds)
     server = AsyncCompletionServer(config=config)
 
     # Read the preload scenes before binding the port, so a typo'd path
@@ -477,6 +499,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
           f"limit={interned.get('limit')} "
           f"evictions={interned.get('evictions')} "
           f"ids_assigned={interned.get('type_ids_assigned')}")
+    simple = core.get("simple_types", {})
+    print(f"simple-type ids: size={simple.get('size')} "
+          f"ids_assigned={simple.get('ids_assigned')}")
     arena = core.get("env_arena", {})
     print(f"env arena: live={arena.get('live_arenas')} "
           f"envs={arena.get('env_count')} "
@@ -484,6 +509,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
           f"misses={arena.get('transition_memo_misses')} "
           f"merges={arena.get('index_merges')} "
           f"retired={arena.get('retired_arenas')}")
+    gc_stats = payload.get("gc", {})
+    if gc_stats:
+        print(f"gc: tuned={gc_stats.get('tuned')} "
+              f"thresholds={gc_stats.get('thresholds')} "
+              f"frozen={gc_stats.get('frozen')} "
+              f"collections={gc_stats.get('collections')}")
     return 0
 
 

@@ -123,7 +123,10 @@ class Environment:
             stype: tuple(decls) for stype, decls in grouped.items()}
         self._weight_memos: dict = {}  # WeightPolicy -> {SuccinctType: float}
         self._decl_weight_memos: dict = {}  # WeightPolicy -> {id(decl): float}
+        self._recon_memos: dict = {}  # WeightPolicy -> candidate-list memo
+        self._pattern_env_memo: dict = {}  # frozenset -> frozenset
         self._succinct_env: Optional[frozenset[SuccinctType]] = None
+        self._reserved_names: Optional[frozenset[str]] = None
         self._fingerprint: Optional[str] = None
         self._arena = None  # lazily built EnvArena (see succinct_arena)
 
@@ -167,6 +170,23 @@ class Environment:
             self._succinct_env = own
         return self._succinct_env
 
+    def reserved_names(self) -> frozenset[str]:
+        """All declaration names in scope, as one shared frozen set.
+
+        Computed once per environment and cached: reconstruction needs the
+        full protected-name set to seed its fresh-name supply, and a large
+        scene has ~10k declarations — rebuilding the list per query used to
+        cost more than many whole queries.  The set is immutable, so every
+        :class:`~repro.core.names.NameSupply` over this environment shares
+        it by reference (``frozen=``) instead of copying it.
+        """
+        if self._reserved_names is None:
+            own = frozenset(self._by_name)
+            if self._parent is not None:
+                own |= self._parent.reserved_names()
+            self._reserved_names = own
+        return self._reserved_names
+
     def type_weight_memo(self, policy) -> dict:
         """The mutable ``succinct type -> w(t, Gamma_o)`` memo for *policy*.
 
@@ -192,6 +212,33 @@ class Environment:
         if memo is None:
             memo = self._decl_weight_memos.setdefault(policy, {})
         return memo
+
+    def candidate_list_memo(self, policy) -> dict:
+        """Cross-query memo for reconstruction's root-scope candidate lists.
+
+        Keyed by ``(hole simple-type id, pattern slice tuple)`` — the exact
+        inputs a candidate list is a pure function of in the empty binder
+        scope (plus this environment and *policy*, which select the memo).
+        Values are ``(names_needed, candidates)``: a hit must still draw
+        ``names_needed`` fresh binder names so the reconstructor's name
+        supply stays in lockstep with a cold run (binder names drawn while
+        building a list are consumed even though they never outlive it).
+        Pattern slices compare pointer-fast on a warm scene arena because
+        the environment frozensets inside patterns are shared instances.
+        """
+        memo = self._recon_memos.get(policy)
+        if memo is None:
+            memo = self._recon_memos.setdefault(policy, {})
+        return memo
+
+    def pattern_env_memo(self) -> dict:
+        """``binder sigma set -> sigma(Gamma_o) | sigmas`` (cross-query).
+
+        The union re-walks the full succinct signature (thousands of
+        types), so it is memoised here — pure in (environment, sigma set)
+        — rather than per reconstructor.
+        """
+        return self._pattern_env_memo
 
     def succinct_arena(self):
         """The scene-scoped :class:`~repro.core.space.EnvArena` for this
@@ -275,6 +322,10 @@ class Environment:
         state["_arena"] = None
         state["_weight_memos"] = {}
         state["_decl_weight_memos"] = {}
+        # The candidate-list memo keys on per-process simple-type ids and
+        # holds per-process declaration references; never ship it.
+        state["_recon_memos"] = {}
+        state["_pattern_env_memo"] = {}
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -283,6 +334,9 @@ class Environment:
         self.__dict__.setdefault("_arena", None)
         self.__dict__.setdefault("_weight_memos", {})
         self.__dict__.setdefault("_decl_weight_memos", {})
+        self.__dict__.setdefault("_recon_memos", {})
+        self.__dict__.setdefault("_pattern_env_memo", {})
+        self.__dict__.setdefault("_reserved_names", None)
 
     def __repr__(self) -> str:
         return f"Environment({len(self)} declarations)"

@@ -15,6 +15,12 @@ from typing import Iterable, Iterator
 class NameSupply:
     """Deterministic supply of fresh identifiers.
 
+    ``reserved`` names are copied into a private set the supply may grow;
+    ``frozen`` is an *immutable* set shared by reference — never copied —
+    so a scene-wide protected set (all ~10k declaration names of a big
+    environment, see :meth:`Environment.reserved_names`) can back every
+    per-query supply without being rebuilt per query.
+
     >>> supply = NameSupply(prefix="x", reserved=["x1"])
     >>> supply.fresh()
     'x0'
@@ -22,9 +28,11 @@ class NameSupply:
     'x2'
     """
 
-    def __init__(self, prefix: str = "x", reserved: Iterable[str] = ()):
+    def __init__(self, prefix: str = "x", reserved: Iterable[str] = (),
+                 frozen: frozenset = frozenset()):
         self._prefix = prefix
         self._reserved = set(reserved)
+        self._frozen = frozen
         self._next = 0
 
     def reserve(self, names: Iterable[str]) -> None:
@@ -33,11 +41,13 @@ class NameSupply:
 
     def fresh(self) -> str:
         """Return the next unreserved name and mark it as used."""
+        reserved = self._reserved
+        frozen = self._frozen
         while True:
             candidate = f"{self._prefix}{self._next}"
             self._next += 1
-            if candidate not in self._reserved:
-                self._reserved.add(candidate)
+            if candidate not in reserved and candidate not in frozen:
+                reserved.add(candidate)
                 return candidate
 
     def fresh_many(self, count: int) -> list[str]:

@@ -1,4 +1,4 @@
-"""Integer-ID arena for succinct environments (the prover hot path).
+"""Integer-ID arenas: succinct environments and simple types.
 
 Exploration (§5.3) repeatedly extends environments with STRIP and asks
 each one "which members return ``t``?".  Environments are frozensets of
@@ -30,6 +30,18 @@ without read locks: insertion takes a per-arena lock, published ids
 always point at fully built rows, and "release" is *replacement* (the
 holder forgets the arena object) rather than in-place clearing, so an
 in-flight exploration keeps its consistent snapshot until it finishes.
+
+This module also hosts the **simple-type id table** used by the
+reconstruction hot path (:func:`simple_type_id`): every simple
+:class:`~repro.core.types.Type` gets a stable per-process integer id, so
+reconstruction's memo tables (candidate lists, completion-bound levels,
+pattern-environment unions) key on small ints instead of re-hashing
+structural type spines.  Ids follow the same discipline as the succinct
+``type_id`` counter: assigned from a monotonic counter that never
+resets, so "same id => same structure" can never be violated; the id is
+additionally cached on the type instance itself (and excluded from
+pickling — see ``Type.__getstate__``), making repeat lookups a plain
+attribute read.
 """
 
 from __future__ import annotations
@@ -39,6 +51,7 @@ import weakref
 from typing import Iterable, Optional
 
 from repro.core.succinct import SuccinctType, sort_key, type_id
+from repro.core.types import Type
 
 #: An environment in succinct space: just the set of member types.
 EnvKey = frozenset  # frozenset[SuccinctType]
@@ -210,6 +223,91 @@ class EnvArena:
     def __repr__(self) -> str:
         return (f"EnvArena({len(self._members)} envs, "
                 f"{len(self._strips)} transitions)")
+
+
+# -- simple-type ids ---------------------------------------------------------
+
+#: Structural ``Type -> id`` table.  Only consulted when an instance does
+#: not yet carry its cached id; after that, :func:`simple_type_id` is an
+#: attribute read.  The table gives cross-instance consistency: two
+#: structurally equal types always map to one id while both stay in the
+#: table (and an instance keeps its cached id forever once assigned).
+_SIMPLE_TYPE_IDS: dict[Type, int] = {}
+_NEXT_SIMPLE_TYPE_ID = 0
+_SIMPLE_TYPE_LOCK = threading.Lock()
+
+#: Bound on the structural table, mirroring the succinct intern table's
+#: discipline: past it the oldest entries are evicted on insert, so a
+#: serving process fed unboundedly many distinct client goal types stays
+#: bounded.  Instances keep their cached ids regardless (see the
+#: eviction caveat on :func:`trim_simple_type_ids`).
+DEFAULT_SIMPLE_TYPE_LIMIT = 1 << 17
+
+#: Attribute the id is cached under on the type instance.  Excluded from
+#: pickling (``BaseType.__getstate__`` / ``Arrow.__getstate__``): ids are
+#: per-process, so a restored cache would be silently wrong — and could
+#: silently collide — in the engine's pool workers.
+_SIMPLE_TYPE_ID_ATTR = "_simple_type_id"
+
+
+def simple_type_id(tpe: Type) -> int:
+    """The stable per-process integer id of simple type *tpe*.
+
+    Distinct structures never share an id (the counter is monotonic and
+    never reset); structurally equal instances share one id via the
+    structural table.  The id is cached on the instance, so the common
+    case — reconstruction re-asking about the same declaration/uncurry
+    type objects — is a single attribute read with no hashing at all.
+    """
+    global _NEXT_SIMPLE_TYPE_ID
+    try:
+        return object.__getattribute__(tpe, _SIMPLE_TYPE_ID_ATTR)
+    except AttributeError:
+        pass
+    with _SIMPLE_TYPE_LOCK:
+        assigned = _SIMPLE_TYPE_IDS.get(tpe)
+        if assigned is None:
+            assigned = _NEXT_SIMPLE_TYPE_ID
+            _NEXT_SIMPLE_TYPE_ID += 1
+            _SIMPLE_TYPE_IDS[tpe] = assigned
+            while len(_SIMPLE_TYPE_IDS) > DEFAULT_SIMPLE_TYPE_LIMIT:
+                del _SIMPLE_TYPE_IDS[next(iter(_SIMPLE_TYPE_IDS))]
+    object.__setattr__(tpe, _SIMPLE_TYPE_ID_ATTR, assigned)
+    return assigned
+
+
+def simple_type_stats() -> dict:
+    """Size and id high-water mark of the simple-type id table."""
+    return {"size": len(_SIMPLE_TYPE_IDS),
+            "ids_assigned": _NEXT_SIMPLE_TYPE_ID}
+
+
+def trim_simple_type_ids(max_entries: int = 0) -> int:
+    """Shed structural table entries down to *max_entries* (oldest first).
+
+    Safe at any time: instances keep their cached ids (attribute cache),
+    and a structurally equal *new* instance interned after a trim simply
+    gets a fresh id — memo entries under the old id go cold, exactly the
+    eviction contract of the succinct ``type_id`` table.  Engine tenancy
+    boundaries call this so a dropped scene's types can be collected.
+
+    Eviction caveat (shared with the succinct table): after a trim, a
+    *fresh* instance of an evicted structure gets a new id while older
+    instances keep their cached one, so id-keyed reconstruction memos
+    treat the two as distinct and rebuild — which may draw extra fresh
+    binder names.  Emitted term structure, weights and ranking are
+    unaffected (the memos are pure), but binder-name choices across a
+    trim boundary can differ from an untrimmed process.  Within one
+    uninterrupted tenancy — the determinism contract the parity suite
+    asserts — no trim occurs and results are bit-reproducible.
+    """
+    evicted = 0
+    with _SIMPLE_TYPE_LOCK:
+        while len(_SIMPLE_TYPE_IDS) > max_entries:
+            oldest = next(iter(_SIMPLE_TYPE_IDS))
+            del _SIMPLE_TYPE_IDS[oldest]
+            evicted += 1
+    return evicted
 
 
 def arena_stats() -> dict:

@@ -70,6 +70,10 @@ class SynthesisResult:
     edges_found: int = 0
     pattern_count: int = 0
     reconstruction_expansions: int = 0
+    #: Frontier entries pushed (initial hole included) — with the packed
+    #: frontier's lazy sibling chain this stays within 2x of expansions.
+    reconstruction_enqueued: int = 0
+    reconstruction_emitted: int = 0
     explore_truncated: bool = False
     reconstruction_truncated: bool = False
 
@@ -252,6 +256,8 @@ class Synthesizer:
         result.snippets = snippets
         result.reconstruction_seconds = reconstructor.stats.elapsed_seconds
         result.reconstruction_expansions = reconstructor.stats.expansions
+        result.reconstruction_enqueued = reconstructor.stats.enqueued
+        result.reconstruction_emitted = reconstructor.stats.emitted
         result.reconstruction_truncated = reconstructor.stats.truncated
         return result
 

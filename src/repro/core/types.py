@@ -28,6 +28,21 @@ class BaseType:
     def __str__(self) -> str:
         return self.name
 
+    def __hash__(self) -> int:
+        # The generated dataclass hash builds a one-tuple per call; the
+        # bare string hash (cached inside the str object) is equivalent
+        # for dict purposes and measurably cheaper on the reconstruction
+        # hot path, where base types key memo tables.
+        return hash(self.name)
+
+    def __getstate__(self):
+        # Never pickle the cached per-process simple-type id (attached by
+        # repro.core.space.simple_type_id): ids are process-local, so a
+        # restored value could silently collide in a pool worker.
+        state = dict(self.__dict__)
+        state.pop("_simple_type_id", None)
+        return state
+
 
 @dataclass(frozen=True)
 class Arrow:
@@ -51,11 +66,13 @@ class Arrow:
             return value
 
     def __getstate__(self):
-        # Never pickle the cached hash: string hashing is per-process
-        # randomised, so a restored cache would be silently wrong in the
-        # engine's pool workers.
+        # Never pickle the cached hash (string hashing is per-process
+        # randomised) nor the cached per-process simple-type id (see
+        # repro.core.space.simple_type_id): a restored value would be
+        # silently wrong — or collide — in the engine's pool workers.
         state = dict(self.__dict__)
         state.pop("_hash_cache", None)
+        state.pop("_simple_type_id", None)
         return state
 
 

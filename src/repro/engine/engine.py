@@ -488,12 +488,19 @@ class CompletionEngine:
         off its event loop (``release_scene(..., shed_types=False)`` then
         ``shed_types()`` on an executor).
         """
-        from repro.core import succinct
+        from repro.core import space, succinct
         if len(self.scenes) == 0:
             succinct.clear_intern_table()
+            # The simple-type id table follows the same discipline: ids
+            # stay cached on live instances (and are never reused), so
+            # dropping the structural table only frees dead entries.
+            space.trim_simple_type_ids(0)
         else:
             limit = succinct.intern_table_stats()["limit"]
             succinct.trim_intern_table(limit // 4)
+            # Bound the simple-type table under scene churn too; live
+            # scenes keep their ids through the instance caches.
+            space.trim_simple_type_ids(limit // 4)
 
     def clear(self) -> None:
         """Drop all cached results and prepared scenes."""

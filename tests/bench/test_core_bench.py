@@ -9,11 +9,11 @@ from repro.bench.core_bench import (DEFAULT_ROWS, LARGEST_ROW, SCHEMA,
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
 
-def _rows(prove: float) -> dict:
+def _rows(prove: float, recon: float = 2.0) -> dict:
     return {
         "28": {"name": "x", "declarations": 10700, "cold_total_ms": 1.0,
-               "prove_ms": prove, "recon_ms": 2.0,
-               "total_ms": prove + 2.0, "best_total_ms": prove},
+               "prove_ms": prove, "recon_ms": recon,
+               "total_ms": prove + recon, "best_total_ms": prove},
     }
 
 
@@ -26,6 +26,26 @@ class TestRegressionGate:
         committed = build_report(_rows(100.0))
         failures = check_regression(committed, _rows(130.0), 0.25)
         assert failures and "prove-time regression" in failures[0]
+
+    def test_recon_regression_fails_even_with_prove_improvement(self):
+        committed = build_report(_rows(100.0, recon=100.0))
+        failures = check_regression(committed,
+                                    _rows(50.0, recon=130.0), 0.25)
+        assert len(failures) == 1
+        assert "recon-time regression" in failures[0]
+
+    def test_both_phases_can_fail_together(self):
+        committed = build_report(_rows(100.0, recon=100.0))
+        failures = check_regression(committed,
+                                    _rows(130.0, recon=130.0), 0.25)
+        assert len(failures) == 2
+        assert "prove-time regression" in failures[0]
+        assert "recon-time regression" in failures[1]
+
+    def test_recon_within_bound_passes(self):
+        committed = build_report(_rows(100.0, recon=100.0))
+        assert check_regression(committed,
+                                _rows(90.0, recon=120.0), 0.25) == []
 
     def test_disjoint_row_sets_are_reported(self):
         committed = build_report(_rows(100.0))
@@ -44,7 +64,8 @@ class TestReportShape:
 
     def test_committed_bench_core_is_valid_and_meets_acceptance(self):
         """The repo-root BENCH_core.json must parse, cover the default
-        rows, and record the >= 2x total speedup on the largest scene."""
+        rows, and record the packed-frontier acceptance: >= 1.5x summed
+        warm recon time against the committed pre-change baseline."""
         path = REPO_ROOT / "BENCH_core.json"
         committed = json.loads(path.read_text(encoding="utf-8"))
         assert committed["schema"] == SCHEMA
@@ -54,7 +75,14 @@ class TestReportShape:
             assert row["recon_ms"] >= 0
             assert row["total_ms"] > 0
             assert str(number) in committed["baseline"]
+        baseline_recon = sum(committed["baseline"][str(n)]["recon_ms"]
+                             for n in DEFAULT_ROWS)
+        current_recon = sum(committed["current"][str(n)]["recon_ms"]
+                            for n in DEFAULT_ROWS)
+        assert current_recon > 0
+        assert baseline_recon / current_recon >= 1.5
+        # The end-to-end trajectory must not have regressed either.
         largest = str(committed["protocol"]["largest_scene"])
-        assert committed["speedup_total"][largest] >= 2.0
+        assert committed["speedup_total"][largest] >= 1.0
         # The gate must accept its own committed numbers.
         assert check_regression(committed, committed["current"], 0.25) == []

@@ -72,3 +72,32 @@ class TestErrors:
         error = TypeSyntaxError("bad token", line=3, column=7)
         assert error.line == 3
         assert "line 3" in str(error)
+
+
+class TestFrozenReservedNames:
+    def test_frozen_set_is_shared_not_copied(self):
+        frozen = frozenset({"x0", "x2"})
+        supply = NameSupply(prefix="x", frozen=frozen)
+        assert supply.fresh_many(3) == ["x1", "x3", "x4"]
+        # The shared set itself must never be mutated by draws.
+        assert frozen == {"x0", "x2"}
+
+    def test_frozen_and_reserved_combine(self):
+        supply = NameSupply(prefix="x", reserved=["x1"],
+                            frozen=frozenset({"x0"}))
+        assert supply.fresh_many(2) == ["x2", "x3"]
+
+    def test_environment_reserved_names_cached_and_shared(self):
+        from repro.core.environment import Environment
+        from tests.helpers import simple_env
+
+        environment = simple_env(("a", "A"), ("f", "A -> B"))
+        first = environment.reserved_names()
+        assert first == {"a", "f"}
+        assert environment.reserved_names() is first  # cached, not rebuilt
+        child = environment.extended([])
+        assert child.reserved_names() == {"a", "f"}
+        assert isinstance(first, frozenset)
+        supply = NameSupply(prefix="x", frozen=first)
+        assert supply.fresh() == "x0"
+        assert isinstance(environment, Environment)

@@ -178,3 +178,86 @@ class TestReconstruction:
         second = [s.term for s in
                   reconstruct(patterns2, env2, goal2, WeightPolicy.standard())]
         assert first == second
+
+
+class TestPackedFrontier:
+    """Unit tests for the spine/cursor structure behind the packed
+    Reconstructor (frames, scopes, incremental bookkeeping)."""
+
+    def _packed(self, declarations, goal_text, **kwargs):
+        env, goal, patterns = _pipeline(declarations, goal_text)
+        return env, goal, Reconstructor(patterns, env,
+                                        WeightPolicy.standard(), **kwargs)
+
+    def test_deep_nesting_assembles_in_preorder(self):
+        # g : C, f : C -> B, h : B -> A builds h (f g) purely through
+        # frame pushes/pops; the assembled term must match the tree shape.
+        env, goal, reconstructor = self._packed(
+            [_decl("g", "C"), _decl("f", "C -> B"), _decl("h", "B -> A")],
+            "A")
+        snippets = list(reconstructor.enumerate(goal))
+        assert len(snippets) == 1
+        from repro.core.terms import lnf_heads
+        assert lnf_heads(snippets[0].term) == ("h", "f", "g")
+
+    def test_sibling_holes_fill_left_to_right(self):
+        # f : A -> B -> A -> C exercises an ancestor frame that regains
+        # the cursor twice after child completions.
+        env, goal, reconstructor = self._packed(
+            [_decl("a", "A"), _decl("b", "B"),
+             _decl("f", "A -> B -> A -> C")], "C")
+        snippets = list(reconstructor.enumerate(goal))
+        term = snippets[0].term
+        assert term.head == "f"
+        assert tuple(argument.head for argument in term.arguments) == \
+            ("a", "b", "a")
+
+    def test_scopes_interned_per_binder_path(self):
+        env, goal, reconstructor = self._packed(
+            [_decl("h", "(A -> B) -> C"), _decl("f", "A -> B")], "C")
+        list(reconstructor.enumerate(goal))
+        # Root scope plus one scope per distinct realized binder tuple.
+        assert () in reconstructor._scopes
+        binder_scopes = [scope for path, scope
+                         in reconstructor._scopes.items() if path]
+        assert binder_scopes
+        for scope in binder_scopes:
+            assert scope.has_binders
+            assert scope.binder_sigmas
+
+    def test_incremental_size_matches_term_size(self):
+        # max_term_size uses the incrementally tracked node count; a cap
+        # exactly at the solution size admits it, one below rejects it.
+        declarations = [_decl("a", "A"), _decl("f", "A -> B")]
+        for cap, expected in ((2, 1), (1, 0)):
+            env, goal, reconstructor = self._packed(
+                declarations, "B", max_term_size=cap, max_steps=50)
+            assert len(list(reconstructor.enumerate(goal))) == expected
+
+    def test_cross_query_candidate_memo_is_deterministic(self):
+        # Two fresh reconstructors over one environment share the
+        # candidate-list memo; the second (warm) run must draw the same
+        # fresh names and emit identical terms.
+        declarations = [_decl("a", "A"), _decl("f", "A -> B"),
+                        _decl("g", "A -> A -> B")]
+        env, goal, patterns = _pipeline(declarations, "B")
+        first = list(Reconstructor(patterns, env, WeightPolicy.standard(),
+                                   max_steps=200).enumerate(goal))
+        assert env.candidate_list_memo(WeightPolicy.standard())
+        second = list(Reconstructor(patterns, env, WeightPolicy.standard(),
+                                    max_steps=200).enumerate(goal))
+        assert [s.term for s in first] == [s.term for s in second]
+        assert [s.weight for s in first] == [s.weight for s in second]
+
+    def test_reference_reconstructor_agrees_on_unit_scene(self):
+        from repro.core.reconstruct import reconstruct_reference
+
+        declarations = [_decl("a", "A"), _decl("f", "A -> A")]
+        env, goal, patterns = _pipeline(declarations, "A")
+        packed = reconstruct(patterns, env, goal, WeightPolicy.standard(),
+                             limit=6)
+        env2, goal2, patterns2 = _pipeline(declarations, "A")
+        reference = reconstruct_reference(patterns2, env2, goal2,
+                                          WeightPolicy.standard(), limit=6)
+        assert [(s.term, s.weight, s.order) for s in packed] == \
+            [(s.term, s.weight, s.order) for s in reference]

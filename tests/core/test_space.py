@@ -147,3 +147,49 @@ class TestLifecycle:
         assert clone.succinct_environment() == \
             environment.succinct_environment()
         assert isinstance(clone.succinct_arena(), EnvArena)
+
+
+class TestSimpleTypeIds:
+    def test_ids_stable_and_distinct(self):
+        from repro.core.space import simple_type_id
+        from repro.core.types import arrow, base
+
+        a1 = arrow(base("SA"), base("SB"))
+        a2 = arrow(base("SA"), base("SB"))
+        other = arrow(base("SB"), base("SA"))
+        assert a1 is not a2
+        assert simple_type_id(a1) == simple_type_id(a2)
+        assert simple_type_id(a1) != simple_type_id(other)
+        # Second lookup is served from the instance cache.
+        assert simple_type_id(a1) == simple_type_id(a1)
+
+    def test_trim_keeps_instance_ids_and_never_reuses(self):
+        from repro.core.space import (simple_type_id, simple_type_stats,
+                                      trim_simple_type_ids)
+        from repro.core.types import arrow, base
+
+        kept = arrow(base("TrimKeep"), base("TrimKeep2"))
+        kept_id = simple_type_id(kept)
+        trim_simple_type_ids(0)
+        # The instance keeps its id; a fresh structural twin gets a new
+        # one (never a reused one).
+        assert simple_type_id(kept) == kept_id
+        twin = arrow(base("TrimKeep"), base("TrimKeep2"))
+        twin_id = simple_type_id(twin)
+        assert twin_id > kept_id
+        stats = simple_type_stats()
+        assert stats["ids_assigned"] > stats["size"] >= 1
+
+    def test_pickle_never_ships_cached_ids(self):
+        import pickle
+
+        from repro.core.space import simple_type_id
+        from repro.core.types import arrow, base
+
+        tpe = arrow(base("PickleA"), base("PickleB"))
+        simple_type_id(tpe)
+        simple_type_id(tpe.argument)
+        clone = pickle.loads(pickle.dumps(tpe))
+        assert "_simple_type_id" not in clone.__dict__
+        assert "_simple_type_id" not in clone.argument.__dict__
+        assert clone == tpe

@@ -19,6 +19,7 @@ from repro.core.config import SynthesisConfig
 from repro.core.explore import explore
 from repro.core.generate_patterns import generate_patterns
 from repro.core.reconstruct import Reconstructor
+from repro.core.space import simple_type_id
 from repro.core.succinct import sigma
 from repro.core.synthesizer import Synthesizer
 from repro.core.weights import WeightPolicy
@@ -58,8 +59,10 @@ def test_hole_bound_is_admissible(env_goal):
 def test_ordered_candidates_sorted_by_completion_bound(env_goal):
     environment, goal = env_goal
     reconstructor = _reconstructor(environment, goal)
-    candidates = reconstructor._ordered_candidates(goal, ())
-    bounds = [reconstructor._completion_bound(candidate, ())
+    scope = reconstructor._root_scope
+    candidates = reconstructor._ordered_candidates(
+        goal, simple_type_id(goal), scope)
+    bounds = [reconstructor._completion_bound(candidate, scope)
               for candidate in candidates]
     assert bounds == sorted(bounds)
 
