@@ -31,9 +31,11 @@ from typing import Iterable, Optional, Sequence
 from repro.bench.goldens import PaperRow
 from repro.bench.matching import find_rank
 from repro.bench.suite import (BENCHMARKS, BenchmarkSpec, build_scene)
+from repro.bench.timing import median_total_triple
 from repro.core.config import SynthesisConfig
 from repro.core.environment import Declaration, DeclKind, Environment
 from repro.core.errors import EngineError
+from repro.core.synthesizer import Synthesizer
 from repro.core.weights import WeightPolicy
 from repro.engine import VARIANTS, CompletionEngine, policy_for_variant
 from repro.engine.cache import LRUCache
@@ -128,12 +130,32 @@ def run_benchmark(spec: BenchmarkSpec,
                   n: int = 10,
                   config: Optional[SynthesisConfig] = None,
                   scene: Optional[Scene] = None,
-                  engine: Optional[CompletionEngine] = None) -> BenchmarkResult:
+                  engine: Optional[CompletionEngine] = None,
+                  timing_repeats: int = 1,
+                  timed_variants: Sequence[str] = ("full",)) -> BenchmarkResult:
     """Run one benchmark under the requested variants (N = 10 by default).
 
     The scene is prepared once on the (shared) engine and every variant is
     served through it, so timings reported for repeated queries reflect the
     original cold run — the cache returns the measured result verbatim.
+
+    With ``timing_repeats`` > 1, timings come from that many *fresh*
+    synthesizers over the shared prepared scene — the warm measurement
+    protocol of :mod:`repro.bench.core_bench`, sharing its
+    :func:`~repro.bench.timing.median_total_triple` statistic — and the
+    reported ``prove_ms``/``recon_ms``/``total_ms`` are the triple of
+    the run with the median ``total_ms``.
+    A single OS scheduling hiccup then cannot land in the exported
+    Table 2 artefacts, and each row stays arithmetically self-consistent
+    (one real run's phase split, never a mix of fields from different
+    runs).  The served run — cold on a freshly prepared scene — only
+    contributes ranks, snippets and stats, and is the timing source just
+    when ``timing_repeats`` is 1.
+
+    Repeats only run for ``timed_variants`` (default: just ``full``, the
+    one variant whose timings the exports/reports/gates consume); other
+    variants keep the served run's timing, so a default suite pass does
+    not triple-measure 100 rows nobody reads.
     """
     engine = engine or shared_engine()
     scene = scene or scene_for(spec)
@@ -147,13 +169,29 @@ def run_benchmark(spec: BenchmarkSpec,
         rank = find_rank(synthesis.snippets, spec.expected,
                          prepared.environment)
         best = synthesis.best()
+        if timing_repeats > 1 and variant in timed_variants:
+            samples = []
+            for _ in range(timing_repeats):
+                synthesizer = Synthesizer.from_prepared(
+                    prepared.environment, prepared.base_environment,
+                    prepared.subtypes, policy=policy_for(variant),
+                    config=config or engine.default_config)
+                repeat = synthesizer.synthesize(scene.goal, n=n)
+                samples.append((repeat.prove_seconds * 1000.0,
+                                repeat.reconstruction_seconds * 1000.0,
+                                repeat.total_seconds * 1000.0))
+        else:
+            samples = [(synthesis.prove_seconds * 1000.0,
+                        synthesis.reconstruction_seconds * 1000.0,
+                        synthesis.total_seconds * 1000.0)]
+        prove_ms, recon_ms, total_ms = median_total_triple(samples)
         result.outcomes[variant] = VariantOutcome(
             variant=variant,
             rank=rank,
             inhabited=synthesis.inhabited,
-            prove_ms=synthesis.prove_seconds * 1000.0,
-            recon_ms=synthesis.reconstruction_seconds * 1000.0,
-            total_ms=synthesis.total_seconds * 1000.0,
+            prove_ms=prove_ms,
+            recon_ms=recon_ms,
+            total_ms=total_ms,
             snippets=len(synthesis.snippets),
             recon_expansions=synthesis.reconstruction_expansions,
             top_snippet=best.code if best else "",
@@ -166,12 +204,13 @@ def run_suite(numbers: Optional[Iterable[int]] = None,
               n: int = 10,
               config: Optional[SynthesisConfig] = None,
               engine: Optional[CompletionEngine] = None,
+              timing_repeats: int = 1,
               ) -> list[BenchmarkResult]:
     """Run several benchmarks (all 50 by default)."""
     chosen = (BENCHMARKS if numbers is None
               else [BENCHMARKS[number - 1] for number in numbers])
     return [run_benchmark(spec, variants=variants, n=n, config=config,
-                          engine=engine)
+                          engine=engine, timing_repeats=timing_repeats)
             for spec in chosen]
 
 

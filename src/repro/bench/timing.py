@@ -1,0 +1,23 @@
+"""Shared timing-sample statistics for the bench emitters.
+
+Both Table 2 (:mod:`repro.bench.runner`) and the ``BENCH_core.json``
+gate (:mod:`repro.bench.core_bench`) damp scheduling-noise outliers the
+same way; keeping the statistic here means the two artefact families
+cannot silently drift onto different protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def median_total_triple(samples: Sequence[tuple[float, float, float]],
+                        ) -> tuple[float, float, float]:
+    """The ``(prove_ms, recon_ms, total_ms)`` of the median-total run.
+
+    Picks the whole triple of one real run — the one with the median
+    ``total_ms``, lower middle for even counts — never a per-field
+    median mix, which could report ``total_ms < prove_ms + recon_ms``.
+    """
+    ordered = sorted(samples, key=lambda sample: sample[2])
+    return ordered[(len(ordered) - 1) // 2]

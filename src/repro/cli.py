@@ -131,6 +131,10 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--variants", default="no_weights,no_corpus,full",
                        help="comma-separated variants to run")
     bench.add_argument("--n", type=int, default=10)
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timing runs per row; the median-total run's "
+                            "prove/recon/total is reported (default 3, "
+                            "the re-baselining convention)")
 
     stats = commands.add_parser(
         "stats", help="fetch and pretty-print a running server's /v1/stats")
@@ -346,6 +350,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         gc_thresholds = tuple(parts + list(gc_thresholds[len(parts):]))
+        if not args.gc_tune:
+            print("warning: --gc-thresholds has no effect without "
+                  "--gc-tune", file=sys.stderr)
     config = ServerConfig(host=args.host, port=args.port,
                           max_pending=args.max_pending,
                           max_scenes=args.max_scenes,
@@ -440,7 +447,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         numbers = [int(part) for part in args.rows.split(",") if part.strip()]
     variants = tuple(part.strip() for part in args.variants.split(",")
                      if part.strip())
-    results = run_suite(numbers=numbers, variants=variants, n=args.n)
+    results = run_suite(numbers=numbers, variants=variants, n=args.n,
+                        timing_repeats=args.repeats)
     print(format_table(results))
     if set(variants) == {"no_weights", "no_corpus", "full"}:
         print()

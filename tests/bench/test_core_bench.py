@@ -86,3 +86,29 @@ class TestReportShape:
         assert committed["speedup_total"][largest] >= 1.0
         # The gate must accept its own committed numbers.
         assert check_regression(committed, committed["current"], 0.25) == []
+
+
+class TestMedianTotalTriple:
+    """The shared bench statistic: one real run's triple, median total."""
+
+    def test_odd_count_picks_median_total_run(self):
+        from repro.bench.timing import median_total_triple
+        samples = [(10.0, 5.0, 15.0), (99.0, 99.0, 2500.0), (9.0, 5.5, 14.5)]
+        assert median_total_triple(samples) == (10.0, 5.0, 15.0)
+
+    def test_even_count_picks_lower_middle(self):
+        from repro.bench.timing import median_total_triple
+        samples = [(1.0, 1.0, 2.0), (2.0, 2.0, 4.0),
+                   (3.0, 3.0, 6.0), (4.0, 4.0, 8.0)]
+        assert median_total_triple(samples) == (2.0, 2.0, 4.0)
+
+    def test_single_sample(self):
+        from repro.bench.timing import median_total_triple
+        assert median_total_triple([(1.0, 2.0, 3.0)]) == (1.0, 2.0, 3.0)
+
+    def test_triple_is_one_run_never_a_field_mix(self):
+        from repro.bench.timing import median_total_triple
+        samples = [(30.0, 5.0, 35.0), (5.0, 30.0, 36.0), (20.0, 20.0, 40.0)]
+        prove, recon, total = median_total_triple(samples)
+        assert (prove, recon, total) in samples
+        assert prove + recon <= total
