@@ -5,7 +5,8 @@ The subcommands mirror the library's main entry points::
     python -m repro.cli synthesize SCENE.ins [--n 10] [--variant full]
     python -m repro.cli batch SCENE.ins [SCENE2.ins ...] [--goals T1,T2]
     python -m repro.cli warm SCENE.ins [--goals T1,T2] [--variants ...]
-    python -m repro.cli serve [--port 8777] [--workers N] [--scenes a.ins]
+    python -m repro.cli serve [--port 8777] [--workers N] [--snapshot F]
+    python -m repro.cli route [--backends N] [--journal F] [--snapshot-dir D]
     python -m repro.cli bench [--rows 9,15,44] [--variants full,no_corpus]
     python -m repro.cli stats [--host H] [--port P] [--json]
     python -m repro.cli corpus-stats
@@ -21,7 +22,13 @@ line — ``{"scene": "a.ins", "goal": "Reader", "variant": "full", "n": 5}``
 the engine's result cache and reports the cold/warm speedup.  ``serve``
 runs the long-lived asyncio completion server (`repro.server`); with
 ``--workers N`` cache-miss syntheses fan out over a process pool for real
-CPU parallelism.  ``bench`` runs Table 2 rows; ``stats`` pretty-prints a
+CPU parallelism, and with ``--snapshot PATH`` the result cache persists
+across restarts (restored at startup, re-saved as syntheses land).
+``route`` runs the sharded router (`repro.server.router`): it spawns and
+supervises N backend servers, routes scenes over a consistent hash ring,
+journals every registration for replica warm-up, and aggregates backend
+stats; ``--check-config`` validates the shard map and exits (CI's
+fail-fast dry run).  ``bench`` runs Table 2 rows; ``stats`` pretty-prints a
 running server's ``/v1/stats`` (cache, intern-table and environment-arena
 counters); ``corpus-stats`` prints the §7.3 marginals.
 """
@@ -112,6 +119,48 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--gc-thresholds", default=None, metavar="G0[,G1,G2]",
                        help="collection thresholds applied with --gc-tune "
                             "(default 50000,25,25)")
+    serve.add_argument("--snapshot", default=None, metavar="PATH",
+                       help="result-cache snapshot file: restored at "
+                            "startup (warm replica start) and re-saved "
+                            "after syntheses and on shutdown")
+    serve.add_argument("--snapshot-interval", type=float, default=0.0,
+                       help="minimum seconds between snapshot saves "
+                            "(default 0 = save after every synthesis)")
+
+    route = commands.add_parser(
+        "route", help="run the sharded completion router over N backends")
+    route.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    route.add_argument("--port", type=int, default=8787,
+                       help="bind port; 0 picks an ephemeral port "
+                            "(default 8787)")
+    route.add_argument("--backends", type=int, default=2,
+                       help="backend server processes to spawn and "
+                            "supervise (default 2)")
+    route.add_argument("--attach", default=None, metavar="H:P[,H:P...]",
+                       help="route over already-running backends instead "
+                            "of spawning (comma-separated host:port)")
+    route.add_argument("--journal", default=None, metavar="PATH",
+                       help="durable scene journal (JSONL); replayed "
+                            "into backends on restart/scale-up")
+    route.add_argument("--snapshot-dir", default=None, metavar="DIR",
+                       help="per-backend result-cache snapshot directory "
+                            "so respawned replicas start warm")
+    route.add_argument("--ring-replicas", type=int, default=64,
+                       help="virtual nodes per backend on the hash ring "
+                            "(default 64)")
+    route.add_argument("--scenes", nargs="*", default=[],
+                       help=".ins files to pre-register at startup")
+    route.add_argument("--workers", type=int, default=None,
+                       help="per-backend synthesis process-pool workers "
+                            "(forwarded to each spawned repro serve)")
+    route.add_argument("--max-scenes", type=int, default=None,
+                       help="per-backend registered-scene LRU size "
+                            "(forwarded to each spawned repro serve)")
+    route.add_argument("--check-config", action="store_true",
+                       help="validate the configuration (shard map, "
+                            "journal, snapshot dir) and exit without "
+                            "spawning anything — CI's fail-fast dry run")
 
     warm = commands.add_parser(
         "warm", help="pre-populate the engine result cache for a scene")
@@ -318,6 +367,45 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _serve_until_stopped(serve_forever) -> "object":
+    """Run an awaitable server loop until SIGTERM/SIGINT, then return.
+
+    `asyncio.run` only turns SIGINT into KeyboardInterrupt; a plain
+    SIGTERM (systemd stop, `process.terminate()` in the smoke harness)
+    would kill the process before any `finally` runs — leaking supervised
+    backend children and skipping the snapshot shutdown flush.  Where the
+    platform supports it, both signals resolve to a clean return so the
+    caller's `finally: close()` always executes.
+    """
+    import asyncio
+    import signal
+
+    async def _run():
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        hooked = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+                hooked.append(signum)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass                        # non-main thread / platform
+        serve_task = asyncio.ensure_future(serve_forever())
+        stop_task = asyncio.ensure_future(stop.wait())
+        try:
+            await asyncio.wait({serve_task, stop_task},
+                               return_when=asyncio.FIRST_COMPLETED)
+            if serve_task.done():
+                serve_task.result()         # surface server crashes
+        finally:
+            for task in (serve_task, stop_task):
+                task.cancel()
+            for signum in hooked:
+                loop.remove_signal_handler(signum)
+
+    return _run()
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     from pathlib import Path
@@ -353,6 +441,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if not args.gc_tune:
             print("warning: --gc-thresholds has no effect without "
                   "--gc-tune", file=sys.stderr)
+    if args.snapshot_interval < 0:
+        print(f"error: --snapshot-interval must be >= 0, got "
+              f"{args.snapshot_interval}", file=sys.stderr)
+        return 2
     config = ServerConfig(host=args.host, port=args.port,
                           max_pending=args.max_pending,
                           max_scenes=args.max_scenes,
@@ -360,7 +452,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                           workers=args.workers,
                           default_deadline_ms=args.deadline_ms,
                           gc_tune=args.gc_tune,
-                          gc_thresholds=gc_thresholds)
+                          gc_thresholds=gc_thresholds,
+                          snapshot_path=args.snapshot,
+                          snapshot_interval=args.snapshot_interval)
     server = AsyncCompletionServer(config=config)
 
     # Read the preload scenes before binding the port, so a typo'd path
@@ -374,18 +468,111 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             return 2
 
     async def _run() -> None:
-        await server.start()
-        print(f"serving on http://{server.host}:{server.port}", flush=True)
-        for path, text in scene_texts:
-            scene, already = await server.register_scene_text(text,
-                                                              name=path)
-            state = "already registered" if already else "registered"
-            print(f"scene {scene.scene_id} {state}: {path} "
-                  f"({scene.declarations} declarations)", flush=True)
         try:
-            await server.serve_forever()
+            await server.start()
+            print(f"serving on http://{server.host}:{server.port}",
+                  flush=True)
+            if args.snapshot is not None:
+                print(f"snapshot: restored "
+                      f"{server.metrics.snapshot_restored} "
+                      f"cached results from {args.snapshot}", flush=True)
+            for path, text in scene_texts:
+                scene, already = await server.register_scene_text(text,
+                                                                  name=path)
+                state = "already registered" if already else "registered"
+                print(f"scene {scene.scene_id} {state}: {path} "
+                      f"({scene.declarations} declarations)", flush=True)
+            await _serve_until_stopped(server.serve_forever)
         finally:
             await server.close()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    import asyncio
+    from pathlib import Path
+
+    from repro.server.router import (CompletionRouter, RouterConfig,
+                                     check_config)
+
+    attach = tuple(part.strip() for part in (args.attach or "").split(",")
+                   if part.strip())
+    backend_args: list[str] = []
+    for flag, value in (("--workers", args.workers),
+                        ("--max-scenes", args.max_scenes)):
+        if value is not None:
+            if value < 1:
+                print(f"error: {flag} must be at least 1, got {value}",
+                      file=sys.stderr)
+                return 2
+            backend_args += [flag, str(value)]
+    config = RouterConfig(host=args.host, port=args.port,
+                          backends=args.backends, attach=attach,
+                          journal_path=args.journal,
+                          snapshot_dir=args.snapshot_dir,
+                          ring_replicas=args.ring_replicas,
+                          backend_args=tuple(backend_args))
+
+    # The dry run reads and validates the journal's contents; the real
+    # startup path checks only paths/permissions — the router is about to
+    # parse (and possibly compact) the file itself, so a second full read
+    # would just double startup I/O.
+    problems = check_config(config, read_journal=args.check_config)
+    if args.check_config:
+        mode = (f"attach {len(attach)} backend(s)" if attach
+                else f"spawn {args.backends} backend(s)")
+        print(f"router config: {mode}, ring replicas "
+              f"{args.ring_replicas}, journal "
+              f"{args.journal or '(memory only)'}, snapshots "
+              f"{args.snapshot_dir or '(disabled)'}")
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        print("config " + ("INVALID" if problems else "OK"))
+        return 2 if problems else 0
+    if problems:
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        return 2
+
+    # Read preload scenes before spawning anything, like `repro serve`.
+    scene_texts = []
+    for path in args.scenes:
+        try:
+            scene_texts.append((path, Path(path).read_text(encoding="utf-8")))
+        except OSError as exc:
+            print(f"error: cannot read scene {path}: {exc}", file=sys.stderr)
+            return 2
+
+    router = CompletionRouter(config=config)
+
+    async def _run() -> None:
+        # One enclosing try: a failure while spawning backend k must
+        # still terminate backends 0..k-1, and a SIGTERM must reach the
+        # close() that tears the supervised children down.
+        try:
+            await router.start()
+            for backend in router.backends.values():
+                print(f"backend {backend.backend_id}: "
+                      f"http://{backend.host}:{backend.port}"
+                      f"{'' if backend.managed else ' (attached)'}",
+                      flush=True)
+            if len(router.journal):
+                print(f"journal: {len(router.journal)} scene(s), "
+                      f"{router.replayed} replayed", flush=True)
+            print(f"routing on http://{router.host}:{router.port}",
+                  flush=True)
+            for path, text in scene_texts:
+                response = await router.register_text(text, name=path)
+                print(f"scene {response['scene_id']} registered: {path}",
+                      flush=True)
+            await _serve_until_stopped(router.serve_forever)
+        finally:
+            await router.close()
 
     try:
         asyncio.run(_run())
@@ -501,7 +688,18 @@ def _cmd_stats(args: argparse.Namespace) -> int:
           f"(hit rate {result_stats.get('hit_rate')}), "
           f"{engine.get('prepared_scenes')} prepared scenes")
     print(f"scenes: {scenes.get('count')}/{scenes.get('limit')} registered, "
-          f"{scenes.get('evictions')} evictions")
+          f"{scenes.get('evictions')} evictions, "
+          f"{scenes.get('releases')} releases")
+    router = payload.get("router")
+    if router:
+        journal = router.get("journal", {})
+        print(f"router: {router.get('backends')} backends "
+              f"({router.get('healthy')} healthy), "
+              f"journal {journal.get('scenes')} scenes"
+              f"{' (durable)' if journal.get('durable') else ''}, "
+              f"replayed {router.get('replayed')}, "
+              f"reregistrations {router.get('reregistrations')}, "
+              f"restarts {router.get('restarts')}")
     interned = core.get("interned_types", {})
     print(f"interned types: size={interned.get('size')} "
           f"limit={interned.get('limit')} "
@@ -553,6 +751,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_warm(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "route":
+            return _cmd_route(args)
         if args.command == "bench":
             return _cmd_bench(args)
         if args.command == "stats":

@@ -21,11 +21,17 @@ from typing import Any, Callable, Hashable, Iterator, Optional
 
 @dataclass
 class CacheStats:
-    """Counters describing one cache's lifetime behaviour."""
+    """Counters describing one cache's lifetime behaviour.
+
+    ``insertions`` counts only *new* keys; re-``put``-ing an existing key
+    is a ``refresh`` (value replaced, entry promoted) so hit-rate reports
+    built from insertions are not skewed by refreshed entries.
+    """
 
     hits: int = 0
     misses: int = 0
     insertions: int = 0
+    refreshes: int = 0
     evictions: int = 0
 
     @property
@@ -38,9 +44,11 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def as_text(self) -> str:
+        refreshed = (f", {self.refreshes} refreshes" if self.refreshes
+                     else "")
         return (f"{self.hits} hits / {self.lookups} lookups "
-                f"({self.hit_rate:.0%}), {self.insertions} insertions, "
-                f"{self.evictions} evictions")
+                f"({self.hit_rate:.0%}), {self.insertions} insertions"
+                f"{refreshed}, {self.evictions} evictions")
 
 
 class LRUCache:
@@ -71,11 +79,18 @@ class LRUCache:
         return self._entries.get(key, default)
 
     def put(self, key: Hashable, value: Any) -> None:
-        """Insert (or refresh) ``key -> value``, evicting if over capacity."""
+        """Insert (or refresh) ``key -> value``, evicting if over capacity.
+
+        A *new* key counts as an insertion; an existing key counts as a
+        refresh (promoted, value replaced) — the two are tracked
+        separately so insertion counts reflect distinct cached entries.
+        """
         if key in self._entries:
             self._entries.move_to_end(key)
+            self.stats.refreshes += 1
+        else:
+            self.stats.insertions += 1
         self._entries[key] = value
-        self.stats.insertions += 1
         while len(self._entries) > self.max_entries:
             evicted_key, evicted_value = self._entries.popitem(last=False)
             self.stats.evictions += 1
@@ -83,7 +98,16 @@ class LRUCache:
                 self.on_evict(evicted_key, evicted_value)
 
     def pop(self, key: Hashable, default: Any = None) -> Any:
-        """Remove and return *key*'s value (no eviction callback, no stats)."""
+        """Remove and return *key*'s value.
+
+        Deliberately invisible to the statistics: a pop is an owner-driven
+        removal (explicit release, purge), not a lookup, so it counts as
+        neither hit/miss nor eviction, and the eviction callback does NOT
+        fire — callers that need release side effects (engine release,
+        registry accounting) perform them explicitly with the returned
+        value.  This is the contract `SceneRegistry.release` and
+        `CompletionEngine.purge_results` rely on.
+        """
         return self._entries.pop(key, default)
 
     def __contains__(self, key: Hashable) -> bool:

@@ -45,6 +45,11 @@ from repro.engine.pool import default_worker_count, run_batch
 #: The three Table 2 policy variants, by name.
 VARIANTS = ("no_weights", "no_corpus", "full")
 
+#: Format version of result-cache snapshot files
+#: (:meth:`CompletionEngine.snapshot_results`); bump on layout changes —
+#: a mismatched snapshot restores nothing rather than garbage.
+SNAPSHOT_VERSION = 1
+
 
 def policy_for_variant(variant: str) -> WeightPolicy:
     """The weight policy behind a Table 2 variant name."""
@@ -434,6 +439,109 @@ class CompletionEngine:
     @property
     def cache_stats(self) -> CacheStats:
         return self.results.stats
+
+    # -- cache persistence ---------------------------------------------------
+
+    def collect_results(self) -> list:
+        """The result cache as picklable ``(QueryKey, result)`` pairs.
+
+        In LRU order (least recent first), so restoring replays the same
+        relative order.  Split from :meth:`write_snapshot` so a serving
+        layer can take this cheap copy on the cache's owning thread and
+        hand the pickling/disk work to an executor — iterating the live
+        LRU off-thread would race its ``get``-promotes.
+        """
+        return [(key, self.results.peek(key)) for key in self.results]
+
+    @staticmethod
+    def write_snapshot(path: str, entries: list) -> int:
+        """Write collected entries to *path* (any thread; atomic).
+
+        The snapshot is a pickle of ``{"version": ..., "by_fingerprint":
+        {fingerprint: [(QueryKey, SynthesisResult), ...]}}`` written
+        atomically (temp file + ``os.replace``), so a reader never sees a
+        half-written file and a crash mid-save leaves the previous
+        snapshot intact.  Returns the number of entries written.
+
+        Staleness is impossible by construction: every key embeds the
+        content fingerprint of the prepared environment, so a restored
+        entry is only ever served to a query against byte-identical scene
+        content — editing a scene changes its fingerprint and misses.
+        """
+        import os
+        import pickle
+        import tempfile
+
+        by_fingerprint: dict[str, list] = {}
+        for key, result in entries:
+            by_fingerprint.setdefault(key.environment_fingerprint,
+                                      []).append((key, result))
+        payload = {"version": SNAPSHOT_VERSION,
+                   "by_fingerprint": by_fingerprint}
+        directory = os.path.dirname(os.path.abspath(path)) or "."
+        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".snapshot-",
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return len(entries)
+
+    def snapshot_results(self, path: str) -> int:
+        """Persist the result cache to *path* for cross-process warm-up.
+
+        Collect + write in one call — for single-threaded callers; a
+        serving layer splits the two (see :meth:`collect_results`).
+        """
+        return self.write_snapshot(path, self.collect_results())
+
+    def restore_results(self, path: str,
+                        fingerprints: Optional[set] = None) -> int:
+        """Load a :meth:`snapshot_results` file into the result cache.
+
+        Forgiving by design — a replica must come up cold rather than not
+        at all: a missing, unreadable, wrong-version or corrupt snapshot
+        restores nothing and returns 0.  Every entry is validated against
+        the fingerprint it is filed under (``key.environment_fingerprint``
+        must match), so a tampered or mis-merged file can never serve a
+        result for the wrong scene content.  Pass ``fingerprints`` to
+        restore only entries for those environments.  Returns the number
+        of entries restored.
+        """
+        import pickle
+
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except Exception:   # noqa: BLE001 — any unreadable file = cold start
+            return 0
+        if (not isinstance(payload, dict)
+                or payload.get("version") != SNAPSHOT_VERSION
+                or not isinstance(payload.get("by_fingerprint"), dict)):
+            return 0
+        restored = 0
+        for fingerprint, entries in payload["by_fingerprint"].items():
+            if fingerprints is not None and fingerprint not in fingerprints:
+                continue
+            if not isinstance(entries, list):
+                continue
+            for entry in entries:
+                if not (isinstance(entry, tuple) and len(entry) == 2):
+                    continue
+                key, result = entry
+                if (not isinstance(key, QueryKey)
+                        or key.environment_fingerprint != fingerprint):
+                    continue
+                self.results.put(key, result)
+                restored += 1
+        return restored
 
     # -- scene lifecycle -----------------------------------------------------
 

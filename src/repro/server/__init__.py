@@ -17,9 +17,14 @@ HTTP/1.1 with JSON bodies:
   deadlines mapped onto the paper's anytime budgets, synthesis on an
   executor so the event loop never blocks;
 * :mod:`repro.server.client` — :class:`AsyncCompletionClient`, the async
-  counterpart used by the CLI, the smoke test and the load benchmark.
+  counterpart used by the CLI, the smoke test and the load benchmark;
+* :mod:`repro.server.router` — :class:`CompletionRouter`: the sharded
+  front door (consistent-hash scene routing over N supervised backend
+  processes, durable scene journal with replica warm-up replay,
+  aggregated stats) speaking the same protocol on both sides.
 
-``python -m repro.cli serve`` runs it from the terminal.
+``python -m repro.cli serve`` runs one server from the terminal;
+``python -m repro.cli route`` runs the sharded router.
 """
 
 from repro.server.client import (AsyncCompletionClient, ClientConnectionError,
@@ -28,8 +33,10 @@ from repro.server.client import (AsyncCompletionClient, ClientConnectionError,
 from repro.server.metrics import LatencyWindow, ServerMetrics
 from repro.server.protocol import (PROTOCOL_VERSION, CompleteRequest,
                                    ProtocolError, RegisterSceneRequest,
-                                   deadline_config)
+                                   ReleaseSceneRequest, deadline_config)
 from repro.server.registry import RegisteredScene, SceneRegistry
+from repro.server.router import (CompletionRouter, HashRing, RouterConfig,
+                                 SceneJournal)
 from repro.server.server import AsyncCompletionServer, ServerConfig
 
 __all__ = [
@@ -37,12 +44,17 @@ __all__ = [
     "AsyncCompletionServer",
     "ClientConnectionError",
     "CompleteRequest",
+    "CompletionRouter",
+    "HashRing",
     "LatencyWindow",
     "OverloadedError",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "RegisteredScene",
     "RegisterSceneRequest",
+    "ReleaseSceneRequest",
+    "RouterConfig",
+    "SceneJournal",
     "SceneNotFoundError",
     "SceneRegistry",
     "ServerConfig",

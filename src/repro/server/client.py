@@ -18,9 +18,12 @@ import asyncio
 import json
 from typing import Any, Optional, Sequence
 
+import hashlib
+
 from repro.core.errors import ReproError
 from repro.server.protocol import (PROTOCOL_VERSION, CompleteRequest,
-                                   RegisterSceneRequest, encode_body)
+                                   RegisterSceneRequest,
+                                   ReleaseSceneRequest, encode_body)
 
 
 class ServerError(ReproError):
@@ -29,6 +32,7 @@ class ServerError(ReproError):
     def __init__(self, code: str, message: str, status: int):
         self.code = code
         self.status = status
+        self.message = message              # unprefixed, for passthrough
         super().__init__(f"[{code}] {message}")
 
 
@@ -67,6 +71,9 @@ class AsyncCompletionClient:
                                asyncio.StreamWriter]] = []
         self._max_idle = max_idle_connections
         self._closed = False
+        #: text digest -> scene id, for :meth:`complete_text`'s
+        #: register-once / re-register-on-eviction discipline.
+        self._scene_ids: dict[str, str] = {}
 
     async def __aenter__(self) -> "AsyncCompletionClient":
         return self
@@ -206,6 +213,43 @@ class AsyncCompletionClient:
                                   deadline_ms=deadline_ms)
         return await self._request("POST", "/v1/complete",
                                    request.to_payload())
+
+    async def release_scene(self, scene_id: str) -> dict:
+        """Explicitly drop a registered scene (idempotent server-side)."""
+        request = ReleaseSceneRequest(scene_id=scene_id)
+        return await self._request("POST", "/v1/release-scene",
+                                   request.to_payload())
+
+    async def complete_text(self, text: str, *,
+                            name: Optional[str] = None,
+                            goal: Optional[str] = None,
+                            variant: Optional[str] = None,
+                            n: Optional[int] = None,
+                            deadline_ms: Optional[int] = None) -> dict:
+        """Complete against scene *text*, registering it as needed.
+
+        The retry-on-unknown-scene helper: the scene is registered once
+        (the id memoised per text digest), and a
+        :class:`SceneNotFoundError` — the server evicted or restarted —
+        transparently re-registers and retries, so callers never handle
+        scene lifecycle themselves.  Registration is content-derived and
+        therefore idempotent; one retry is always sufficient.
+        """
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        scene_id = self._scene_ids.get(digest)
+        if scene_id is None:
+            registered = await self.register_scene(text, name=name)
+            scene_id = registered["scene_id"]
+            self._scene_ids[digest] = scene_id
+        try:
+            return await self.complete(scene_id, goal=goal, variant=variant,
+                                       n=n, deadline_ms=deadline_ms)
+        except SceneNotFoundError:
+            registered = await self.register_scene(text, name=name)
+            self._scene_ids[digest] = registered["scene_id"]
+            return await self.complete(registered["scene_id"], goal=goal,
+                                       variant=variant, n=n,
+                                       deadline_ms=deadline_ms)
 
     async def complete_batch(self,
                              queries: Sequence[CompleteRequest | dict]

@@ -73,7 +73,10 @@ class ServerMetrics:
         self.deadline_partial = 0          # anytime results (truncated)
         self.errors = Counter()            # per error code
         self.scenes_registered = 0
-        self.scenes_evicted = 0
+        self.scenes_evicted = 0            # LRU pressure only
+        self.scenes_released = 0           # client-requested releases
+        self.snapshot_restored = 0         # entries restored at startup
+        self.snapshots_saved = 0           # snapshot files written
         self.queue_depth = 0               # pending/running syntheses now
         self.queue_peak = 0
         #: "complete" = every served query; "warm" = hits + coalesced;
@@ -129,6 +132,7 @@ class ServerMetrics:
             "errors": dict(self.errors),
             "scenes_registered": self.scenes_registered,
             "scenes_evicted": self.scenes_evicted,
+            "scenes_released": self.scenes_released,
             "queue": {"depth": self.queue_depth, "peak": self.queue_peak},
             "latency": {name: window.snapshot()
                         for name, window in self.latency.items()},

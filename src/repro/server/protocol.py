@@ -11,6 +11,7 @@ Endpoints (all bodies JSON):
 ``/v1/register-scene``  POST    upload ``.ins`` text, get a stable scene id
 ``/v1/complete``        POST    one completion query (by scene id or inline)
 ``/v1/complete-batch``  POST    many queries, answered concurrently
+``/v1/release-scene``   POST    explicitly drop a registered scene
 ``/v1/stats``           GET     live metrics snapshot
 ``/healthz``            GET     liveness probe
 ======================  ======  ==============================================
@@ -175,6 +176,30 @@ class CompleteRequest:
             if value is not None:
                 payload[field] = value
         return payload
+
+
+@dataclass(frozen=True)
+class ReleaseSceneRequest:
+    """``POST /v1/release-scene``: explicitly drop one registered scene.
+
+    Releasing an unknown (or already released) id is not an error — the
+    response carries ``"released": false`` — so releases are idempotent
+    and safe to retry, which a sharded router relies on when re-homing
+    scenes across backends.
+    """
+
+    scene_id: str
+
+    @staticmethod
+    def from_payload(payload: Any) -> "ReleaseSceneRequest":
+        payload = _require(payload)
+        scene_id = _optional_str(payload, "scene_id")
+        if scene_id is None:
+            raise ProtocolError("'scene_id' is required")
+        return ReleaseSceneRequest(scene_id=scene_id)
+
+    def to_payload(self) -> dict:
+        return {"scene_id": self.scene_id}
 
 
 def parse_batch_payload(payload: Any) -> list[CompleteRequest]:

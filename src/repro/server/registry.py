@@ -101,30 +101,42 @@ class SceneRegistry:
 
     def __init__(self, engine: CompletionEngine, max_scenes: int = 32,
                  on_evict: Optional[Callable[[RegisteredScene], None]] = None,
+                 on_release: Optional[Callable[[RegisteredScene],
+                                               None]] = None,
                  shed_types_on_release: bool = True):
         self.engine = engine
         self.max_scenes = max_scenes
         self.on_evict = on_evict
+        self.on_release = on_release
         self.shed_types_on_release = shed_types_on_release
         self._scenes = LRUCache(
             max_entries=max_scenes,
-            on_evict=lambda _scene_id, scene: self._drop(scene))
+            on_evict=lambda _scene_id, scene: self._drop(scene,
+                                                         evicted=True))
         #: Scenes with identical declarations but different goals share one
         #: prepared state (scene ids differ, environment fingerprints
         #: don't); refcounting the fingerprint makes sure engine release —
         #: which purges *all* results under that fingerprint — only fires
         #: when the last sibling goes.
         self._fingerprint_refs: dict[str, int] = {}
+        #: LRU pressure drops (capacity exceeded) — never client-requested.
         self.evictions = 0
+        #: Explicit :meth:`release` calls; counted apart from evictions so
+        #: capacity pressure stays observable in ``/v1/stats``.
+        self.releases = 0
 
     def adopt(self, scene: RegisteredScene) -> tuple[RegisteredScene, bool]:
         """Insert a built scene; returns ``(canonical scene, already?)``.
 
         Identical content maps to the same id, so re-registration promotes
-        the existing entry instead of duplicating it.
+        the existing entry instead of duplicating it.  When a freshly
+        built scene *loses* to an existing entry (concurrent duplicate
+        registration), the loser's just-prepared engine state is released
+        so nothing leaks — the winner's shared state is left untouched.
         """
         existing = self._scenes.get(scene.scene_id)   # get() promotes
         if existing is not None:
+            self._release_duplicate(loser=scene, winner=existing)
             return existing, True
         fingerprint = scene.prepared.fingerprint
         self._fingerprint_refs[fingerprint] = (
@@ -132,9 +144,57 @@ class SceneRegistry:
         self._scenes.put(scene.scene_id, scene)       # may evict via _drop
         return scene, False
 
-    def _drop(self, scene: RegisteredScene) -> None:
-        """Shared eviction tail: refcount bookkeeping + engine release."""
-        self.evictions += 1
+    def _release_duplicate(self, loser: RegisteredScene,
+                           winner: RegisteredScene) -> None:
+        """Reconcile a duplicate registration that lost the adopt race.
+
+        Identical scene ids imply identical content, so the usual case is
+        the loser's :meth:`CompletionEngine.prepare` having *shared* the
+        winner's state (scene-table hit) — nothing to do.  But when the
+        engine's scene LRU dropped the winner's entry between the two
+        builds, the loser re-prepared from scratch: a fresh environment
+        with its own arena and memo state, now also occupying the engine's
+        scene-table slot.  Without reconciliation that duplicate state
+        lives (and is served to pool workers) until eviction — the leak.
+        We restore the winner as the canonical scene-table entry and drop
+        the loser's private state.  Results are purged only in the
+        different-fingerprint case (hand-built scenes), because purging is
+        fingerprint-wide and would nuke the winner's warm entries.
+        """
+        if loser.prepared is winner.prepared:
+            return
+        if loser.prepared.fingerprint != winner.prepared.fingerprint:
+            # Not actually the same content (hand-built RegisteredScene
+            # with a colliding id): the winner shares nothing with it,
+            # but a *different* registered scene might — full engine
+            # release (which purges fingerprint-wide) is only safe when
+            # no registered scene holds a ref on the loser's fingerprint.
+            if not self._fingerprint_refs.get(loser.prepared.fingerprint):
+                self.engine.release_scene(
+                    loser.prepared, shed_types=self.shed_types_on_release)
+            return
+        if loser.prepared.environment is winner.prepared.environment:
+            return            # replace()-style copy sharing all heavy state
+        scene_key = loser.prepared.scene_key
+        if (scene_key is not None
+                and self.engine.scenes.peek(scene_key) is loser.prepared):
+            self.engine.scenes.put(scene_key, winner.prepared)
+        loser.prepared._synthesizers.clear()
+        loser.prepared.environment.release_arena()
+        loser.prepared.base_environment.release_arena()
+
+    def _drop(self, scene: RegisteredScene, *, evicted: bool) -> None:
+        """Shared removal tail: refcount bookkeeping + engine release.
+
+        ``evicted`` distinguishes LRU pressure from an explicit client
+        release; the two are counted (and surfaced to callbacks)
+        separately so ``/v1/stats`` never reports a requested release as
+        capacity pressure.
+        """
+        if evicted:
+            self.evictions += 1
+        else:
+            self.releases += 1
         fingerprint = scene.prepared.fingerprint
         remaining = self._fingerprint_refs.get(fingerprint, 1) - 1
         if remaining > 0:
@@ -143,8 +203,9 @@ class SceneRegistry:
             self._fingerprint_refs.pop(fingerprint, None)
             self.engine.release_scene(
                 scene.prepared, shed_types=self.shed_types_on_release)
-        if self.on_evict is not None:
-            self.on_evict(scene)
+        callback = self.on_evict if evicted else self.on_release
+        if callback is not None:
+            callback(scene)
 
     def get(self, scene_id: str) -> RegisteredScene:
         """The registered scene (promoted), or :class:`UnknownSceneError`."""
@@ -162,7 +223,7 @@ class SceneRegistry:
         scene = self._scenes.pop(scene_id)            # pop skips on_evict
         if scene is None:
             return False
-        self._drop(scene)
+        self._drop(scene, evicted=False)
         return True
 
     def __len__(self) -> int:
@@ -176,6 +237,7 @@ class SceneRegistry:
             "count": len(self._scenes),
             "limit": self.max_scenes,
             "evictions": self.evictions,
+            "releases": self.releases,
             "scenes": [self._scenes.peek(scene_id).describe()
                        for scene_id in self._scenes],
         }

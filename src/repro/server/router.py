@@ -1,0 +1,1055 @@
+"""The sharded completion router: one front door, many backends.
+
+``repro route`` supervises N backend completion servers (each a full
+:class:`~repro.server.server.AsyncCompletionServer` process) and speaks
+the *existing* versioned HTTP/JSON protocol on both sides — clients
+already address scenes by content-derived ids, so sharding drops in with
+zero wire changes.  The pieces:
+
+* **Consistent hash ring** (:class:`HashRing`): every backend owns
+  ``ring_replicas`` pseudo-random points on a 64-bit ring; a scene id
+  routes to the backend owning the first point at or after its hash.
+  Adding or removing one backend therefore remaps only ~1/N of the
+  scenes — the property that makes scale-up cheap.
+* **Scene journal** (:class:`SceneJournal`): a durable, content-addressed
+  log of every registered scene's text.  Registration is idempotent
+  (identical text ⇒ identical scene id), so replaying the journal into a
+  backend — on restart, scale-up, or attach — is always safe.  Explicit
+  releases append tombstones, so released scenes stay released across
+  replays.
+* **Replica supervision**: a dead managed backend is respawned on demand
+  (first failing request pays the restart), its journal shard replayed,
+  and — when a snapshot directory is configured — the backend restores
+  its own result-cache snapshot (``repro serve --snapshot``), so a
+  restart is not only transparent but *warm*.
+* **Transparent re-registration**: a backend answering ``unknown scene``
+  (evicted, or restarted outside the router's supervision) is re-taught
+  the scene from the journal and the query retried — clients never see
+  backend lifecycle.
+* **Stats aggregation**: ``GET /v1/stats`` merges every backend's
+  snapshot into one view — counters summed, latency windows merged
+  (count summed, mean weighted, percentiles conservatively maxed) — with
+  the per-shard truth under ``shards`` and the router's own counters
+  under ``router``.
+
+The router holds no synthesis state of its own: everything it needs to
+rebuild a backend is in the journal and the backends' snapshot files, so
+the router process itself is restartable too (same journal ⇒ same
+routing table ⇒ same shard contents).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import time
+from bisect import bisect_left
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Awaitable, Callable, Optional, Sequence
+
+from repro.core.errors import ReproError
+from repro.server import protocol
+from repro.server.client import (AsyncCompletionClient, ClientConnectionError,
+                                 SceneNotFoundError, ServerError,
+                                 wait_until_healthy)
+from repro.server.protocol import (CompleteRequest, ProtocolError,
+                                   RegisterSceneRequest, ReleaseSceneRequest)
+from repro.server.server import (AsyncCompletionServer, _HttpError,
+                                 _HttpRequest, _http_response,
+                                 read_http_request)
+
+#: Sentinel prefix hashed to pick the probe backend for *new* scene text
+#: (the scene id — the real routing key — is only known once a backend
+#: has prepared the scene).  Deterministic, so duplicate registrations
+#: always probe the same backend.
+_DIGEST_KEY_PREFIX = "digest:"
+
+
+# -- consistent hash ring ----------------------------------------------------
+
+
+class HashRing:
+    """Consistent hashing over backend ids.
+
+    Each backend owns ``replicas`` points drawn from SHA-256 on a 64-bit
+    ring; a key routes to the backend owning the first point at or after
+    the key's hash (wrapping).  With V points per backend, adding or
+    removing a backend moves only the keys in the arcs it gains or
+    loses — ~1/N of the keyspace — while every other key keeps its
+    owner, which is exactly the stability the scene journal's replay
+    relies on.
+    """
+
+    def __init__(self, replicas: int = 64):
+        if replicas <= 0:
+            raise ValueError(f"replicas must be positive, got {replicas}")
+        self.replicas = replicas
+        self._points: list[tuple[int, str]] = []      # sorted (point, id)
+        self._backends: set[str] = set()
+
+    @staticmethod
+    def _point(key: str) -> int:
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def add(self, backend_id: str) -> None:
+        if backend_id in self._backends:
+            return
+        self._backends.add(backend_id)
+        self._points.extend(
+            (self._point(f"{backend_id}#{index}"), backend_id)
+            for index in range(self.replicas))
+        self._points.sort()
+
+    def remove(self, backend_id: str) -> None:
+        if backend_id not in self._backends:
+            return
+        self._backends.discard(backend_id)
+        self._points = [point for point in self._points
+                        if point[1] != backend_id]
+
+    def route(self, key: str) -> str:
+        """The backend id owning *key*; raises when the ring is empty."""
+        if not self._points:
+            raise ProtocolError("no backends on the ring", code="internal")
+        index = bisect_left(self._points, (self._point(key), ""))
+        if index == len(self._points):
+            index = 0                       # wrap past the last point
+        return self._points[index][1]
+
+    @property
+    def backends(self) -> frozenset:
+        return frozenset(self._backends)
+
+    def __len__(self) -> int:
+        return len(self._backends)
+
+
+# -- scene journal -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One registered scene, replayable from text."""
+
+    digest: str                             # sha256 of the exact text
+    scene_id: str                           # content-derived serving id
+    name: Optional[str]
+    text: str
+
+
+class SceneJournal:
+    """Durable, content-addressed log of registered scene texts.
+
+    The file format is append-only JSONL: ``{"op": "register", ...}``
+    records a scene, ``{"op": "release", "scene_id": ...}`` tombstones
+    it.  Replaying the file rebuilds the live set exactly; a torn final
+    line (crash mid-append) is ignored.  With ``path=None`` the journal
+    is memory-only — same semantics, no durability.
+
+    Registration on the serving side is content-derived and idempotent,
+    so replaying any suffix, prefix or repetition of the journal into a
+    backend converges on the same registered set — the property that
+    makes restart/scale-up replay unconditionally safe.
+    """
+
+    #: Compact on load once the historical op count exceeds this many
+    #: times the live set (plus slack): register/release churn appends
+    #: full scene texts and tombstones forever, so without an occasional
+    #: rewrite the file and every restart's replay grow with *history*
+    #: rather than with the live set.
+    COMPACT_FACTOR = 4
+
+    def __init__(self, path: Optional[str] = None, *,
+                 compact_on_load: bool = True):
+        self.path = Path(path) if path is not None else None
+        self._by_digest: dict[str, JournalEntry] = {}
+        self._by_scene: dict[str, JournalEntry] = {}
+        self.corrupt_lines = 0
+        self.compactions = 0
+        #: ``False`` keeps the load strictly read-only (the dry-run
+        #: validator must never rewrite the file it is inspecting).
+        self._compact_on_load = compact_on_load
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        assert self.path is not None
+        ops = 0
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                ops += 1
+                try:
+                    op = json.loads(line)
+                except json.JSONDecodeError:
+                    self.corrupt_lines += 1
+                    continue               # torn append; keep replaying
+                self._apply(op)
+        if (self._compact_on_load
+                and ops > self.COMPACT_FACTOR * len(self._by_digest) + 16):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rewrite the file as the live register set (atomic).
+
+        Dead history — tombstoned scenes, superseded duplicates, corrupt
+        lines — is dropped; the live entries are exactly preserved, so a
+        reload after compaction rebuilds identical state.
+        """
+        assert self.path is not None
+        import tempfile
+
+        fd, tmp = tempfile.mkstemp(dir=str(self.path.parent),
+                                   prefix=".journal-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                for digest, entry in self._by_digest.items():
+                    handle.write(json.dumps(
+                        {"op": "register", "digest": digest,
+                         "scene_id": entry.scene_id, "name": entry.name,
+                         "text": entry.text},
+                        separators=(",", ":"), sort_keys=True) + "\n")
+            os.replace(tmp, self.path)
+            self.compactions += 1
+            self.corrupt_lines = 0          # rewritten clean
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass                        # keep the uncompacted file
+
+    def _apply(self, op: dict) -> None:
+        if not isinstance(op, dict):
+            self.corrupt_lines += 1
+            return
+        if op.get("op") == "register" and isinstance(op.get("text"), str):
+            entry = JournalEntry(digest=op.get("digest", ""),
+                                 scene_id=op.get("scene_id", ""),
+                                 name=op.get("name"),
+                                 text=op["text"])
+            if entry.digest and entry.scene_id:
+                self._by_digest[entry.digest] = entry
+                self._by_scene.setdefault(entry.scene_id, entry)
+        elif op.get("op") == "release" and isinstance(op.get("scene_id"),
+                                                      str):
+            self._forget(op["scene_id"])
+        else:
+            self.corrupt_lines += 1
+
+    def _forget(self, scene_id: str) -> bool:
+        removed = self._by_scene.pop(scene_id, None) is not None
+        for digest in [digest for digest, entry in self._by_digest.items()
+                       if entry.scene_id == scene_id]:
+            del self._by_digest[digest]
+            removed = True
+        return removed
+
+    def _append(self, op: dict) -> None:
+        if self.path is None:
+            return
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(op, separators=(",", ":"),
+                                    sort_keys=True) + "\n")
+
+    def record(self, *, digest: str, scene_id: str, name: Optional[str],
+               text: str) -> bool:
+        """Record one registration; returns False when already journaled."""
+        if digest in self._by_digest:
+            return False
+        entry = JournalEntry(digest=digest, scene_id=scene_id, name=name,
+                             text=text)
+        self._by_digest[digest] = entry
+        self._by_scene.setdefault(scene_id, entry)
+        self._append({"op": "register", "digest": digest,
+                      "scene_id": scene_id, "name": name, "text": text})
+        return True
+
+    def remove(self, scene_id: str) -> bool:
+        """Tombstone a scene; returns False when it was not journaled."""
+        removed = self._forget(scene_id)
+        if removed:
+            self._append({"op": "release", "scene_id": scene_id})
+        return removed
+
+    def lookup_digest(self, digest: str) -> Optional[JournalEntry]:
+        return self._by_digest.get(digest)
+
+    def lookup_scene(self, scene_id: str) -> Optional[JournalEntry]:
+        return self._by_scene.get(scene_id)
+
+    def entries(self) -> list[JournalEntry]:
+        """Live scenes (tombstoned ones excluded), one per scene id."""
+        return list(self._by_scene.values())
+
+    def __len__(self) -> int:
+        return len(self._by_scene)
+
+
+# -- backends ----------------------------------------------------------------
+
+
+@dataclass
+class Backend:
+    """One shard: address, client, and (when managed) its process."""
+
+    backend_id: str
+    host: str
+    port: int
+    client: AsyncCompletionClient
+    process: Optional[subprocess.Popen] = None
+    snapshot_path: Optional[str] = None
+    restarts: int = 0
+    healthy: bool = True
+
+    @property
+    def managed(self) -> bool:
+        return self.process is not None
+
+    def describe(self) -> dict:
+        return {
+            "backend_id": self.backend_id,
+            "address": f"{self.host}:{self.port}",
+            "managed": self.managed,
+            "healthy": self.healthy,
+            "restarts": self.restarts,
+            "snapshot_path": self.snapshot_path,
+        }
+
+
+_LISTEN_PREFIXES = ("serving on http://", "routing on http://")
+
+
+def _drain_pipe(stdout, label: str) -> None:
+    """Forward a child's remaining output so its pipe can never fill.
+
+    A spawned server keeps writing after its listen line (snapshot
+    restore notes, warnings, tracebacks); nobody reading the pipe would
+    eventually block the child on a full buffer — a wedged shard the
+    supervisor cannot distinguish from overload.  Runs on a daemon
+    thread; forwarding to stderr keeps backend diagnostics visible.
+    """
+    try:
+        for line in stdout:
+            sys.stderr.write(f"[{label}] {line}")
+    except (OSError, ValueError):
+        pass                                # child died / pipe closed
+
+
+def spawn_cli_server(command: str, args: Sequence[str] = (),
+                     label: Optional[str] = None
+                     ) -> tuple[subprocess.Popen, str, int]:
+    """Start ``repro <command> --port 0`` and wait for its listen line.
+
+    Blocking — call from an executor in async code.  Returns
+    ``(process, host, port)``.  The child inherits our environment plus
+    this package's source root on ``PYTHONPATH``, so spawning works both
+    from an installed package and a source checkout; after the listen
+    line is seen, a daemon thread keeps draining (and forwarding) the
+    child's output.  Shared by the router's backend supervision and the
+    smoke harness — one spawn protocol, zero drift.
+    """
+    import threading
+
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = src_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", command, "--port", "0",
+         *args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env)
+    assert process.stdout is not None
+    while True:
+        line = process.stdout.readline()
+        if not line:
+            raise ClientConnectionError(
+                f"repro {command} exited before listening "
+                f"(rc={process.poll()})")
+        if any(line.startswith(prefix) for prefix in _LISTEN_PREFIXES):
+            address = line.split("http://", 1)[1].strip()
+            host, _, port = address.rpartition(":")
+            threading.Thread(
+                target=_drain_pipe,
+                args=(process.stdout, label or f"{command}:{port}"),
+                daemon=True).start()
+            return process, host, int(port)
+
+
+def _spawn_serve_process(snapshot_path: Optional[str],
+                         backend_args: Sequence[str],
+                         label: Optional[str] = None
+                         ) -> tuple[subprocess.Popen, str, int]:
+    """Start one ``repro serve --port 0`` backend; blocking (executor)."""
+    args = list(backend_args)
+    if snapshot_path is not None:
+        args = ["--snapshot", snapshot_path] + args
+    return spawn_cli_server("serve", args, label=label)
+
+
+# -- configuration -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Knobs for one :class:`CompletionRouter`."""
+
+    host: str = "127.0.0.1"
+    port: int = 8787                        # 0 = ephemeral
+    #: Managed backends to spawn (ignored when ``attach`` names running
+    #: servers instead).
+    backends: int = 2
+    #: Pre-existing backend addresses (``host:port``) to route over
+    #: without supervising their processes.
+    attach: tuple = ()
+    #: Durable scene-journal file; ``None`` keeps the journal in memory
+    #: (replays still work within the router's lifetime).
+    journal_path: Optional[str] = None
+    #: Directory for per-backend result-cache snapshots; when set, each
+    #: managed backend gets ``--snapshot <dir>/<backend_id>.snapshot`` so
+    #: respawned replicas start warm.
+    snapshot_dir: Optional[str] = None
+    #: Virtual nodes per backend on the hash ring.
+    ring_replicas: int = 64
+    #: Extra ``repro serve`` arguments for managed backends
+    #: (e.g. ``("--workers", "2")``).
+    backend_args: tuple = ()
+    #: Per-request timeout towards backends.
+    request_timeout: float = 120.0
+    read_timeout: float = 60.0
+
+
+def check_config(config: RouterConfig, *,
+                 read_journal: bool = True) -> list[str]:
+    """Validate a router configuration without spawning (or writing)
+    anything.
+
+    Returns a list of human-readable problems (empty = valid); backs
+    ``repro route --check-config`` so CI can fail fast on misconfigured
+    shard maps before paying for process spawns.  ``read_journal=False``
+    skips parsing the journal's contents (path/permission checks only) —
+    used on the real startup path, where the router is about to parse the
+    file anyway and a second full read would double startup I/O.
+    """
+    problems: list[str] = []
+    if config.attach:
+        for address in config.attach:
+            host, _, port = str(address).rpartition(":")
+            if not host or not port.isdigit() or not 0 < int(port) < 65536:
+                problems.append(f"--attach address {address!r} is not "
+                                f"host:port")
+    elif config.backends < 1:
+        problems.append(f"--backends must be at least 1, "
+                        f"got {config.backends}")
+    if config.ring_replicas < 1:
+        problems.append(f"--ring-replicas must be at least 1, "
+                        f"got {config.ring_replicas}")
+    if config.attach and config.snapshot_dir is not None:
+        problems.append("--snapshot-dir only applies to managed backends "
+                        "(drop it or drop --attach)")
+    if config.journal_path is not None:
+        parent = Path(config.journal_path).resolve().parent
+        if not parent.is_dir():
+            problems.append(f"journal directory {parent} does not exist")
+        elif not os.access(parent, os.W_OK):
+            problems.append(f"journal directory {parent} is not writable")
+        elif Path(config.journal_path).exists():
+            if not os.access(config.journal_path, os.R_OK):
+                problems.append(f"journal {config.journal_path} is not "
+                                f"readable")
+            elif read_journal:
+                try:
+                    # Strictly read-only: a validator must never rewrite
+                    # (compact) the file it is inspecting.
+                    journal = SceneJournal(config.journal_path,
+                                           compact_on_load=False)
+                except OSError as exc:
+                    problems.append(f"journal {config.journal_path} "
+                                    f"cannot be read: {exc}")
+                else:
+                    if journal.corrupt_lines:
+                        problems.append(
+                            f"journal {config.journal_path} has "
+                            f"{journal.corrupt_lines} unreadable line(s) "
+                            f"({len(journal)} scenes replayable)")
+    if config.snapshot_dir is not None and not config.attach:
+        snapshot_dir = Path(config.snapshot_dir).resolve()
+        if snapshot_dir.exists():
+            if not snapshot_dir.is_dir():
+                problems.append(f"--snapshot-dir {config.snapshot_dir} "
+                                f"exists and is not a directory")
+            elif not os.access(snapshot_dir, os.W_OK):
+                problems.append(f"--snapshot-dir {config.snapshot_dir} "
+                                f"is not writable")
+        else:
+            # start() will mkdir -p; fail fast if no existing ancestor
+            # would allow that.
+            ancestor = snapshot_dir.parent
+            while not ancestor.exists() and ancestor != ancestor.parent:
+                ancestor = ancestor.parent
+            if not (ancestor.is_dir() and os.access(ancestor, os.W_OK)):
+                problems.append(f"--snapshot-dir {config.snapshot_dir} "
+                                f"cannot be created (nearest existing "
+                                f"ancestor {ancestor} is not a writable "
+                                f"directory)")
+    return problems
+
+
+# -- the router --------------------------------------------------------------
+
+
+class CompletionRouter:
+    """HTTP/JSON front door that shards scenes over backend servers."""
+
+    #: The router serves exactly the backend surface — same tuple, so a
+    #: new endpoint can never exist on one side only.
+    KNOWN_PATHS = AsyncCompletionServer.KNOWN_PATHS
+
+    def __init__(self, config: Optional[RouterConfig] = None):
+        self.config = config or RouterConfig()
+        self.ring = HashRing(self.config.ring_replicas)
+        self.journal = SceneJournal(self.config.journal_path)
+        self.backends: dict[str, Backend] = {}
+        self.requests: Counter = Counter()
+        self.errors: Counter = Counter()
+        self.reregistrations = 0            # unknown-scene retries served
+        self.replayed = 0                   # journal entries re-registered
+        self.restarts = 0                   # backend respawns
+        self.started = time.monotonic()
+        self._respawn_locks: dict[str, asyncio.Lock] = {}
+        self._server: Optional[asyncio.base_events.Server] = None
+        self.host = self.config.host
+        self.port = self.config.port
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        if self.config.attach:
+            for address in self.config.attach:
+                host, _, port = str(address).rpartition(":")
+                self._adopt_backend(Backend(
+                    backend_id=address, host=host, port=int(port),
+                    client=self._client(host, int(port))))
+        else:
+            if self.config.snapshot_dir is not None:
+                Path(self.config.snapshot_dir).mkdir(parents=True,
+                                                     exist_ok=True)
+            for index in range(self.config.backends):
+                await self._spawn_backend(f"b{index}")
+        for backend in self.backends.values():
+            await wait_until_healthy(backend.client)
+            await self._replay_into(backend)
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host,
+            port=self.config.port)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for backend in self.backends.values():
+            await backend.client.close()
+            if backend.process is not None:
+                backend.process.terminate()
+        for backend in self.backends.values():
+            if backend.process is not None:
+                try:
+                    backend.process.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    backend.process.kill()
+                    backend.process.wait()
+
+    def _client(self, host: str, port: int) -> AsyncCompletionClient:
+        return AsyncCompletionClient(host, port,
+                                     timeout=self.config.request_timeout)
+
+    def _adopt_backend(self, backend: Backend) -> None:
+        self.backends[backend.backend_id] = backend
+        self.ring.add(backend.backend_id)
+        self._respawn_locks[backend.backend_id] = asyncio.Lock()
+
+    def _backend_snapshot_path(self, backend_id: str) -> Optional[str]:
+        if self.config.snapshot_dir is None:
+            return None
+        return str(Path(self.config.snapshot_dir)
+                   / f"{backend_id}.snapshot")
+
+    async def _spawn_backend(self, backend_id: str) -> Backend:
+        snapshot_path = self._backend_snapshot_path(backend_id)
+        loop = asyncio.get_running_loop()
+        process, host, port = await loop.run_in_executor(
+            None, _spawn_serve_process, snapshot_path,
+            self.config.backend_args, backend_id)
+        backend = Backend(backend_id=backend_id, host=host, port=port,
+                          client=self._client(host, port), process=process,
+                          snapshot_path=snapshot_path)
+        self._adopt_backend(backend)
+        return backend
+
+    # -- supervision ---------------------------------------------------------
+
+    async def _respawn(self, backend: Backend) -> None:
+        """Restart a dead managed backend and replay its journal shard.
+
+        Serialised per backend: concurrent requests that all hit the dead
+        shard pay one restart between them.  The respawned process
+        restores its own snapshot (``repro serve --snapshot``), then the
+        journal replay re-registers every scene the ring assigns it —
+        restart over, state intact, warm where the snapshot had entries.
+        """
+        async with self._respawn_locks[backend.backend_id]:
+            process = backend.process
+            if process is not None and process.poll() is None:
+                return                      # a peer already respawned it
+            backend.healthy = False
+            if process is not None:
+                process.wait()              # reap the corpse
+            await backend.client.close()
+            loop = asyncio.get_running_loop()
+            new_process, host, port = await loop.run_in_executor(
+                None, _spawn_serve_process, backend.snapshot_path,
+                self.config.backend_args, backend.backend_id)
+            backend.process = new_process
+            backend.host, backend.port = host, port
+            backend.client = self._client(host, port)
+            backend.restarts += 1
+            self.restarts += 1
+            await wait_until_healthy(backend.client)
+            await self._replay_into(backend)
+            backend.healthy = True
+
+    async def _replay_into(self, backend: Backend) -> int:
+        """Re-register every journaled scene the ring assigns *backend*."""
+        replayed = 0
+        for entry in self.journal.entries():
+            if self.ring.route(entry.scene_id) != backend.backend_id:
+                continue
+            try:
+                await backend.client.register_scene(entry.text,
+                                                    name=entry.name)
+                replayed += 1
+            except ReproError:
+                self.errors["replay"] += 1   # scene text rotted; keep going
+        self.replayed += replayed
+        return replayed
+
+    def _owner(self, scene_id: str) -> Backend:
+        return self.backends[self.ring.route(scene_id)]
+
+    async def _call(self, backend: Backend,
+                    call: Callable[[AsyncCompletionClient], Awaitable[dict]]
+                    ) -> dict:
+        """One backend RPC with crash-respawn-retry for managed shards."""
+        try:
+            result = await call(backend.client)
+            backend.healthy = True          # answered: recovered if it was down
+            return result
+        except ClientConnectionError as exc:
+            error: Exception = exc
+            if backend.managed:
+                if backend.process.poll() is None:
+                    # The connection broke but the process looks alive —
+                    # give a just-killed process a beat to actually die
+                    # before deciding which failure this is.
+                    await asyncio.sleep(0.2)
+                if backend.process.poll() is not None:
+                    # The respawn or the retried call can themselves fail
+                    # (child dies before listening, respawned process
+                    # crashes again); that is still shard infrastructure
+                    # down, never a client error — fall through to the
+                    # 'internal' wrap below rather than letting a bare
+                    # ClientConnectionError surface as a 400.
+                    try:
+                        await self._respawn(backend)
+                        return await call(backend.client)
+                    except ClientConnectionError as retry_exc:
+                        error = retry_exc
+            backend.healthy = False
+            raise ProtocolError(
+                f"backend {backend.backend_id} unreachable: {error}",
+                code="internal") from error
+
+    # -- connection handling (same wire as the server) -----------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await asyncio.wait_for(
+                        read_http_request(reader),
+                        self.config.read_timeout)
+                except asyncio.TimeoutError:
+                    break
+                except _HttpError as error:
+                    self.errors["bad_request"] += 1
+                    writer.write(_http_response(
+                        error.status,
+                        protocol.error_payload("bad_request", str(error)),
+                        keep_alive=False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                status, payload = await self._dispatch(request)
+                writer.write(_http_response(status, payload,
+                                            request.keep_alive))
+                await writer.drain()
+                if not request.keep_alive:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionError, ValueError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _dispatch(self, request: _HttpRequest) -> tuple[int, dict]:
+        route = (request.method, request.path)
+        if request.path in self.KNOWN_PATHS and request.method in ("GET",
+                                                                   "POST"):
+            self.requests[f"{request.method} {request.path}"] += 1
+        else:
+            self.requests["other"] += 1
+        try:
+            if route == ("GET", "/healthz"):
+                return 200, self._healthz_payload()
+            if route == ("GET", "/v1/stats"):
+                return 200, await self._stats_payload()
+            if route == ("POST", "/v1/register-scene"):
+                request_obj = RegisterSceneRequest.from_payload(
+                    protocol.decode_body(request.body))
+                return 200, await self.register_text(request_obj.text,
+                                                      request_obj.name)
+            if route == ("POST", "/v1/complete"):
+                return 200, await self._complete_one(
+                    CompleteRequest.from_payload(
+                        protocol.decode_body(request.body)))
+            if route == ("POST", "/v1/complete-batch"):
+                return 200, await self._handle_batch(
+                    protocol.decode_body(request.body))
+            if route == ("POST", "/v1/release-scene"):
+                return 200, await self._handle_release(
+                    protocol.decode_body(request.body))
+            if request.path in self.KNOWN_PATHS:
+                self.errors["bad_request"] += 1
+                return 405, protocol.error_payload(
+                    "bad_request",
+                    f"method {request.method} not allowed on {request.path}")
+            raise ProtocolError(f"unknown path {request.path!r}",
+                                code="not_found")
+        except ServerError as error:
+            # A backend answered an error envelope: pass it through with
+            # its own code and status — the router adds no new failure
+            # vocabulary to the wire.
+            self.errors[error.code] += 1
+            return error.status, protocol.error_payload(error.code,
+                                                        error.message)
+        except ProtocolError as error:
+            self.errors[error.code] += 1
+            return error.status, protocol.error_payload(error.code,
+                                                        str(error))
+        except ReproError as error:
+            self.errors["bad_request"] += 1
+            return 400, protocol.error_payload("bad_request", str(error))
+        except Exception as error:          # noqa: BLE001 — serving boundary
+            self.errors["internal"] += 1
+            return 500, protocol.error_payload(
+                "internal", f"{type(error).__name__}: {error}")
+
+    # -- endpoint: register-scene --------------------------------------------
+
+    async def register_text(self, text: str,
+                            name: Optional[str] = None) -> dict:
+        """Route one registration to the scene's ring owner.
+
+        The routing key — the content-derived scene id — only exists
+        after a backend has prepared the scene, so new text is first
+        registered on a deterministic *probe* backend (hash of the text
+        digest).  Once the id is known, the scene is re-registered on its
+        true owner and released from the probe when the two differ
+        (~(N-1)/N of the time); the journal then remembers digest →
+        scene id, so every later registration and inline completion of
+        the same text routes straight to the owner with a single RPC.
+        """
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        known = self.journal.lookup_digest(digest)
+        if known is not None:
+            owner = self._owner(known.scene_id)
+            return await self._call(
+                owner, lambda c: c.register_scene(text, name=name))
+
+        probe = self.backends[self.ring.route(_DIGEST_KEY_PREFIX + digest)]
+        response = await self._call(
+            probe, lambda c: c.register_scene(text, name=name))
+        scene_id = response["scene_id"]
+        owner = self._owner(scene_id)
+        if owner.backend_id != probe.backend_id:
+            response = await self._call(
+                owner, lambda c: c.register_scene(text, name=name))
+            try:                            # de-home the probe's stray copy
+                await probe.client.release_scene(scene_id)
+            except (ReproError, ClientConnectionError):
+                pass                        # best-effort; eviction covers it
+        self.journal.record(digest=digest, scene_id=scene_id,
+                            name=name or response.get("name"), text=text)
+        return response
+
+    # -- endpoint: complete --------------------------------------------------
+
+    async def _complete_one(self, request: CompleteRequest) -> dict:
+        if request.scene_id is not None:
+            scene_id = request.scene_id
+        else:
+            # Inline scene text: resolve to a scene id first (journal hit
+            # is a dict lookup; miss pays one registration) so the query
+            # routes by the same key every time.
+            digest = hashlib.sha256(
+                request.scene.encode("utf-8")).hexdigest()
+            entry = self.journal.lookup_digest(digest)
+            if entry is None:
+                registered = await self.register_text(request.scene, None)
+                scene_id = registered["scene_id"]
+            else:
+                scene_id = entry.scene_id
+
+        backend = self._owner(scene_id)
+
+        def call(client: AsyncCompletionClient) -> Awaitable[dict]:
+            return client.complete(scene_id, goal=request.goal,
+                                   variant=request.variant, n=request.n,
+                                   deadline_ms=request.deadline_ms)
+
+        try:
+            return await self._call(backend, call)
+        except SceneNotFoundError:
+            entry = self.journal.lookup_scene(scene_id)
+            if entry is None:
+                raise                       # never registered through us
+            # The backend lost the scene (eviction, unsupervised restart):
+            # re-teach it from the journal and retry — invisible upstream.
+            self.reregistrations += 1
+            backend = self._owner(scene_id)
+            await self._call(backend, lambda c: c.register_scene(
+                entry.text, name=entry.name))
+            return await self._call(backend, call)
+
+    async def _handle_batch(self, payload) -> dict:
+        requests = protocol.parse_batch_payload(payload)
+
+        async def _serve(request: CompleteRequest) -> dict:
+            try:
+                return await self._complete_one(request)
+            except ServerError as error:
+                self.errors[error.code] += 1
+                return protocol.error_payload(error.code, error.message)
+            except ProtocolError as error:
+                self.errors[error.code] += 1
+                return protocol.error_payload(error.code, str(error))
+            except ReproError as error:
+                self.errors["bad_request"] += 1
+                return protocol.error_payload("bad_request", str(error))
+
+        results = await asyncio.gather(*(_serve(r) for r in requests))
+        return protocol.ok_payload(results=list(results))
+
+    # -- endpoint: release-scene ---------------------------------------------
+
+    async def _handle_release(self, payload) -> dict:
+        request = ReleaseSceneRequest.from_payload(payload)
+        journaled = self.journal.remove(request.scene_id)
+        backend = self._owner(request.scene_id)
+        try:
+            response = await self._call(
+                backend, lambda c: c.release_scene(request.scene_id))
+        except ProtocolError:
+            if not journaled:
+                raise
+            # The shard is unreachable but the tombstone is durable: the
+            # scene will not be replayed into any future replica, which
+            # is the client-visible meaning of "released".
+            return protocol.ok_payload(scene_id=request.scene_id,
+                                       released=True)
+        released = bool(response.get("released")) or journaled
+        return protocol.ok_payload(scene_id=request.scene_id,
+                                   released=released)
+
+    # -- endpoints: stats / health -------------------------------------------
+
+    def _healthz_payload(self) -> dict:
+        return protocol.ok_payload(
+            status="ok",
+            uptime_s=round(time.monotonic() - self.started, 3),
+            backends=[backend.describe()
+                      for backend in self.backends.values()])
+
+    def _router_section(self) -> dict:
+        return {
+            "backends": len(self.backends),
+            "healthy": sum(1 for backend in self.backends.values()
+                           if backend.healthy),
+            "ring": {"replicas": self.ring.replicas,
+                     "points": len(self.ring) * self.ring.replicas},
+            "journal": {"scenes": len(self.journal),
+                        "durable": self.journal.path is not None,
+                        "corrupt_lines": self.journal.corrupt_lines},
+            "requests": dict(self.requests),
+            "errors": dict(self.errors),
+            "reregistrations": self.reregistrations,
+            "replayed": self.replayed,
+            "restarts": self.restarts,
+        }
+
+    async def _stats_payload(self) -> dict:
+        """One merged view over every backend's ``/v1/stats``.
+
+        Counters are summed (the merged ``server`` section therefore
+        equals the arithmetic sum of the per-backend counters), latency
+        windows are merged — counts summed, means request-weighted,
+        percentiles and max conservatively maxed (a true merged quantile
+        would need the raw samples) — and the untouched per-backend
+        payloads ride along under ``shards``.
+        """
+        async def _fetch(backend: Backend):
+            try:
+                stats = await backend.client.stats()
+                backend.healthy = True
+                return backend, stats, None
+            except (ReproError, ClientConnectionError) as exc:
+                backend.healthy = False
+                return backend, None, str(exc)
+
+        fetched = await asyncio.gather(*(
+            _fetch(backend) for backend in self.backends.values()))
+        shards = []
+        payloads = []
+        for backend, stats, error in fetched:
+            shard = backend.describe()
+            if stats is None:
+                shard["error"] = error
+            else:
+                shard["stats"] = {key: value for key, value in stats.items()
+                                  if key not in ("v", "ok")}
+                payloads.append(stats)
+            shards.append(shard)
+        merged_server = _merge_server_sections(
+            [payload.get("server", {}) for payload in payloads])
+        merged_engine = _sum_numeric_sections(
+            [payload.get("engine", {}) for payload in payloads])
+        result_stats = merged_engine.get("result_stats")
+        if isinstance(result_stats, dict):
+            # Rates do not sum; recompute from the summed counters.
+            lookups = (result_stats.get("hits", 0)
+                       + result_stats.get("misses", 0))
+            result_stats["hit_rate"] = (
+                round(result_stats.get("hits", 0) / lookups, 4)
+                if lookups else 0.0)
+        merged_executor = _sum_numeric_sections(
+            [payload.get("executor", {}) for payload in payloads])
+        merged_core = _sum_numeric_sections(
+            [payload.get("core", {}) for payload in payloads])
+        merged_scenes = _sum_numeric_sections(
+            [{key: value
+              for key, value in payload.get("scenes", {}).items()
+              if key != "scenes"}         # counts only, not per-scene rows
+             for payload in payloads])
+        return protocol.ok_payload(
+            server=merged_server,
+            engine=merged_engine,
+            executor=merged_executor,
+            core=merged_core,
+            scenes=merged_scenes,
+            router=self._router_section(),
+            shards=shards,
+        )
+
+
+# -- stats merging -----------------------------------------------------------
+
+
+def _sum_numeric_sections(sections: list) -> dict:
+    """Recursively sum numeric leaves across parallel dicts.
+
+    Non-numeric leaves keep the first non-None value seen; missing keys
+    are treated as absent, not zero.  Used for the ``engine``/``core``
+    sections, whose leaves are counters or capacities — both meaningfully
+    summable across shard processes (total entries, total capacity).
+    """
+    merged: dict = {}
+    for section in sections:
+        if not isinstance(section, dict):
+            continue
+        for key, value in section.items():
+            if isinstance(value, dict):
+                merged[key] = _sum_numeric_sections(
+                    [merged.get(key, {}), value])
+            elif isinstance(value, bool):
+                merged[key] = merged.get(key) or value
+            elif isinstance(value, (int, float)):
+                base = merged.get(key)
+                merged[key] = (base + value
+                               if isinstance(base, (int, float)) else value)
+            elif key not in merged or merged[key] is None:
+                merged[key] = value
+    return merged
+
+
+def _merge_latency_windows(windows: list) -> dict:
+    """Merge latency snapshots: sum counts, weight means, max quantiles."""
+    counts = [window.get("count", 0) for window in windows]
+    total = sum(counts)
+
+    def _max(field: str) -> Optional[float]:
+        values = [window.get(field) for window in windows
+                  if window.get(field) is not None]
+        return max(values) if values else None
+
+    mean = None
+    if total:
+        weighted = sum(window.get("mean_ms") * count
+                       for window, count in zip(windows, counts)
+                       if window.get("mean_ms") is not None and count)
+        mean = round(weighted / total, 3)
+    return {"count": total, "p50_ms": _max("p50_ms"),
+            "p95_ms": _max("p95_ms"), "max_ms": _max("max_ms"),
+            "mean_ms": mean}
+
+
+def _merge_server_sections(sections: list) -> dict:
+    """Merge backend ``server`` metric sections into one summed view."""
+    merged = _sum_numeric_sections(
+        [{key: value for key, value in section.items()
+          if key not in ("latency", "uptime_s", "queue")}
+         for section in sections])
+    merged["uptime_s"] = max(
+        (section.get("uptime_s", 0.0) for section in sections),
+        default=0.0)
+    merged["queue"] = _sum_numeric_sections(
+        [section.get("queue", {}) for section in sections])
+    names = {name for section in sections
+             for name in section.get("latency", {})}
+    merged["latency"] = {
+        name: _merge_latency_windows(
+            [section.get("latency", {}).get(name, {})
+             for section in sections])
+        for name in sorted(names)}
+    return merged

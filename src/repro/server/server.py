@@ -46,7 +46,8 @@ from repro.engine.keys import query_key
 from repro.server import protocol
 from repro.server.metrics import ServerMetrics
 from repro.server.protocol import (CompleteRequest, ProtocolError,
-                                   RegisterSceneRequest, deadline_config)
+                                   RegisterSceneRequest,
+                                   ReleaseSceneRequest, deadline_config)
 from repro.engine.cache import LRUCache
 from repro.server.registry import RegisteredScene, SceneRegistry, build_scene
 
@@ -103,6 +104,17 @@ class ServerConfig:
     #: after this many seconds instead of pinning them forever.  The
     #: client's stale-pool retry makes idle closes transparent.
     read_timeout: float = 60.0
+    #: Result-cache snapshot file (``repro serve --snapshot``).  When set,
+    #: the server restores the snapshot at startup (starting the replica
+    #: warm) and re-saves it after syntheses and on shutdown — the
+    #: cross-process persistence seam the sharded router's backend
+    #: respawns rely on.  ``None`` disables persistence.
+    snapshot_path: Optional[str] = None
+    #: Minimum seconds between post-synthesis snapshot saves.  0 saves
+    #: after every synthesis (concurrent syntheses still coalesce into
+    #: one pending save) — the right default for replica durability;
+    #: raise it on write-heavy workloads where the snapshot file is big.
+    snapshot_interval: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -124,6 +136,50 @@ class _HttpError(Exception):
     def __init__(self, status: int, message: str):
         self.status = status
         super().__init__(message)
+
+
+async def read_http_request(reader: asyncio.StreamReader
+                            ) -> Optional[_HttpRequest]:
+    """Parse one HTTP/1.1 request off *reader*, or ``None`` at EOF.
+
+    Module-level (rather than a server method) because the sharded router
+    speaks the same protocol on its front side — one parser, zero drift.
+    Raises :class:`_HttpError` for requests that are malformed but still
+    answerable over HTTP.
+    """
+    line = await reader.readline()
+    if not line:
+        return None
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise _HttpError(400, f"malformed request line: "
+                              f"{line[:80]!r}")
+    method, target, _version = parts
+    headers: dict = {}
+    header_lines = 0
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        header_lines += 1
+        if header_lines > MAX_HEADER_LINES:
+            raise _HttpError(400, f"more than {MAX_HEADER_LINES} "
+                                  f"header lines")
+        name, _, value = raw.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        raise _HttpError(400, "non-numeric Content-Length")
+    if length < 0:
+        raise _HttpError(400, f"negative Content-Length {length}")
+    if length > MAX_BODY_BYTES:
+        raise _HttpError(413, f"request body of {length} bytes exceeds "
+                              f"the {MAX_BODY_BYTES}-byte limit")
+    body = await reader.readexactly(length) if length else b""
+    path = target.split("?", 1)[0]
+    return _HttpRequest(method=method, path=path, headers=headers,
+                        body=body)
 
 
 def _run_synthesis(prepared: PreparedScene, goal: Type, policy, config,
@@ -165,7 +221,8 @@ class AsyncCompletionServer:
         # event loop.
         self.registry = SceneRegistry(
             self.engine, max_scenes=self.config.max_scenes,
-            on_evict=self._scene_evicted, shed_types_on_release=False)
+            on_evict=self._scene_evicted, on_release=self._scene_released,
+            shed_types_on_release=False)
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.executor_workers,
             thread_name_prefix="synthesis")
@@ -179,6 +236,14 @@ class AsyncCompletionServer:
         self._server: Optional[asyncio.base_events.Server] = None
         self.host = self.config.host
         self.port = self.config.port
+        #: Snapshot persistence state (event-loop-only, like the caches):
+        #: one save runs at a time (`_snapshot_future` is it); saves
+        #: requested while one is in flight (or inside the debounce
+        #: interval) set the dirty flag and are flushed by the in-flight
+        #: save's completion callback or the shutdown save.
+        self._snapshot_future: Optional[asyncio.Future] = None
+        self._snapshot_dirty = False
+        self._last_snapshot = 0.0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -186,6 +251,12 @@ class AsyncCompletionServer:
         if self.config.gc_tune:
             import gc
             gc.set_threshold(*self.config.gc_thresholds)
+        if self.config.snapshot_path is not None:
+            # Start warm: restore whatever the previous incarnation (or a
+            # router-managed predecessor) persisted.  Forgiving — a
+            # missing or corrupt snapshot just starts cold.
+            self.metrics.snapshot_restored = self.engine.restore_results(
+                self.config.snapshot_path)
         self._server = await asyncio.start_server(
             self._handle_connection, host=self.config.host,
             port=self.config.port)
@@ -202,10 +273,92 @@ class AsyncCompletionServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self.config.snapshot_path is not None:
+            # Drain any in-flight executor save first: cancel_futures
+            # below cannot stop an already-running write, and a stale
+            # save finishing *after* the final flush would os.replace the
+            # freshest snapshot with an older one.  The serving socket is
+            # closed, so no new syntheses can extend this loop.
+            while self._snapshot_future is not None:
+                future = self._snapshot_future
+                try:
+                    await future
+                except Exception:           # noqa: BLE001 — shutdown path
+                    pass
+                if future is self._snapshot_future:
+                    break                   # callback did not reschedule
+            if self._snapshot_dirty:
+                # Final flush; failure must not block shutdown.
+                try:
+                    self._save_snapshot()
+                    self.metrics.snapshots_saved += 1
+                    self._snapshot_dirty = False
+                except Exception:           # noqa: BLE001 — shutdown path
+                    pass
         self._executor.shutdown(wait=False, cancel_futures=True)
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+
+    # -- snapshot persistence ------------------------------------------------
+
+    def _save_snapshot(self) -> int:
+        """Write the result cache to the configured snapshot file.
+
+        Synchronous form for single-threaded callers (startup, shutdown);
+        the serving path goes through :meth:`_maybe_snapshot`, which
+        splits the cache walk (event loop) from the disk write (executor).
+        """
+        assert self.config.snapshot_path is not None
+        return self.engine.snapshot_results(self.config.snapshot_path)
+
+    def _maybe_snapshot(self) -> None:
+        """Schedule a debounced snapshot save off the event loop.
+
+        Called after each synthesis.  The cache is walked *here*, on the
+        event loop (iterating the live LRU from an executor thread would
+        race `get`-promotes), and only the pickling/disk write runs on
+        the executor.  At most one save runs at a time; requests arriving
+        during a save (or within ``snapshot_interval`` of the last one)
+        mark the cache dirty and ride the next save — so a burst of
+        syntheses costs one file write, and the shutdown path flushes
+        whatever is still dirty.
+        """
+        if self.config.snapshot_path is None:
+            return
+        self._snapshot_dirty = True
+        if self._snapshot_future is not None:
+            return
+        if (time.monotonic() - self._last_snapshot
+                < self.config.snapshot_interval):
+            return                          # close() flushes the residue
+        loop = asyncio.get_running_loop()
+        entries = self.engine.collect_results()
+        try:
+            future = loop.run_in_executor(self._executor,
+                                          self.engine.write_snapshot,
+                                          self.config.snapshot_path,
+                                          entries)
+        except RuntimeError:
+            return                          # executor already shut down
+        self._snapshot_future = future
+        self._snapshot_dirty = False
+
+        def _done(done_future: asyncio.Future) -> None:
+            self._snapshot_future = None
+            self._last_snapshot = time.monotonic()
+            if done_future.cancelled():
+                self._snapshot_dirty = True
+                return
+            if done_future.exception() is None:
+                self.metrics.snapshots_saved += 1
+                if self._snapshot_dirty:
+                    self._maybe_snapshot()
+            else:
+                self._snapshot_dirty = True
+                self.metrics.record_error("snapshot")
+
+        future.add_done_callback(_done)
 
     def _build_pool(self):
         """The synthesis process pool, or ``None`` (threads only).
@@ -251,6 +404,19 @@ class AsyncCompletionServer:
 
     def _scene_evicted(self, scene: RegisteredScene) -> None:
         self.metrics.scenes_evicted += 1
+        self._shed_types_async()
+        # The purge shrank the result cache; without a re-save a restart
+        # would resurrect the dropped entries from the stale snapshot.
+        self._maybe_snapshot()
+
+    def _scene_released(self, scene: RegisteredScene) -> None:
+        # Client-requested release: counted apart from LRU evictions so
+        # `/v1/stats` keeps capacity pressure and tenant churn separable.
+        self.metrics.scenes_released += 1
+        self._shed_types_async()
+        self._maybe_snapshot()
+
+    def _shed_types_async(self) -> None:
         try:
             self._executor.submit(self.engine.shed_types)
         except RuntimeError:
@@ -298,46 +464,15 @@ class AsyncCompletionServer:
     async def _read_request(self,
                             reader: asyncio.StreamReader
                             ) -> Optional[_HttpRequest]:
-        line = await reader.readline()
-        if not line:
-            return None
-        parts = line.decode("latin-1").strip().split()
-        if len(parts) != 3:
-            raise _HttpError(400, f"malformed request line: "
-                                  f"{line[:80]!r}")
-        method, target, _version = parts
-        headers: dict = {}
-        header_lines = 0
-        while True:
-            raw = await reader.readline()
-            if raw in (b"\r\n", b"\n", b""):
-                break
-            header_lines += 1
-            if header_lines > MAX_HEADER_LINES:
-                raise _HttpError(400, f"more than {MAX_HEADER_LINES} "
-                                      f"header lines")
-            name, _, value = raw.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        try:
-            length = int(headers.get("content-length", "0") or "0")
-        except ValueError:
-            raise _HttpError(400, "non-numeric Content-Length")
-        if length < 0:
-            raise _HttpError(400, f"negative Content-Length {length}")
-        if length > MAX_BODY_BYTES:
-            raise _HttpError(413, f"request body of {length} bytes exceeds "
-                                  f"the {MAX_BODY_BYTES}-byte limit")
-        body = await reader.readexactly(length) if length else b""
-        path = target.split("?", 1)[0]
-        return _HttpRequest(method=method, path=path, headers=headers,
-                            body=body)
+        return await read_http_request(reader)
 
     # -- routing -------------------------------------------------------------
 
     #: The served surface; anything else is counted under one bucket so a
     #: path-scanning client cannot grow the metrics counter without bound.
     KNOWN_PATHS = ("/healthz", "/v1/stats", "/v1/register-scene",
-                   "/v1/complete", "/v1/complete-batch")
+                   "/v1/complete", "/v1/complete-batch",
+                   "/v1/release-scene")
 
     async def _dispatch(self, request: _HttpRequest) -> tuple[int, dict]:
         route = (request.method, request.path)
@@ -362,6 +497,9 @@ class AsyncCompletionServer:
                     protocol.decode_body(request.body))
             if route == ("POST", "/v1/complete-batch"):
                 return 200, await self._handle_batch(
+                    protocol.decode_body(request.body))
+            if route == ("POST", "/v1/release-scene"):
+                return 200, self._handle_release(
                     protocol.decode_body(request.body))
             if request.path in self.KNOWN_PATHS:
                 self.metrics.record_error("bad_request")
@@ -459,6 +597,20 @@ class AsyncCompletionServer:
             goal=str(scene.prepared.goal) if scene.prepared.goal else None,
             cached=already,
         )
+
+    # -- endpoint: release-scene ---------------------------------------------
+
+    def _handle_release(self, payload) -> dict:
+        """Explicitly drop one registered scene (idempotent).
+
+        Release work (result purge, arena retirement) is dict-sized and
+        runs inline; the potentially large intern-table shed is deferred
+        to the executor by the registry callback, exactly like eviction.
+        """
+        request = ReleaseSceneRequest.from_payload(payload)
+        released = self.registry.release(request.scene_id)
+        return protocol.ok_payload(scene_id=request.scene_id,
+                                   released=released)
 
     # -- endpoint: complete --------------------------------------------------
 
@@ -558,6 +710,7 @@ class AsyncCompletionServer:
             self.metrics.record_synthesis(
                 time.perf_counter() - synthesis_start)
             future.set_result(result)
+            self._maybe_snapshot()
         finally:
             self.metrics.leave_queue()
             self._inflight.pop(key, None)
@@ -637,10 +790,16 @@ class AsyncCompletionServer:
                 "result_stats": {
                     "hits": stats.hits, "misses": stats.misses,
                     "insertions": stats.insertions,
+                    "refreshes": stats.refreshes,
                     "evictions": stats.evictions,
                     "hit_rate": round(stats.hit_rate, 4),
                 },
                 "prepared_scenes": len(self.engine.scenes),
+                "snapshot": {
+                    "path": self.config.snapshot_path,
+                    "restored": self.metrics.snapshot_restored,
+                    "saved": self.metrics.snapshots_saved,
+                },
             },
             scenes=self.registry.describe(),
             core={"interned_types": intern_table_stats(),

@@ -6,51 +6,42 @@ each one cold and again warm (asserting a cache hit), fire a burst of
 concurrent identical requests and assert — via ``/v1/stats`` — that they
 coalesced into exactly one synthesis.  Exit code 0 means the serving path
 works end-to-end; CI runs this after the unit suite.
+
+With ``--router`` the same drive runs against ``repro route`` over two
+supervised backend processes instead — the protocol is identical, so the
+very same assertions must hold, plus the aggregated ``/v1/stats`` view
+must carry one entry per shard.  CI runs both forms.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
-import os
-import re
 import subprocess
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.server.client import AsyncCompletionClient, wait_until_healthy
+from repro.server.router import spawn_cli_server
 
 #: Default scene set: every shipped example scene.
 DEFAULT_SCENES_DIR = Path(__file__).resolve().parents[3] / "examples/scenes"
 
-_LISTEN_RE = re.compile(r"serving on http://([\d.]+):(\d+)")
 
+def _spawn_server(extra_args: Sequence[str] = (),
+                  command: str = "serve") -> tuple:
+    """Start ``repro serve|route --port 0``; returns (process, host, port).
 
-def _spawn_server(extra_args: Sequence[str] = ()) -> tuple:
-    """Start ``repro serve --port 0``; returns (process, host, port)."""
-    env = dict(os.environ)
-    src_root = str(Path(__file__).resolve().parents[2])
-    env["PYTHONPATH"] = src_root + (
-        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
-    process = subprocess.Popen(
-        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
-         *extra_args],
-        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env)
-    assert process.stdout is not None
-    while True:
-        line = process.stdout.readline()
-        if not line:
-            raise RuntimeError(
-                f"repro serve exited before listening "
-                f"(rc={process.poll()})")
-        match = _LISTEN_RE.search(line)
-        if match:
-            return process, match.group(1), int(match.group(2))
+    Thin wrapper over the router's :func:`spawn_cli_server` — the smoke
+    harness and the router supervise subprocesses with the exact same
+    spawn protocol (PYTHONPATH injection, listen-line scan, pipe drain).
+    """
+    return spawn_cli_server(command, extra_args, label=f"smoke-{command}")
 
 
 async def _drive(host: str, port: int, scene_paths: Sequence[Path],
-                 burst: int) -> list[str]:
+                 burst: int, shards: int = 0) -> list[str]:
     report: list[str] = []
     async with AsyncCompletionClient(host, port) as client:
         await wait_until_healthy(client)
@@ -105,6 +96,28 @@ async def _drive(host: str, port: int, scene_paths: Sequence[Path],
             f"stats: {stats['server']['completions']} completions, "
             f"warm p95 {warm_latency['p95_ms']} ms, "
             f"{stats['core']['interned_types']['size']} interned types")
+
+        if shards:
+            # Router mode: the merged view must equal the per-shard sum.
+            shard_list = stats["shards"]
+            assert len(shard_list) == shards, (
+                f"expected {shards} shards, stats shows {len(shard_list)}")
+            for counter in ("completions", "synthesized", "cache_hits",
+                            "scenes_registered"):
+                total = sum(shard["stats"]["server"][counter]
+                            for shard in shard_list if "stats" in shard)
+                assert stats["server"][counter] == total, (
+                    f"aggregated {counter} {stats['server'][counter]} != "
+                    f"per-shard sum {total}")
+            registered = [shard["stats"]["scenes"]["count"]
+                          for shard in shard_list if "stats" in shard]
+            assert all(count > 0 for count in registered), (
+                f"sharding degenerated: per-shard scene counts "
+                f"{registered}")
+            report.append(
+                f"router: {len(shard_list)} shards, scenes per shard "
+                f"{registered}, {stats['router']['journal']['scenes']} "
+                f"journaled")
     return report
 
 
@@ -117,6 +130,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "example scenes)")
     parser.add_argument("--burst", type=int, default=50,
                         help="concurrent identical requests (default 50)")
+    parser.add_argument("--router", action="store_true",
+                        help="drive `repro route` over 2 backend processes "
+                             "instead of a single `repro serve`")
     args = parser.parse_args(argv)
 
     scene_paths = [Path(p) for p in args.scenes]
@@ -126,9 +142,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("smoke: no scenes found", file=sys.stderr)
         return 2
 
-    process, host, port = _spawn_server()
+    shards = 2 if args.router else 0
+    if args.router:
+        process, host, port = _spawn_server(("--backends", "2"),
+                                            command="route")
+    else:
+        process, host, port = _spawn_server()
     try:
-        report = asyncio.run(_drive(host, port, scene_paths, args.burst))
+        report = asyncio.run(_drive(host, port, scene_paths, args.burst,
+                                    shards=shards))
     finally:
         process.terminate()
         try:
@@ -138,7 +160,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             process.wait()
     for line in report:
         print(f"smoke: {line}")
-    print(f"smoke: OK ({len(scene_paths)} scenes)")
+    front = "router" if args.router else "server"
+    print(f"smoke: OK ({len(scene_paths)} scenes via {front})")
     return 0
 
 

@@ -47,6 +47,33 @@ class TestLRUCache:
         assert "b" not in cache
         assert len(cache) == 2
 
+    def test_refresh_is_not_an_insertion(self):
+        """Regression: re-putting a key inflated the insertion count,
+        skewing the hit-rate/insertions report in `repro warm` and
+        `/v1/stats`."""
+        cache = LRUCache(max_entries=4)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        cache.put("a", 3)
+        cache.put("b", 1)
+        assert cache.stats.insertions == 2     # distinct keys only
+        assert cache.stats.refreshes == 2
+        assert len(cache) == cache.stats.insertions - cache.stats.evictions
+
+    def test_pop_is_invisible_to_stats_by_contract(self):
+        """`pop` is an owner-driven removal: no hit/miss, no eviction,
+        no callback — the documented contract registry/engine callers
+        rely on for their own accounting."""
+        evicted = []
+        cache = LRUCache(max_entries=4,
+                         on_evict=lambda k, v: evicted.append(k))
+        cache.put("a", 1)
+        assert cache.pop("a") == 1
+        assert cache.pop("absent", default="d") == "d"
+        assert evicted == []
+        assert cache.stats.lookups == 0
+        assert cache.stats.evictions == 0
+
     def test_peek_neither_promotes_nor_counts(self):
         cache = LRUCache(max_entries=2)
         cache.put("a", 1)
@@ -93,3 +120,9 @@ class TestCacheStats:
                           evictions=1).as_text()
         assert "2 hits / 4 lookups" in text
         assert "1 evictions" in text
+
+    def test_as_text_reports_refreshes_only_when_present(self):
+        assert "refreshes" not in CacheStats(insertions=2).as_text()
+        text = CacheStats(insertions=2, refreshes=3).as_text()
+        assert "3 refreshes" in text
+        assert "2 insertions" in text

@@ -1,0 +1,154 @@
+"""Result-cache snapshot/restore: the cross-process warm-up seam."""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.engine import CompletionEngine
+from repro.engine.engine import SNAPSHOT_VERSION
+from repro.lang.loader import load_environment_text
+
+SCENE = """
+local name : String
+imported java.io.File.new : String -> File \
+[freq=100] [style=constructor] [display=File]
+goal File
+"""
+
+OTHER_SCENE = """
+local count : Int
+imported demo.Box.new : Int -> Box \
+[freq=10] [style=constructor] [display=Box]
+goal Box
+"""
+
+
+def _prepare(engine, text, name="scene"):
+    loaded = load_environment_text(text)
+    return engine.prepare(loaded.environment, loaded.subtypes,
+                          goal=loaded.goal, name=name)
+
+
+class TestSnapshotRoundTrip:
+    def test_fresh_engine_restores_warm(self, tmp_path):
+        path = str(tmp_path / "results.snapshot")
+        engine = CompletionEngine()
+        prepared = _prepare(engine, SCENE)
+        cold = engine.complete(prepared)
+        assert not cold.cache_hit
+        assert engine.snapshot_results(path) == 1
+
+        replica = CompletionEngine()
+        assert replica.restore_results(path) == 1
+        served = replica.complete(_prepare(replica, SCENE))
+        assert served.cache_hit
+        assert [s.code for s in served.snippets] == \
+            [s.code for s in cold.snippets]
+
+    def test_snapshot_covers_multiple_scenes_and_counts(self, tmp_path):
+        path = str(tmp_path / "results.snapshot")
+        engine = CompletionEngine()
+        engine.complete(_prepare(engine, SCENE))
+        engine.complete(_prepare(engine, OTHER_SCENE))
+        engine.complete(_prepare(engine, SCENE), n=3)   # distinct budgets
+        assert engine.snapshot_results(path) == 3
+
+        replica = CompletionEngine()
+        assert replica.restore_results(path) == 3
+        assert len(replica.results) == 3
+
+    def test_restore_filters_by_fingerprint(self, tmp_path):
+        path = str(tmp_path / "results.snapshot")
+        engine = CompletionEngine()
+        prepared = _prepare(engine, SCENE)
+        engine.complete(prepared)
+        engine.complete(_prepare(engine, OTHER_SCENE))
+        engine.snapshot_results(path)
+
+        replica = CompletionEngine()
+        assert replica.restore_results(
+            path, fingerprints={prepared.fingerprint}) == 1
+        assert replica.complete(_prepare(replica, SCENE)).cache_hit
+
+    def test_snapshot_is_atomic_overwrite(self, tmp_path):
+        path = str(tmp_path / "results.snapshot")
+        engine = CompletionEngine()
+        engine.complete(_prepare(engine, SCENE))
+        engine.snapshot_results(path)
+        engine.complete(_prepare(engine, OTHER_SCENE))
+        assert engine.snapshot_results(path) == 2
+        replica = CompletionEngine()
+        assert replica.restore_results(path) == 2
+        assert not list((tmp_path).glob(".snapshot-*")), \
+            "temp files must not survive a save"
+
+
+class TestRestoreValidation:
+    def test_missing_file_restores_nothing(self, tmp_path):
+        assert CompletionEngine().restore_results(
+            str(tmp_path / "absent")) == 0
+
+    def test_corrupt_file_restores_nothing(self, tmp_path):
+        path = tmp_path / "corrupt"
+        path.write_bytes(b"not a pickle")
+        assert CompletionEngine().restore_results(str(path)) == 0
+
+    def test_wrong_version_restores_nothing(self, tmp_path):
+        path = str(tmp_path / "versioned")
+        engine = CompletionEngine()
+        engine.complete(_prepare(engine, SCENE))
+        engine.snapshot_results(path)
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        payload["version"] = SNAPSHOT_VERSION + 1
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle)
+        assert CompletionEngine().restore_results(path) == 0
+
+    def test_fingerprint_mismatch_entries_are_skipped(self, tmp_path):
+        """A tampered (or mis-merged) file can never serve results for
+        the wrong scene content."""
+        path = str(tmp_path / "tampered")
+        engine = CompletionEngine()
+        engine.complete(_prepare(engine, SCENE))
+        engine.snapshot_results(path)
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        (fingerprint, entries), = payload["by_fingerprint"].items()
+        key, result = entries[0]
+        forged = dataclasses.replace(key,
+                                     environment_fingerprint="f" * 64)
+        payload["by_fingerprint"][fingerprint] = [(forged, result)]
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle)
+        assert CompletionEngine().restore_results(path) == 0
+
+    def test_restored_entries_count_as_insertions(self, tmp_path):
+        path = str(tmp_path / "stats")
+        engine = CompletionEngine()
+        engine.complete(_prepare(engine, SCENE))
+        engine.snapshot_results(path)
+        replica = CompletionEngine()
+        replica.restore_results(path)
+        assert replica.cache_stats.insertions == 1
+        assert replica.cache_stats.refreshes == 0
+        # Restoring the same snapshot again refreshes, not re-inserts.
+        replica.restore_results(path)
+        assert replica.cache_stats.insertions == 1
+        assert replica.cache_stats.refreshes == 1
+
+
+@pytest.mark.parametrize("payload", [
+    {"version": SNAPSHOT_VERSION, "by_fingerprint": {"fp": "not-a-list"}},
+    {"version": SNAPSHOT_VERSION, "by_fingerprint": {"fp": [("short",)]}},
+    {"version": SNAPSHOT_VERSION,
+     "by_fingerprint": {"fp": [("not-a-key", None)]}},
+    {"by_fingerprint": {}},
+    [],
+])
+def test_restore_rejects_malformed_payloads(tmp_path, payload):
+    path = tmp_path / "malformed"
+    with open(path, "wb") as handle:
+        pickle.dump(payload, handle)
+    assert CompletionEngine().restore_results(str(path)) == 0

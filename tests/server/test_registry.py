@@ -157,3 +157,130 @@ class TestSceneRegistry:
         assert description["count"] == 1
         assert description["limit"] == 4
         assert description["scenes"][0]["name"] == "demo"
+        assert description["evictions"] == 0
+        assert description["releases"] == 0
+
+
+class TestReleaseAccounting:
+    def test_explicit_release_is_not_an_eviction(self, engine):
+        """Regression: `release` routed through the eviction tail and
+        showed up as LRU pressure in `/v1/stats`."""
+        released = []
+        evicted = []
+        registry = SceneRegistry(engine, max_scenes=4,
+                                 on_evict=evicted.append,
+                                 on_release=released.append)
+        scene, _ = registry.adopt(build_scene(engine, SCENE))
+        assert registry.release(scene.scene_id)
+        assert registry.releases == 1
+        assert registry.evictions == 0
+        assert [s.scene_id for s in released] == [scene.scene_id]
+        assert evicted == []
+
+    def test_eviction_still_counts_as_eviction(self, engine):
+        released = []
+        evicted = []
+        registry = SceneRegistry(engine, max_scenes=1,
+                                 on_evict=evicted.append,
+                                 on_release=released.append)
+        first, _ = registry.adopt(build_scene(engine, SCENE))
+        registry.adopt(build_scene(engine, OTHER_SCENE))
+        assert registry.evictions == 1
+        assert registry.releases == 0
+        assert [s.scene_id for s in evicted] == [first.scene_id]
+        assert released == []
+
+    def test_release_still_frees_engine_state(self, engine):
+        registry = SceneRegistry(engine, max_scenes=4)
+        scene, _ = registry.adopt(build_scene(engine, SCENE))
+        engine.complete(scene.prepared)
+        assert len(engine.results) == 1
+        assert registry.release(scene.scene_id)
+        assert len(engine.results) == 0
+
+
+class TestDuplicateAdoption:
+    def test_duplicate_loser_sharing_state_is_untouched(self, engine):
+        """The common race: both builds hit the engine scene table, so
+        the loser shares the winner's heavy state — nothing released."""
+        registry = SceneRegistry(engine, max_scenes=4)
+        winner, _ = registry.adopt(build_scene(engine, SCENE))
+        engine.complete(winner.prepared)
+        loser = build_scene(engine, SCENE)
+        adopted, already = registry.adopt(loser)
+        assert already and adopted is winner
+        assert len(engine.results) == 1     # warm result survives
+        assert engine.complete(winner.prepared).cache_hit
+
+    def test_duplicate_loser_with_fresh_state_is_released(self, engine):
+        """Regression: when the engine's scene LRU dropped the winner's
+        entry between the two builds, the loser re-prepared from scratch
+        and its fresh state displaced the winner in the engine scene
+        table — leaked until eviction, and served instead of the
+        winner's.  Adoption must restore the winner and drop the loser's
+        private state without purging shared fingerprint results."""
+        registry = SceneRegistry(engine, max_scenes=4)
+        winner, _ = registry.adopt(build_scene(engine, SCENE))
+        engine.complete(winner.prepared)
+
+        # Simulate the interleaving: the engine evicts the prepared scene
+        # (capacity pressure from other tenants), then a concurrent
+        # duplicate registration rebuilds it from scratch.
+        engine.scenes.pop(winner.prepared.scene_key)
+        loser = build_scene(engine, SCENE)
+        assert loser.prepared is not winner.prepared
+        assert loser.prepared.environment is not winner.prepared.environment
+        assert engine.scenes.peek(winner.prepared.scene_key) \
+            is loser.prepared
+
+        adopted, already = registry.adopt(loser)
+        assert already and adopted is winner
+        # The winner is the canonical engine scene-table entry again...
+        assert engine.scenes.peek(winner.prepared.scene_key) \
+            is winner.prepared
+        # ...the loser's private state is dropped...
+        assert not loser.prepared._synthesizers
+        # ...and the shared fingerprint's warm results survive.
+        assert engine.complete(winner.prepared).cache_hit
+
+        # The fingerprint refcount stayed reconciled: one release still
+        # tears everything down exactly once.
+        assert registry.release(winner.scene_id)
+        assert len(engine.results) == 0
+        assert winner.scene_id not in registry
+
+    def test_duplicate_with_foreign_fingerprint_is_fully_released(
+            self, engine):
+        """A hand-built duplicate whose content differs (id collision)
+        shares nothing with the winner: full engine release is safe."""
+        registry = SceneRegistry(engine, max_scenes=4)
+        winner, _ = registry.adopt(build_scene(engine, SCENE))
+        impostor = build_scene(engine, OTHER_SCENE)
+        impostor.scene_id = winner.scene_id
+        engine.complete(impostor.prepared)
+        assert len(engine.results) == 1
+
+        adopted, already = registry.adopt(impostor)
+        assert already and adopted is winner
+        # The impostor's scene-table entry and results are gone.
+        assert engine.scenes.peek(impostor.prepared.scene_key) is None
+        assert len(engine.results) == 0
+
+    def test_foreign_fingerprint_duplicate_spares_registered_siblings(
+            self, engine):
+        """An id-colliding duplicate whose content IS separately
+        registered must not have that registration's state purged out
+        from under it."""
+        registry = SceneRegistry(engine, max_scenes=4)
+        winner, _ = registry.adopt(build_scene(engine, SCENE))
+        sibling, _ = registry.adopt(build_scene(engine, OTHER_SCENE))
+        engine.complete(sibling.prepared)
+        assert len(engine.results) == 1
+
+        impostor = build_scene(engine, OTHER_SCENE)   # sibling's content
+        impostor.scene_id = winner.scene_id           # colliding id
+        adopted, already = registry.adopt(impostor)
+        assert already and adopted is winner
+        # The sibling's warm result and prepared state survive.
+        assert engine.complete(sibling.prepared).cache_hit
+        assert engine.scenes.peek(sibling.prepared.scene_key) is not None

@@ -384,11 +384,130 @@ class TestSceneEviction:
                 await client.register_scene(OTHER_SCENE)
                 stats = await client.stats()
                 assert stats["server"]["scenes_evicted"] == 1
+                assert stats["server"]["scenes_released"] == 0
                 assert stats["scenes"]["count"] == 1
+                assert stats["scenes"]["evictions"] == 1
+                assert stats["scenes"]["releases"] == 0
                 assert len(server.engine.results) == 0
 
                 with pytest.raises(SceneNotFoundError):
                     await client.complete(first)
+
+        asyncio.run(main())
+
+
+class TestSceneRelease:
+    def test_release_endpoint_drops_scene_and_counts_apart(self):
+        """Regression: explicit releases used to inflate the eviction
+        counters, making client churn look like capacity pressure."""
+        async def main():
+            async with running_server() as (server, client):
+                scene_id = (await client.register_scene(SCENE))["scene_id"]
+                await client.complete(scene_id)
+                assert len(server.engine.results) == 1
+
+                released = await client.release_scene(scene_id)
+                assert released["released"] is True
+                assert len(server.engine.results) == 0
+
+                stats = await client.stats()
+                assert stats["server"]["scenes_released"] == 1
+                assert stats["server"]["scenes_evicted"] == 0
+                assert stats["scenes"]["releases"] == 1
+                assert stats["scenes"]["evictions"] == 0
+
+                with pytest.raises(SceneNotFoundError):
+                    await client.complete(scene_id)
+
+        asyncio.run(main())
+
+    def test_release_is_idempotent(self):
+        async def main():
+            async with running_server() as (server, client):
+                scene_id = (await client.register_scene(SCENE))["scene_id"]
+                assert (await client.release_scene(
+                    scene_id))["released"] is True
+                assert (await client.release_scene(
+                    scene_id))["released"] is False
+                assert (await client.release_scene(
+                    "scn_never_existed"))["released"] is False
+
+        asyncio.run(main())
+
+    def test_client_complete_text_survives_release(self):
+        """The retry-on-unknown-scene helper re-registers evicted or
+        released scenes transparently."""
+        async def main():
+            async with running_server() as (server, client):
+                cold = await client.complete_text(SCENE, name="demo")
+                assert cold["snippets"]
+                scene_id = cold["scene_id"]
+                await client.release_scene(scene_id)
+
+                served = await client.complete_text(SCENE, name="demo")
+                assert served["scene_id"] == scene_id
+                assert served["snippets"] == cold["snippets"]
+
+        asyncio.run(main())
+
+
+class TestSnapshotPersistence:
+    def test_restart_restores_warm_results(self, tmp_path):
+        snapshot = str(tmp_path / "results.snapshot")
+
+        async def first_life():
+            async with running_server(
+                    snapshot_path=snapshot) as (server, client):
+                cold = await client.complete(scene=SCENE)
+                assert cold["cache_hit"] is False
+                # The save is debounced onto the executor; wait for it.
+                for _ in range(200):
+                    if server.metrics.snapshots_saved > 0:
+                        break
+                    await asyncio.sleep(0.02)
+                assert server.metrics.snapshots_saved > 0
+                return cold
+
+        async def second_life(cold):
+            async with running_server(
+                    snapshot_path=snapshot) as (server, client):
+                assert server.metrics.snapshot_restored == 1
+                warm = await client.complete(scene=SCENE)
+                assert warm["cache_hit"] is True
+                assert warm["snippets"] == cold["snippets"]
+                stats = await client.stats()
+                assert stats["engine"]["snapshot"]["restored"] == 1
+
+        cold = asyncio.run(first_life())
+        asyncio.run(second_life(cold))
+
+    def test_shutdown_flushes_dirty_snapshot(self, tmp_path):
+        import os
+        snapshot = str(tmp_path / "results.snapshot")
+
+        async def main():
+            # A long debounce interval: the post-synthesis save is
+            # suppressed, so only the shutdown flush can write the file.
+            async with running_server(
+                    snapshot_path=snapshot,
+                    snapshot_interval=3600.0) as (server, client):
+                server._last_snapshot = __import__("time").monotonic()
+                await client.complete(scene=SCENE)
+                assert not os.path.exists(snapshot)
+            assert os.path.exists(snapshot)
+
+        asyncio.run(main())
+
+    def test_corrupt_snapshot_starts_cold_not_dead(self, tmp_path):
+        snapshot = tmp_path / "results.snapshot"
+        snapshot.write_bytes(b"garbage")
+
+        async def main():
+            async with running_server(
+                    snapshot_path=str(snapshot)) as (server, client):
+                assert server.metrics.snapshot_restored == 0
+                served = await client.complete(scene=SCENE)
+                assert served["snippets"]
 
         asyncio.run(main())
 
