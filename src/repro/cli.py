@@ -7,6 +7,7 @@ The subcommands mirror the library's main entry points::
     python -m repro.cli warm SCENE.ins [--goals T1,T2] [--variants ...]
     python -m repro.cli serve [--port 8777] [--workers N] [--snapshot F]
     python -m repro.cli route [--backends N] [--journal F] [--snapshot-dir D]
+    python -m repro.cli loadgen [--chaos] [--check BENCH_serve.json]
     python -m repro.cli bench [--rows 9,15,44] [--variants full,no_corpus]
     python -m repro.cli stats [--host H] [--port P] [--json]
     python -m repro.cli corpus-stats
@@ -28,7 +29,13 @@ across restarts (restored at startup, re-saved as syntheses land).
 supervises N backend servers, routes scenes over a consistent hash ring,
 journals every registration for replica warm-up, and aggregates backend
 stats; ``--check-config`` validates the shard map and exits (CI's
-fail-fast dry run).  ``bench`` runs Table 2 rows; ``stats`` pretty-prints a
+fail-fast dry run).  ``loadgen`` is the trace-driven load/chaos/SLO
+harness (`repro.loadgen`): it generates (or loads) a reproducible
+workload trace, replays it against a spawned or attached topology,
+optionally SIGKILLs backends mid-burst (``--chaos``), and emits/gates
+the ``BENCH_serve.json`` report (``--output`` / ``--check``) — the
+serving-side twin of ``repro.bench.core_bench``.  ``bench`` runs Table 2
+rows; ``stats`` pretty-prints a
 running server's ``/v1/stats`` (cache, intern-table and environment-arena
 counters); ``corpus-stats`` prints the §7.3 marginals.
 """
@@ -184,6 +191,56 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="timing runs per row; the median-total run's "
                             "prove/recon/total is reported (default 3, "
                             "the re-baselining convention)")
+
+    loadgen = commands.add_parser(
+        "loadgen",
+        help="trace-driven load, chaos, and SLO harness for the "
+             "serving stack")
+    loadgen.add_argument("--profile", default="ci",
+                         choices=("smoke", "ci", "soak"),
+                         help="workload scale preset (default ci — the "
+                              "committed BENCH_serve.json workload)")
+    loadgen.add_argument("--seed", type=int, default=None,
+                         help="explicit trace seed threaded through every "
+                              "stochastic path and into the report "
+                              "(default: the profile's seed)")
+    loadgen.add_argument("--emit-trace", default=None, metavar="PATH",
+                         help="generate the trace, write it to PATH, and "
+                              "exit without replaying (byte-identical for "
+                              "identical seed/profile)")
+    loadgen.add_argument("--trace", default=None, metavar="PATH",
+                         help="replay this trace file instead of "
+                              "generating one")
+    loadgen.add_argument("--backends", type=int, default=2,
+                         help="backends of the spawned router topology "
+                              "(default 2)")
+    loadgen.add_argument("--attach", default=None, metavar="HOST:PORT",
+                         help="drive an already-running server/router "
+                              "instead of spawning a topology (chaos "
+                              "needs a supervised router)")
+    loadgen.add_argument("--chaos", action="store_true",
+                         help="SIGKILL backend(s) mid-burst and require "
+                              "recovery inside the error budget with "
+                              "post-respawn warm hits")
+    loadgen.add_argument("--kills", type=int, default=1,
+                         help="backends to kill with --chaos (default 1)")
+    loadgen.add_argument("--time-scale", type=float, default=1.0,
+                         help="multiply trace timestamps (0.5 = replay "
+                              "twice as fast; default 1.0)")
+    loadgen.add_argument("--workdir", default=None, metavar="DIR",
+                         help="journal/snapshot directory for the spawned "
+                              "topology (default: a fresh temp dir)")
+    loadgen.add_argument("--output", default=None, metavar="PATH",
+                         help="write the measured BENCH_serve.json report "
+                              "to this path")
+    loadgen.add_argument("--check", default=None,
+                         metavar="BENCH_serve.json",
+                         help="compare against a committed report and fail "
+                              "on p95 regression, SLO violation, or lost "
+                              "chaos coverage")
+    loadgen.add_argument("--max-regression", type=float, default=0.25,
+                         help="allowed fractional summed-p95 regression "
+                              "for --check (default 0.25)")
 
     stats = commands.add_parser(
         "stats", help="fetch and pretty-print a running server's /v1/stats")
@@ -581,6 +638,154 @@ def _cmd_route(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import dataclasses
+    import json
+    import subprocess
+    import tempfile
+    from pathlib import Path
+
+    from repro.loadgen.chaos import ChaosPlan
+    from repro.loadgen.driver import DriverConfig, replay_trace
+    from repro.loadgen.slo import (build_report, check_regression,
+                                   load_report)
+    from repro.loadgen.traces import (PROFILES, generate_trace, load_trace,
+                                      trace_digest, write_trace)
+    from repro.server.router import spawn_cli_server
+
+    if args.kills < 1:
+        print(f"error: --kills must be at least 1, got {args.kills}",
+              file=sys.stderr)
+        return 2
+    if args.time_scale <= 0:
+        print(f"error: --time-scale must be positive, got "
+              f"{args.time_scale}", file=sys.stderr)
+        return 2
+
+    if args.trace is not None:
+        trace = load_trace(args.trace)
+        if args.seed is not None and trace.spec.seed != args.seed:
+            print(f"error: --seed {args.seed} contradicts the loaded "
+                  f"trace's seed {trace.spec.seed} (the trace is the "
+                  f"source of truth; drop --seed)", file=sys.stderr)
+            return 2
+    else:
+        spec = PROFILES[args.profile]
+        if args.seed is not None:
+            spec = dataclasses.replace(spec, seed=args.seed)
+        trace = generate_trace(spec)
+    digest = trace_digest(trace)
+
+    if args.emit_trace is not None:
+        write_trace(trace, args.emit_trace)
+        print(f"trace: {len(trace)} events over {len(trace.scenes)} "
+              f"scenes ({trace.spec.profile}, seed {trace.spec.seed})")
+        print(f"digest: {digest}")
+        print(f"wrote {args.emit_trace}")
+        return 0
+
+    # -- topology ------------------------------------------------------------
+    process = None
+    if args.attach is not None:
+        host, _, port_text = args.attach.rpartition(":")
+        if not host or not port_text.isdigit():
+            print(f"error: --attach expects HOST:PORT, got "
+                  f"{args.attach!r}", file=sys.stderr)
+            return 2
+        host, port = host, int(port_text)
+        if args.chaos:
+            print("note: --chaos against an attached topology requires "
+                  "it to be a supervised `repro route` (kills are "
+                  "delivered to pids read off /healthz)")
+    else:
+        workdir = Path(args.workdir) if args.workdir else Path(
+            tempfile.mkdtemp(prefix="repro-loadgen-"))
+        workdir.mkdir(parents=True, exist_ok=True)
+        topology_args = ("--backends", str(args.backends),
+                         "--journal", str(workdir / "journal.jsonl"),
+                         "--snapshot-dir", str(workdir / "snapshots"))
+        print(f"spawning router topology: {args.backends} backend(s), "
+              f"state under {workdir}", flush=True)
+        process, host, port = spawn_cli_server("route", topology_args,
+                                               label="loadgen-route")
+
+    chaos_plan = (ChaosPlan(kills=args.kills, seed=trace.spec.seed)
+                  if args.chaos else None)
+    config = DriverConfig(host=host, port=port,
+                          time_scale=args.time_scale, chaos=chaos_plan)
+
+    try:
+        result = asyncio.run(replay_trace(trace, config))
+    finally:
+        if process is not None:
+            process.terminate()
+            try:
+                process.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+
+    chaos_doc = result.chaos.to_doc() if result.chaos is not None else None
+    report = build_report(result.accountant, trace_doc=trace.to_doc(),
+                          trace_digest=digest,
+                          topology=result.topology_doc, chaos=chaos_doc)
+
+    # -- human summary -------------------------------------------------------
+    print(f"replayed {len(trace)} events over {len(trace.scenes)} scenes "
+          f"in {result.wall_seconds:.1f} s "
+          f"(profile {trace.spec.profile}, seed {trace.spec.seed})")
+    for name, phase in report["phases"].items():
+        print(f"  {name:<9} {phase['requests']:>5} req  "
+              f"p50 {phase['p50_ms']} ms  p95 {phase['p95_ms']} ms  "
+              f"p99 {phase['p99_ms']} ms  "
+              f"errors {phase['errors']} ({phase['error_rate']:.2%})  "
+              f"hit rate {phase['cache_hit_rate']}")
+    failed = [verdict for verdict in report["slo"] if not verdict["ok"]]
+    for verdict in report["slo"]:
+        marker = "PASS" if verdict["ok"] else "FAIL"
+        detail = ("" if verdict["ok"]
+                  else " — " + "; ".join(verdict["failures"]))
+        print(f"  SLO {verdict['slo']['name']}: {marker}{detail}")
+    exit_code = 0
+    if chaos_doc is not None:
+        print(f"  chaos: {chaos_doc['kills']} kill(s), "
+              f"{chaos_doc['observed_restarts']} respawn(s), "
+              f"reregistration storm bounded: "
+              f"{chaos_doc['reregistration_storm_bounded']}")
+        if not chaos_doc.get("recovered"):
+            print("FAIL: chaos kill was never recovered (no respawn "
+                  "observed)", file=sys.stderr)
+            exit_code = 1
+        if chaos_doc.get("reregistration_storm_bounded") is False:
+            print("FAIL: re-registration storm exceeded the journaled "
+                  "scene population per kill", file=sys.stderr)
+            exit_code = 1
+    if failed:
+        print(f"FAIL: {len(failed)} SLO(s) violated", file=sys.stderr)
+        exit_code = 1
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+
+    if args.check:
+        committed = load_report(args.check)
+        findings = check_regression(committed, report,
+                                    args.max_regression)
+        for finding in findings:
+            print(f"FAIL: {finding}", file=sys.stderr)
+        if findings:
+            exit_code = 1
+        else:
+            print(f"regression check passed (within "
+                  f"{args.max_regression:.0%} of the committed summed "
+                  f"p95)")
+    return exit_code
+
+
 def _cmd_warm(args: argparse.Namespace) -> int:
     import time
 
@@ -753,6 +958,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_serve(args)
         if args.command == "route":
             return _cmd_route(args)
+        if args.command == "loadgen":
+            return _cmd_loadgen(args)
         if args.command == "bench":
             return _cmd_bench(args)
         if args.command == "stats":

@@ -265,7 +265,14 @@ class SyntheticCorpus:
         return len(self._ranks)
 
 
-def default_corpus(model=None) -> SyntheticCorpus:
+#: The historical seeds behind the shared default corpus.  They are the
+#: implicit ``seed=None`` of :func:`default_corpus`; every weight golden
+#: and benchmark artefact in the repository was mined under them.
+DEFAULT_SHUFFLE_SEED = 7516
+DEFAULT_CORPUS_SEED = 2013
+
+
+def default_corpus(model=None, seed: Optional[int] = None) -> SyntheticCorpus:
     """The standard corpus: JDK member symbols + Scala filler.
 
     When *model* (an :class:`~repro.javamodel.model.ApiModel`) is given, all
@@ -275,12 +282,23 @@ def default_corpus(model=None) -> SyntheticCorpus:
     by a seeded shuffle: real usage frequency does not follow alphabetical
     order, and clustering all modelled members near the head would make
     rarely-used constructors (``new CharArrayWriter()``) implausibly cheap.
+
+    *seed* threads **every** stochastic path — the tail shuffle here and
+    all of :class:`SyntheticCorpus`'s sampling (rank assignment, event
+    homing, stream shuffles) — from one explicit value, so two corpora
+    built from the same seed are identical event-for-event.  ``None``
+    keeps the historical constants (:data:`DEFAULT_SHUFFLE_SEED`,
+    :data:`DEFAULT_CORPUS_SEED`) so the shared
+    :func:`default_frequencies` table, and everything mined from it,
+    never shifts.
     """
     extra: list[str] = []
     if model is not None:
         extra = sorted({member.symbol for member in model.members()})
-        random.Random(7516).shuffle(extra)
-    return SyntheticCorpus(extra_symbols=extra)
+        shuffle_seed = DEFAULT_SHUFFLE_SEED if seed is None else seed
+        random.Random(shuffle_seed).shuffle(extra)
+    corpus_seed = DEFAULT_CORPUS_SEED if seed is None else seed
+    return SyntheticCorpus(extra_symbols=extra, seed=corpus_seed)
 
 
 _DEFAULT_TABLE: Optional[FrequencyTable] = None

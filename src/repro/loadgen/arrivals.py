@@ -1,0 +1,122 @@
+"""Popularity and arrival-process samplers for workload traces.
+
+Everything here is driven by an explicit :class:`random.Random` so a
+trace generated from seed ``s`` is byte-identical across runs and
+machines — the determinism the trace regression test asserts.
+
+* :class:`ZipfSampler` — scene popularity.  The corpus calibration
+  (:mod:`repro.corpus.synthetic`) already establishes that API usage is
+  Zipf-shaped; completion traffic against *scenes* follows the same law
+  (a handful of hot files absorb most keystrokes, a long tail of cold
+  ones trickles).
+* :func:`poisson_arrivals` — open-loop steady traffic: exponential
+  inter-arrival gaps at a fixed rate, the standard model for requests
+  from many independent users.
+* :func:`bursty_arrivals` — an on/off modulated Poisson process: each
+  period opens with a high-rate burst window and relaxes to the base
+  rate, which is what editor traffic looks like when a build finishes
+  or a popular file is reopened across an organisation.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+from typing import List, Sequence
+
+
+class ZipfSampler:
+    """Sample ranks ``0..n-1`` with probability proportional to
+    ``1 / (rank + 1) ** exponent``.
+
+    Rank 0 is the hottest item.  The cumulative weights are precomputed
+    once, so each draw is one uniform variate plus a binary search.
+    """
+
+    def __init__(self, n: int, exponent: float = 1.0):
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        if exponent < 0:
+            raise ValueError(f"exponent must be >= 0, got {exponent}")
+        self.n = n
+        self.exponent = exponent
+        weights = [1.0 / (rank + 1) ** exponent for rank in range(n)]
+        total = 0.0
+        self._cumulative: List[float] = []
+        for weight in weights:
+            total += weight
+            self._cumulative.append(total)
+        self._total = total
+
+    def probability(self, rank: int) -> float:
+        """The exact sampling probability of *rank* (for sanity tests)."""
+        if not 0 <= rank < self.n:
+            raise ValueError(f"rank {rank} out of range 0..{self.n - 1}")
+        return (1.0 / (rank + 1) ** self.exponent) / self._total
+
+    def sample(self, rng: random.Random) -> int:
+        return bisect_left(self._cumulative, rng.random() * self._total)
+
+    def sample_many(self, rng: random.Random, k: int) -> List[int]:
+        return [self.sample(rng) for _ in range(k)]
+
+
+def poisson_arrivals(rate_hz: float, duration_s: float,
+                     rng: random.Random, *,
+                     start_s: float = 0.0) -> List[float]:
+    """Arrival times (seconds) of a Poisson process on
+    ``[start_s, start_s + duration_s)``.
+    """
+    if rate_hz <= 0:
+        raise ValueError(f"rate_hz must be positive, got {rate_hz}")
+    if duration_s < 0:
+        raise ValueError(f"duration_s must be >= 0, got {duration_s}")
+    times: List[float] = []
+    t = start_s
+    end = start_s + duration_s
+    while True:
+        t += rng.expovariate(rate_hz)
+        if t >= end:
+            return times
+        times.append(t)
+
+
+def bursty_arrivals(base_hz: float, burst_hz: float, period_s: float,
+                    burst_fraction: float, duration_s: float,
+                    rng: random.Random) -> List[float]:
+    """On/off modulated Poisson arrivals over ``[0, duration_s)``.
+
+    Each period of ``period_s`` seconds opens with a burst window of
+    ``burst_fraction * period_s`` seconds at ``burst_hz``, then relaxes
+    to ``base_hz`` for the remainder.  Segments are generated in order,
+    so the output is sorted and fully determined by *rng*.
+    """
+    if not 0.0 <= burst_fraction <= 1.0:
+        raise ValueError(
+            f"burst_fraction must be in [0, 1], got {burst_fraction}")
+    if period_s <= 0:
+        raise ValueError(f"period_s must be positive, got {period_s}")
+    times: List[float] = []
+    segment_start = 0.0
+    while segment_start < duration_s:
+        burst_end = min(segment_start + burst_fraction * period_s,
+                        duration_s)
+        if burst_end > segment_start and burst_hz > 0:
+            times.extend(poisson_arrivals(
+                burst_hz, burst_end - segment_start, rng,
+                start_s=segment_start))
+        period_end = min(segment_start + period_s, duration_s)
+        if period_end > burst_end and base_hz > 0:
+            times.extend(poisson_arrivals(
+                base_hz, period_end - burst_end, rng, start_s=burst_end))
+        segment_start += period_s
+    return times
+
+
+def interleave_sorted(streams: Sequence[Sequence[float]]) -> List[float]:
+    """Merge already-sorted arrival streams into one sorted timeline."""
+    merged: List[float] = []
+    for stream in streams:
+        merged.extend(stream)
+    merged.sort()
+    return merged

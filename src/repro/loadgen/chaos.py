@@ -1,0 +1,160 @@
+"""Chaos injection: SIGKILL a live backend mid-burst, then prove recovery.
+
+The controller is deliberately dumb — it learns the topology the same
+way any operator would (``GET /healthz``, which lists every backend with
+its pid when the router supervises the process) and sends ``SIGKILL``,
+the one signal a process cannot trap.  Everything interesting happens in
+the serving stack: the router must notice the dead shard, respawn it
+once (not once per queued request), replay the journal, restore the
+snapshot, and keep answering — and the driver's recovery phase plus the
+``warm-recovery`` SLO assert all of that from the outside.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.errors import ReproError
+
+
+class ChaosError(ReproError):
+    """Chaos was requested but cannot be delivered."""
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """When and how hard to strike.
+
+    ``at_fraction`` positions the kill inside the chaos-eligible phase
+    (0.5 = halfway through its events) so the burst is genuinely
+    mid-flight; ``kills`` > 1 strikes repeatedly, evenly spaced over the
+    remaining events.
+    """
+
+    kills: int = 1
+    at_fraction: float = 0.5
+    seed: int = 2013
+
+    def kill_indices(self, events_in_phase: int) -> List[int]:
+        """Event indices (within the chaos phase) that trigger a strike."""
+        if self.kills < 1 or events_in_phase < 1:
+            return []
+        first = min(int(self.at_fraction * events_in_phase),
+                    events_in_phase - 1)
+        if self.kills == 1:
+            return [first]
+        remaining = events_in_phase - first
+        step = max(1, remaining // self.kills)
+        return [min(first + index * step, events_in_phase - 1)
+                for index in range(self.kills)]
+
+
+@dataclass
+class KillRecord:
+    backend_id: str
+    pid: int
+    phase: str
+    event_index: int
+    at_monotonic: float
+
+    def to_doc(self) -> dict:
+        return {"backend_id": self.backend_id, "pid": self.pid,
+                "phase": self.phase, "event_index": self.event_index}
+
+
+class ChaosController:
+    """Picks victims (deterministically, per plan seed) and strikes."""
+
+    def __init__(self, plan: ChaosPlan):
+        self.plan = plan
+        self.records: List[KillRecord] = []
+        self._rng = random.Random(plan.seed)
+
+    @property
+    def kills(self) -> int:
+        return len(self.records)
+
+    @staticmethod
+    def killable_backends(healthz: dict) -> List[dict]:
+        """Backends the controller can strike: managed, with a pid."""
+        backends = healthz.get("backends") or []
+        return [backend for backend in backends
+                if backend.get("managed") and backend.get("pid")]
+
+    def strike(self, healthz: dict, *, phase: str,
+               event_index: int) -> KillRecord:
+        """SIGKILL one managed backend chosen from the health view."""
+        victims = self.killable_backends(healthz)
+        if not victims:
+            raise ChaosError(
+                "no managed backend with a pid to kill — chaos needs a "
+                "router-supervised topology (repro route), not attached "
+                "backends")
+        victim = victims[self._rng.randrange(len(victims))]
+        pid = int(victim["pid"])
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except ProcessLookupError:
+            # Already dead (e.g. crashed on its own); the respawn path is
+            # exercised either way, so record the strike as delivered.
+            pass
+        except OSError as exc:
+            raise ChaosError(f"cannot kill backend pid {pid}: {exc}")
+        record = KillRecord(backend_id=str(victim.get("backend_id")),
+                            pid=pid, phase=phase, event_index=event_index,
+                            at_monotonic=time.monotonic())
+        self.records.append(record)
+        return record
+
+    def report(self, router_stats: Optional[dict],
+               journal_scenes: int) -> dict:
+        """The report's ``chaos`` section, including recovery evidence.
+
+        ``reregistration_storm_bounded`` is the "no retry storm" check:
+        after a kill, the router re-teaches scenes one ``unknown scene``
+        retry at a time, so the re-registration count across the run
+        must stay within the journaled scene population per kill — if
+        each query of each scene re-registered, this blows up
+        immediately.
+        """
+        section = {
+            "kills": self.kills,
+            "records": [record.to_doc() for record in self.records],
+            "observed_restarts": None,
+            "observed_reregistrations": None,
+            "reregistration_storm_bounded": None,
+            "recovered": None,
+        }
+        if router_stats is not None:
+            restarts = router_stats.get("restarts", 0)
+            reregistrations = router_stats.get("reregistrations", 0)
+            section["observed_restarts"] = restarts
+            section["observed_reregistrations"] = reregistrations
+            bound = max(1, self.kills) * max(journal_scenes, 1)
+            section["reregistration_storm_bounded"] = (
+                reregistrations <= bound)
+            section["recovered"] = (self.kills == 0
+                                    or restarts >= self.kills)
+        return section
+
+
+@dataclass
+class ChaosOutcome:
+    """What the driver hands the report builder."""
+
+    plan: ChaosPlan
+    controller: ChaosController
+    router_stats: Optional[dict] = None
+    journal_scenes: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def to_doc(self) -> dict:
+        doc = self.controller.report(self.router_stats,
+                                     self.journal_scenes)
+        doc.update(self.extra)
+        return doc

@@ -193,6 +193,18 @@ class AsyncCompletionClient:
     async def healthz(self) -> dict:
         return await self._request("GET", "/healthz")
 
+    async def backends(self) -> list:
+        """The topology's backend descriptions from ``/healthz``.
+
+        Empty for a plain single server (no ``backends`` section); a
+        router lists every shard with address, health, restart count and
+        — when supervised — pid.  The load/chaos driver's view of the
+        topology comes entirely through this call.
+        """
+        health = await self.healthz()
+        backends = health.get("backends")
+        return list(backends) if isinstance(backends, list) else []
+
     async def stats(self) -> dict:
         return await self._request("GET", "/v1/stats")
 

@@ -322,6 +322,11 @@ class Backend:
             "healthy": self.healthy,
             "restarts": self.restarts,
             "snapshot_path": self.snapshot_path,
+            # The supervised process id (None when attached): the chaos
+            # harness reads this off /healthz to deliver its SIGKILLs —
+            # killing through the public health view keeps the harness on
+            # the operator's side of the wire.
+            "pid": self.process.pid if self.process is not None else None,
         }
 
 

@@ -11,12 +11,24 @@ With ``--router`` the same drive runs against ``repro route`` over two
 supervised backend processes instead — the protocol is identical, so the
 very same assertions must hold, plus the aggregated ``/v1/stats`` view
 must carry one entry per shard.  CI runs both forms.
+
+``--router --chaos`` adds the supervision check: a short burst of
+fresh-``n`` completions is fired across every scene, one supervised
+backend is SIGKILLed mid-flight (pid read off ``/healthz``), and the
+drive asserts that every retried completion still answers the correct
+snippets, that the router respawned the shard (``restarts`` >= 1), and
+that the aggregated ``/v1/stats`` still reconciles with the per-shard
+sums.  The burst coalescing accounting is skipped in this mode — a
+respawned backend restarts its counters, so cross-kill counter
+arithmetic is meaningless by design.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import os
+import signal
 import subprocess
 import sys
 from pathlib import Path
@@ -40,8 +52,73 @@ def _spawn_server(extra_args: Sequence[str] = (),
     return spawn_cli_server(command, extra_args, label=f"smoke-{command}")
 
 
+async def _chaos_burst(client: AsyncCompletionClient,
+                       scene_paths: Sequence[Path]) -> list[str]:
+    """Kill one supervised backend mid-burst; assert nothing is lost.
+
+    Baseline completions (fresh ``n``) establish the expected snippets,
+    then a concurrent burst with another fresh ``n`` forces live
+    syntheses on every shard while one backend takes a SIGKILL.  The
+    router must respawn it on demand, replay the journal, and retry —
+    every response, during and after the kill, must carry the same
+    ranked snippets as an untouched run.
+    """
+    report: list[str] = []
+    texts = [path.read_text(encoding="utf-8") for path in scene_paths]
+    scene_ids = []
+    for path, text in zip(scene_paths, texts):
+        scene_ids.append((await client.register_scene(
+            text, name=path.name))["scene_id"])
+    baseline = {}
+    for path, scene_id in zip(scene_paths, scene_ids):
+        served = await client.complete(scene_id, n=7)
+        baseline[scene_id] = tuple(s["code"] for s in served["snippets"])
+
+    victims = [backend for backend in await client.backends()
+               if backend.get("managed") and backend.get("pid")]
+    assert victims, "chaos smoke needs router-supervised backends"
+    victim = victims[0]
+
+    # Fresh n=8 forces one in-flight synthesis per scene; the kill lands
+    # while those are running.
+    tasks = [asyncio.ensure_future(
+        client.complete(scene_ids[index % len(scene_ids)], n=8))
+        for index in range(6 * len(scene_ids))]
+    await asyncio.sleep(0.02)
+    os.kill(int(victim["pid"]), signal.SIGKILL)
+    results = await asyncio.gather(*tasks)
+    for index, served in enumerate(results):
+        scene_id = scene_ids[index % len(scene_ids)]
+        assert served["snippets"], "mid-kill completion lost its snippets"
+        codes = tuple(s["code"] for s in served["snippets"])
+        assert codes[:7] == baseline[scene_id][:len(codes[:7])], (
+            f"mid-kill snippets diverged for {scene_id}")
+
+    # A post-kill sweep guarantees the dead shard sees traffic even if
+    # the burst finished early — on-demand respawn must have run by the
+    # time these answer.
+    for scene_id in scene_ids:
+        served = await client.complete(scene_id, n=8)
+        assert served["snippets"], "post-kill completion failed"
+
+    health = await client.healthz()
+    restarts = sum(backend.get("restarts", 0)
+                   for backend in health["backends"])
+    assert restarts >= 1, (
+        f"SIGKILLed backend {victim['backend_id']} was never respawned "
+        f"(restarts={restarts})")
+    assert all(backend["healthy"] for backend in health["backends"]), (
+        "a backend is still unhealthy after the chaos burst")
+    report.append(
+        f"chaos: killed {victim['backend_id']} (pid {victim['pid']}) "
+        f"mid-burst of {len(tasks)}; {restarts} respawn(s), all "
+        f"completions correct")
+    return report
+
+
 async def _drive(host: str, port: int, scene_paths: Sequence[Path],
-                 burst: int, shards: int = 0) -> list[str]:
+                 burst: int, shards: int = 0,
+                 chaos: bool = False) -> list[str]:
     report: list[str] = []
     async with AsyncCompletionClient(host, port) as client:
         await wait_until_healthy(client)
@@ -64,31 +141,36 @@ async def _drive(host: str, port: int, scene_paths: Sequence[Path],
                 f"cold {cold['synthesis_ms']:.0f} ms, "
                 f"warm hit {warm['server_ms']:.2f} ms")
 
-        # Coalescing: a burst of identical *uncached* queries (fresh n)
-        # must cost exactly one synthesis.
-        scene_id = (await client.register_scene(
-            scene_paths[0].read_text(encoding="utf-8"),
-            name=scene_paths[0].name))["scene_id"]
-        before = (await client.stats())["server"]
-        burst_results = await asyncio.gather(
-            *(client.complete(scene_id, n=7) for _ in range(burst)))
-        after = (await client.stats())["server"]
+        if chaos:
+            report.extend(await _chaos_burst(client, scene_paths))
+        else:
+            # Coalescing: a burst of identical *uncached* queries
+            # (fresh n) must cost exactly one synthesis.  (Skipped under
+            # --chaos: a respawned backend restarts its counters, so
+            # cross-kill counter arithmetic would be meaningless.)
+            scene_id = (await client.register_scene(
+                scene_paths[0].read_text(encoding="utf-8"),
+                name=scene_paths[0].name))["scene_id"]
+            before = (await client.stats())["server"]
+            burst_results = await asyncio.gather(
+                *(client.complete(scene_id, n=7) for _ in range(burst)))
+            after = (await client.stats())["server"]
 
-        synthesized = after["synthesized"] - before["synthesized"]
-        coalesced = after["coalesced"] - before["coalesced"]
-        hits = after["cache_hits"] - before["cache_hits"]
-        assert synthesized == 1, (
-            f"burst of {burst} identical requests ran {synthesized} "
-            f"syntheses, expected exactly 1")
-        assert coalesced + hits == burst - 1, (
-            f"burst accounting off: {coalesced} coalesced + {hits} hits "
-            f"!= {burst - 1}")
-        codes = {tuple(s["code"] for s in r["snippets"])
-                 for r in burst_results}
-        assert len(codes) == 1, "burst responses disagree"
-        report.append(
-            f"burst: {burst} identical requests -> 1 synthesis, "
-            f"{coalesced} coalesced, {hits} cache hits")
+            synthesized = after["synthesized"] - before["synthesized"]
+            coalesced = after["coalesced"] - before["coalesced"]
+            hits = after["cache_hits"] - before["cache_hits"]
+            assert synthesized == 1, (
+                f"burst of {burst} identical requests ran {synthesized} "
+                f"syntheses, expected exactly 1")
+            assert coalesced + hits == burst - 1, (
+                f"burst accounting off: {coalesced} coalesced + {hits} "
+                f"hits != {burst - 1}")
+            codes = {tuple(s["code"] for s in r["snippets"])
+                     for r in burst_results}
+            assert len(codes) == 1, "burst responses disagree"
+            report.append(
+                f"burst: {burst} identical requests -> 1 synthesis, "
+                f"{coalesced} coalesced, {hits} cache hits")
 
         stats = await client.stats()
         warm_latency = stats["server"]["latency"]["warm"]
@@ -133,7 +215,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--router", action="store_true",
                         help="drive `repro route` over 2 backend processes "
                              "instead of a single `repro serve`")
+    parser.add_argument("--chaos", action="store_true",
+                        help="with --router: SIGKILL one backend mid-burst "
+                             "and assert respawn, retried completions, and "
+                             "stats reconciliation")
     args = parser.parse_args(argv)
+
+    if args.chaos and not args.router:
+        print("smoke: --chaos requires --router (only supervised "
+              "backends can be killed and respawned)", file=sys.stderr)
+        return 2
 
     scene_paths = [Path(p) for p in args.scenes]
     if not scene_paths:
@@ -150,7 +241,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         process, host, port = _spawn_server()
     try:
         report = asyncio.run(_drive(host, port, scene_paths, args.burst,
-                                    shards=shards))
+                                    shards=shards, chaos=args.chaos))
     finally:
         process.terminate()
         try:
@@ -160,7 +251,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             process.wait()
     for line in report:
         print(f"smoke: {line}")
-    front = "router" if args.router else "server"
+    front = ("router+chaos" if args.chaos
+             else "router" if args.router else "server")
     print(f"smoke: OK ({len(scene_paths)} scenes via {front})")
     return 0
 

@@ -103,6 +103,29 @@ class TestSyntheticCorpus:
         assert summary.total_uses == 1000
         assert summary.max_uses == 300
 
+    def test_explicit_seed_threads_every_stochastic_path(self):
+        """default_corpus(seed=X) is reproducible event-for-event — the
+        tail shuffle AND the corpus sampling both draw from X."""
+        model = shared_jdk()
+        first = default_corpus(model, seed=97)
+        second = default_corpus(model, seed=97)
+        assert first.events_by_project() == second.events_by_project()
+        assert first.calibrated_table().as_mapping() == \
+            second.calibrated_table().as_mapping()
+
+    def test_explicit_seed_differs_from_historical_default(self):
+        model = shared_jdk()
+        reseeded = default_corpus(model, seed=97)
+        historical = default_corpus(model)
+        assert reseeded.events_by_project() != \
+            historical.events_by_project()
+
+    def test_default_seed_preserves_historical_table(self, corpus):
+        # seed=None must keep the exact corpus default_frequencies()
+        # (and every golden mined from it) was built on.
+        assert default_corpus(shared_jdk()).calibrated_table() \
+            .as_mapping() == corpus.calibrated_table().as_mapping()
+
 
 class TestMining:
     def test_mine_project_counts(self):

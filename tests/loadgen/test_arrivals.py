@@ -1,0 +1,130 @@
+"""Popularity and arrival samplers: distribution sanity under fixed seeds.
+
+Timing-free by construction — every assertion is about a deterministic
+draw from a seeded generator, so these run in the blocking tier-1 job.
+"""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.loadgen.arrivals import (ZipfSampler, bursty_arrivals,
+                                    interleave_sorted, poisson_arrivals)
+
+
+class TestZipfSampler:
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(40, 1.1)
+        total = sum(sampler.probability(rank) for rank in range(40))
+        assert total == pytest.approx(1.0)
+
+    def test_probabilities_strictly_decrease(self):
+        sampler = ZipfSampler(25, 1.0)
+        probabilities = [sampler.probability(rank) for rank in range(25)]
+        assert probabilities == sorted(probabilities, reverse=True)
+        assert probabilities[0] > 3 * probabilities[24]
+
+    def test_empirical_frequencies_track_probabilities(self):
+        """Under a fixed seed, 20k draws land within a few percent of the
+        exact pmf for the head ranks — the Zipf shape is real, not an
+        artefact of the cdf/bisect plumbing."""
+        sampler = ZipfSampler(16, 1.2)
+        rng = random.Random(99)
+        draws = 20_000
+        counts = Counter(sampler.sample(rng) for _ in range(draws))
+        for rank in range(4):
+            expected = sampler.probability(rank)
+            observed = counts[rank] / draws
+            assert observed == pytest.approx(expected, rel=0.12), (
+                f"rank {rank}: observed {observed:.4f} vs "
+                f"pmf {expected:.4f}")
+        # Every rank is reachable and all draws are in range.
+        assert set(counts) <= set(range(16))
+        assert counts[0] > counts[8] > 0
+
+    def test_deterministic_for_equal_seeds(self):
+        sampler = ZipfSampler(10, 1.0)
+        first = sampler.sample_many(random.Random(7), 500)
+        second = sampler.sample_many(random.Random(7), 500)
+        assert first == second
+
+    def test_exponent_zero_is_uniform(self):
+        sampler = ZipfSampler(8, 0.0)
+        assert sampler.probability(0) == pytest.approx(
+            sampler.probability(7))
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(5, -0.1)
+        with pytest.raises(ValueError):
+            ZipfSampler(5).probability(5)
+
+
+class TestPoissonArrivals:
+    def test_sorted_and_in_range(self):
+        times = poisson_arrivals(50.0, 4.0, random.Random(3))
+        assert times == sorted(times)
+        assert all(0.0 <= t < 4.0 for t in times)
+
+    def test_count_tracks_rate(self):
+        rng = random.Random(11)
+        times = poisson_arrivals(100.0, 10.0, rng)
+        # Expected 1000; a seeded draw is deterministic, but keep the
+        # bound loose so unrelated RNG-consumption changes do not break
+        # the distributional claim being tested.
+        assert 850 <= len(times) <= 1150
+
+    def test_start_offset_respected(self):
+        times = poisson_arrivals(30.0, 2.0, random.Random(5), start_s=7.0)
+        assert all(7.0 <= t < 9.0 for t in times)
+
+    def test_deterministic(self):
+        assert poisson_arrivals(20.0, 3.0, random.Random(42)) == \
+            poisson_arrivals(20.0, 3.0, random.Random(42))
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0.0, 1.0, random.Random(1))
+        with pytest.raises(ValueError):
+            poisson_arrivals(1.0, -1.0, random.Random(1))
+
+
+class TestBurstyArrivals:
+    def test_sorted_in_range_and_deterministic(self):
+        args = (10.0, 120.0, 2.0, 0.25, 8.0)
+        times = bursty_arrivals(*args, random.Random(13))
+        assert times == sorted(times)
+        assert all(0.0 <= t < 8.0 for t in times)
+        assert times == bursty_arrivals(*args, random.Random(13))
+
+    def test_burst_windows_are_denser(self):
+        """Arrival density inside the burst windows beats the base
+        windows by roughly the rate ratio."""
+        period, fraction = 2.0, 0.25
+        times = bursty_arrivals(10.0, 160.0, period, fraction, 40.0,
+                                random.Random(17))
+        in_burst = sum(1 for t in times if (t % period) < fraction * period)
+        in_base = len(times) - in_burst
+        burst_time = 40.0 * fraction
+        base_time = 40.0 * (1 - fraction)
+        assert in_burst / burst_time > 4 * (in_base / base_time)
+
+    def test_zero_burst_fraction_is_plain_poisson_rate(self):
+        times = bursty_arrivals(50.0, 500.0, 1.0, 0.0, 10.0,
+                                random.Random(23))
+        assert 400 <= len(times) <= 600
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            bursty_arrivals(1.0, 2.0, 1.0, 1.5, 4.0, random.Random(1))
+        with pytest.raises(ValueError):
+            bursty_arrivals(1.0, 2.0, 0.0, 0.5, 4.0, random.Random(1))
+
+
+class TestInterleave:
+    def test_merges_sorted(self):
+        merged = interleave_sorted([[1.0, 3.0], [0.5, 2.0, 9.0], []])
+        assert merged == [0.5, 1.0, 2.0, 3.0, 9.0]

@@ -1,0 +1,162 @@
+"""Chaos controller: kill planning, victim selection, recovery arithmetic."""
+
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.loadgen.chaos import (ChaosController, ChaosError, ChaosOutcome,
+                                 ChaosPlan, KillRecord)
+
+
+class TestKillIndices:
+    def test_single_kill_lands_at_fraction(self):
+        plan = ChaosPlan(kills=1, at_fraction=0.5)
+        assert plan.kill_indices(100) == [50]
+        assert plan.kill_indices(1) == [0]
+
+    def test_no_events_no_kills(self):
+        assert ChaosPlan(kills=1).kill_indices(0) == []
+        assert ChaosPlan(kills=0).kill_indices(100) == []
+
+    def test_multiple_kills_spread_over_remaining_events(self):
+        indices = ChaosPlan(kills=3, at_fraction=0.25).kill_indices(100)
+        assert len(indices) == 3
+        assert indices == sorted(indices)
+        assert all(0 <= index < 100 for index in indices)
+        assert indices[0] == 25
+
+    def test_kills_never_exceed_event_range(self):
+        indices = ChaosPlan(kills=5, at_fraction=0.9).kill_indices(10)
+        assert all(0 <= index < 10 for index in indices)
+
+    def test_fraction_one_clamps_to_last_event(self):
+        assert ChaosPlan(kills=1, at_fraction=1.0).kill_indices(10) == [9]
+
+
+class TestVictimSelection:
+    def test_killable_filters_unmanaged_and_pidless(self):
+        healthz = {"backends": [
+            {"backend_id": "b0", "managed": True, "pid": 1234},
+            {"backend_id": "b1", "managed": False, "pid": 5678},
+            {"backend_id": "b2", "managed": True, "pid": None},
+        ]}
+        killable = ChaosController.killable_backends(healthz)
+        assert [backend["backend_id"] for backend in killable] == ["b0"]
+
+    def test_empty_health_view(self):
+        assert ChaosController.killable_backends({}) == []
+
+    def test_strike_without_victims_raises(self):
+        controller = ChaosController(ChaosPlan())
+        with pytest.raises(ChaosError, match="no managed backend"):
+            controller.strike({"backends": []}, phase="burst",
+                              event_index=0)
+
+    def test_victim_choice_is_deterministic_per_seed(self):
+        healthz = {"backends": [
+            {"backend_id": f"b{i}", "managed": True, "pid": 10_000 + i}
+            for i in range(8)]}
+
+        def choices(seed):
+            controller = ChaosController(ChaosPlan(kills=4, seed=seed))
+            picked = []
+            for index in range(4):
+                victims = controller.killable_backends(healthz)
+                victim = victims[controller._rng.randrange(len(victims))]
+                picked.append(victim["backend_id"])
+            return picked
+
+        assert choices(7) == choices(7)
+
+
+class TestStrike:
+    def test_strike_kills_a_real_process(self):
+        """SIGKILL an expendable child and verify the record."""
+        child = subprocess.Popen(
+            [sys.executable, "-c", "import time; time.sleep(60)"])
+        try:
+            controller = ChaosController(ChaosPlan(seed=1))
+            healthz = {"backends": [
+                {"backend_id": "b0", "managed": True, "pid": child.pid}]}
+            record = controller.strike(healthz, phase="burst",
+                                       event_index=3)
+            assert record.pid == child.pid
+            assert record.phase == "burst"
+            assert record.event_index == 3
+            assert controller.kills == 1
+            # The child really died from SIGKILL.
+            assert child.wait(timeout=10) == -9
+        finally:
+            if child.poll() is None:
+                child.kill()
+                child.wait()
+
+    def test_strike_tolerates_already_dead_pid(self):
+        child = subprocess.Popen(
+            [sys.executable, "-c", "pass"])
+        child.wait(timeout=10)
+        # Give the kernel a beat; the pid is now free-or-dead.  A reused
+        # pid is theoretically possible but astronomically unlikely in
+        # the lifetime of this test.
+        time.sleep(0.05)
+        controller = ChaosController(ChaosPlan(seed=1))
+        healthz = {"backends": [
+            {"backend_id": "b0", "managed": True, "pid": child.pid}]}
+        record = controller.strike(healthz, phase="burst", event_index=0)
+        assert record.pid == child.pid
+        assert controller.kills == 1
+
+
+class TestRecoveryReport:
+    def test_report_without_router_stats_is_inconclusive(self):
+        controller = ChaosController(ChaosPlan())
+        section = controller.report(None, journal_scenes=5)
+        assert section["kills"] == 0
+        assert section["recovered"] is None
+        assert section["reregistration_storm_bounded"] is None
+
+    def test_recovered_requires_restart_per_kill(self):
+        controller = ChaosController(ChaosPlan(kills=2))
+        for index in range(2):
+            controller.records.append(KillRecord(
+                backend_id=f"b{index}", pid=100 + index, phase="burst",
+                event_index=index, at_monotonic=0.0))
+        ok = controller.report({"restarts": 2, "reregistrations": 3},
+                               journal_scenes=5)
+        assert ok["recovered"] is True
+        short = controller.report({"restarts": 1, "reregistrations": 3},
+                                  journal_scenes=5)
+        assert short["recovered"] is False
+
+    def test_reregistration_storm_bound(self):
+        controller = ChaosController(ChaosPlan(kills=1))
+        controller.records.append(KillRecord(
+            backend_id="b0", pid=1, phase="burst", event_index=0,
+            at_monotonic=0.0))
+        # Bound is kills * journal_scenes: 1 * 6 = 6.
+        bounded = controller.report({"restarts": 1, "reregistrations": 6},
+                                    journal_scenes=6)
+        assert bounded["reregistration_storm_bounded"] is True
+        storm = controller.report({"restarts": 1, "reregistrations": 7},
+                                  journal_scenes=6)
+        assert storm["reregistration_storm_bounded"] is False
+
+    def test_zero_kills_is_vacuously_recovered(self):
+        controller = ChaosController(ChaosPlan())
+        section = controller.report({"restarts": 0, "reregistrations": 0},
+                                    journal_scenes=0)
+        assert section["recovered"] is True
+        assert section["reregistration_storm_bounded"] is True
+
+    def test_outcome_merges_extra_fields(self):
+        controller = ChaosController(ChaosPlan())
+        outcome = ChaosOutcome(plan=controller.plan, controller=controller,
+                               router_stats={"restarts": 0,
+                                             "reregistrations": 0},
+                               journal_scenes=3,
+                               extra={"note": "quiet run"})
+        doc = outcome.to_doc()
+        assert doc["note"] == "quiet run"
+        assert doc["kills"] == 0

@@ -1,0 +1,149 @@
+"""Trace generation: determinism, canonical serialisation, validation."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.loadgen.traces import (PHASE_BURST, PHASE_PRIME, PHASE_RECOVERY,
+                                  PHASE_STEADY, PROFILES, TRACE_SCHEMA,
+                                  Trace, TraceError, TraceSpec,
+                                  generate_trace, load_trace, trace_digest,
+                                  write_trace)
+
+SMOKE = PROFILES["smoke"]
+
+
+class TestDeterminism:
+    def test_same_seed_is_byte_identical(self):
+        first = generate_trace(SMOKE)
+        second = generate_trace(SMOKE)
+        assert first.to_json() == second.to_json()
+        assert trace_digest(first) == trace_digest(second)
+
+    def test_trace_files_are_byte_identical_across_runs(self, tmp_path):
+        """The satellite regression test: two generations of the same
+        spec, written to disk, produce byte-for-byte equal files."""
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_trace(generate_trace(SMOKE), str(a))
+        write_trace(generate_trace(SMOKE), str(b))
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_different_seed_diverges(self):
+        reseeded = dataclasses.replace(SMOKE, seed=SMOKE.seed + 1)
+        assert generate_trace(SMOKE).to_json() != \
+            generate_trace(reseeded).to_json()
+
+    def test_digest_tracks_content(self):
+        reseeded = dataclasses.replace(SMOKE, seed=4096)
+        assert trace_digest(generate_trace(SMOKE)) != \
+            trace_digest(generate_trace(reseeded))
+
+
+class TestGeneration:
+    def test_phase_plan_shape(self):
+        trace = generate_trace(SMOKE)
+        names = [phase.name for phase in trace.phases]
+        assert names == [PHASE_PRIME, PHASE_STEADY, PHASE_BURST,
+                         PHASE_RECOVERY]
+        assert trace.phase(PHASE_PRIME).mode == "closed"
+        assert trace.phase(PHASE_STEADY).mode == "open"
+        assert trace.phase(PHASE_BURST).chaos_eligible
+        assert not trace.phase(PHASE_STEADY).chaos_eligible
+
+    def test_prime_registers_everything_and_double_completes_hot(self):
+        trace = generate_trace(SMOKE)
+        prime = trace.events_for(PHASE_PRIME)
+        registers = [e for e in prime if e.op == "register"]
+        completes = [e for e in prime if e.op == "complete"]
+        assert len(registers) == SMOKE.scenes
+        # Hot set completed twice: one cold synthesis, one warm hit each.
+        assert len(completes) == 2 * SMOKE.hot_scenes
+
+    def test_burst_targets_only_hot_scenes(self):
+        trace = generate_trace(SMOKE)
+        hot = {f"s{i:03d}" for i in range(SMOKE.hot_scenes)}
+        burst = trace.events_for(PHASE_BURST)
+        assert burst, "burst phase generated no events"
+        assert {event.scene for event in burst} <= hot
+        assert all(event.op == "complete" for event in burst)
+
+    def test_steady_churn_introduces_new_scenes(self):
+        trace = generate_trace(PROFILES["ci"])
+        churned = [event for event in trace.events_for(PHASE_STEADY)
+                   if event.scene.startswith("c")]
+        assert any(event.op == "register" for event in churned)
+        # Every churned scene is carried in the trace body.
+        assert all(event.scene in trace.scenes for event in churned)
+
+    def test_open_loop_timestamps_sorted_per_phase(self):
+        trace = generate_trace(SMOKE)
+        for name in (PHASE_STEADY, PHASE_BURST):
+            times = [event.t_ms for event in trace.events_for(name)]
+            assert times == sorted(times)
+
+    def test_tenant_variants_have_distinct_texts(self):
+        trace = generate_trace(SMOKE)
+        texts = [scene["text"] for scene in trace.scenes.values()]
+        assert len(set(texts)) == len(texts)
+        assert all("# tenant:" in text for text in texts)
+
+    def test_rejects_bad_spec(self):
+        with pytest.raises(TraceError):
+            generate_trace(dataclasses.replace(SMOKE, hot_scenes=0))
+        with pytest.raises(TraceError):
+            generate_trace(dataclasses.replace(SMOKE, scenes=2,
+                                               hot_scenes=5))
+
+
+class TestSerialisation:
+    def test_write_load_roundtrip(self, tmp_path):
+        trace = generate_trace(SMOKE)
+        path = tmp_path / "trace.json"
+        write_trace(trace, str(path))
+        loaded = load_trace(str(path))
+        assert loaded.to_json() == trace.to_json()
+        assert loaded.spec == trace.spec
+
+    def test_spec_doc_roundtrip(self):
+        spec = dataclasses.replace(SMOKE, seed=777, n_choices=(5, 3))
+        assert TraceSpec.from_doc(spec.to_doc()) == spec
+
+    def test_from_doc_rejects_wrong_schema(self):
+        doc = generate_trace(SMOKE).to_doc()
+        doc["schema"] = "something-else/v9"
+        with pytest.raises(TraceError, match=TRACE_SCHEMA):
+            Trace.from_doc(doc)
+
+    def test_from_doc_rejects_missing_scene_text(self):
+        doc = generate_trace(SMOKE).to_doc()
+        first = next(iter(doc["scenes"]))
+        del doc["scenes"][first]["text"]
+        with pytest.raises(TraceError, match="no text"):
+            Trace.from_doc(doc)
+
+    def test_from_doc_rejects_unknown_scene_reference(self):
+        doc = generate_trace(SMOKE).to_doc()
+        doc["events"][0] = dict(doc["events"][0], scene="zzz")
+        with pytest.raises(TraceError, match="unknown scene"):
+            Trace.from_doc(doc)
+
+    def test_load_rejects_non_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json", encoding="utf-8")
+        with pytest.raises(TraceError, match="cannot load"):
+            load_trace(str(path))
+
+    def test_canonical_json_is_stable_under_reparse(self):
+        trace = generate_trace(SMOKE)
+        reloaded = Trace.from_doc(json.loads(trace.to_json()))
+        assert reloaded.to_json() == trace.to_json()
+
+
+class TestProfiles:
+    def test_all_profiles_generate(self):
+        for name, spec in PROFILES.items():
+            assert spec.profile == name
+            trace = generate_trace(spec)
+            assert len(trace) > 0
+            assert len(trace.scenes) >= spec.scenes

@@ -383,6 +383,46 @@ class TestCorpusStatsCommand:
         assert "scala.Boolean.&&" in out
 
 
+class TestLoadgenCommand:
+    def test_emit_trace_is_byte_identical_across_runs(self, tmp_path,
+                                                      capsys):
+        """The committed-trace workflow's foundation: two emits of the
+        same profile+seed write byte-for-byte equal files."""
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        assert main(["loadgen", "--profile", "smoke", "--seed", "424",
+                     "--emit-trace", str(first)]) == 0
+        out = capsys.readouterr().out
+        assert "events" in out and "digest" in out
+        assert main(["loadgen", "--profile", "smoke", "--seed", "424",
+                     "--emit-trace", str(second)]) == 0
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_emit_trace_seed_changes_bytes(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["loadgen", "--profile", "smoke", "--seed", "1",
+                     "--emit-trace", str(a)]) == 0
+        assert main(["loadgen", "--profile", "smoke", "--seed", "2",
+                     "--emit-trace", str(b)]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() != b.read_bytes()
+
+    def test_loaded_trace_rejects_contradicting_seed(self, tmp_path,
+                                                     capsys):
+        path = tmp_path / "trace.json"
+        assert main(["loadgen", "--profile", "smoke", "--seed", "9",
+                     "--emit-trace", str(path)]) == 0
+        capsys.readouterr()
+        code = main(["loadgen", "--trace", str(path), "--seed", "10",
+                     "--emit-trace", str(tmp_path / "out.json")])
+        assert code == 2
+
+    def test_chaos_requires_positive_kills(self, capsys):
+        assert main(["loadgen", "--chaos", "--kills", "0",
+                     "--emit-trace", "/dev/null"]) == 2
+
+
 class TestArgumentErrors:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
