@@ -4,6 +4,7 @@ The subcommands mirror the library's main entry points::
 
     python -m repro.cli synthesize SCENE.ins [--n 10] [--variant full]
     python -m repro.cli batch SCENE.ins [SCENE2.ins ...] [--goals T1,T2]
+    python -m repro.cli edit-session SCENE.ins --script STEPS.json
     python -m repro.cli warm SCENE.ins [--goals T1,T2] [--variants ...]
     python -m repro.cli serve [--port 8777] [--workers N] [--snapshot F]
     python -m repro.cli route [--backends N] [--journal F] [--snapshot-dir D]
@@ -19,7 +20,15 @@ suggestions — the closest a terminal gets to the paper's Ctrl+Space.
 :class:`~repro.engine.CompletionEngine` (optionally on a process pool);
 with ``-`` (or ``--stdin``) it instead reads one JSON query per stdin
 line — ``{"scene": "a.ins", "goal": "Reader", "variant": "full", "n": 5}``
-— which is how the load tools pipe workloads in.  ``warm`` pre-populates
+— which is how the load tools pipe workloads in.  ``edit-session``
+replays a scripted incremental session (`repro.incremental`): it opens
+the scene as a :class:`~repro.incremental.SceneSession`, then walks a
+JSON list of ``{"edit": [ops]}`` / ``{"complete": {...}}`` steps,
+printing each delta outcome and ranked completion; with
+``--connect HOST:PORT`` the same script drives a running server or
+router over protocol v2 (``/v1/edit-scene``) instead, and ``--stream``
+consumes completions as NDJSON chunks as the backend emits them.
+``warm`` pre-populates
 the engine's result cache and reports the cold/warm speedup.  ``serve``
 runs the long-lived asyncio completion server (`repro.server`); with
 ``--workers N`` cache-miss syntheses fan out over a process pool for real
@@ -94,6 +103,31 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="process-pool workers (default 1 = sequential)")
     batch.add_argument("--show-weights", action="store_true",
                        help="print each snippet's weight")
+
+    edit_session = commands.add_parser(
+        "edit-session",
+        help="replay a scripted incremental edit/complete session")
+    edit_session.add_argument("scene", help="path to the opening .ins scene")
+    edit_session.add_argument("--script", required=True, metavar="PATH",
+                              help="JSON session script: a list (or "
+                                   "{\"steps\": [...]}) of {\"edit\": [ops]} "
+                                   "/ {\"complete\": {...}} steps")
+    edit_session.add_argument("--connect", default=None, metavar="HOST:PORT",
+                              help="drive a running server/router over the "
+                                   "wire protocol instead of an in-process "
+                                   "engine session")
+    edit_session.add_argument("--stream", action="store_true",
+                              help="consume completions as NDJSON chunks "
+                                   "(requires --connect)")
+    edit_session.add_argument("--n", type=int, default=5,
+                              help="snippets per completion unless the step "
+                                   "overrides it (default 5)")
+    edit_session.add_argument("--variant", default="full",
+                              choices=("full", "no_corpus", "no_weights"),
+                              help="weight-policy variant unless the step "
+                                   "overrides it (default full)")
+    edit_session.add_argument("--show-weights", action="store_true",
+                              help="print each snippet's weight")
 
     serve = commands.add_parser(
         "serve", help="run the long-lived asyncio completion server")
@@ -422,6 +456,177 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     print(f"-- {len(served)} queries over {len(prepared_by_path)} scenes; "
           f"cache: {engine.cache_stats.as_text()}")
     return 1 if failures else 0
+
+
+def _session_steps(raw) -> list[dict]:
+    """Validate a session script into its step list, or raise ValueError."""
+    steps = raw.get("steps") if isinstance(raw, dict) else raw
+    if not isinstance(steps, list) or not steps:
+        raise ValueError("session script must be a non-empty JSON list "
+                         "(or {\"steps\": [...]}) of steps")
+    for number, step in enumerate(steps, start=1):
+        if (not isinstance(step, dict) or len(step) != 1
+                or next(iter(step)) not in ("edit", "complete")):
+            raise ValueError(
+                f"step {number}: expected exactly one of 'edit' or "
+                f"'complete', got {step!r}")
+        kind, body = next(iter(step.items()))
+        if kind == "edit" and not (isinstance(body, list) and body):
+            raise ValueError(
+                f"step {number}: 'edit' must be a non-empty list of "
+                f"delta ops")
+        if kind == "complete" and not isinstance(body, (dict, type(None))):
+            raise ValueError(f"step {number}: 'complete' must be an object")
+    return steps
+
+
+def _print_ranked(snippets, show_weights: bool) -> None:
+    """Print (rank, weight, code) triples — objects or wire dicts."""
+    for snippet in snippets:
+        if isinstance(snippet, dict):
+            rank, weight, code = (snippet["rank"], snippet["weight"],
+                                  snippet["code"])
+        else:
+            rank, weight, code = snippet.rank, snippet.weight, snippet.code
+        if show_weights:
+            print(f"  {rank:>3}. [{weight:8.1f}] {code}")
+        else:
+            print(f"  {rank:>3}. {code}")
+
+
+def _edit_session_offline(args: argparse.Namespace, steps: list[dict]) -> int:
+    from repro.engine import CompletionEngine
+    from repro.lang.loader import load_environment_file
+    from repro.lang.parser import parse_type
+
+    loaded = load_environment_file(args.scene)
+    engine = CompletionEngine()
+    prepared = engine.prepare(loaded.environment, loaded.subtypes,
+                              goal=loaded.goal, name=args.scene)
+    session = engine.open_session(prepared, name=args.scene)
+    print(f"session: {args.scene} ({len(session)} declarations, "
+          f"goal {session.goal})")
+    for number, step in enumerate(steps, start=1):
+        kind, body = next(iter(step.items()))
+        if kind == "edit":
+            outcome = session.apply_delta(body)
+            state = ("reused warm state" if outcome.reused else
+                     f"re-prepared, {outcome.dirty_types} dirty type(s)")
+            print(f"[{number}] edit +{list(outcome.added)} "
+                  f"-{list(outcome.removed)} -> "
+                  f"{outcome.declarations} declarations ({state})")
+        else:
+            spec = body or {}
+            goal = parse_type(spec["goal"]) if spec.get("goal") else None
+            if goal is None and session.goal is None:
+                print(f"error: step {number}: the scene has no goal; give "
+                      f"the step a \"goal\"", file=sys.stderr)
+                return 2
+            variant = spec.get("variant", args.variant)
+            served = session.complete(goal, variant=variant,
+                                      n=spec.get("n", args.n))
+            source = "cache" if served.cache_hit else "computed"
+            print(f"[{number}] complete goal {goal or session.goal} "
+                  f"[{variant}, {source}]")
+            _print_ranked(served.result.snippets, args.show_weights)
+    print(f"-- generation {session.generation}, "
+          f"{session.ops_applied} ops applied; "
+          f"cache: {engine.cache_stats.as_text()}")
+    return 0
+
+
+def _edit_session_live(args: argparse.Namespace, steps: list[dict],
+                       host: str, port: int) -> int:
+    import asyncio
+    from pathlib import Path
+
+    from repro.server.client import AsyncCompletionClient
+
+    text = Path(args.scene).read_text(encoding="utf-8")
+
+    async def _run() -> int:
+        async with AsyncCompletionClient(host, port) as client:
+            registered = await client.register_scene(text, name=args.scene)
+            scene_id = registered["scene_id"]
+            print(f"session: {args.scene} -> {scene_id} "
+                  f"({registered['declarations']} declarations, "
+                  f"goal {registered.get('goal')})")
+            for number, step in enumerate(steps, start=1):
+                kind, body = next(iter(step.items()))
+                if kind == "edit":
+                    response = await client.edit_scene(scene_id, body,
+                                                       name=args.scene)
+                    scene_id = response["scene_id"]
+                    state = ("reused warm state" if response.get("reused")
+                             else "re-prepared")
+                    print(f"[{number}] edit +{response.get('added')} "
+                          f"-{response.get('removed')} -> {scene_id} "
+                          f"({response.get('declarations')} declarations, "
+                          f"{state})")
+                    continue
+                spec = body or {}
+                variant = spec.get("variant", args.variant)
+                kwargs = dict(goal=spec.get("goal"), variant=variant,
+                              n=spec.get("n", args.n))
+                if args.stream:
+                    print(f"[{number}] complete [{variant}, streaming]")
+                    async for chunk in client.complete_stream(scene_id,
+                                                              **kwargs):
+                        if chunk["chunk"] == "snippet":
+                            _print_ranked([chunk], args.show_weights)
+                        elif chunk["chunk"] == "done":
+                            source = ("cache" if chunk.get("cache_hit")
+                                      else "computed")
+                            print(f"  -- done: goal {chunk.get('goal')} "
+                                  f"[{source}, "
+                                  f"{len(chunk.get('snippets', []))} "
+                                  f"snippets]")
+                else:
+                    response = await client.complete(scene_id, **kwargs)
+                    source = ("cache" if response.get("cache_hit")
+                              else "computed")
+                    print(f"[{number}] complete goal {response.get('goal')} "
+                          f"[{variant}, {source}]")
+                    _print_ranked(response.get("snippets", []),
+                                  args.show_weights)
+        return 0
+
+    return asyncio.run(_run())
+
+
+def _cmd_edit_session(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    try:
+        raw = json.loads(Path(args.script).read_text(encoding="utf-8"))
+    except OSError as exc:
+        print(f"error: cannot read session script: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: session script {args.script} is not valid JSON: "
+              f"{exc}", file=sys.stderr)
+        return 2
+    try:
+        steps = _session_steps(raw)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.connect is None:
+        if args.stream:
+            print("error: --stream needs --connect (streaming is a wire "
+                  "feature; the in-process session ranks synchronously)",
+                  file=sys.stderr)
+            return 2
+        return _edit_session_offline(args, steps)
+
+    host, _, port_text = args.connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(f"error: --connect expects HOST:PORT, got {args.connect!r}",
+              file=sys.stderr)
+        return 2
+    return _edit_session_live(args, steps, host, int(port_text))
 
 
 def _serve_until_stopped(serve_forever) -> "object":
@@ -952,6 +1157,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_synthesize(args)
         if args.command == "batch":
             return _cmd_batch(args)
+        if args.command == "edit-session":
+            return _cmd_edit_session(args)
         if args.command == "warm":
             return _cmd_warm(args)
         if args.command == "serve":

@@ -88,6 +88,28 @@ class Declaration:
     def is_coercion(self) -> bool:
         return self.kind is DeclKind.COERCION
 
+    @property
+    def fingerprint_bytes(self) -> bytes:
+        """This declaration's contribution to an environment fingerprint.
+
+        Cached on the instance: declarations are immutable and shared
+        across every environment that contains them, so the type
+        formatting behind the digest is paid once per declaration, not
+        once per fingerprinted environment — which is what makes
+        re-fingerprinting a 10k-declaration scene after a one-line edit
+        cheap.
+        """
+        cached = self.__dict__.get("_fingerprint_bytes")
+        if cached is None:
+            render = self.render
+            cached = repr((
+                self.name, str(self.type), self.kind.value, self.frequency,
+                render.style.value if render is not None else None,
+                render.display if render is not None else None,
+            )).encode("utf-8") + b"\x00"
+            object.__setattr__(self, "_fingerprint_bytes", cached)
+        return cached
+
     def __str__(self) -> str:
         return f"{self.name} : {self.type}"
 
@@ -139,6 +161,35 @@ class Environment:
     def extended(self, declarations: Iterable[Declaration]) -> "Environment":
         """A child environment with *declarations* added (names must be new)."""
         return Environment(declarations, _parent=self)
+
+    @classmethod
+    def reindexed(cls, declarations: tuple[Declaration, ...],
+                  by_name: dict, by_succinct: dict) -> "Environment":
+        """A flat environment from pre-built index structures.
+
+        The delta path's constructor: a one-declaration edit of a large
+        scene should not regroup every declaration, so the caller (see
+        :func:`repro.incremental.delta.apply_scene_delta`) maintains the
+        name table and Select index incrementally and hands them over.
+        The caller owns the invariants the normal constructor checks and
+        derives: no duplicate names, and both indexes consistent with
+        *declarations* in declaration order — the fingerprint/parity
+        test-suite is the gate on that contract.
+        """
+        env = cls.__new__(cls)
+        env._parent = None
+        env._declarations = declarations
+        env._by_name = by_name
+        env._by_succinct = by_succinct
+        env._weight_memos = {}
+        env._decl_weight_memos = {}
+        env._recon_memos = {}
+        env._pattern_env_memo = {}
+        env._succinct_env = None
+        env._reserved_names = None
+        env._fingerprint = None
+        env._arena = None
+        return env
 
     # -- queries -------------------------------------------------------------
 
@@ -271,6 +322,57 @@ class Environment:
             arena.retire()
             self._arena = None
 
+    def adopt_prepared_state(self, donor: "Environment",
+                             dirty_stypes: Iterable[SuccinctType]) -> None:
+        """Inherit *donor*'s warm prover/weight state after a declaration
+        delta (the incremental-scene re-prepare path).
+
+        ``dirty_stypes`` must be the sigma images of every declaration the
+        delta added or removed.  Three pieces of state transfer, each with
+        an exactness argument:
+
+        * **Arena.**  The arena is content-addressed (a cache, never a
+          correctness requirement), so the whole object is shared: every
+          STRIP transition and interned environment stays warm.  Our new
+          root is interned with the donor's root as ``parent`` when it is
+          a superset, so only the added members are merged into the MATCH
+          index instead of re-sorting all of sigma(Gamma_o).
+        * **Type-weight memos.**  ``w(t, Gamma_o)`` is the minimum
+          declaration weight over ``select(t)``, and ``select(t)`` only
+          sees declarations whose sigma image *is* ``t`` — so exactly the
+          dirty types can change and everything else transfers verbatim.
+        * **Declaration-weight memos.**  Keyed by ``id(decl)`` and pure in
+          (kind, frequency, policy); entries transfer for declaration
+          objects this environment still holds.  Donor-only ids are
+          dropped (their objects may be freed and their ids reused).
+
+        The reconstruction memos (candidate lists, pattern-environment
+        unions) are deliberately *not* transplanted: candidate lists embed
+        declaration references, and a list built before a removal could
+        resurrect a deleted declaration — they re-warm per query instead.
+        """
+        dirty = frozenset(dirty_stypes)
+        arena = donor._arena
+        if arena is not None and not arena.oversized():
+            old_root = arena.intern(donor.succinct_environment())
+            new_root = self.succinct_environment()
+            if new_root >= arena.members(old_root):
+                arena.intern(new_root, parent=old_root)
+            else:
+                arena.intern(new_root)
+            self._arena = arena
+        live_ids = {id(decl) for decl in self.declarations()}
+        for policy, memo in donor._weight_memos.items():
+            kept = {stype: weight for stype, weight in memo.items()
+                    if stype not in dirty}
+            if kept:
+                self._weight_memos.setdefault(policy, {}).update(kept)
+        for policy, memo in donor._decl_weight_memos.items():
+            kept = {decl_id: weight for decl_id, weight in memo.items()
+                    if decl_id in live_ids}
+            if kept:
+                self._decl_weight_memos.setdefault(policy, {}).update(kept)
+
     def fingerprint(self) -> str:
         """A stable content hash of the environment (for result caching).
 
@@ -285,13 +387,7 @@ class Environment:
             if self._parent is not None:
                 digest.update(self._parent.fingerprint().encode("ascii"))
             for decl in self._declarations:
-                render = decl.render
-                digest.update(repr((
-                    decl.name, str(decl.type), decl.kind.value, decl.frequency,
-                    render.style.value if render is not None else None,
-                    render.display if render is not None else None,
-                )).encode("utf-8"))
-                digest.update(b"\x00")
+                digest.update(decl.fingerprint_bytes)
             self._fingerprint = digest.hexdigest()
         return self._fingerprint
 

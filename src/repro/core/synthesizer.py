@@ -203,8 +203,17 @@ class Synthesizer:
 
     # -- full synthesis ------------------------------------------------------
 
-    def synthesize(self, goal: Type, n: Optional[int] = None) -> SynthesisResult:
-        """Synthesize the *n* best snippets of type *goal* (Fig. 5)."""
+    def synthesize(self, goal: Type, n: Optional[int] = None,
+                   on_snippet=None) -> SynthesisResult:
+        """Synthesize the *n* best snippets of type *goal* (Fig. 5).
+
+        ``on_snippet`` is an optional callback invoked with each
+        :class:`Snippet` the moment reconstruction emits it (already
+        deduplicated, ranked and rendered) — the serving layer's streaming
+        mode hangs off this hook.  The callback runs on the synthesizing
+        thread and must not raise; the returned result is identical with
+        or without it.
+        """
         limit = n if n is not None else self.config.max_snippets
         if limit <= 0:
             raise SynthesisError(f"snippet limit must be positive, got {limit}")
@@ -243,13 +252,16 @@ class Synthesizer:
             if canonical in seen:
                 continue  # distinct coercion paths, identical visible snippet
             seen.add(canonical)
-            snippets.append(Snippet(
+            snippet = Snippet(
                 term=raw.term,
                 surface_term=surface,
                 weight=raw.weight,
                 rank=len(snippets) + 1,
                 code=self._render(surface),
-            ))
+            )
+            snippets.append(snippet)
+            if on_snippet is not None:
+                on_snippet(snippet)
             if len(snippets) >= limit:
                 break
 

@@ -265,6 +265,20 @@ class CompletionEngine:
                             goal=getattr(scene, "goal", None),
                             name=getattr(scene, "name", "scene"))
 
+    def open_session(self, scene: "SceneLike", name: Optional[str] = None):
+        """Open an incremental :class:`~repro.incremental.SceneSession`.
+
+        The editor-path API: ``apply_delta`` advances the session by
+        declaration-level add/remove ops with an incremental re-prepare,
+        ``complete`` serves against the current state through this
+        engine's caches.  Sessions are the engine-call form of the
+        server's ``/v1/edit-scene`` endpoint, so CLI, bench and server
+        paths stay expressible as the same calls.
+        """
+        from repro.incremental.session import SceneSession  # deferred: layering
+
+        return SceneSession(self, self._as_prepared(scene), name=name)
+
     def _as_prepared(self, scene: Optional[SceneLike]) -> PreparedScene:
         if isinstance(scene, PreparedScene):
             return scene

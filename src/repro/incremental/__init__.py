@@ -1,0 +1,31 @@
+"""Incremental scene sessions: declaration deltas over prepared scenes.
+
+The paper's real deployment is an editor plugin — the environment changes
+one declaration at a time as the user types.  This package turns that
+workload into engine primitives:
+
+* :mod:`repro.incremental.delta` — declaration-level add/remove
+  operations (:class:`DeltaOp`) and :func:`apply_scene_delta`, which
+  re-prepares a scene by *extending* its arena and incrementally
+  re-merging MATCH indexes instead of rebuilding, while the rebuilt flat
+  environment fingerprint keeps the engine's result cache exact: a delta
+  invalidates precisely the queries whose environment content changed.
+* :mod:`repro.incremental.session` — :class:`SceneSession`, the
+  ``open_session / apply_delta / complete`` API layered on
+  :class:`~repro.engine.engine.CompletionEngine`, plus the canonical
+  final-text rendering the serving layer journals for replica replay.
+
+The gate for everything here is the parity property: a delta-edited
+session produces byte-identical ranked snippets to a freshly built scene
+loaded from the same final text.
+"""
+
+from repro.incremental.delta import (DeltaError, DeltaOp, DeltaOutcome,
+                                     apply_scene_delta, parse_delta_ops)
+from repro.incremental.session import SceneSession
+
+__all__ = [
+    "DeltaError", "DeltaOp", "DeltaOutcome",
+    "apply_scene_delta", "parse_delta_ops",
+    "SceneSession",
+]

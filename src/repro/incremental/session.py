@@ -1,0 +1,110 @@
+"""Scene sessions: the engine-level API behind the IDE serving path.
+
+A :class:`SceneSession` is a stateful cursor over one evolving scene:
+``apply_delta`` advances it to the re-prepared scene for the edited
+environment (see :mod:`repro.incremental.delta`), ``complete`` answers
+queries against the current state through the owning
+:class:`~repro.engine.engine.CompletionEngine` — same caches, same
+result-identity guarantees as every other serving path — and
+``render_text`` serialises the current state to canonical ``.ins`` text,
+which is both the parity oracle (loading it fresh must reproduce this
+session's rankings byte for byte) and what the serving layer journals so
+respawned replicas replay to the same scene state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Union
+
+from repro.engine.engine import CompletionEngine, EngineResult, PreparedScene
+from repro.incremental.delta import (DeltaOp, DeltaOutcome, apply_scene_delta,
+                                     parse_delta_ops)
+
+
+class SceneSession:
+    """One evolving scene over a :class:`CompletionEngine`.
+
+    Built via :meth:`CompletionEngine.open_session`.  The session opens on
+    the *canonical* form of the scene — the result of serialising and
+    reloading it — so ``fingerprint`` (and with it every cache key and
+    content-derived scene id downstream) is guaranteed to match a fresh
+    load of :meth:`render_text` at every step.  For scenes that came from
+    ``.ins`` text in the first place the canonical form is the scene
+    itself and opening reattaches the already-prepared state.
+    """
+
+    def __init__(self, engine: CompletionEngine, prepared: PreparedScene,
+                 name: Optional[str] = None):
+        self.engine = engine
+        self.name = name if name is not None else prepared.name
+        self.prepared = self._canonical(prepared)
+        #: Deltas applied over the session's lifetime (batches, not ops).
+        self.generation = 0
+        self.ops_applied = 0
+
+    def _canonical(self, prepared: PreparedScene) -> PreparedScene:
+        from repro.lang.loader import load_environment_text
+        from repro.lang.serializer import serialize_environment
+
+        text = serialize_environment(prepared.base_environment,
+                                     prepared.subtypes, prepared.goal)
+        loaded = load_environment_text(text)
+        if (loaded.environment.fingerprint()
+                == prepared.base_environment.fingerprint()):
+            return prepared
+        # Programmatically built scene whose render metadata does not
+        # round-trip exactly (e.g. a redundant display equal to the name):
+        # session over the canonical reload; rankings are unaffected —
+        # render fallbacks reproduce the same snippets — but fingerprints
+        # must be the reloaded ones for the journal-replay contract.
+        return self.engine.prepare(loaded.environment, loaded.subtypes,
+                                   goal=loaded.goal or prepared.goal,
+                                   name=self.name)
+
+    # -- the session surface -------------------------------------------------
+
+    def apply_delta(self, ops: Sequence[Union[DeltaOp, dict]]) -> DeltaOutcome:
+        """Apply one batch of delta ops; the session advances on success."""
+        parsed = [op if isinstance(op, DeltaOp) else DeltaOp.from_payload(op)
+                  for op in ops]
+        outcome = apply_scene_delta(self.engine, self.prepared, parsed,
+                                    name=self.name)
+        self.prepared = outcome.prepared
+        self.generation += 1
+        self.ops_applied += len(parsed)
+        return outcome
+
+    def complete(self, goal: Optional[Any] = None, *,
+                 variant: Optional[str] = None,
+                 policy=None, config=None,
+                 n: Optional[int] = None) -> EngineResult:
+        """One completion against the session's current state."""
+        return self.engine.complete(self.prepared, goal, variant=variant,
+                                    policy=policy, config=config, n=n)
+
+    def render_text(self, header: str = "") -> str:
+        """The current state as canonical ``.ins`` text (the parity oracle)."""
+        from repro.lang.serializer import serialize_environment
+
+        return serialize_environment(self.prepared.base_environment,
+                                     self.prepared.subtypes,
+                                     self.prepared.goal, header=header)
+
+    @property
+    def fingerprint(self) -> str:
+        return self.prepared.fingerprint
+
+    @property
+    def goal(self):
+        return self.prepared.goal
+
+    def __len__(self) -> int:
+        return len(self.prepared.base_environment)
+
+    def __repr__(self) -> str:
+        return (f"SceneSession({self.name!r}, generation {self.generation}, "
+                f"{len(self)} declarations)")
+
+
+# Re-exported for callers that build wire ops by hand.
+__all__ = ["SceneSession", "DeltaOp", "DeltaOutcome", "parse_delta_ops"]

@@ -33,6 +33,14 @@ class LoadedEnvironment:
 
 def _render_spec(decl: DeclarationSpec) -> RenderSpec:
     if decl.style is not None:
+        if decl.style is RenderStyle.LITERAL:
+            # Same display default as the style-less literal branch below,
+            # so serialize -> reload is an exact fixed point: the
+            # serializer omits ``[display=...]`` when display equals the
+            # name, and reloading must reconstruct the identical spec
+            # (scene fingerprints — and therefore result-cache keys and
+            # content-derived scene ids — depend on it).
+            return RenderSpec(decl.style, decl.display or decl.name)
         return RenderSpec(decl.style, decl.display)
     if decl.kind is DeclKind.LITERAL:
         return RenderSpec(RenderStyle.LITERAL, decl.display or decl.name)
@@ -56,6 +64,29 @@ def load_environment_text(text: str) -> LoadedEnvironment:
 
     goal = spec.goal.type if spec.goal is not None else None
     return LoadedEnvironment(environment, graph, goal, spec)
+
+
+def load_declaration_line(text: str) -> Declaration:
+    """Parse one declaration line into a runtime :class:`Declaration`.
+
+    The scene-delta path (``repro.incremental``) adds declarations from
+    wire payloads one line at a time; routing them through the same parser
+    and render-spec defaults as :func:`load_environment_text` guarantees a
+    delta-added declaration is byte-identical to the same line loaded as
+    part of a full scene — the invariant the delta parity property rests
+    on.  Raises :class:`~repro.core.errors.TypeSyntaxError`-family errors
+    on anything that is not exactly one declaration.
+    """
+    spec = parse_environment(text)
+    if len(spec.declarations) != 1 or spec.subtypes or spec.goal is not None:
+        raise TypeSyntaxError(
+            f"expected exactly one declaration line, got "
+            f"{len(spec.declarations)} declarations, "
+            f"{len(spec.subtypes)} subtype edges and "
+            f"{'a' if spec.goal is not None else 'no'} goal in {text!r}")
+    decl = spec.declarations[0]
+    return Declaration(name=decl.name, type=decl.type, kind=decl.kind,
+                       frequency=decl.frequency, render=_render_spec(decl))
 
 
 def load_environment_file(path: str | Path) -> LoadedEnvironment:

@@ -22,7 +22,7 @@ import hashlib
 
 from repro.core.errors import ReproError
 from repro.server.protocol import (PROTOCOL_VERSION, CompleteRequest,
-                                   RegisterSceneRequest,
+                                   EditSceneRequest, RegisterSceneRequest,
                                    ReleaseSceneRequest, encode_body)
 
 
@@ -111,6 +111,11 @@ class AsyncCompletionClient:
                        payload: Optional[dict] = None) -> dict:
         if self._closed:
             raise ClientConnectionError("client is closed")
+        # Requests carry the protocol version (the server rejects a
+        # mismatch with ``unsupported_version`` instead of silently
+        # reinterpreting fields under new semantics).
+        if payload is not None:
+            payload = {"v": PROTOCOL_VERSION, **payload}
         body = encode_body(payload) if payload is not None else b""
         head = (f"{method} {path} HTTP/1.1\r\n"
                 f"Host: {self.host}:{self.port}\r\n"
@@ -168,8 +173,8 @@ class AsyncCompletionClient:
         return decoded
 
     @staticmethod
-    async def _read_response(reader: asyncio.StreamReader
-                             ) -> tuple[int, dict, bytes]:
+    async def _read_response_head(reader: asyncio.StreamReader
+                                  ) -> tuple[int, dict]:
         line = await reader.readline()
         if not line:
             raise ConnectionError("server closed the connection")
@@ -184,6 +189,12 @@ class AsyncCompletionClient:
                 break
             name, _, value = raw.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
+        return status, headers
+
+    @classmethod
+    async def _read_response(cls, reader: asyncio.StreamReader
+                             ) -> tuple[int, dict, bytes]:
+        status, headers = await cls._read_response_head(reader)
         length = int(headers.get("content-length", "0") or "0")
         body = await reader.readexactly(length) if length else b""
         return status, headers, body
@@ -231,6 +242,107 @@ class AsyncCompletionClient:
         request = ReleaseSceneRequest(scene_id=scene_id)
         return await self._request("POST", "/v1/release-scene",
                                    request.to_payload())
+
+    async def edit_scene(self, scene_id: str, ops: Sequence[dict], *,
+                         name: Optional[str] = None) -> dict:
+        """Apply declaration deltas; returns the edited scene's identity.
+
+        *ops* is the wire form: ``{"op": "add", "decl": <line>}`` /
+        ``{"op": "remove", "name": <name>}``, applied in order.  The
+        response names the new content-derived ``scene_id`` (complete
+        against it from now on) and carries the canonical serialized
+        ``text`` of the edited scene.
+        """
+        request = EditSceneRequest(scene_id=scene_id,
+                                   ops=tuple(dict(op) for op in ops),
+                                   name=name)
+        return await self._request("POST", "/v1/edit-scene",
+                                   request.to_payload())
+
+    async def complete_stream(self, scene_id: Optional[str] = None, *,
+                              scene: Optional[str] = None,
+                              goal: Optional[str] = None,
+                              variant: Optional[str] = None,
+                              n: Optional[int] = None,
+                              deadline_ms: Optional[int] = None):
+        """One completion as an async stream of NDJSON chunk dicts.
+
+        Yields chunks in wire order: ``snippet`` chunks in rank order as
+        the server emits them, then the terminal ``done`` chunk carrying
+        the full batch-mode payload (so collected snippets can be checked
+        against the final answer).  A mid-stream ``error`` chunk raises
+        the matching typed exception.  Streams ride a dedicated
+        connection, never the keep-alive pool — the server frames the
+        body by closing the socket.
+        """
+        if self._closed:
+            raise ClientConnectionError("client is closed")
+        request = CompleteRequest(scene_id=scene_id, scene=scene, goal=goal,
+                                  variant=variant, n=n,
+                                  deadline_ms=deadline_ms, stream=True)
+        body = encode_body({"v": PROTOCOL_VERSION, **request.to_payload()})
+        head = (f"POST /v1/complete HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n"
+                f"\r\n")
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port), self.timeout)
+        except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+            raise ClientConnectionError(
+                f"cannot connect to {self.host}:{self.port}: {exc}") from exc
+        try:
+            try:
+                writer.write(head.encode("latin-1") + body)
+                await writer.drain()
+                status, headers = await asyncio.wait_for(
+                    self._read_response_head(reader), self.timeout)
+                if headers.get("content-type", "").startswith(
+                        "application/json"):
+                    # Pre-stream failure: an ordinary error envelope.
+                    length = int(headers.get("content-length", "0") or "0")
+                    raw = (await asyncio.wait_for(
+                        reader.readexactly(length), self.timeout)
+                        if length else b"")
+                    decoded = json.loads(raw.decode("utf-8")) if raw else {}
+                    raise _error_for(decoded, status)
+                while True:
+                    line = await asyncio.wait_for(reader.readline(),
+                                                  self.timeout)
+                    if not line:
+                        break               # EOF ends the stream
+                    if not line.strip():
+                        continue
+                    try:
+                        chunk = json.loads(line.decode("utf-8"))
+                    except (UnicodeDecodeError,
+                            json.JSONDecodeError) as exc:
+                        raise ClientConnectionError(
+                            f"undecodable stream chunk "
+                            f"{line[:80]!r}: {exc}") from exc
+                    if not isinstance(chunk, dict) or \
+                            chunk.get("v") != PROTOCOL_VERSION:
+                        raise ServerError(
+                            "internal",
+                            f"protocol version mismatch on stream chunk: "
+                            f"{chunk!r:.80}", status)
+                    if chunk.get("chunk") == "error":
+                        raise _error_for(chunk, status)
+                    yield chunk
+                    if chunk.get("chunk") == "done":
+                        break
+            except (ConnectionError, OSError, asyncio.IncompleteReadError,
+                    asyncio.TimeoutError) as exc:
+                raise ClientConnectionError(
+                    f"stream POST /v1/complete failed: {exc}") from exc
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
 
     async def complete_text(self, text: str, *,
                             name: Optional[str] = None,

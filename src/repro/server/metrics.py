@@ -75,6 +75,10 @@ class ServerMetrics:
         self.scenes_registered = 0
         self.scenes_evicted = 0            # LRU pressure only
         self.scenes_released = 0           # client-requested releases
+        self.scenes_edited = 0             # /v1/edit-scene deltas applied
+        self.edits_reused = 0              # edits that re-hit prepared state
+        self.streams = 0                   # streamed completions served
+        self.stream_chunks = 0             # NDJSON chunks written to streams
         self.snapshot_restored = 0         # entries restored at startup
         self.snapshots_saved = 0           # snapshot files written
         self.queue_depth = 0               # pending/running syntheses now
@@ -133,6 +137,10 @@ class ServerMetrics:
             "scenes_registered": self.scenes_registered,
             "scenes_evicted": self.scenes_evicted,
             "scenes_released": self.scenes_released,
+            "scenes_edited": self.scenes_edited,
+            "edits_reused": self.edits_reused,
+            "streams": self.streams,
+            "stream_chunks": self.stream_chunks,
             "queue": {"depth": self.queue_depth, "peak": self.queue_peak},
             "latency": {name: window.snapshot()
                         for name, window in self.latency.items()},

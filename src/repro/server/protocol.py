@@ -34,12 +34,16 @@ from repro.core.config import SynthesisConfig
 from repro.core.errors import ReproError
 from repro.engine.engine import VARIANTS
 
-#: Bump when the wire schema changes incompatibly.
-PROTOCOL_VERSION = 1
+#: Bump when the wire schema changes incompatibly.  v2 added scene deltas
+#: (``/v1/edit-scene``), streaming completions (``"stream": true`` on
+#: ``/v1/complete``, NDJSON chunks) and server-side request-version
+#: validation (``unsupported_version``).
+PROTOCOL_VERSION = 2
 
 #: Machine-readable error codes carried in ``error.code``.
 ERROR_CODES = (
     "bad_request",      # malformed JSON / missing or invalid fields -> 400
+    "unsupported_version",  # request 'v' != server protocol version -> 400
     "not_found",        # unknown path or scene id -> 404
     "overloaded",       # admission control rejected the request -> 429
     "scene_error",      # the scene text failed to parse/load -> 422
@@ -49,6 +53,7 @@ ERROR_CODES = (
 #: HTTP status for each error code.
 STATUS_FOR_CODE = {
     "bad_request": 400,
+    "unsupported_version": 400,
     "not_found": 404,
     "overloaded": 429,
     "scene_error": 422,
@@ -81,6 +86,16 @@ class ProtocolError(ReproError):
 def _require(payload: Any) -> dict:
     if not isinstance(payload, dict):
         raise ProtocolError("request body must be a JSON object")
+    # Version validation mirrors the client's response-side envelope check:
+    # a request *may* carry "v" (the bundled client always sends it), and a
+    # carried version must match exactly — a silent mismatch would let an
+    # old client's payload be reinterpreted under new field semantics.
+    # Version-less requests are accepted for plain-HTTP callers.
+    version = payload.get("v")
+    if version is not None and version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version!r}; this server speaks "
+            f"v{PROTOCOL_VERSION}", code="unsupported_version")
     return payload
 
 
@@ -136,7 +151,11 @@ class CompleteRequest:
 
     Exactly one of ``scene_id`` (a previously registered scene) or
     ``scene`` (inline ``.ins`` text, registered on the fly) names the
-    environment; ``goal`` defaults to the scene's own goal line.
+    environment; ``goal`` defaults to the scene's own goal line.  With
+    ``stream`` the response is NDJSON: one ``snippet`` chunk per ranked
+    suggestion as reconstruction emits it, then one ``done`` chunk
+    carrying the full batch payload (``stream`` is ignored inside
+    ``complete-batch`` entries — a multiplexed body has one envelope).
     """
 
     scene_id: Optional[str] = None
@@ -145,6 +164,7 @@ class CompleteRequest:
     variant: Optional[str] = None
     n: Optional[int] = None
     deadline_ms: Optional[int] = None
+    stream: bool = False
 
     @staticmethod
     def from_payload(payload: Any) -> "CompleteRequest":
@@ -158,6 +178,9 @@ class CompleteRequest:
         if variant is not None and variant not in VARIANTS:
             raise ProtocolError(
                 f"unknown variant {variant!r}; expected one of {VARIANTS}")
+        stream = payload.get("stream", False)
+        if not isinstance(stream, bool):
+            raise ProtocolError("'stream' must be a boolean")
         return CompleteRequest(
             scene_id=scene_id,
             scene=scene,
@@ -166,6 +189,7 @@ class CompleteRequest:
             n=_optional_int(payload, "n", minimum=1, maximum=10_000),
             deadline_ms=_optional_int(payload, "deadline_ms", minimum=1,
                                       maximum=MAX_DEADLINE_MS),
+            stream=stream,
         )
 
     def to_payload(self) -> dict:
@@ -175,6 +199,8 @@ class CompleteRequest:
             value = getattr(self, field)
             if value is not None:
                 payload[field] = value
+        if self.stream:
+            payload["stream"] = True
         return payload
 
 
@@ -200,6 +226,73 @@ class ReleaseSceneRequest:
 
     def to_payload(self) -> dict:
         return {"scene_id": self.scene_id}
+
+
+#: Most delta ops accepted per ``edit-scene`` request: each op is one
+#: editor keystroke's worth of change; hundreds in one body means a bulk
+#: rewrite, which is what ``register-scene`` is for.
+MAX_EDIT_OPS = 256
+
+
+@dataclass(frozen=True)
+class EditSceneRequest:
+    """``POST /v1/edit-scene``: declaration deltas against a registered scene.
+
+    ``ops`` is an ordered list of ``{"op": "add", "decl": <line>}`` /
+    ``{"op": "remove", "name": <name>}`` objects (the
+    :class:`repro.incremental.DeltaOp` wire form).  Only the op *shape* is
+    validated here; declaration-line parsing happens scene-side and
+    answers ``scene_error``.  The response names the edited scene's new
+    content-derived id and carries the canonical serialized final text, so
+    callers (the sharded router's journal above all) can reproduce the
+    edited state by plain re-registration.
+    """
+
+    scene_id: str
+    ops: tuple
+    name: Optional[str] = None
+
+    @staticmethod
+    def from_payload(payload: Any) -> "EditSceneRequest":
+        payload = _require(payload)
+        scene_id = _optional_str(payload, "scene_id")
+        if scene_id is None:
+            raise ProtocolError("'scene_id' is required")
+        ops = payload.get("ops")
+        if not isinstance(ops, list) or not ops:
+            raise ProtocolError("'ops' must be a non-empty list of delta ops")
+        if len(ops) > MAX_EDIT_OPS:
+            raise ProtocolError(
+                f"edit of {len(ops)} ops exceeds the {MAX_EDIT_OPS}-op "
+                f"limit; re-register the scene instead")
+        for index, op in enumerate(ops):
+            if not isinstance(op, dict):
+                raise ProtocolError(f"ops[{index}] must be an object")
+            kind = op.get("op")
+            if kind == "add":
+                if not isinstance(op.get("decl"), str) or \
+                        not op["decl"].strip():
+                    raise ProtocolError(
+                        f"ops[{index}]: add requires 'decl' "
+                        f"(one declaration line)")
+            elif kind == "remove":
+                if not isinstance(op.get("name"), str) or \
+                        not op["name"].strip():
+                    raise ProtocolError(f"ops[{index}]: remove requires "
+                                        f"'name'")
+            else:
+                raise ProtocolError(
+                    f"ops[{index}]: 'op' must be 'add' or 'remove', "
+                    f"got {kind!r}")
+        return EditSceneRequest(scene_id=scene_id,
+                                ops=tuple(ops),
+                                name=_optional_str(payload, "name"))
+
+    def to_payload(self) -> dict:
+        payload: dict = {"scene_id": self.scene_id, "ops": list(self.ops)}
+        if self.name is not None:
+            payload["name"] = self.name
+        return payload
 
 
 def parse_batch_payload(payload: Any) -> list[CompleteRequest]:
@@ -255,6 +348,41 @@ def completion_payload(*, scene_id: str, goal, variant: str, result,
         synthesis_ms=round(result.total_seconds * 1000, 3),
         server_ms=round(server_seconds * 1000, 3),
     )
+
+
+# -- streaming (NDJSON) ------------------------------------------------------
+
+#: ``Content-Type`` of a streamed completion response.
+STREAM_CONTENT_TYPE = "application/x-ndjson"
+
+
+def stream_snippet_chunk(snippet) -> dict:
+    """One NDJSON line per ranked suggestion, as reconstruction emits it."""
+    return {"v": PROTOCOL_VERSION, "chunk": "snippet",
+            **snippet_payload(snippet)}
+
+
+def stream_done_chunk(completion: dict) -> dict:
+    """The terminal NDJSON line: the full batch-mode completion payload.
+
+    Carrying the whole payload (snippets included) makes the stream
+    self-checking — a client can assert the chunks it collected equal the
+    batch answer — and lets pure proxies forward streams without
+    reassembling state.
+    """
+    return {"v": PROTOCOL_VERSION, "chunk": "done", **completion}
+
+
+def stream_error_chunk(code: str, message: str) -> dict:
+    """A mid-stream failure (the HTTP status is long gone at this point)."""
+    return {"v": PROTOCOL_VERSION, "chunk": "error",
+            **error_payload(code, message)}
+
+
+def encode_stream_chunk(chunk: dict) -> bytes:
+    """One NDJSON line: compact JSON + newline (the chunk framing)."""
+    return json.dumps(chunk, separators=(",", ":"),
+                      sort_keys=True).encode("utf-8") + b"\n"
 
 
 def encode_body(payload: dict) -> bytes:

@@ -58,11 +58,12 @@ from repro.server import protocol
 from repro.server.client import (AsyncCompletionClient, ClientConnectionError,
                                  SceneNotFoundError, ServerError,
                                  wait_until_healthy)
-from repro.server.protocol import (CompleteRequest, ProtocolError,
-                                   RegisterSceneRequest, ReleaseSceneRequest)
+from repro.server.protocol import (CompleteRequest, EditSceneRequest,
+                                   ProtocolError, RegisterSceneRequest,
+                                   ReleaseSceneRequest)
 from repro.server.server import (AsyncCompletionServer, _HttpError,
-                                 _HttpRequest, _http_response,
-                                 read_http_request)
+                                 _HttpRequest, _http_response, _stream_head,
+                                 _stream_request_payload, read_http_request)
 
 #: Sentinel prefix hashed to pick the probe backend for *new* scene text
 #: (the scene id — the real routing key — is only known once a backend
@@ -529,6 +530,15 @@ class CompletionRouter:
         self.reregistrations = 0            # unknown-scene retries served
         self.replayed = 0                   # journal entries re-registered
         self.restarts = 0                   # backend respawns
+        self.edits = 0                      # scene deltas forwarded
+        self.streams_proxied = 0            # streamed completions proxied
+        #: scene id -> backend id for delta-edited scenes: an edit leaves
+        #: warm incremental state on the backend that applied it, which
+        #: the ring (hashing the *new* content id) knows nothing about.
+        #: Bounded FIFO; a stale home self-heals through the
+        #: unknown-scene re-teach path, because re-teaching registers the
+        #: journaled text wherever :meth:`_owner` routed the request.
+        self._session_homes: dict[str, str] = {}
         self.started = time.monotonic()
         self._respawn_locks: dict[str, asyncio.Lock] = {}
         self._server: Optional[asyncio.base_events.Server] = None
@@ -655,8 +665,20 @@ class CompletionRouter:
         self.replayed += replayed
         return replayed
 
+    #: Most sticky edit-session homes kept (FIFO beyond this).
+    MAX_SESSION_HOMES = 1024
+
     def _owner(self, scene_id: str) -> Backend:
+        home = self._session_homes.get(scene_id)
+        if home is not None and home in self.backends:
+            return self.backends[home]
         return self.backends[self.ring.route(scene_id)]
+
+    def _remember_home(self, scene_id: str, backend_id: str) -> None:
+        self._session_homes.pop(scene_id, None)
+        self._session_homes[scene_id] = backend_id
+        while len(self._session_homes) > self.MAX_SESSION_HOMES:
+            self._session_homes.pop(next(iter(self._session_homes)))
 
     async def _call(self, backend: Backend,
                     call: Callable[[AsyncCompletionClient], Awaitable[dict]]
@@ -713,6 +735,10 @@ class CompletionRouter:
                     break
                 if request is None:
                     break
+                stream_payload = _stream_request_payload(request)
+                if stream_payload is not None:
+                    await self._proxy_stream(stream_payload, writer)
+                    break               # EOF-framed body: connection is done
                 status, payload = await self._dispatch(request)
                 writer.write(_http_response(status, payload,
                                             request.keep_alive))
@@ -754,6 +780,9 @@ class CompletionRouter:
                     protocol.decode_body(request.body))
             if route == ("POST", "/v1/release-scene"):
                 return 200, await self._handle_release(
+                    protocol.decode_body(request.body))
+            if route == ("POST", "/v1/edit-scene"):
+                return 200, await self._handle_edit(
                     protocol.decode_body(request.body))
             if request.path in self.KNOWN_PATHS:
                 self.errors["bad_request"] += 1
@@ -821,22 +850,24 @@ class CompletionRouter:
 
     # -- endpoint: complete --------------------------------------------------
 
-    async def _complete_one(self, request: CompleteRequest) -> dict:
-        if request.scene_id is not None:
-            scene_id = request.scene_id
-        else:
-            # Inline scene text: resolve to a scene id first (journal hit
-            # is a dict lookup; miss pays one registration) so the query
-            # routes by the same key every time.
-            digest = hashlib.sha256(
-                request.scene.encode("utf-8")).hexdigest()
-            entry = self.journal.lookup_digest(digest)
-            if entry is None:
-                registered = await self.register_text(request.scene, None)
-                scene_id = registered["scene_id"]
-            else:
-                scene_id = entry.scene_id
+    async def _resolve_scene_id(self, request: CompleteRequest) -> str:
+        """The routing key for one completion request.
 
+        Inline scene text resolves to a scene id first (journal hit is a
+        dict lookup; miss pays one registration) so the query routes by
+        the same key every time.
+        """
+        if request.scene_id is not None:
+            return request.scene_id
+        digest = hashlib.sha256(request.scene.encode("utf-8")).hexdigest()
+        entry = self.journal.lookup_digest(digest)
+        if entry is None:
+            registered = await self.register_text(request.scene, None)
+            return registered["scene_id"]
+        return entry.scene_id
+
+    async def _complete_one(self, request: CompleteRequest) -> dict:
+        scene_id = await self._resolve_scene_id(request)
         backend = self._owner(scene_id)
 
         def call(client: AsyncCompletionClient) -> Awaitable[dict]:
@@ -877,10 +908,170 @@ class CompletionRouter:
         results = await asyncio.gather(*(_serve(r) for r in requests))
         return protocol.ok_payload(results=list(results))
 
+    # -- endpoint: complete (streaming) --------------------------------------
+
+    async def _proxy_stream(self, payload: dict,
+                            writer: asyncio.StreamWriter) -> None:
+        """Proxy one streamed completion from the owning backend.
+
+        Chunks are re-framed line by line, so the editor sees snippets as
+        the backend emits them — the router adds routing, not buffering.
+        Failures before the first chunk (validation, unknown scene, dead
+        shard) stay ordinary HTTP error responses; after the head is on
+        the wire they become a terminal ``error`` chunk, exactly like the
+        backend's own late failures.
+        """
+        self.requests["POST /v1/complete"] += 1
+        head_written = False
+        try:
+            request = CompleteRequest.from_payload(payload)
+            scene_id = await self._resolve_scene_id(request)
+            stream, chunk = await self._open_stream(scene_id, request)
+            writer.write(_stream_head())
+            head_written = True
+            self.streams_proxied += 1
+            while True:
+                writer.write(protocol.encode_stream_chunk(chunk))
+                await writer.drain()
+                try:
+                    chunk = await stream.__anext__()
+                except StopAsyncIteration:
+                    break
+        except ServerError as error:
+            self.errors[error.code] += 1
+            await self._stream_failure(writer, head_written, error.code,
+                                       error.message)
+        except ProtocolError as error:
+            self.errors[error.code] += 1
+            await self._stream_failure(writer, head_written, error.code,
+                                       str(error))
+        except ReproError as error:
+            self.errors["bad_request"] += 1
+            await self._stream_failure(writer, head_written, "bad_request",
+                                       str(error))
+        except Exception as error:          # noqa: BLE001 — serving boundary
+            self.errors["internal"] += 1
+            await self._stream_failure(writer, head_written, "internal",
+                                       f"{type(error).__name__}: {error}")
+
+    async def _stream_failure(self, writer: asyncio.StreamWriter,
+                              head_written: bool, code: str,
+                              message: str) -> None:
+        try:
+            if head_written:
+                writer.write(protocol.encode_stream_chunk(
+                    protocol.stream_error_chunk(code, message)))
+            else:
+                writer.write(_http_response(
+                    protocol.STATUS_FOR_CODE.get(code, 500),
+                    protocol.error_payload(code, message),
+                    keep_alive=False))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass                            # downstream client vanished
+
+    async def _open_stream(self, scene_id: str, request: CompleteRequest):
+        """The owner's chunk stream plus its first chunk.
+
+        Opening eagerly pulls one chunk so every backend-side failure
+        mode surfaces *here*, before the proxy commits a response head —
+        with the same recovery ladder as the batch path: one
+        respawn-and-retry for dead managed shards (:meth:`_call`'s), one
+        journal re-teach for unknown scenes (:meth:`_complete_one`'s).
+        """
+        backend = self._owner(scene_id)
+
+        async def first_of(client: AsyncCompletionClient):
+            stream = client.complete_stream(
+                scene_id, goal=request.goal, variant=request.variant,
+                n=request.n, deadline_ms=request.deadline_ms)
+            try:
+                return stream, await stream.__anext__()
+            except StopAsyncIteration:
+                raise ClientConnectionError(
+                    f"backend {backend.backend_id} closed the stream "
+                    f"before any chunk")
+
+        try:
+            try:
+                opened = await first_of(backend.client)
+                backend.healthy = True
+                return opened
+            except ClientConnectionError as exc:
+                error: Exception = exc
+                if backend.managed:
+                    if backend.process.poll() is None:
+                        await asyncio.sleep(0.2)
+                    if backend.process.poll() is not None:
+                        try:
+                            await self._respawn(backend)
+                            opened = await first_of(backend.client)
+                            backend.healthy = True
+                            return opened
+                        except ClientConnectionError as retry_exc:
+                            error = retry_exc
+                backend.healthy = False
+                raise ProtocolError(
+                    f"backend {backend.backend_id} unreachable: {error}",
+                    code="internal") from error
+        except SceneNotFoundError:
+            entry = self.journal.lookup_scene(scene_id)
+            if entry is None:
+                raise
+            self.reregistrations += 1
+            backend = self._owner(scene_id)
+            await self._call(backend, lambda c: c.register_scene(
+                entry.text, name=entry.name))
+            return await first_of(backend.client)
+
+    # -- endpoint: edit-scene ------------------------------------------------
+
+    async def _handle_edit(self, payload) -> dict:
+        """Forward declaration deltas to the scene's owner and journal
+        the result.
+
+        The edit must run where the prepared state lives (the old scene's
+        owner — or its sticky home, if it was itself produced by edits).
+        The response's canonical ``text`` is journaled as a plain
+        registration under the *new* scene id, so a respawned replica
+        replays straight to the delta-edited state; the new id is then
+        sticky-homed to the backend holding the warm incremental state,
+        since the ring — hashing the new content id — would route
+        follow-up queries elsewhere.
+        """
+        request = EditSceneRequest.from_payload(payload)
+        backend = self._owner(request.scene_id)
+
+        def call(client: AsyncCompletionClient) -> Awaitable[dict]:
+            return client.edit_scene(request.scene_id, list(request.ops),
+                                     name=request.name)
+
+        try:
+            response = await self._call(backend, call)
+        except SceneNotFoundError:
+            entry = self.journal.lookup_scene(request.scene_id)
+            if entry is None:
+                raise
+            self.reregistrations += 1
+            backend = self._owner(request.scene_id)
+            await self._call(backend, lambda c: c.register_scene(
+                entry.text, name=entry.name))
+            response = await self._call(backend, call)
+        self.edits += 1
+        text = response.get("text")
+        scene_id = response.get("scene_id")
+        if isinstance(text, str) and isinstance(scene_id, str):
+            digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+            self.journal.record(digest=digest, scene_id=scene_id,
+                                name=response.get("name"), text=text)
+            self._remember_home(scene_id, backend.backend_id)
+        return response
+
     # -- endpoint: release-scene ---------------------------------------------
 
     async def _handle_release(self, payload) -> dict:
         request = ReleaseSceneRequest.from_payload(payload)
+        self._session_homes.pop(request.scene_id, None)
         journaled = self.journal.remove(request.scene_id)
         backend = self._owner(request.scene_id)
         try:
@@ -922,6 +1113,9 @@ class CompletionRouter:
             "reregistrations": self.reregistrations,
             "replayed": self.replayed,
             "restarts": self.restarts,
+            "edits": self.edits,
+            "streams_proxied": self.streams_proxied,
+            "session_homes": len(self._session_homes),
         }
 
     async def _stats_payload(self) -> dict:

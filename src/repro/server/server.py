@@ -45,11 +45,12 @@ from repro.engine.engine import (CompletionEngine, PreparedScene,
 from repro.engine.keys import query_key
 from repro.server import protocol
 from repro.server.metrics import ServerMetrics
-from repro.server.protocol import (CompleteRequest, ProtocolError,
-                                   RegisterSceneRequest,
+from repro.server.protocol import (CompleteRequest, EditSceneRequest,
+                                   ProtocolError, RegisterSceneRequest,
                                    ReleaseSceneRequest, deadline_config)
 from repro.engine.cache import LRUCache
-from repro.server.registry import RegisteredScene, SceneRegistry, build_scene
+from repro.server.registry import (RegisteredScene, SceneRegistry,
+                                   build_scene, scene_id_for)
 
 #: Largest accepted request body (a scene upload is a few KB; 8 MiB is
 #: already absurdly generous).
@@ -192,11 +193,129 @@ def _run_synthesis(prepared: PreparedScene, goal: Type, policy, config,
     return prepared.synthesizer(policy, config).synthesize(goal, n=n)
 
 
+def _run_synthesis_stream(prepared: PreparedScene, goal: Type, policy,
+                          config, n: Optional[int],
+                          emit) -> SynthesisResult:
+    """`_run_synthesis` with a per-snippet callback (streamed serving).
+
+    *emit* is the loop-side queue bridge; it runs on this executor thread,
+    so streamed syntheses never go through the process pool — a callback
+    cannot cross a process boundary.
+    """
+    return prepared.synthesizer(policy, config).synthesize(
+        goal, n=n, on_snippet=emit)
+
+
+def _apply_edit(engine: CompletionEngine, scene: RegisteredScene,
+                ops_payloads, name: Optional[str]
+                ) -> tuple[RegisteredScene, str, "DeltaOutcome"]:
+    """Executor entry point for one scene delta: parse, apply, re-prepare.
+
+    Pure with respect to the registry, like :func:`build_scene` (callers
+    hold the registration lock).  Returns the edited scene as an
+    un-adopted :class:`RegisteredScene`, its canonical serialized text —
+    what a router journals so replicas can reproduce the edited state by
+    plain re-registration — and the delta outcome.
+    """
+    from repro.incremental.delta import (DeltaError, apply_scene_delta,
+                                         parse_delta_ops)
+    from repro.lang.serializer import serialize_environment
+
+    try:
+        ops = parse_delta_ops(ops_payloads)
+        outcome = apply_scene_delta(engine, scene.prepared, ops,
+                                    name=name or scene.name)
+    except DeltaError as error:
+        raise ProtocolError(str(error), code="scene_error") from error
+    prepared = outcome.prepared
+    text = serialize_environment(prepared.base_environment,
+                                 prepared.subtypes, prepared.goal)
+    edited = RegisteredScene(scene_id=scene_id_for(prepared),
+                             name=prepared.name,
+                             prepared=prepared,
+                             declarations=len(prepared.base_environment))
+    return edited, text, outcome
+
+
+def _stream_request_payload(request: _HttpRequest) -> Optional[dict]:
+    """The decoded body of a streamed complete request, or ``None``.
+
+    The byte sniff keeps the hot batch path free of a second JSON decode;
+    a body that merely *mentions* "stream" decodes once here and once in
+    the handler — rare and harmless.  Undecodable bodies fall through to
+    the normal dispatch path, which reports the error with a proper HTTP
+    status.  Shared with the router, whose front side must fork to
+    chunk-proxy mode on exactly the same requests.
+    """
+    if (request.method, request.path) != ("POST", "/v1/complete"):
+        return None
+    if b'"stream"' not in request.body:
+        return None
+    try:
+        payload = protocol.decode_body(request.body)
+    except ProtocolError:
+        return None
+    if not isinstance(payload, dict) or payload.get("stream") is not True:
+        return None
+    return payload
+
+
+def _stream_head() -> bytes:
+    """The response head of a streamed completion.
+
+    No Content-Length — the body is an NDJSON sequence of unknown length,
+    framed by connection close (HTTP/1.1 EOF framing) — which is why a
+    streamed response always ends its connection.
+    """
+    return (f"HTTP/1.1 200 OK\r\n"
+            f"Content-Type: {protocol.STREAM_CONTENT_TYPE}\r\n"
+            f"Connection: close\r\n"
+            f"\r\n").encode("latin-1")
+
+
+class _StreamWire:
+    """Chunk writer that survives client disconnects.
+
+    A vanished reader must not abort synthesis — the result still goes
+    into the cache and coalesced waiters still get it — so a write
+    failure flips ``broken`` and later chunks are silently dropped.
+    """
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self._writer = writer
+        self.broken = False
+        self.chunks = 0
+
+    async def send(self, chunk: dict) -> None:
+        if self.broken:
+            return
+        try:
+            self._writer.write(protocol.encode_stream_chunk(chunk))
+            await self._writer.drain()
+            self.chunks += 1
+        except (ConnectionError, OSError):
+            self.broken = True
+
+
 @dataclass
 class _ServedCompletion:
     result: SynthesisResult
     cache_hit: bool
     coalesced: bool
+
+
+@dataclass
+class _ResolvedCompletion:
+    """A validated completion request bound to its scene and cache key."""
+
+    scene: RegisteredScene
+    prepared: PreparedScene
+    goal: Type
+    variant: str
+    policy: object
+    config: object
+    deadline_ms: Optional[int]
+    key: object
 
 
 class AsyncCompletionServer:
@@ -446,6 +565,10 @@ class AsyncCompletionServer:
                     break
                 if request is None:
                     break
+                stream_payload = _stream_request_payload(request)
+                if stream_payload is not None:
+                    await self._handle_stream(stream_payload, writer)
+                    break               # EOF-framed body: connection is done
                 status, payload = await self._dispatch(request)
                 writer.write(_http_response(status, payload,
                                             request.keep_alive))
@@ -472,7 +595,7 @@ class AsyncCompletionServer:
     #: path-scanning client cannot grow the metrics counter without bound.
     KNOWN_PATHS = ("/healthz", "/v1/stats", "/v1/register-scene",
                    "/v1/complete", "/v1/complete-batch",
-                   "/v1/release-scene")
+                   "/v1/release-scene", "/v1/edit-scene")
 
     async def _dispatch(self, request: _HttpRequest) -> tuple[int, dict]:
         route = (request.method, request.path)
@@ -500,6 +623,9 @@ class AsyncCompletionServer:
                     protocol.decode_body(request.body))
             if route == ("POST", "/v1/release-scene"):
                 return 200, self._handle_release(
+                    protocol.decode_body(request.body))
+            if route == ("POST", "/v1/edit-scene"):
+                return 200, await self._handle_edit(
                     protocol.decode_body(request.body))
             if request.path in self.KNOWN_PATHS:
                 self.metrics.record_error("bad_request")
@@ -612,6 +738,57 @@ class AsyncCompletionServer:
         return protocol.ok_payload(scene_id=request.scene_id,
                                    released=released)
 
+    # -- endpoint: edit-scene ------------------------------------------------
+
+    async def _handle_edit(self, payload) -> dict:
+        """Apply declaration deltas to a registered scene.
+
+        The delta work (line parsing, environment rebuild, incremental
+        re-prepare) is CPU-bound, so it runs on the executor under the
+        registration lock — same admission and serialisation discipline
+        as ``register-scene``.  The source scene stays registered (its
+        results are warm and the editor may undo back to it); capacity
+        pressure retires it through the ordinary LRU.  The response
+        carries the edited scene's canonical serialized ``text`` so a
+        router can journal the edit as a plain registration.
+        """
+        request = EditSceneRequest.from_payload(payload)
+        scene = self.registry.get(request.scene_id)
+        self._admit_or_reject()
+        loop = asyncio.get_running_loop()
+        self.metrics.enter_queue()
+        try:
+            async with self._register_lock:
+                edited, text, outcome = await loop.run_in_executor(
+                    self._executor, _apply_edit, self.engine, scene,
+                    request.ops, request.name)
+                edited, already = self.registry.adopt(edited)
+        finally:
+            self.metrics.leave_queue()
+        self.metrics.scenes_edited += 1
+        if outcome.reused:
+            self.metrics.edits_reused += 1
+        if not already:
+            self.metrics.scenes_registered += 1
+        # The canonical text now maps to a registered scene: let inline
+        # completes (and journal replays) of that text skip re-preparing.
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        self._inline_ids.put(digest, edited.scene_id)
+        return protocol.ok_payload(
+            scene_id=edited.scene_id,
+            previous_scene_id=scene.scene_id,
+            name=edited.name,
+            declarations=edited.declarations,
+            fingerprint=edited.prepared.fingerprint,
+            goal=(str(edited.prepared.goal)
+                  if edited.prepared.goal else None),
+            added=list(outcome.added),
+            removed=list(outcome.removed),
+            reused=outcome.reused,
+            cached=already,
+            text=text,
+        )
+
     # -- endpoint: complete --------------------------------------------------
 
     async def _handle_complete(self, payload) -> dict:
@@ -633,10 +810,15 @@ class AsyncCompletionServer:
         results = await asyncio.gather(*(_serve(r) for r in requests))
         return protocol.ok_payload(results=list(results))
 
-    async def _complete_one(self, request: CompleteRequest) -> dict:
+    async def _resolve_completion(self, request: CompleteRequest
+                                  ) -> _ResolvedCompletion:
+        """Bind a validated request to its scene, goal, policy and key.
+
+        Shared by the batch and streaming paths so the two can never
+        drift on scene resolution, deadline mapping or cache identity.
+        """
         from repro.lang.parser import parse_type
 
-        start = time.perf_counter()
         if request.scene_id is not None:
             scene = self.registry.get(request.scene_id)
         else:
@@ -656,10 +838,18 @@ class AsyncCompletionServer:
         config = deadline_config(self.engine.default_config, deadline_ms)
         key = query_key(prepared.fingerprint, goal, policy, config,
                         request.n)
+        return _ResolvedCompletion(scene=scene, prepared=prepared,
+                                   goal=goal, variant=variant,
+                                   policy=policy, config=config,
+                                   deadline_ms=deadline_ms, key=key)
 
-        served = await self._serve_key(key, prepared, goal, policy, config,
-                                       request.n)
-        scene.completions += 1
+    async def _complete_one(self, request: CompleteRequest) -> dict:
+        start = time.perf_counter()
+        resolved = await self._resolve_completion(request)
+        served = await self._serve_key(resolved.key, resolved.prepared,
+                                       resolved.goal, resolved.policy,
+                                       resolved.config, request.n)
+        resolved.scene.completions += 1
         seconds = time.perf_counter() - start
         partial = bool(served.result.explore_truncated
                        or served.result.reconstruction_truncated)
@@ -667,10 +857,10 @@ class AsyncCompletionServer:
                                        coalesced=served.coalesced,
                                        partial=partial)
         return protocol.completion_payload(
-            scene_id=scene.scene_id, goal=goal, variant=variant,
-            result=served.result, cache_hit=served.cache_hit,
-            coalesced=served.coalesced, deadline_ms=deadline_ms,
-            server_seconds=seconds)
+            scene_id=resolved.scene.scene_id, goal=resolved.goal,
+            variant=resolved.variant, result=served.result,
+            cache_hit=served.cache_hit, coalesced=served.coalesced,
+            deadline_ms=resolved.deadline_ms, server_seconds=seconds)
 
     async def _serve_key(self, key, prepared: PreparedScene, goal: Type,
                          policy, config, n: Optional[int]
@@ -715,6 +905,175 @@ class AsyncCompletionServer:
             self.metrics.leave_queue()
             self._inflight.pop(key, None)
         return _ServedCompletion(result, cache_hit=False, coalesced=False)
+
+    # -- endpoint: complete (streaming) --------------------------------------
+
+    async def _handle_stream(self, payload: dict,
+                             writer: asyncio.StreamWriter) -> None:
+        """Serve one streamed completion as NDJSON chunks.
+
+        Failures before the head is written (validation, unknown scene,
+        admission) are ordinary HTTP error responses; once the head is on
+        the wire the HTTP status is gone, so later failures become a
+        terminal ``error`` chunk.  Chunks are emitted in rank order —
+        snippet chunks as reconstruction produces them, then one ``done``
+        chunk carrying the full batch payload.
+        """
+        self.metrics.requests["POST /v1/complete"] += 1
+        start = time.perf_counter()
+        try:
+            request = CompleteRequest.from_payload(payload)
+            resolved = await self._resolve_completion(request)
+            # Only a leader (cache miss, nothing in flight) adds work, so
+            # only it faces admission — and rejection must happen before
+            # the head is written to surface as a retryable 429.
+            if (self.engine.results.get(resolved.key) is None
+                    and resolved.key not in self._inflight):
+                self._admit_or_reject()
+        except ProtocolError as error:
+            self.metrics.record_error(error.code)
+            writer.write(_http_response(
+                error.status, protocol.error_payload(error.code, str(error)),
+                keep_alive=False))
+            await writer.drain()
+            return
+        except ReproError as error:
+            self.metrics.record_error("bad_request")
+            writer.write(_http_response(
+                400, protocol.error_payload("bad_request", str(error)),
+                keep_alive=False))
+            await writer.drain()
+            return
+        writer.write(_stream_head())
+        wire = _StreamWire(writer)
+        self.metrics.streams += 1
+        try:
+            try:
+                served = await self._serve_stream(resolved, request.n, wire)
+            except ProtocolError as error:
+                self.metrics.record_error(error.code)
+                await wire.send(protocol.stream_error_chunk(error.code,
+                                                            str(error)))
+                return
+            except ReproError as error:
+                self.metrics.record_error("bad_request")
+                await wire.send(protocol.stream_error_chunk("bad_request",
+                                                            str(error)))
+                return
+            except Exception as error:      # noqa: BLE001 — serving boundary
+                self.metrics.record_error("internal")
+                await wire.send(protocol.stream_error_chunk(
+                    "internal", f"{type(error).__name__}: {error}"))
+                return
+            resolved.scene.completions += 1
+            seconds = time.perf_counter() - start
+            partial = bool(served.result.explore_truncated
+                           or served.result.reconstruction_truncated)
+            self.metrics.record_completion(
+                seconds, cache_hit=served.cache_hit,
+                coalesced=served.coalesced, partial=partial)
+            completion = protocol.completion_payload(
+                scene_id=resolved.scene.scene_id, goal=resolved.goal,
+                variant=resolved.variant, result=served.result,
+                cache_hit=served.cache_hit, coalesced=served.coalesced,
+                deadline_ms=resolved.deadline_ms, server_seconds=seconds)
+            await wire.send(protocol.stream_done_chunk(completion))
+        finally:
+            self.metrics.stream_chunks += wire.chunks
+
+    async def _serve_stream(self, resolved: _ResolvedCompletion,
+                            n: Optional[int],
+                            wire: _StreamWire) -> _ServedCompletion:
+        """`_serve_key` with live emission.
+
+        Warm paths (cache hit, coalesced join) replay the completed
+        snippet list as chunks — same wire shape, already ranked.  The
+        leader path bridges the synthesis thread's per-snippet callback
+        onto the loop and forwards chunks as they arrive.  Either way the
+        result lands in the cache and coalesced waiters are resolved,
+        exactly like the batch path.
+        """
+        key = resolved.key
+        cached = self.engine.results.get(key)
+        if cached is not None:
+            for snippet in cached.snippets:
+                await wire.send(protocol.stream_snippet_chunk(snippet))
+            return _ServedCompletion(cached, cache_hit=True, coalesced=False)
+
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            result = await asyncio.shield(inflight)
+            for snippet in result.snippets:
+                await wire.send(protocol.stream_snippet_chunk(snippet))
+            return _ServedCompletion(result, cache_hit=False, coalesced=True)
+
+        # Leader: the admission check already passed in _handle_stream
+        # (before the head was written); between there and here runs no
+        # await, so the key is still free to claim.
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._inflight[key] = future
+        self.metrics.enter_queue()
+        queue: asyncio.Queue = asyncio.Queue()
+
+        def _emit(snippet) -> None:
+            # Runs on the synthesis thread; put_nowait must happen on the
+            # loop.  call_soon_threadsafe preserves emission order.
+            loop.call_soon_threadsafe(queue.put_nowait, snippet)
+
+        synthesis_start = time.perf_counter()
+        task = loop.run_in_executor(
+            self._executor, _run_synthesis_stream, resolved.prepared,
+            resolved.goal, resolved.policy, resolved.config, n, _emit)
+        try:
+            result = await self._pump_stream(task, queue, wire)
+        except BaseException as error:
+            if isinstance(error, asyncio.CancelledError):
+                future.set_exception(ProtocolError(
+                    "synthesis cancelled (server shutting down)",
+                    code="internal"))
+            else:
+                future.set_exception(error)
+            future.exception()              # mark retrieved for no-waiter case
+            raise
+        else:
+            self.engine.results.put(key, result)
+            self.metrics.record_synthesis(
+                time.perf_counter() - synthesis_start)
+            future.set_result(result)
+            self._maybe_snapshot()
+        finally:
+            self.metrics.leave_queue()
+            self._inflight.pop(key, None)
+        return _ServedCompletion(result, cache_hit=False, coalesced=False)
+
+    async def _pump_stream(self, task, queue: asyncio.Queue,
+                           wire: _StreamWire) -> SynthesisResult:
+        """Forward snippets from the synthesis thread as they arrive.
+
+        The emit callback and the executor future's completion both reach
+        the loop via ``call_soon_threadsafe`` from the same thread, in
+        FIFO order — so once *task* is done, every emitted snippet is
+        already in the queue and the final drain loses nothing.
+        """
+        getter: Optional[asyncio.Future] = None
+        try:
+            while not task.done():
+                getter = asyncio.ensure_future(queue.get())
+                await asyncio.wait({getter, task},
+                                   return_when=asyncio.FIRST_COMPLETED)
+                if getter.done():
+                    await wire.send(
+                        protocol.stream_snippet_chunk(getter.result()))
+                    getter = None
+        finally:
+            if getter is not None:
+                getter.cancel()
+        result = await task                 # raises the synthesis error
+        while not queue.empty():
+            await wire.send(
+                protocol.stream_snippet_chunk(queue.get_nowait()))
+        return result
 
     async def _dispatch_synthesis(self, loop, prepared: PreparedScene,
                                   goal: Type, policy, config,

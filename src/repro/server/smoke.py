@@ -12,6 +12,14 @@ supervised backend processes instead — the protocol is identical, so the
 very same assertions must hold, plus the aggregated ``/v1/stats`` view
 must carry one entry per shard.  CI runs both forms.
 
+``--stream`` adds the protocol v2 drive on top (composable with
+``--router``): every scene is streamed as NDJSON cold and warm —
+asserting chunk framing, rank order, weight monotonicity, and that the
+terminal ``done`` chunk's batch payload matches the streamed snippets —
+then an edit-session round trip adds and removes a declaration over
+``/v1/edit-scene`` and asserts the session lands back on the original
+content-derived scene id with its cached ranking intact.
+
 ``--router --chaos`` adds the supervision check: a short burst of
 fresh-``n`` completions is fired across every scene, one supervised
 backend is SIGKILLed mid-flight (pid read off ``/healthz``), and the
@@ -116,9 +124,108 @@ async def _chaos_burst(client: AsyncCompletionClient,
     return report
 
 
+def _assert_stream_shape(chunks: list) -> dict:
+    """Assert NDJSON chunk framing; returns the terminal ``done`` chunk.
+
+    Snippet chunks must arrive in rank order with non-decreasing weights,
+    and the final ``done`` chunk's batch payload must carry exactly the
+    snippets that were streamed — the stream is self-checking.
+    """
+    assert chunks, "stream produced no chunks"
+    assert [c["chunk"] for c in chunks[:-1]] == ["snippet"] * (
+        len(chunks) - 1), "non-snippet chunk before the stream ended"
+    done = chunks[-1]
+    assert done["chunk"] == "done", f"stream ended with {done['chunk']!r}"
+    snippets = chunks[:-1]
+    assert [c["rank"] for c in snippets] == list(
+        range(1, len(snippets) + 1)), "stream ranks not 1..n in order"
+    weights = [c["weight"] for c in snippets]
+    assert weights == sorted(weights), (
+        f"stream weights not non-decreasing: {weights}")
+    streamed = [{"rank": c["rank"], "code": c["code"],
+                 "weight": c["weight"]} for c in snippets]
+    assert streamed == done["snippets"], (
+        "streamed snippets differ from the done chunk's batch payload")
+    return done
+
+
+async def _stream_drive(client: AsyncCompletionClient,
+                        scene_paths: Sequence[Path]) -> list[str]:
+    """Streaming + edit-session assertions (the protocol v2 surface).
+
+    Every scene is streamed cold then warm (byte-identical snippets,
+    ``cache_hit`` on the replay), then the first scene runs an
+    edit-session round trip: add a declaration (new content-derived
+    scene id), stream against the edited scene, remove the declaration
+    again, and assert the session lands back on the *original* scene id
+    with its warm ranking — the incremental path's parity contract over
+    the wire.
+    """
+    report: list[str] = []
+    chunk_total = 0
+    for path in scene_paths:
+        text = path.read_text(encoding="utf-8")
+        scene_id = (await client.register_scene(
+            text, name=path.name))["scene_id"]
+        cold = [c async for c in client.complete_stream(scene_id, n=6)]
+        done = _assert_stream_shape(cold)
+        assert done["scene_id"] == scene_id
+        warm = [c async for c in client.complete_stream(scene_id, n=6)]
+        warm_done = _assert_stream_shape(warm)
+        assert warm_done["cache_hit"], f"{path.name}: warm stream missed"
+        assert warm_done["snippets"] == done["snippets"], (
+            f"{path.name}: warm stream snippets differ from cold")
+        chunk_total += len(cold) + len(warm)
+        report.append(
+            f"{path.name}: streamed {len(cold) - 1} snippets cold, "
+            f"replayed warm from cache")
+
+    # Edit-session round trip over the wire, on the first scene.
+    path = scene_paths[0]
+    origin_id = (await client.register_scene(
+        path.read_text(encoding="utf-8"), name=path.name))["scene_id"]
+    edited = await client.edit_scene(origin_id, [
+        {"op": "add", "decl": "local smoke_probe : String"}])
+    assert edited["scene_id"] != origin_id, (
+        "edit did not change the content-derived scene id")
+    assert edited["added"] == ["smoke_probe"], edited["added"]
+    streamed = [c async for c in client.complete_stream(
+        edited["scene_id"], n=6)]
+    edited_done = _assert_stream_shape(streamed)
+    assert edited_done["scene_id"] == edited["scene_id"]
+    chunk_total += len(streamed)
+
+    reverted = await client.edit_scene(edited["scene_id"], [
+        {"op": "remove", "name": "smoke_probe"}])
+    assert reverted["scene_id"] == origin_id, (
+        f"net-no-op edit script landed on {reverted['scene_id']}, "
+        f"not the original {origin_id}")
+    assert reverted["reused"], "reverted scene did not reattach warm state"
+    back = [c async for c in client.complete_stream(origin_id, n=6)]
+    back_done = _assert_stream_shape(back)
+    assert back_done["cache_hit"], (
+        "original scene lost its cached ranking across the edit round trip")
+    chunk_total += len(back)
+
+    stats = await client.stats()
+    server = stats["server"]
+    assert server["streams"] >= 2 * len(scene_paths) + 2, (
+        f"stats counted only {server['streams']} streams")
+    assert server["stream_chunks"] == chunk_total, (
+        f"stats counted {server['stream_chunks']} chunks, "
+        f"client saw {chunk_total}")
+    assert server["scenes_edited"] >= 2, server["scenes_edited"]
+    assert server["edits_reused"] >= 1, server["edits_reused"]
+    report.append(
+        f"edit-session: {origin_id} -> {edited['scene_id']} -> back "
+        f"(warm reattach); {server['streams']} streams, "
+        f"{server['stream_chunks']} chunks accounted")
+    return report
+
+
 async def _drive(host: str, port: int, scene_paths: Sequence[Path],
                  burst: int, shards: int = 0,
-                 chaos: bool = False) -> list[str]:
+                 chaos: bool = False, stream: bool = False) -> list[str]:
     report: list[str] = []
     async with AsyncCompletionClient(host, port) as client:
         await wait_until_healthy(client)
@@ -140,6 +247,9 @@ async def _drive(host: str, port: int, scene_paths: Sequence[Path],
                 f"best {cold['snippets'][0]['code']!r}, "
                 f"cold {cold['synthesis_ms']:.0f} ms, "
                 f"warm hit {warm['server_ms']:.2f} ms")
+
+        if stream:
+            report.extend(await _stream_drive(client, scene_paths))
 
         if chaos:
             report.extend(await _chaos_burst(client, scene_paths))
@@ -219,6 +329,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="with --router: SIGKILL one backend mid-burst "
                              "and assert respawn, retried completions, and "
                              "stats reconciliation")
+    parser.add_argument("--stream", action="store_true",
+                        help="also drive the protocol v2 surface: NDJSON "
+                             "streaming (cold + warm replay) and an "
+                             "edit-session round trip per scene set")
     args = parser.parse_args(argv)
 
     if args.chaos and not args.router:
@@ -241,7 +355,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         process, host, port = _spawn_server()
     try:
         report = asyncio.run(_drive(host, port, scene_paths, args.burst,
-                                    shards=shards, chaos=args.chaos))
+                                    shards=shards, chaos=args.chaos,
+                                    stream=args.stream))
     finally:
         process.terminate()
         try:
@@ -253,6 +368,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"smoke: {line}")
     front = ("router+chaos" if args.chaos
              else "router" if args.router else "server")
+    if args.stream:
+        front += "+stream"
     print(f"smoke: OK ({len(scene_paths)} scenes via {front})")
     return 0
 

@@ -1,0 +1,121 @@
+"""Scene sessions: the engine-level API behind ``/v1/edit-scene``."""
+
+import pytest
+
+from repro.engine import CompletionEngine
+from repro.incremental import DeltaError, SceneSession
+from repro.lang.loader import load_environment_text
+
+SCENE = """
+subtype InputStreamReader <: Reader
+subtype BufferedReader <: Reader
+local url : URL
+imported java.net.URL.openStream : URL -> InputStream \
+[freq=96] [style=method] [display=openStream]
+imported java.io.InputStreamReader.new : InputStream -> InputStreamReader \
+[freq=133] [style=constructor] [display=InputStreamReader]
+imported java.io.BufferedReader.new : Reader -> BufferedReader \
+[freq=161] [style=constructor] [display=BufferedReader]
+goal BufferedReader
+"""
+
+EXTRA = "local charset_name : String"
+
+
+def _session():
+    engine = CompletionEngine()
+    loaded = load_environment_text(SCENE)
+    prepared = engine.prepare(loaded.environment, loaded.subtypes,
+                              goal=loaded.goal, name="reader")
+    return engine, engine.open_session(prepared, name="reader")
+
+
+class TestSceneSession:
+    def test_open_session_reattaches_loader_scenes(self):
+        engine, session = _session()
+        loaded = load_environment_text(SCENE)
+        assert session.fingerprint == engine.prepare(
+            loaded.environment, loaded.subtypes).fingerprint
+        assert session.generation == 0
+        assert session.ops_applied == 0
+        assert len(session) == 4
+        assert "generation 0" in repr(session)
+
+    def test_apply_delta_accepts_wire_dicts(self):
+        _, session = _session()
+        outcome = session.apply_delta([{"op": "add", "decl": EXTRA}])
+        assert outcome.added == ("charset_name",)
+        assert session.generation == 1
+        assert session.ops_applied == 1
+        assert len(session) == 5
+
+    def test_bad_delta_leaves_the_session_unchanged(self):
+        _, session = _session()
+        before = session.fingerprint
+        with pytest.raises(DeltaError):
+            session.apply_delta([{"op": "remove", "name": "ghost"}])
+        assert session.fingerprint == before
+        assert session.generation == 0
+
+    def test_complete_serves_through_the_engine_cache(self):
+        _, session = _session()
+        cold = session.complete(n=4)
+        assert not cold.cache_hit
+        warm = session.complete(n=4)
+        assert warm.cache_hit
+        assert ([(s.rank, s.code) for s in warm.snippets]
+                == [(s.rank, s.code) for s in cold.snippets])
+
+    def test_round_trip_edit_rehits_the_warm_cache(self):
+        _, session = _session()
+        baseline = session.complete(n=4)
+        opening = session.fingerprint
+        session.apply_delta([{"op": "add", "decl": EXTRA}])
+        assert session.fingerprint != opening
+        edited = session.complete(n=4)
+        assert not edited.cache_hit
+        outcome = session.apply_delta([{"op": "remove",
+                                        "name": "charset_name"}])
+        assert outcome.reused
+        assert session.fingerprint == opening
+        replay = session.complete(n=4)
+        assert replay.cache_hit
+        assert ([(s.rank, s.code, s.weight) for s in replay.snippets]
+                == [(s.rank, s.code, s.weight) for s in baseline.snippets])
+
+    def test_render_text_is_the_parity_oracle(self):
+        engine, session = _session()
+        session.apply_delta([{"op": "add", "decl": EXTRA},
+                             {"op": "remove", "name": "url"}])
+        reloaded = load_environment_text(session.render_text())
+        fresh_engine = CompletionEngine()
+        fresh = fresh_engine.prepare(reloaded.environment, reloaded.subtypes,
+                                     goal=reloaded.goal)
+        assert fresh.fingerprint == session.fingerprint
+        ours = session.complete(n=4)
+        theirs = fresh_engine.complete(fresh, fresh.goal, n=4)
+        assert ([(s.rank, s.code, s.weight) for s in ours.snippets]
+                == [(s.rank, s.code, s.weight) for s in theirs.snippets])
+
+    def test_open_session_canonicalizes_programmatic_scenes(self):
+        """A scene built in code may carry render metadata that does not
+        round-trip byte-for-byte; the session must open on the canonical
+        reload so journal replay reproduces its fingerprints."""
+        from repro.core.environment import (DeclKind, Environment,
+                                            RenderSpec, RenderStyle,
+                                            declaration)
+        from repro.core.types import arrow, base
+
+        env = Environment.of(
+            declaration("title", base("String")),
+            declaration("demo.Frame.new", arrow(base("String"),
+                                                base("Frame")),
+                        kind=DeclKind.IMPORTED, frequency=5,
+                        render=RenderSpec(RenderStyle.CONSTRUCTOR,
+                                          "Frame")))
+        engine = CompletionEngine()
+        prepared = engine.prepare(env, goal=base("Frame"))
+        session = SceneSession(engine, prepared)
+        reloaded = load_environment_text(session.render_text())
+        assert (reloaded.environment.fingerprint()
+                == session.prepared.base_environment.fingerprint())

@@ -1,0 +1,126 @@
+"""Scene lifecycle round trip: release, re-register, byte-identical serve.
+
+The regression this pins down: an explicit ``release-scene`` must purge
+the scene's engine state (results, refcounts) *completely* enough that
+re-registering the identical text rebuilds the same content-derived
+identity and the same rankings — and *cleanly* enough that every counter
+(registry releases, server metrics, fingerprint refcounts, cache stats)
+reconciles afterwards.
+"""
+
+import asyncio
+import contextlib
+
+import pytest
+
+from repro.server.client import AsyncCompletionClient, SceneNotFoundError
+from repro.server.server import AsyncCompletionServer, ServerConfig
+
+SCENE = """
+subtype FileWriter <: Writer
+local path : String
+imported java.io.FileWriter.new : String -> FileWriter \
+[freq=118] [style=constructor] [display=FileWriter]
+imported java.io.PrintWriter.new : Writer -> PrintWriter \
+[freq=102] [style=constructor] [display=PrintWriter]
+goal PrintWriter
+"""
+
+
+@contextlib.asynccontextmanager
+async def running_server(**config_overrides):
+    config = ServerConfig(port=0, **config_overrides)
+    server = AsyncCompletionServer(config=config)
+    await server.start()
+    client = AsyncCompletionClient(server.host, server.port)
+    try:
+        yield server, client
+    finally:
+        await client.close()
+        await server.close()
+
+
+class TestReleaseRoundTrip:
+    def test_release_then_reregister_is_byte_identical(self):
+        async def main():
+            async with running_server() as (server, client):
+                first = await client.register_scene(SCENE, name="writer")
+                baseline = await client.complete(first["scene_id"], n=5)
+                assert baseline["cache_hit"] is False
+
+                released = await client.release_scene(first["scene_id"])
+                assert released["released"] is True
+                with pytest.raises(SceneNotFoundError):
+                    await client.complete(first["scene_id"])
+
+                second = await client.register_scene(SCENE, name="writer")
+                assert second["scene_id"] == first["scene_id"]
+                assert second["cached"] is False    # truly rebuilt
+
+                replay = await client.complete(second["scene_id"], n=5)
+                # The release purged the result cache, so this is a real
+                # re-synthesis — and it must land on identical bytes.
+                assert replay["cache_hit"] is False
+                assert replay["snippets"] == baseline["snippets"]
+
+                warm = await client.complete(second["scene_id"], n=5)
+                assert warm["cache_hit"] is True
+                assert warm["snippets"] == baseline["snippets"]
+        asyncio.run(main())
+
+    def test_counters_reconcile_after_the_round_trip(self):
+        async def main():
+            async with running_server() as (server, client):
+                first = await client.register_scene(SCENE)
+                await client.complete(first["scene_id"])
+                await client.release_scene(first["scene_id"])
+                await client.register_scene(SCENE)
+                await client.complete(first["scene_id"])
+
+                assert server.registry.releases == 1
+                assert server.registry.evictions == 0
+                # Exactly one live fingerprint ref: the re-registration.
+                refs = server.registry._fingerprint_refs
+                assert list(refs.values()) == [1]
+
+                stats = await client.stats()
+                assert stats["server"]["scenes_released"] == 1
+                assert stats["server"]["scenes_registered"] == 2
+                assert stats["server"]["completions"] == 2
+                # Both completions synthesized: the release dropped the
+                # cached result along with the scene.
+                assert stats["server"]["synthesized"] == 2
+                assert stats["server"]["cache_hits"] == 0
+                assert stats["scenes"]["count"] == 1
+        asyncio.run(main())
+
+    def test_release_is_idempotent(self):
+        async def main():
+            async with running_server() as (server, client):
+                first = await client.register_scene(SCENE)
+                released = await client.release_scene(first["scene_id"])
+                assert released["released"] is True
+                again = await client.release_scene(first["scene_id"])
+                assert again["released"] is False
+                assert server.registry.releases == 1
+        asyncio.run(main())
+
+    def test_release_after_edit_keeps_the_sibling_servable(self):
+        """Releasing the pre-edit scene must not nuke the edited scene's
+        state: the two are distinct content (distinct fingerprints), so
+        the purge is scoped to the released identity only."""
+        async def main():
+            async with running_server() as (server, client):
+                origin = await client.register_scene(SCENE)
+                edited = await client.edit_scene(
+                    origin["scene_id"],
+                    [{"op": "add", "decl": "local banner : String"}])
+                ranked = await client.complete(edited["scene_id"], n=4)
+
+                await client.release_scene(origin["scene_id"])
+
+                replay = await client.complete(edited["scene_id"], n=4)
+                assert replay["cache_hit"] is True
+                assert replay["snippets"] == ranked["snippets"]
+                assert len(server.registry._fingerprint_refs) == 1
+        asyncio.run(main())

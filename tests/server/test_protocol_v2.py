@@ -1,0 +1,147 @@
+"""Protocol v2 surface: version gating, edit-scene shape, stream chunks."""
+
+import json
+
+import pytest
+
+from repro.server.protocol import (MAX_EDIT_OPS, PROTOCOL_VERSION,
+                                   STREAM_CONTENT_TYPE, CompleteRequest,
+                                   EditSceneRequest, ProtocolError,
+                                   encode_stream_chunk, error_payload,
+                                   stream_done_chunk, stream_error_chunk,
+                                   stream_snippet_chunk)
+
+
+class TestVersionGate:
+    def test_the_protocol_is_v2(self):
+        assert PROTOCOL_VERSION == 2
+
+    def test_matching_version_is_accepted(self):
+        request = CompleteRequest.from_payload(
+            {"v": PROTOCOL_VERSION, "scene_id": "scn_abc"})
+        assert request.scene_id == "scn_abc"
+
+    def test_versionless_payloads_are_accepted(self):
+        request = CompleteRequest.from_payload({"scene_id": "scn_abc"})
+        assert request.scene_id == "scn_abc"
+
+    @pytest.mark.parametrize("version", [1, 3, "2", 2.0 + 1])
+    def test_mismatched_version_is_rejected(self, version):
+        with pytest.raises(ProtocolError) as excinfo:
+            CompleteRequest.from_payload({"v": version,
+                                          "scene_id": "scn_abc"})
+        assert excinfo.value.code == "unsupported_version"
+        assert excinfo.value.status == 400
+
+    def test_the_gate_guards_every_request_shape(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            EditSceneRequest.from_payload(
+                {"v": 1, "scene_id": "scn_abc",
+                 "ops": [{"op": "remove", "name": "x"}]})
+        assert excinfo.value.code == "unsupported_version"
+
+
+class TestCompleteRequestStreamFlag:
+    def test_stream_flag_round_trip(self):
+        request = CompleteRequest(scene_id="scn_abc", stream=True)
+        payload = request.to_payload()
+        assert payload["stream"] is True
+        assert CompleteRequest.from_payload(payload).stream is True
+
+    def test_stream_defaults_off_and_stays_off_the_wire(self):
+        request = CompleteRequest(scene_id="scn_abc")
+        assert request.stream is False
+        assert "stream" not in request.to_payload()
+
+    @pytest.mark.parametrize("bad", ["yes", 1, 0, None])
+    def test_non_boolean_stream_is_rejected(self, bad):
+        with pytest.raises(ProtocolError, match="'stream' must be a boolean"):
+            CompleteRequest.from_payload({"scene_id": "scn_abc",
+                                          "stream": bad})
+
+
+class TestEditSceneRequest:
+    OPS = [{"op": "add", "decl": "local x : String"},
+           {"op": "remove", "name": "y"}]
+
+    def test_round_trip(self):
+        request = EditSceneRequest(scene_id="scn_abc",
+                                   ops=tuple(self.OPS), name="demo")
+        assert EditSceneRequest.from_payload(request.to_payload()) == request
+
+    def test_scene_id_required(self):
+        with pytest.raises(ProtocolError, match="'scene_id' is required"):
+            EditSceneRequest.from_payload({"ops": self.OPS})
+
+    def test_ops_must_be_a_non_empty_list(self):
+        for bad in ({}, [], "add x", None):
+            with pytest.raises(ProtocolError, match="non-empty list"):
+                EditSceneRequest.from_payload({"scene_id": "scn_abc",
+                                               "ops": bad})
+
+    def test_op_count_is_capped(self):
+        ops = [{"op": "remove", "name": f"n{i}"}
+               for i in range(MAX_EDIT_OPS + 1)]
+        with pytest.raises(ProtocolError, match="exceeds the"):
+            EditSceneRequest.from_payload({"scene_id": "scn_abc",
+                                           "ops": ops})
+
+    def test_op_shapes_are_validated(self):
+        cases = [
+            ("ops\\[0\\] must be an object", ["remove x"]),
+            ("'op' must be 'add' or 'remove'", [{"op": "rename"}]),
+            ("add requires 'decl'", [{"op": "add"}]),
+            ("add requires 'decl'", [{"op": "add", "decl": "  "}]),
+            ("remove requires 'name'", [{"op": "remove"}]),
+            ("remove requires 'name'", [{"op": "remove", "name": ""}]),
+        ]
+        for pattern, ops in cases:
+            with pytest.raises(ProtocolError, match=pattern):
+                EditSceneRequest.from_payload({"scene_id": "scn_abc",
+                                               "ops": ops})
+
+    def test_name_is_optional(self):
+        request = EditSceneRequest.from_payload({"scene_id": "scn_abc",
+                                                 "ops": self.OPS})
+        assert request.name is None
+        assert "name" not in request.to_payload()
+
+
+class _Snippet:
+    rank = 1
+    code = "new File(name)"
+    weight = 3.14159
+
+
+class TestStreamChunks:
+    def test_snippet_chunk_shape(self):
+        chunk = stream_snippet_chunk(_Snippet())
+        assert chunk == {"v": PROTOCOL_VERSION, "chunk": "snippet",
+                         "rank": 1, "code": "new File(name)",
+                         "weight": 3.1416}
+
+    def test_done_chunk_wraps_the_batch_payload(self):
+        completion = {"ok": True, "scene_id": "scn_abc", "snippets": []}
+        chunk = stream_done_chunk(completion)
+        assert chunk["chunk"] == "done"
+        assert chunk["v"] == PROTOCOL_VERSION
+        assert chunk["scene_id"] == "scn_abc"
+
+    def test_error_chunk_carries_the_error_envelope(self):
+        chunk = stream_error_chunk("internal", "boom")
+        assert chunk["chunk"] == "error"
+        assert chunk["error"] == error_payload("internal", "boom")["error"]
+
+    def test_encode_is_one_compact_ndjson_line(self):
+        encoded = encode_stream_chunk({"v": PROTOCOL_VERSION,
+                                       "chunk": "done", "b": 1, "a": 2})
+        assert encoded.endswith(b"\n")
+        assert encoded.count(b"\n") == 1
+        assert b" " not in encoded
+        decoded = json.loads(encoded.decode("utf-8"))
+        assert decoded["chunk"] == "done"
+        # Deterministic key order: proxies and journals can byte-compare.
+        assert encoded == encode_stream_chunk(decoded)
+
+    def test_stream_content_type(self):
+        assert STREAM_CONTENT_TYPE == "application/x-ndjson"
