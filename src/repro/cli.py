@@ -187,6 +187,9 @@ def _build_parser() -> argparse.ArgumentParser:
     route.add_argument("--snapshot-dir", default=None, metavar="DIR",
                        help="per-backend result-cache snapshot directory "
                             "so respawned replicas start warm")
+    route.add_argument("--replication", type=int, default=2,
+                       help="distinct ring owners per scene (default 2: "
+                            "one SIGKILL never stalls a scene)")
     route.add_argument("--ring-replicas", type=int, default=64,
                        help="virtual nodes per backend on the hash ring "
                             "(default 64)")
@@ -248,6 +251,9 @@ def _build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--backends", type=int, default=2,
                          help="backends of the spawned router topology "
                               "(default 2)")
+    loadgen.add_argument("--replication", type=int, default=2,
+                         help="replica owners per scene in the spawned "
+                              "topology (default 2)")
     loadgen.add_argument("--attach", default=None, metavar="HOST:PORT",
                          help="drive an already-running server/router "
                               "instead of spawning a topology (chaos "
@@ -778,6 +784,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
                           journal_path=args.journal,
                           snapshot_dir=args.snapshot_dir,
                           ring_replicas=args.ring_replicas,
+                          replication=args.replication,
                           backend_args=tuple(backend_args))
 
     # The dry run reads and validates the journal's contents; the real
@@ -788,8 +795,8 @@ def _cmd_route(args: argparse.Namespace) -> int:
     if args.check_config:
         mode = (f"attach {len(attach)} backend(s)" if attach
                 else f"spawn {args.backends} backend(s)")
-        print(f"router config: {mode}, ring replicas "
-              f"{args.ring_replicas}, journal "
+        print(f"router config: {mode}, replication {args.replication}, "
+              f"ring replicas {args.ring_replicas}, journal "
               f"{args.journal or '(memory only)'}, snapshots "
               f"{args.snapshot_dir or '(disabled)'}")
         for problem in problems:
@@ -908,10 +915,12 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             tempfile.mkdtemp(prefix="repro-loadgen-"))
         workdir.mkdir(parents=True, exist_ok=True)
         topology_args = ("--backends", str(args.backends),
+                         "--replication", str(args.replication),
                          "--journal", str(workdir / "journal.jsonl"),
                          "--snapshot-dir", str(workdir / "snapshots"))
         print(f"spawning router topology: {args.backends} backend(s), "
-              f"state under {workdir}", flush=True)
+              f"replication {args.replication}, state under {workdir}",
+              flush=True)
         process, host, port = spawn_cli_server("route", topology_args,
                                                label="loadgen-route")
 
@@ -956,6 +965,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     if chaos_doc is not None:
         print(f"  chaos: {chaos_doc['kills']} kill(s), "
               f"{chaos_doc['observed_restarts']} respawn(s), "
+              f"{chaos_doc.get('observed_failovers')} failover(s), "
+              f"{chaos_doc.get('degraded_served')} degraded, "
               f"reregistration storm bounded: "
               f"{chaos_doc['reregistration_storm_bounded']}")
         if not chaos_doc.get("recovered"):
@@ -1105,11 +1116,26 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         journal = router.get("journal", {})
         print(f"router: {router.get('backends')} backends "
               f"({router.get('healthy')} healthy), "
+              f"replication {router.get('replication')}, "
               f"journal {journal.get('scenes')} scenes"
               f"{' (durable)' if journal.get('durable') else ''}, "
               f"replayed {router.get('replayed')}, "
               f"reregistrations {router.get('reregistrations')}, "
               f"restarts {router.get('restarts')}")
+        budget = router.get("retry_budget") or {}
+        print(f"  resilience: failovers={router.get('failovers')} "
+              f"degraded={router.get('degraded_served')} "
+              f"drains={router.get('drains')} "
+              f"lkg_entries={router.get('lkg_entries')} "
+              f"retry_budget {budget.get('tokens')}/{budget.get('burst')} "
+              f"tokens (granted={budget.get('granted')} "
+              f"denied={budget.get('denied')})")
+        for backend_id, breaker in sorted(
+                (router.get("breakers") or {}).items()):
+            print(f"  breaker {backend_id}: {breaker.get('state')} "
+                  f"(consecutive_failures="
+                  f"{breaker.get('consecutive_failures')}, "
+                  f"opened_total={breaker.get('opened_total')})")
     interned = core.get("interned_types", {})
     print(f"interned types: size={interned.get('size')} "
           f"limit={interned.get('limit')} "

@@ -127,6 +127,9 @@ class ChaosController:
             "records": [record.to_doc() for record in self.records],
             "observed_restarts": None,
             "observed_reregistrations": None,
+            "observed_failovers": None,
+            "degraded_served": None,
+            "retry_budget": None,
             "reregistration_storm_bounded": None,
             "recovered": None,
         }
@@ -135,6 +138,10 @@ class ChaosController:
             reregistrations = router_stats.get("reregistrations", 0)
             section["observed_restarts"] = restarts
             section["observed_reregistrations"] = reregistrations
+            section["observed_failovers"] = router_stats.get("failovers")
+            section["degraded_served"] = router_stats.get(
+                "degraded_served")
+            section["retry_budget"] = router_stats.get("retry_budget")
             bound = max(1, self.kills) * max(journal_scenes, 1)
             section["reregistration_storm_bounded"] = (
                 reregistrations <= bound)

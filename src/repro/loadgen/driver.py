@@ -12,8 +12,15 @@ uses — so whatever it measures is what a real editor fleet would see:
 * completions go through :meth:`AsyncCompletionClient.complete_text`,
   so scene registration, eviction, and unknown-scene retry behave
   exactly as they do for production clients;
-* 429s (admission control) are retried with bounded backoff and counted
-  as ``retries`` — only exhausted retries burn error budget;
+* 429s (admission control) are retried behind full-jitter exponential
+  backoff (:func:`~repro.server.client.jittered_backoff_s` — a
+  deterministic backoff would march the whole simulated fleet back in
+  lockstep) and counted as ``retries`` — only exhausted retries burn
+  error budget;
+* ``degraded: true`` answers (the router's last-known-good fallback
+  when every replica of a scene is down) count as successes but are
+  tallied separately, so a chaos run can assert exactly how much
+  fidelity it gave up;
 * a :class:`~repro.loadgen.chaos.ChaosPlan` strikes inside the
   chaos-eligible phase, between dispatches, mid-burst by construction.
 
@@ -34,7 +41,8 @@ from repro.loadgen.slo import SloAccountant
 from repro.loadgen.traces import Trace, TraceEvent
 from repro.server.client import (AsyncCompletionClient, ClientConnectionError,
                                  OverloadedError, SceneNotFoundError,
-                                 ServerError, wait_until_healthy)
+                                 ServerError, jittered_backoff_s,
+                                 wait_until_healthy)
 
 
 @dataclass
@@ -50,9 +58,11 @@ class DriverConfig:
     #: a slow topology from accumulating unbounded tasks.
     max_in_flight: int = 128
     #: Admission-control (429) retries per request before it counts
-    #: against the error budget.
+    #: against the error budget; the delay before retry *k* is drawn
+    #: uniformly from ``[0, min(cap, base * 2**k)]`` (full jitter).
     overload_retries: int = 4
     overload_backoff_s: float = 0.05
+    overload_backoff_cap_s: float = 2.0
     chaos: Optional[ChaosPlan] = None
 
 
@@ -107,6 +117,7 @@ async def _execute(event: TraceEvent, trace: Trace,
                     event.phase, (time.perf_counter() - start) * 1000.0,
                     completion=True,
                     cache_hit=bool(response.get("cache_hit")),
+                    degraded=bool(response.get("degraded")),
                     retries=retries)
             elif event.op == "release":
                 scene_id = scene_ids.get(event.scene)
@@ -124,8 +135,10 @@ async def _execute(event: TraceEvent, trace: Trace,
             return
         except OverloadedError:
             if retries < config.overload_retries:
+                await asyncio.sleep(jittered_backoff_s(
+                    retries, base=config.overload_backoff_s,
+                    cap=config.overload_backoff_cap_s))
                 retries += 1
-                await asyncio.sleep(config.overload_backoff_s * retries)
                 continue
             accountant.record_error(event.phase, "overloaded",
                                     retries=retries)
@@ -209,6 +222,24 @@ async def _run_closed_phase(events: List[TraceEvent], workers: int,
     await asyncio.gather(*(_worker() for _ in range(max(1, workers))))
 
 
+async def _await_chaos_recovery(client: AsyncCompletionClient, kills: int,
+                                *, timeout_s: float = 30.0) -> None:
+    """Poll ``/healthz`` until every kill has respawned and all backends
+    report healthy, or the window closes (the report judges failure)."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            health = await client.healthz()
+        except (ClientConnectionError, ServerError):
+            return                          # front door gone; report judges
+        backends = health.get("backends") or []
+        restarts = sum(backend.get("restarts", 0) for backend in backends)
+        if restarts >= kills and all(backend.get("healthy")
+                                     for backend in backends):
+            return
+        await asyncio.sleep(0.1)
+
+
 async def replay_trace(trace: Trace, config: DriverConfig) -> ReplayResult:
     """Replay every phase of *trace*, in order, against the topology."""
     accountant = SloAccountant()
@@ -240,6 +271,14 @@ async def replay_trace(trace: Trace, config: DriverConfig) -> ReplayResult:
                                         client, config, accountant,
                                         scene_ids)
         wall = time.perf_counter() - started
+
+        if controller is not None and controller.kills:
+            # Respawn is a background concern on the router (failover
+            # serves the traffic); give it a bounded window to land so
+            # the closing stats reflect recovery, not a race.  A timeout
+            # is not an error here — the chaos report's ``recovered``
+            # field carries the verdict.
+            await _await_chaos_recovery(client, controller.kills)
 
         stats: Optional[dict] = None
         healthz: Optional[dict] = None

@@ -56,6 +56,7 @@ class PhaseAccount:
     cache_hits: int = 0
     completions: int = 0            # ok "complete" ops (hit-rate base)
     retries: int = 0                # overload backoffs that later succeeded
+    degraded: int = 0               # last-known-good answers (stale, honest)
 
     @property
     def requests(self) -> int:
@@ -92,6 +93,7 @@ class PhaseAccount:
             "retries": self.retries,
             "cache_hits": self.cache_hits,
             "completions": self.completions,
+            "degraded": self.degraded,
             "cache_hit_rate": _r(self.cache_hit_rate),
             "p50_ms": _r(percentile(latencies, 0.50)),
             "p95_ms": _r(percentile(latencies, 0.95)),
@@ -119,7 +121,7 @@ class SloAccountant:
 
     def record_ok(self, phase: str, latency_ms: float, *,
                   completion: bool = False, cache_hit: bool = False,
-                  retries: int = 0) -> None:
+                  degraded: bool = False, retries: int = 0) -> None:
         account = self.phase(phase)
         account.latencies_ms.append(latency_ms)
         account.retries += retries
@@ -127,6 +129,8 @@ class SloAccountant:
             account.completions += 1
             if cache_hit:
                 account.cache_hits += 1
+            if degraded:
+                account.degraded += 1
 
     def record_error(self, phase: str, code: str, *,
                      retries: int = 0) -> None:
@@ -152,6 +156,7 @@ class SloAccountant:
             merged.cache_hits += account.cache_hits
             merged.completions += account.completions
             merged.retries += account.retries
+            merged.degraded += account.degraded
             for code, count in account.error_codes.items():
                 merged.error_codes[code] = (
                     merged.error_codes.get(code, 0) + count)

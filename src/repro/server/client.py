@@ -16,14 +16,38 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Any, Optional, Sequence
+import random
+from typing import Any, Callable, Optional, Sequence
 
 import hashlib
 
 from repro.core.errors import ReproError
-from repro.server.protocol import (PROTOCOL_VERSION, CompleteRequest,
-                                   EditSceneRequest, RegisterSceneRequest,
-                                   ReleaseSceneRequest, encode_body)
+from repro.server.protocol import (PROTOCOL_VERSION, AdminBackendsRequest,
+                                   CompleteRequest, EditSceneRequest,
+                                   RegisterSceneRequest, ReleaseSceneRequest,
+                                   encode_body)
+
+#: Process-wide RNG for backoff jitter, seeded from OS entropy: every
+#: client process draws different delays, which is the whole point.
+_JITTER_RNG = random.Random()
+
+
+def jittered_backoff_s(attempt: int, *, base: float = 0.05,
+                       cap: float = 2.0,
+                       rng: Optional[random.Random] = None) -> float:
+    """Full-jitter exponential backoff delay for retry *attempt* (0-based).
+
+    ``uniform(0, min(cap, base * 2**attempt))`` — the AWS "full jitter"
+    scheme.  A *deterministic* backoff makes every client that was
+    rejected in the same instant retry in the same instant: the
+    coordinated wave re-overloads a respawning backend in lockstep,
+    forever.  Spreading each delay uniformly over the exponential window
+    decorrelates the wave while keeping the same mean pressure.
+    """
+    if attempt < 0:
+        raise ValueError(f"attempt must be >= 0, got {attempt}")
+    window = min(cap, base * (2 ** attempt))
+    return (rng or _JITTER_RNG).uniform(0.0, window)
 
 
 class ServerError(ReproError):
@@ -63,7 +87,11 @@ class AsyncCompletionClient:
     """Talks the server's JSON protocol; safe for concurrent use."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8777, *,
-                 timeout: float = 60.0, max_idle_connections: int = 32):
+                 timeout: float = 60.0, max_idle_connections: int = 32,
+                 overload_retries: int = 0,
+                 backoff_base_s: float = 0.05, backoff_cap_s: float = 2.0,
+                 rng: Optional[random.Random] = None,
+                 sleep: Callable[[float], Any] = asyncio.sleep):
         self.host = host
         self.port = port
         self.timeout = timeout
@@ -71,6 +99,18 @@ class AsyncCompletionClient:
                                asyncio.StreamWriter]] = []
         self._max_idle = max_idle_connections
         self._closed = False
+        #: 429 handling: with ``overload_retries`` > 0 an
+        #: :class:`OverloadedError` is retried up to that many times
+        #: behind :func:`jittered_backoff_s` (full-jitter exponential
+        #: over ``backoff_base_s``..``backoff_cap_s``).  Admission
+        #: rejection happens before any work, so the retry is always
+        #: safe.  ``rng`` and ``sleep`` are injectable for deterministic
+        #: tests.
+        self.overload_retries = overload_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self._rng = rng
+        self._sleep = sleep
         #: text digest -> scene id, for :meth:`complete_text`'s
         #: register-once / re-register-on-eviction discipline.
         self._scene_ids: dict[str, str] = {}
@@ -109,6 +149,20 @@ class AsyncCompletionClient:
 
     async def _request(self, method: str, path: str,
                        payload: Optional[dict] = None) -> dict:
+        attempt = 0
+        while True:
+            try:
+                return await self._request_once(method, path, payload)
+            except OverloadedError:
+                if attempt >= self.overload_retries:
+                    raise
+                await self._sleep(jittered_backoff_s(
+                    attempt, base=self.backoff_base_s,
+                    cap=self.backoff_cap_s, rng=self._rng))
+                attempt += 1
+
+    async def _request_once(self, method: str, path: str,
+                            payload: Optional[dict] = None) -> dict:
         if self._closed:
             raise ClientConnectionError("client is closed")
         # Requests carry the protocol version (the server rejects a
@@ -230,11 +284,26 @@ class AsyncCompletionClient:
                        goal: Optional[str] = None,
                        variant: Optional[str] = None,
                        n: Optional[int] = None,
-                       deadline_ms: Optional[int] = None) -> dict:
+                       deadline_ms: Optional[int] = None,
+                       priority: Optional[int] = None) -> dict:
         request = CompleteRequest(scene_id=scene_id, scene=scene, goal=goal,
                                   variant=variant, n=n,
-                                  deadline_ms=deadline_ms)
+                                  deadline_ms=deadline_ms,
+                                  priority=priority)
         return await self._request("POST", "/v1/complete",
+                                   request.to_payload())
+
+    async def admin_backends(self) -> dict:
+        """The router's live backend roster (``GET /v1/admin/backends``)."""
+        return await self._request("GET", "/v1/admin/backends")
+
+    async def admin_backend(self, action: str, *,
+                            backend_id: Optional[str] = None,
+                            address: Optional[str] = None) -> dict:
+        """Live elasticity: ``add`` / ``drain`` / ``remove`` a backend."""
+        request = AdminBackendsRequest(action=action, backend_id=backend_id,
+                                       address=address)
+        return await self._request("POST", "/v1/admin/backends",
                                    request.to_payload())
 
     async def release_scene(self, scene_id: str) -> dict:

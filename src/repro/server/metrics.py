@@ -70,6 +70,7 @@ class ServerMetrics:
         self.coalesced = 0                 # joined an in-flight synthesis
         self.synthesized = 0               # ran the pipeline
         self.rejected_overload = 0         # 429s from admission control
+        self.shed_low_priority = 0         # of which: soft-watermark sheds
         self.deadline_partial = 0          # anytime results (truncated)
         self.errors = Counter()            # per error code
         self.scenes_registered = 0
@@ -132,6 +133,7 @@ class ServerMetrics:
             "coalesced": self.coalesced,
             "synthesized": self.synthesized,
             "rejected_overload": self.rejected_overload,
+            "shed_low_priority": self.shed_low_priority,
             "deadline_partial": self.deadline_partial,
             "errors": dict(self.errors),
             "scenes_registered": self.scenes_registered,

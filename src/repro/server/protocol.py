@@ -12,6 +12,8 @@ Endpoints (all bodies JSON):
 ``/v1/complete``        POST    one completion query (by scene id or inline)
 ``/v1/complete-batch``  POST    many queries, answered concurrently
 ``/v1/release-scene``   POST    explicitly drop a registered scene
+``/v1/edit-scene``      POST    declaration deltas against a registered scene
+``/v1/admin/backends``  both    router only: list / add / drain / remove
 ``/v1/stats``           GET     live metrics snapshot
 ``/healthz``            GET     liveness probe
 ======================  ======  ==============================================
@@ -71,6 +73,12 @@ MAX_BATCH_QUERIES = 256
 #: Floor for a mapped per-phase budget: never hand the pipeline a zero or
 #: negative limit, even for a 1 ms deadline.
 MIN_PHASE_SECONDS = 0.001
+
+#: Request priority scale for admission-pressure shedding.  Priorities
+#: below :data:`NORMAL_PRIORITY` are shed first when the queue crosses
+#: the server's soft watermark; an absent ``priority`` means normal.
+MAX_PRIORITY = 9
+NORMAL_PRIORITY = 5
 
 
 class ProtocolError(ReproError):
@@ -165,6 +173,12 @@ class CompleteRequest:
     n: Optional[int] = None
     deadline_ms: Optional[int] = None
     stream: bool = False
+    #: Optional admission-pressure priority, ``0`` (shed first) to ``9``
+    #: (shed last); absent means :data:`NORMAL_PRIORITY`.  Under load the
+    #: server sheds below-normal work at a soft watermark before the
+    #: hard ``overloaded`` ceiling applies to everyone — interactive
+    #: completions keep landing while batch backfill waits.
+    priority: Optional[int] = None
 
     @staticmethod
     def from_payload(payload: Any) -> "CompleteRequest":
@@ -190,12 +204,14 @@ class CompleteRequest:
             deadline_ms=_optional_int(payload, "deadline_ms", minimum=1,
                                       maximum=MAX_DEADLINE_MS),
             stream=stream,
+            priority=_optional_int(payload, "priority", minimum=0,
+                                   maximum=MAX_PRIORITY),
         )
 
     def to_payload(self) -> dict:
         payload = {}
         for field in ("scene_id", "scene", "goal", "variant", "n",
-                      "deadline_ms"):
+                      "deadline_ms", "priority"):
             value = getattr(self, field)
             if value is not None:
                 payload[field] = value
@@ -292,6 +308,58 @@ class EditSceneRequest:
         payload: dict = {"scene_id": self.scene_id, "ops": list(self.ops)}
         if self.name is not None:
             payload["name"] = self.name
+        return payload
+
+
+#: Actions accepted by the router's ``POST /v1/admin/backends``.
+ADMIN_ACTIONS = ("add", "drain", "remove")
+
+
+@dataclass(frozen=True)
+class AdminBackendsRequest:
+    """``POST /v1/admin/backends`` (router only): live elasticity.
+
+    ``add`` spawns a new managed backend (or attaches ``address``),
+    waits for health, and replays its journal shard into it; ``drain``
+    takes a backend off the hash ring, re-registers its scenes on their
+    new owners, and moves sticky edit-sessions — the backend keeps
+    serving in-flight traffic until ``remove`` tears it down (``remove``
+    drains first when needed).  Replica answers with ``degraded: true``
+    mark last-known-good responses served while every owner of a scene
+    is down — same envelope, one extra marker, no new status code.
+    """
+
+    action: str
+    backend_id: Optional[str] = None
+    address: Optional[str] = None
+
+    @staticmethod
+    def from_payload(payload: Any) -> "AdminBackendsRequest":
+        payload = _require(payload)
+        action = _optional_str(payload, "action")
+        if action not in ADMIN_ACTIONS:
+            raise ProtocolError(
+                f"'action' must be one of {ADMIN_ACTIONS}, got {action!r}")
+        backend_id = _optional_str(payload, "backend_id")
+        if action in ("drain", "remove") and backend_id is None:
+            raise ProtocolError(f"'backend_id' is required for {action!r}")
+        address = _optional_str(payload, "address")
+        if address is not None:
+            if action != "add":
+                raise ProtocolError("'address' only applies to 'add'")
+            host, _, port = address.rpartition(":")
+            if not host or not port.isdigit() or not 0 < int(port) < 65536:
+                raise ProtocolError(
+                    f"'address' {address!r} is not host:port")
+        return AdminBackendsRequest(action=action, backend_id=backend_id,
+                                    address=address)
+
+    def to_payload(self) -> dict:
+        payload: dict = {"action": self.action}
+        if self.backend_id is not None:
+            payload["backend_id"] = self.backend_id
+        if self.address is not None:
+            payload["address"] = self.address
         return payload
 
 

@@ -31,6 +31,23 @@ zero wire changes.  The pieces:
   (count summed, mean weighted, percentiles conservatively maxed) — with
   the per-shard truth under ``shards`` and the router's own counters
   under ``router``.
+* **Replicated placement** (:meth:`HashRing.route_n`): every scene is
+  journaled to R distinct ring owners (``replication``, default 2);
+  reads go to the healthiest/least-loaded owner and fail over to a
+  sibling replica instantly when one dies — the dead replica respawns
+  in the background instead of stalling the request that found it.
+* **Circuit breakers and retry budgets**: each backend carries a
+  closed → open → half-open breaker (consecutive connection failures
+  open it; a cooldown admits probe traffic), and failover retries spend
+  a router-wide token bucket that accrues per request — a dead shard's
+  retry storm can neither hammer the corpse nor starve healthy shards.
+* **Graceful degradation**: when *every* replica of a scene is down,
+  the router answers from its last-known-good completion cache with a
+  ``degraded: true`` marker instead of a 5xx — stale-but-instant beats
+  absent for an interactive completer.
+* **Admin surface** (``/v1/admin/backends``): live add / drain / remove
+  of backends over the already-safe ``HashRing.add/remove`` + journal
+  replay path; drain moves sticky edit-sessions before removal.
 
 The router holds no synthesis state of its own: everything it needs to
 rebuild a backend is in the journal and the backends' snapshot files, so
@@ -48,8 +65,8 @@ import subprocess
 import sys
 import time
 from bisect import bisect_left
-from collections import Counter
-from dataclasses import dataclass
+from collections import Counter, OrderedDict
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Awaitable, Callable, Optional, Sequence
 
@@ -117,12 +134,30 @@ class HashRing:
 
     def route(self, key: str) -> str:
         """The backend id owning *key*; raises when the ring is empty."""
+        return self.route_n(key, 1)[0]
+
+    def route_n(self, key: str, n: int) -> list[str]:
+        """The first ``min(n, len(self))`` *distinct* owners of *key*.
+
+        Walks clockwise from the key's point collecting distinct backend
+        ids — the classic successor list.  The same walk that gives
+        ``route`` its ~1/N remap property applies per replica slot:
+        adding a backend can only insert itself into (and push the tail
+        out of) a key's owner list, never shuffle the survivors'
+        relative order, so replica sets stay stable under churn.
+        """
         if not self._points:
             raise ProtocolError("no backends on the ring", code="internal")
+        want = min(n, len(self._backends))
         index = bisect_left(self._points, (self._point(key), ""))
-        if index == len(self._points):
-            index = 0                       # wrap past the last point
-        return self._points[index][1]
+        owners: list[str] = []
+        for step in range(len(self._points)):
+            backend_id = self._points[(index + step) % len(self._points)][1]
+            if backend_id not in owners:
+                owners.append(backend_id)
+                if len(owners) == want:
+                    break
+        return owners
 
     @property
     def backends(self) -> frozenset:
@@ -295,6 +330,161 @@ class SceneJournal:
         return len(self._by_scene)
 
 
+# -- resilience primitives ---------------------------------------------------
+
+
+class CircuitBreaker:
+    """Per-backend circuit breaker: closed → open → half-open.
+
+    ``failure_threshold`` consecutive connection failures open the
+    circuit; after ``reset_timeout_s`` of cooldown the breaker admits
+    traffic again (half-open) and the first result decides — success
+    closes it, failure re-opens it for another cooldown.  Only
+    *connection-level* failures count: a backend answering an error
+    envelope is alive and keeps its breaker closed.
+
+    The clock is injectable (monotonic seconds) so state transitions are
+    unit-testable without sleeping; ``last_failure_at`` is wall-clock,
+    for operators reading ``/healthz``.
+    """
+
+    def __init__(self, failure_threshold: int = 5,
+                 reset_timeout_s: float = 2.0, *,
+                 clock: Callable[[], float] = time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be at least 1, "
+                             f"got {failure_threshold}")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self._clock = clock
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.opened_total = 0               # lifetime open transitions
+        self._opened_at: Optional[float] = None
+        self.last_failure_at: Optional[float] = None    # wall clock
+
+    def allow(self) -> bool:
+        """May a call be attempted now?  (Open → half-open on cooldown.)"""
+        if self.state == "open":
+            assert self._opened_at is not None
+            if self._clock() - self._opened_at >= self.reset_timeout_s:
+                self.state = "half_open"
+            else:
+                return False
+        return True
+
+    def record_success(self) -> None:
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self._opened_at = None
+
+    def record_failure(self) -> None:
+        self.last_failure_at = time.time()
+        self.consecutive_failures += 1
+        if (self.state == "half_open"
+                or self.consecutive_failures >= self.failure_threshold):
+            if self.state != "open":
+                self.opened_total += 1
+            self.state = "open"
+            self._opened_at = self._clock()
+
+    def describe(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "opened_total": self.opened_total,
+            "last_failure_at": self.last_failure_at,
+        }
+
+
+class RetryBudget:
+    """Router-wide token bucket bounding failover/retry volume.
+
+    Every incoming request earns ``ratio`` tokens (capped at ``burst``);
+    every retry — a second or later attempt for the same request —
+    spends one.  With the default ratio 0.2 at most ~20% of steady-state
+    traffic can be retries, so a dead shard's retry storm is bounded by
+    construction rather than by luck.  Purely count-based (no clock):
+    deterministic under test and under replay.
+    """
+
+    def __init__(self, ratio: float = 0.2, burst: float = 10.0):
+        if not 0.0 <= ratio <= 1.0:
+            raise ValueError(f"ratio must be within [0, 1], got {ratio}")
+        if burst < 1.0:
+            raise ValueError(f"burst must be at least 1, got {burst}")
+        self.ratio = ratio
+        self.burst = burst
+        self.tokens = burst                 # start full: cold-start retries ok
+        self.granted = 0
+        self.denied = 0
+
+    def on_request(self) -> None:
+        """Accrue credit for one incoming (non-retry) request."""
+        self.tokens = min(self.burst, self.tokens + self.ratio)
+
+    def try_spend(self) -> bool:
+        """Spend one retry token; False = budget exhausted, stop retrying."""
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            self.granted += 1
+            return True
+        self.denied += 1
+        return False
+
+    def describe(self) -> dict:
+        return {
+            "ratio": self.ratio,
+            "burst": self.burst,
+            "tokens": round(self.tokens, 3),
+            "granted": self.granted,
+            "denied": self.denied,
+        }
+
+
+class LastKnownGood:
+    """Bounded LRU of the last successful completion per query shape.
+
+    Keyed by ``(scene_id, goal, variant, n, deadline_ms)``; the stored
+    payload is a *copy* of the backend's successful response.  When
+    every replica of a scene is down, the router serves this copy with
+    ``degraded: true`` instead of a 5xx — for an interactive completer a
+    stale ranked list beats an error page, and the marker lets clients
+    render it honestly.
+    """
+
+    def __init__(self, capacity: int = 512):
+        if capacity < 1:
+            raise ValueError(f"capacity must be at least 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, dict] = OrderedDict()
+        self.hits = 0
+
+    def remember(self, key: tuple, payload: dict) -> None:
+        self._entries.pop(key, None)
+        self._entries[key] = dict(payload)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def get(self, key: tuple) -> Optional[dict]:
+        payload = self._entries.get(key)
+        if payload is None:
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return dict(payload)
+
+    def purge_scene(self, scene_id: str) -> int:
+        """Drop every cached answer for *scene_id* (on release)."""
+        stale = [key for key in self._entries if key[0] == scene_id]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
 # -- backends ----------------------------------------------------------------
 
 
@@ -310,6 +500,9 @@ class Backend:
     snapshot_path: Optional[str] = None
     restarts: int = 0
     healthy: bool = True
+    breaker: CircuitBreaker = field(default_factory=CircuitBreaker)
+    draining: bool = False                  # admin drain in progress
+    inflight: int = 0                       # router calls outstanding
 
     @property
     def managed(self) -> bool:
@@ -321,7 +514,10 @@ class Backend:
             "address": f"{self.host}:{self.port}",
             "managed": self.managed,
             "healthy": self.healthy,
+            "draining": self.draining,
             "restarts": self.restarts,
+            "inflight": self.inflight,
+            "breaker": self.breaker.describe(),
             "snapshot_path": self.snapshot_path,
             # The supervised process id (None when attached): the chaos
             # harness reads this off /healthz to deliver its SIGKILLs —
@@ -432,6 +628,24 @@ class RouterConfig:
     #: Per-request timeout towards backends.
     request_timeout: float = 120.0
     read_timeout: float = 60.0
+    #: Distinct ring owners per scene (clamped to the live backend
+    #: count).  R=2 means one SIGKILL never stalls a scene: a sibling
+    #: replica already holds it.
+    replication: int = 2
+    #: Consecutive connection failures that open a backend's breaker.
+    breaker_failures: int = 5
+    #: Cooldown before an open breaker admits a half-open probe.
+    breaker_reset_s: float = 2.0
+    #: Retry tokens earned per incoming request (≤ this fraction of
+    #: traffic can be failover retries) and the bucket's burst cap.
+    retry_budget_ratio: float = 0.2
+    retry_budget_burst: float = 10.0
+    #: Last-known-good completion cache entries kept for degraded
+    #: answers when every replica of a scene is down.
+    lkg_entries: int = 512
+    #: Supervisor sweep period: how often dead managed processes are
+    #: re-kicked and unhealthy attached backends probed.
+    supervise_interval_s: float = 0.25
 
 
 def check_config(config: RouterConfig, *,
@@ -459,6 +673,15 @@ def check_config(config: RouterConfig, *,
     if config.ring_replicas < 1:
         problems.append(f"--ring-replicas must be at least 1, "
                         f"got {config.ring_replicas}")
+    if config.replication < 1:
+        problems.append(f"--replication must be at least 1, "
+                        f"got {config.replication}")
+    if not 0.0 <= config.retry_budget_ratio <= 1.0:
+        problems.append(f"retry budget ratio must be within [0, 1], "
+                        f"got {config.retry_budget_ratio}")
+    if config.breaker_failures < 1:
+        problems.append(f"breaker failure threshold must be at least 1, "
+                        f"got {config.breaker_failures}")
     if config.attach and config.snapshot_dir is not None:
         problems.append("--snapshot-dir only applies to managed backends "
                         "(drop it or drop --attach)")
@@ -516,9 +739,11 @@ def check_config(config: RouterConfig, *,
 class CompletionRouter:
     """HTTP/JSON front door that shards scenes over backend servers."""
 
-    #: The router serves exactly the backend surface — same tuple, so a
-    #: new endpoint can never exist on one side only.
-    KNOWN_PATHS = AsyncCompletionServer.KNOWN_PATHS
+    #: The router serves the backend surface plus its own admin
+    #: endpoints — the shared prefix is the server's tuple, so a
+    #: *backend* endpoint can never exist on one side only.
+    KNOWN_PATHS = AsyncCompletionServer.KNOWN_PATHS + (
+        "/v1/admin/backends",)
 
     def __init__(self, config: Optional[RouterConfig] = None):
         self.config = config or RouterConfig()
@@ -532,6 +757,14 @@ class CompletionRouter:
         self.restarts = 0                   # backend respawns
         self.edits = 0                      # scene deltas forwarded
         self.streams_proxied = 0            # streamed completions proxied
+        self.failovers = 0                  # replica attempts failed over
+        self.degraded_served = 0            # LKG answers with degraded: true
+        self.drains = 0                     # admin drains completed
+        self.retry_budget = RetryBudget(self.config.retry_budget_ratio,
+                                        self.config.retry_budget_burst)
+        self.lkg = LastKnownGood(self.config.lkg_entries)
+        self._respawn_tasks: dict[str, asyncio.Task] = {}
+        self._supervisor_task: Optional[asyncio.Task] = None
         #: scene id -> backend id for delta-edited scenes: an edit leaves
         #: warm incremental state on the backend that applied it, which
         #: the ring (hashing the *new* content id) knows nothing about.
@@ -568,6 +801,7 @@ class CompletionRouter:
             port=self.config.port)
         sockname = self._server.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
+        self._supervisor_task = asyncio.ensure_future(self._supervise())
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
@@ -579,6 +813,22 @@ class CompletionRouter:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._supervisor_task is not None:
+            self._supervisor_task.cancel()
+            try:
+                await self._supervisor_task
+            except asyncio.CancelledError:
+                pass
+            self._supervisor_task = None
+        for task in self._respawn_tasks.values():
+            if not task.done():
+                task.cancel()
+        for task in self._respawn_tasks.values():
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass                        # shutting down; outcome moot
+        self._respawn_tasks.clear()
         for backend in self.backends.values():
             await backend.client.close()
             if backend.process is not None:
@@ -596,6 +846,8 @@ class CompletionRouter:
                                      timeout=self.config.request_timeout)
 
     def _adopt_backend(self, backend: Backend) -> None:
+        backend.breaker = CircuitBreaker(self.config.breaker_failures,
+                                         self.config.breaker_reset_s)
         self.backends[backend.backend_id] = backend
         self.ring.add(backend.backend_id)
         self._respawn_locks[backend.backend_id] = asyncio.Lock()
@@ -649,12 +901,17 @@ class CompletionRouter:
             await wait_until_healthy(backend.client)
             await self._replay_into(backend)
             backend.healthy = True
+            backend.breaker.record_success()    # fresh process, clean slate
 
     async def _replay_into(self, backend: Backend) -> int:
-        """Re-register every journaled scene the ring assigns *backend*."""
+        """Re-register every journaled scene whose R-owner set contains
+        *backend* — with replication > 1 each scene replays into every
+        surviving copy of its replica set, not just one primary."""
         replayed = 0
         for entry in self.journal.entries():
-            if self.ring.route(entry.scene_id) != backend.backend_id:
+            owners = self.ring.route_n(entry.scene_id,
+                                       self.config.replication)
+            if backend.backend_id not in owners:
                 continue
             try:
                 await backend.client.register_scene(entry.text,
@@ -669,10 +926,107 @@ class CompletionRouter:
     MAX_SESSION_HOMES = 1024
 
     def _owner(self, scene_id: str) -> Backend:
+        candidates = self._candidates(scene_id)
+        if not candidates:
+            raise ProtocolError("no backends on the ring", code="internal")
+        return candidates[0]
+
+    def _candidates(self, scene_id: str) -> list[Backend]:
+        """The scene's replica set, best-first.
+
+        The sticky edit-session home (warm incremental state) leads when
+        it exists; the ring's R owners follow, healthiest and
+        least-loaded first, so reads land on a live replica even while a
+        sibling is mid-respawn.
+        """
+        ids: list[str] = []
         home = self._session_homes.get(scene_id)
         if home is not None and home in self.backends:
-            return self.backends[home]
-        return self.backends[self.ring.route(scene_id)]
+            ids.append(home)
+        for owner_id in self.ring.route_n(scene_id,
+                                          self.config.replication):
+            if owner_id not in ids:
+                ids.append(owner_id)
+        head = [self.backends[home]] if ids and ids[0] == home else []
+        tail = [self.backends[backend_id]
+                for backend_id in ids[len(head):]
+                if backend_id in self.backends]
+        tail.sort(key=lambda b: (not b.healthy,
+                                 b.breaker.state != "closed", b.inflight))
+        return head + tail
+
+    def _kick_respawn(self, backend: Backend) -> None:
+        """Start a *background* respawn of a dead managed backend.
+
+        The request that found the corpse fails over to a sibling
+        replica instead of paying the restart; the respawn task (one per
+        backend, serialised by the respawn lock) rebuilds the replica
+        off the critical path.
+        """
+        if not backend.managed or backend.process.poll() is None:
+            return
+        task = self._respawn_tasks.get(backend.backend_id)
+        if task is not None and not task.done():
+            return
+        task = asyncio.ensure_future(self._respawn(backend))
+        task.add_done_callback(self._respawn_task_done)
+        self._respawn_tasks[backend.backend_id] = task
+
+    def _respawn_task_done(self, task: asyncio.Task) -> None:
+        if task.cancelled():
+            return
+        if task.exception() is not None:
+            self.errors["respawn"] += 1     # the supervisor sweep re-kicks
+
+    async def _supervise(self) -> None:
+        """Background sweep: recover backends that traffic routes around.
+
+        With replicated reads, a corpse stops *receiving* requests the
+        moment it is marked unhealthy — so request-driven respawn alone
+        can strand it dead forever (and a kick lost to the SIGKILL/
+        ``poll()`` race would never be retried).  This loop re-kicks
+        dead managed processes and health-probes unhealthy attached
+        backends so both kinds rejoin without needing a request to trip
+        over them.
+        """
+        while True:
+            await asyncio.sleep(self.config.supervise_interval_s)
+            for backend in list(self.backends.values()):
+                if backend.managed:
+                    if backend.process.poll() is not None:
+                        self._kick_respawn(backend)
+                elif not backend.healthy:
+                    try:
+                        await backend.client.healthz()
+                    except ReproError:
+                        continue            # still down; next sweep retries
+                    backend.healthy = True
+                    backend.breaker.record_success()
+
+    async def _call_fast(self, backend: Backend,
+                         call: Callable[[AsyncCompletionClient],
+                                        Awaitable[dict]]) -> dict:
+        """One backend RPC with *no* blocking recovery.
+
+        A connection failure marks the breaker, kicks a background
+        respawn, and raises — the caller's ladder fails over to a
+        sibling replica instead of waiting out a restart here.
+        """
+        backend.inflight += 1
+        try:
+            result = await call(backend.client)
+        except ClientConnectionError as exc:
+            backend.healthy = False
+            backend.breaker.record_failure()
+            self._kick_respawn(backend)
+            raise ProtocolError(
+                f"backend {backend.backend_id} unreachable: {exc}",
+                code="internal") from exc
+        finally:
+            backend.inflight -= 1
+        backend.healthy = True
+        backend.breaker.record_success()
+        return result
 
     def _remember_home(self, scene_id: str, backend_id: str) -> None:
         self._session_homes.pop(scene_id, None)
@@ -683,13 +1037,22 @@ class CompletionRouter:
     async def _call(self, backend: Backend,
                     call: Callable[[AsyncCompletionClient], Awaitable[dict]]
                     ) -> dict:
-        """One backend RPC with crash-respawn-retry for managed shards."""
+        """One backend RPC with crash-respawn-retry for managed shards.
+
+        The *blocking* recovery path: used where there is no sibling
+        replica to fail over to (registrations, last-resort completions,
+        R=1 topologies) — the first failing request pays the restart
+        rather than erroring.  Serialised by the respawn lock, so a
+        storm collapses onto one restart.
+        """
         try:
             result = await call(backend.client)
             backend.healthy = True          # answered: recovered if it was down
+            backend.breaker.record_success()
             return result
         except ClientConnectionError as exc:
             error: Exception = exc
+            backend.breaker.record_failure()
             if backend.managed:
                 if backend.process.poll() is None:
                     # The connection broke but the process looks alive —
@@ -705,8 +1068,11 @@ class CompletionRouter:
                     # ClientConnectionError surface as a 400.
                     try:
                         await self._respawn(backend)
-                        return await call(backend.client)
+                        result = await call(backend.client)
+                        backend.breaker.record_success()
+                        return result
                     except ClientConnectionError as retry_exc:
+                        backend.breaker.record_failure()
                         error = retry_exc
             backend.healthy = False
             raise ProtocolError(
@@ -784,6 +1150,11 @@ class CompletionRouter:
             if route == ("POST", "/v1/edit-scene"):
                 return 200, await self._handle_edit(
                     protocol.decode_body(request.body))
+            if route == ("GET", "/v1/admin/backends"):
+                return 200, self._admin_list_payload()
+            if route == ("POST", "/v1/admin/backends"):
+                return 200, await self._handle_admin(
+                    protocol.decode_body(request.body))
             if request.path in self.KNOWN_PATHS:
                 self.errors["bad_request"] += 1
                 return 405, protocol.error_payload(
@@ -814,38 +1185,65 @@ class CompletionRouter:
 
     async def register_text(self, text: str,
                             name: Optional[str] = None) -> dict:
-        """Route one registration to the scene's ring owner.
+        """Register one scene on every backend in its replica set.
 
         The routing key — the content-derived scene id — only exists
         after a backend has prepared the scene, so new text is first
         registered on a deterministic *probe* backend (hash of the text
-        digest).  Once the id is known, the scene is re-registered on its
-        true owner and released from the probe when the two differ
-        (~(N-1)/N of the time); the journal then remembers digest →
-        scene id, so every later registration and inline completion of
-        the same text routes straight to the owner with a single RPC.
+        digest).  Once the id is known, the scene is registered on all R
+        ring owners and released from the probe when it is not one of
+        them; the journal then remembers digest → scene id, so every
+        later registration and inline completion of the same text routes
+        straight to the owners.
         """
         digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
         known = self.journal.lookup_digest(digest)
         if known is not None:
-            owner = self._owner(known.scene_id)
-            return await self._call(
-                owner, lambda c: c.register_scene(text, name=name))
+            return await self._register_on_owners(known.scene_id, text,
+                                                  name)
 
         probe = self.backends[self.ring.route(_DIGEST_KEY_PREFIX + digest)]
         response = await self._call(
             probe, lambda c: c.register_scene(text, name=name))
         scene_id = response["scene_id"]
-        owner = self._owner(scene_id)
-        if owner.backend_id != probe.backend_id:
-            response = await self._call(
-                owner, lambda c: c.register_scene(text, name=name))
+        owner_ids = self.ring.route_n(scene_id, self.config.replication)
+        if probe.backend_id not in owner_ids:
             try:                            # de-home the probe's stray copy
                 await probe.client.release_scene(scene_id)
             except (ReproError, ClientConnectionError):
                 pass                        # best-effort; eviction covers it
         self.journal.record(digest=digest, scene_id=scene_id,
                             name=name or response.get("name"), text=text)
+        try:
+            return await self._register_on_owners(scene_id, text, name)
+        except ProtocolError:
+            # Every owner is down right now: the registration is still
+            # durable (journal) and valid (the probe prepared it) — the
+            # replay/re-teach paths finish placement when owners return.
+            return response
+
+    async def _register_on_owners(self, scene_id: str, text: str,
+                                  name: Optional[str]) -> dict:
+        """Register *text* on each replica-set backend; first response
+        wins, later copies are best-effort (a dead sibling is re-taught
+        by journal replay when it respawns)."""
+        response: Optional[dict] = None
+        last_error: Optional[ProtocolError] = None
+        for backend in self._candidates(scene_id):
+            try:
+                if response is None:
+                    response = await self._call(
+                        backend, lambda c: c.register_scene(text, name=name))
+                else:
+                    await self._call_fast(
+                        backend, lambda c: c.register_scene(text, name=name))
+            except ProtocolError as error:
+                if error.code != "internal":
+                    raise                   # scene itself is bad: surface it
+                last_error = error
+        if response is None:
+            raise last_error or ProtocolError("no backends on the ring",
+                                              code="internal")
         return response
 
     # -- endpoint: complete --------------------------------------------------
@@ -866,28 +1264,99 @@ class CompletionRouter:
             return registered["scene_id"]
         return entry.scene_id
 
+    @staticmethod
+    def _lkg_key(scene_id: str, request: CompleteRequest) -> tuple:
+        return (scene_id, request.goal, request.variant, request.n,
+                request.deadline_ms)
+
+    def _remember_lkg(self, key: tuple, response: dict) -> dict:
+        if response.get("ok") and not response.get("partial"):
+            self.lkg.remember(key, response)
+        return response
+
     async def _complete_one(self, request: CompleteRequest) -> dict:
         scene_id = await self._resolve_scene_id(request)
-        backend = self._owner(scene_id)
 
         def call(client: AsyncCompletionClient) -> Awaitable[dict]:
             return client.complete(scene_id, goal=request.goal,
                                    variant=request.variant, n=request.n,
-                                   deadline_ms=request.deadline_ms)
+                                   deadline_ms=request.deadline_ms,
+                                   priority=request.priority)
 
+        return await self._serve_with_failover(scene_id, request, call)
+
+    async def _attempt_backend(self, backend: Backend, scene_id: str,
+                               call: Callable[[AsyncCompletionClient],
+                                              Awaitable[dict]]) -> dict:
+        """One replica attempt, with the journal re-teach for a backend
+        that is alive but lost the scene (eviction, unsupervised
+        restart) — invisible upstream."""
         try:
-            return await self._call(backend, call)
+            return await self._call_fast(backend, call)
         except SceneNotFoundError:
             entry = self.journal.lookup_scene(scene_id)
             if entry is None:
                 raise                       # never registered through us
-            # The backend lost the scene (eviction, unsupervised restart):
-            # re-teach it from the journal and retry — invisible upstream.
             self.reregistrations += 1
-            backend = self._owner(scene_id)
+            await self._call_fast(backend, lambda c: c.register_scene(
+                entry.text, name=entry.name))
+            return await self._call_fast(backend, call)
+
+    async def _serve_with_failover(self, scene_id: str,
+                                   request: CompleteRequest,
+                                   call: Callable[[AsyncCompletionClient],
+                                                  Awaitable[dict]]) -> dict:
+        """The read path: healthiest replica first, instant failover.
+
+        The ladder tries each replica-set backend in best-first order; a
+        connection failure kicks a background respawn and moves on to
+        the sibling.  Attempts beyond the first spend the router's retry
+        budget — a storm against a dead shard is bounded by construction.
+        When every replica is down the last-known-good cache answers
+        with ``degraded: true``; with nothing cached the preferred owner
+        pays a blocking respawn-and-retry (the pre-replication
+        behaviour), so R=1 topologies and cold scenes still recover
+        without a client-visible error.
+        """
+        self.retry_budget.on_request()
+        key = self._lkg_key(scene_id, request)
+        candidates = self._candidates(scene_id)
+        attempts = 0
+        last_error: Optional[ProtocolError] = None
+        for backend in candidates:
+            if len(candidates) > 1 and not backend.breaker.allow():
+                continue                    # open circuit: skip the corpse
+            if attempts and not self.retry_budget.try_spend():
+                break                       # budget spent: stop hammering
+            attempts += 1
+            try:
+                return self._remember_lkg(
+                    key, await self._attempt_backend(backend, scene_id,
+                                                     call))
+            except ProtocolError as error:
+                if error.code != "internal":
+                    raise                   # backend answered: not a failover
+                last_error = error
+                self.failovers += 1
+        cached = self.lkg.get(key)
+        if cached is not None:
+            self.degraded_served += 1
+            return {**cached, "degraded": True}
+        if not candidates:
+            raise last_error or ProtocolError("no backends on the ring",
+                                              code="internal")
+        backend = candidates[0]
+        try:
+            return self._remember_lkg(key,
+                                      await self._call(backend, call))
+        except SceneNotFoundError:
+            entry = self.journal.lookup_scene(scene_id)
+            if entry is None:
+                raise
+            self.reregistrations += 1
             await self._call(backend, lambda c: c.register_scene(
                 entry.text, name=entry.name))
-            return await self._call(backend, call)
+            return self._remember_lkg(key, await self._call(backend, call))
 
     async def _handle_batch(self, payload) -> dict:
         requests = protocol.parse_batch_payload(payload)
@@ -975,54 +1444,87 @@ class CompletionRouter:
 
         Opening eagerly pulls one chunk so every backend-side failure
         mode surfaces *here*, before the proxy commits a response head —
-        with the same recovery ladder as the batch path: one
-        respawn-and-retry for dead managed shards (:meth:`_call`'s), one
-        journal re-teach for unknown scenes (:meth:`_complete_one`'s).
+        with the same replica ladder as the unary path: instant failover
+        to a sibling (budgeted), a journal re-teach for unknown scenes,
+        a degraded last-known-good stream when every replica is down,
+        and a blocking respawn-and-retry only as the final resort.
         """
-        backend = self._owner(scene_id)
+        def first_of(client: AsyncCompletionClient):
+            async def opened():
+                stream = client.complete_stream(
+                    scene_id, goal=request.goal, variant=request.variant,
+                    n=request.n, deadline_ms=request.deadline_ms)
+                try:
+                    return stream, await stream.__anext__()
+                except StopAsyncIteration:
+                    raise ClientConnectionError(
+                        "backend closed the stream before any chunk")
+            return opened()
 
-        async def first_of(client: AsyncCompletionClient):
-            stream = client.complete_stream(
-                scene_id, goal=request.goal, variant=request.variant,
-                n=request.n, deadline_ms=request.deadline_ms)
+        self.retry_budget.on_request()
+        candidates = self._candidates(scene_id)
+        attempts = 0
+        last_error: Optional[ProtocolError] = None
+        for backend in candidates:
+            if len(candidates) > 1 and not backend.breaker.allow():
+                continue
+            if attempts and not self.retry_budget.try_spend():
+                break
+            attempts += 1
             try:
-                return stream, await stream.__anext__()
-            except StopAsyncIteration:
-                raise ClientConnectionError(
-                    f"backend {backend.backend_id} closed the stream "
-                    f"before any chunk")
+                try:
+                    return await self._call_fast(backend, first_of)
+                except SceneNotFoundError:
+                    entry = self.journal.lookup_scene(scene_id)
+                    if entry is None:
+                        raise
+                    self.reregistrations += 1
+                    await self._call_fast(backend, lambda c:
+                                          c.register_scene(entry.text,
+                                                           name=entry.name))
+                    return await self._call_fast(backend, first_of)
+            except ProtocolError as error:
+                if error.code != "internal":
+                    raise
+                last_error = error
+                self.failovers += 1
+        cached = self.lkg.get(self._lkg_key(scene_id, request))
+        if cached is not None:
+            self.degraded_served += 1
+            return self._degraded_stream(cached)
+        if not candidates:
+            raise last_error or ProtocolError("no backends on the ring",
+                                              code="internal")
+        return await self._call(candidates[0], first_of)
 
-        try:
-            try:
-                opened = await first_of(backend.client)
-                backend.healthy = True
-                return opened
-            except ClientConnectionError as exc:
-                error: Exception = exc
-                if backend.managed:
-                    if backend.process.poll() is None:
-                        await asyncio.sleep(0.2)
-                    if backend.process.poll() is not None:
-                        try:
-                            await self._respawn(backend)
-                            opened = await first_of(backend.client)
-                            backend.healthy = True
-                            return opened
-                        except ClientConnectionError as retry_exc:
-                            error = retry_exc
-                backend.healthy = False
-                raise ProtocolError(
-                    f"backend {backend.backend_id} unreachable: {error}",
-                    code="internal") from error
-        except SceneNotFoundError:
-            entry = self.journal.lookup_scene(scene_id)
-            if entry is None:
-                raise
-            self.reregistrations += 1
-            backend = self._owner(scene_id)
-            await self._call(backend, lambda c: c.register_scene(
-                entry.text, name=entry.name))
-            return await first_of(backend.client)
+    @staticmethod
+    def _degraded_stream(payload: dict):
+        """A synthesized chunk stream replaying a last-known-good answer.
+
+        Mirrors the backend's wire shape — one ``snippet`` chunk per
+        snippet, then a ``done`` summary — with ``degraded: true`` on
+        the summary, so streaming clients degrade exactly like unary
+        ones when every replica is down.
+        """
+        done = protocol.stream_done_chunk({**payload, "degraded": True})
+        snippets = payload.get("snippets") or []
+
+        def snippet_chunk(snippet: dict) -> dict:
+            return {"v": protocol.PROTOCOL_VERSION, "chunk": "snippet",
+                    **snippet}
+
+        async def remaining():
+            for snippet in snippets[1:]:
+                yield snippet_chunk(snippet)
+            yield done
+
+        async def only_done():
+            return
+            yield                           # pragma: no cover — generator
+
+        if not snippets:
+            return only_done(), done
+        return remaining(), snippet_chunk(snippets[0])
 
     # -- endpoint: edit-scene ------------------------------------------------
 
@@ -1071,23 +1573,156 @@ class CompletionRouter:
 
     async def _handle_release(self, payload) -> dict:
         request = ReleaseSceneRequest.from_payload(payload)
+        candidates = self._candidates(request.scene_id)
         self._session_homes.pop(request.scene_id, None)
         journaled = self.journal.remove(request.scene_id)
-        backend = self._owner(request.scene_id)
-        try:
-            response = await self._call(
-                backend, lambda c: c.release_scene(request.scene_id))
-        except ProtocolError:
-            if not journaled:
-                raise
-            # The shard is unreachable but the tombstone is durable: the
-            # scene will not be replayed into any future replica, which
-            # is the client-visible meaning of "released".
-            return protocol.ok_payload(scene_id=request.scene_id,
-                                       released=True)
-        released = bool(response.get("released")) or journaled
+        self.lkg.purge_scene(request.scene_id)  # released means *gone*
+        released = False
+        last_error: Optional[ProtocolError] = None
+        for backend in candidates:          # every replica holds a copy
+            try:
+                response = await self._call_fast(
+                    backend, lambda c: c.release_scene(request.scene_id))
+                released = released or bool(response.get("released"))
+            except ProtocolError as error:
+                if error.code != "internal":
+                    raise
+                last_error = error
+        if last_error is not None and not released and not journaled:
+            raise last_error
+        # An unreachable shard with a durable tombstone still counts as
+        # released: the scene will not be replayed into any future
+        # replica, which is the client-visible meaning of "released".
         return protocol.ok_payload(scene_id=request.scene_id,
-                                   released=released)
+                                   released=released or journaled)
+
+    # -- endpoint: admin backends --------------------------------------------
+
+    def _admin_list_payload(self) -> dict:
+        return protocol.ok_payload(
+            backends=[backend.describe()
+                      for backend in self.backends.values()],
+            replication=self.config.replication,
+            ring={"replicas": self.ring.replicas, "size": len(self.ring)},
+            retry_budget=self.retry_budget.describe(),
+            journal_scenes=len(self.journal))
+
+    async def _handle_admin(self, payload) -> dict:
+        """Live elasticity over the already-safe ring + journal-replay
+        path: ``add`` spawns (or attaches) a backend and replays its
+        shard into it; ``drain`` takes a backend off the ring and moves
+        its scenes — sticky edit-sessions included — onto the remaining
+        owners; ``remove`` drains (if needed) and tears the process
+        down.  Requests in flight during a drain finish against the
+        drained backend (it keeps serving until removal)."""
+        request = protocol.AdminBackendsRequest.from_payload(payload)
+        if request.action == "add":
+            return await self._admin_add(request)
+        backend = self.backends.get(request.backend_id)
+        if backend is None:
+            raise ProtocolError(
+                f"unknown backend {request.backend_id!r}", code="not_found")
+        if request.action == "drain":
+            moved = await self._admin_drain(backend)
+            return protocol.ok_payload(backend=backend.describe(),
+                                       **moved)
+        if backend.draining:                # already off the ring
+            moved = {"replayed": 0, "moved_sessions": 0}
+        else:
+            moved = await self._admin_drain(backend)
+        await self._admin_remove(backend)
+        return protocol.ok_payload(backend_id=request.backend_id,
+                                   removed=True, **moved)
+
+    async def _admin_add(self, request) -> dict:
+        taken = set(self.backends)
+        index = 0
+        while f"b{index}" in taken:
+            index += 1
+        backend_id = request.backend_id or f"b{index}"
+        if backend_id in self.backends:
+            raise ProtocolError(f"backend {backend_id!r} already exists",
+                                code="bad_request")
+        if request.address is not None:
+            host, _, port = request.address.rpartition(":")
+            backend = Backend(backend_id=backend_id, host=host,
+                              port=int(port),
+                              client=self._client(host, int(port)))
+            self._adopt_backend(backend)
+        elif self.config.attach:
+            raise ProtocolError(
+                "an attach-mode router cannot spawn backends; pass an "
+                "address to add one", code="bad_request")
+        else:
+            backend = await self._spawn_backend(backend_id)
+        try:
+            await wait_until_healthy(backend.client)
+        except ClientConnectionError as exc:
+            await self._admin_remove(backend)   # roll the adoption back
+            raise ProtocolError(
+                f"new backend {backend_id!r} never became healthy: {exc}",
+                code="internal") from exc
+        replayed = await self._replay_into(backend)
+        return protocol.ok_payload(backend=backend.describe(),
+                                   replayed=replayed)
+
+    async def _admin_drain(self, backend: Backend) -> dict:
+        """Take *backend* off the ring and re-home its state.
+
+        After ``ring.remove`` the journal replay re-registers every
+        scene on its new owners (registration is idempotent, so scenes
+        already resident elsewhere are cheap no-ops); sticky
+        edit-session homes pointing at the drained backend are moved to
+        the scene's new preferred owner, re-taught from the journal so
+        the session keeps answering — on a cold replica, but correctly.
+        """
+        if len(self.ring) <= 1 and backend.backend_id in self.ring.backends:
+            raise ProtocolError("cannot drain the last backend",
+                                code="bad_request")
+        self.ring.remove(backend.backend_id)
+        backend.draining = True
+        replayed = 0
+        for sibling in self.backends.values():
+            if sibling.backend_id == backend.backend_id:
+                continue
+            try:
+                replayed += await self._replay_into(sibling)
+            except ProtocolError:
+                self.errors["replay"] += 1  # sibling down; respawn replays
+        moved_sessions = 0
+        for scene_id, home in list(self._session_homes.items()):
+            if home != backend.backend_id:
+                continue
+            entry = self.journal.lookup_scene(scene_id)
+            new_home = self.backends[self.ring.route(scene_id)]
+            if entry is not None:
+                try:
+                    await self._call_fast(new_home, lambda c:
+                                          c.register_scene(entry.text,
+                                                           name=entry.name))
+                except ProtocolError:
+                    pass                    # re-teach on first query instead
+            self._session_homes[scene_id] = new_home.backend_id
+            moved_sessions += 1
+        self.drains += 1
+        return {"replayed": replayed, "moved_sessions": moved_sessions}
+
+    async def _admin_remove(self, backend: Backend) -> None:
+        self.ring.remove(backend.backend_id)
+        self.backends.pop(backend.backend_id, None)
+        self._respawn_locks.pop(backend.backend_id, None)
+        task = self._respawn_tasks.pop(backend.backend_id, None)
+        if task is not None and not task.done():
+            task.cancel()
+        await backend.client.close()
+        if backend.process is not None:
+            backend.process.terminate()
+            loop = asyncio.get_running_loop()
+            try:
+                await loop.run_in_executor(None, backend.process.wait, 10)
+            except subprocess.TimeoutExpired:
+                backend.process.kill()
+                await loop.run_in_executor(None, backend.process.wait)
 
     # -- endpoints: stats / health -------------------------------------------
 
@@ -1116,6 +1751,14 @@ class CompletionRouter:
             "edits": self.edits,
             "streams_proxied": self.streams_proxied,
             "session_homes": len(self._session_homes),
+            "replication": self.config.replication,
+            "failovers": self.failovers,
+            "degraded_served": self.degraded_served,
+            "drains": self.drains,
+            "retry_budget": self.retry_budget.describe(),
+            "lkg_entries": len(self.lkg),
+            "breakers": {backend_id: backend.breaker.describe()
+                         for backend_id, backend in self.backends.items()},
         }
 
     async def _stats_payload(self) -> dict:

@@ -116,6 +116,12 @@ class ServerConfig:
     #: one pending save) — the right default for replica durability;
     #: raise it on write-heavy workloads where the snapshot file is big.
     snapshot_interval: float = 0.0
+    #: Soft admission watermark, as a fraction of ``max_pending``: once
+    #: the queue is this full, below-normal-priority requests (protocol
+    #: ``priority`` < 5) are shed with 429 while normal and high
+    #: priorities keep landing until the hard ceiling — under pressure
+    #: the interactive tier degrades last.
+    shed_watermark: float = 0.75
 
 
 @dataclass(frozen=True)
@@ -353,6 +359,10 @@ class AsyncCompletionServer:
         #: skip the parse/prepare path (and its lock) entirely.
         self._inline_ids = LRUCache(max_entries=256)
         self._server: Optional[asyncio.base_events.Server] = None
+        #: Live accepted connections, severed on close() — a closed
+        #: server must look *gone* (keep-alive sockets included), the
+        #: way a killed process does, not just stop listening.
+        self._conn_writers: set[asyncio.StreamWriter] = set()
         self.host = self.config.host
         self.port = self.config.port
         #: Snapshot persistence state (event-loop-only, like the caches):
@@ -392,6 +402,8 @@ class AsyncCompletionServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        for writer in list(self._conn_writers):
+            writer.close()                  # sever idle keep-alive sockets
         if self.config.snapshot_path is not None:
             # Drain any in-flight executor save first: cancel_futures
             # below cannot stop an already-running write, and a stale
@@ -545,6 +557,7 @@ class AsyncCompletionServer:
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        self._conn_writers.add(writer)
         try:
             while True:
                 try:
@@ -578,6 +591,7 @@ class AsyncCompletionServer:
         except (asyncio.IncompleteReadError, ConnectionError, ValueError):
             pass                            # torn connection
         finally:
+            self._conn_writers.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -848,7 +862,8 @@ class AsyncCompletionServer:
         resolved = await self._resolve_completion(request)
         served = await self._serve_key(resolved.key, resolved.prepared,
                                        resolved.goal, resolved.policy,
-                                       resolved.config, request.n)
+                                       resolved.config, request.n,
+                                       priority=request.priority)
         resolved.scene.completions += 1
         seconds = time.perf_counter() - start
         partial = bool(served.result.explore_truncated
@@ -863,7 +878,8 @@ class AsyncCompletionServer:
             deadline_ms=resolved.deadline_ms, server_seconds=seconds)
 
     async def _serve_key(self, key, prepared: PreparedScene, goal: Type,
-                         policy, config, n: Optional[int]
+                         policy, config, n: Optional[int], *,
+                         priority: Optional[int] = None
                          ) -> _ServedCompletion:
         """Cache -> join in-flight -> admit -> synthesize, in that order."""
         cached = self.engine.results.get(key)
@@ -875,7 +891,7 @@ class AsyncCompletionServer:
             result = await asyncio.shield(inflight)
             return _ServedCompletion(result, cache_hit=False, coalesced=True)
 
-        self._admit_or_reject()
+        self._admit_or_reject(priority)
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         self._inflight[key] = future
@@ -929,7 +945,7 @@ class AsyncCompletionServer:
             # the head is written to surface as a retryable 429.
             if (self.engine.results.get(resolved.key) is None
                     and resolved.key not in self._inflight):
-                self._admit_or_reject()
+                self._admit_or_reject(request.priority)
         except ProtocolError as error:
             self.metrics.record_error(error.code)
             writer.write(_http_response(
@@ -1114,14 +1130,29 @@ class AsyncCompletionServer:
         return await loop.run_in_executor(
             self._executor, _run_synthesis, prepared, goal, policy, config, n)
 
-    def _admit_or_reject(self) -> None:
-        """Admission control: one gauge (queue depth) bounds all CPU work."""
+    def _admit_or_reject(self, priority: Optional[int] = None) -> None:
+        """Admission control: one gauge (queue depth) bounds all CPU work.
+
+        Two thresholds: below-normal-priority work is shed at the soft
+        watermark (lowest priority first is the graceful-degradation
+        contract — batch backfill yields before interactive completions
+        feel anything), everyone is rejected at the hard ceiling.
+        """
         if self.metrics.queue_depth >= self.config.max_pending:
             self.metrics.rejected_overload += 1
             raise ProtocolError(
                 f"server overloaded: {self.metrics.queue_depth} jobs "
                 f"pending (limit {self.config.max_pending}); retry later",
                 code="overloaded")
+        if priority is not None and priority < protocol.NORMAL_PRIORITY:
+            watermark = self.config.shed_watermark * self.config.max_pending
+            if self.metrics.queue_depth >= watermark:
+                self.metrics.rejected_overload += 1
+                self.metrics.shed_low_priority += 1
+                raise ProtocolError(
+                    f"server under pressure: {self.metrics.queue_depth} "
+                    f"jobs pending; priority {priority} work is shed "
+                    f"until the queue drains", code="overloaded")
 
     # -- endpoints: stats / health ------------------------------------------
 

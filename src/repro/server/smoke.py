@@ -24,26 +24,41 @@ content-derived scene id with its cached ranking intact.
 fresh-``n`` completions is fired across every scene, one supervised
 backend is SIGKILLed mid-flight (pid read off ``/healthz``), and the
 drive asserts that every retried completion still answers the correct
-snippets, that the router respawned the shard (``restarts`` >= 1), and
-that the aggregated ``/v1/stats`` still reconciles with the per-shard
-sums.  The burst coalescing accounting is skipped in this mode — a
-respawned backend restarts its counters, so cross-kill counter
+snippets — full-fidelity, never ``degraded`` (with replication R=2 a
+sibling replica owns every scene, so one kill must be invisible) — that
+the router respawned the shard in the background (``restarts`` >= 1,
+polled), and that the aggregated ``/v1/stats`` still reconciles with
+the per-shard sums.  The burst coalescing accounting is skipped in this
+mode — a respawned backend restarts its counters, so cross-kill counter
 arithmetic is meaningless by design.
+
+``--router --chaos --kill-majority`` (needs ``--backends 3``) goes one
+further: it rebuilds the router's hash ring client-side from the
+``/healthz`` backend ids (the ring is deterministic), SIGKILLs *both*
+replica-set owners of one scene, and asserts the router answers from
+its last-known-good cache with ``degraded: true`` — an honest stale
+answer, not a 5xx — then recovers to full-fidelity answers once the
+owners respawn.
+
+``--report PATH`` writes a JSON artifact (mode, per-step report lines,
+pass/fail) — written on failure too, so CI can always upload it.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import json
 import os
 import signal
 import subprocess
 import sys
+import time
 from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.server.client import AsyncCompletionClient, wait_until_healthy
-from repro.server.router import spawn_cli_server
+from repro.server.router import HashRing, spawn_cli_server
 
 #: Default scene set: every shipped example scene.
 DEFAULT_SCENES_DIR = Path(__file__).resolve().parents[3] / "examples/scenes"
@@ -60,16 +75,43 @@ def _spawn_server(extra_args: Sequence[str] = (),
     return spawn_cli_server(command, extra_args, label=f"smoke-{command}")
 
 
+async def _await_recovery(client: AsyncCompletionClient, *,
+                          min_restarts: int,
+                          timeout_s: float = 30.0) -> int:
+    """Poll ``/healthz`` until every backend is healthy again.
+
+    Respawn is a *background* task on the router (the serving path fails
+    over to a sibling instead of blocking), so the smoke has to wait for
+    it rather than assume the first post-kill answer implies recovery.
+    Returns the total restart count.
+    """
+    deadline = time.monotonic() + timeout_s
+    while True:
+        health = await client.healthz()
+        restarts = sum(backend.get("restarts", 0)
+                       for backend in health["backends"])
+        if (restarts >= min_restarts
+                and all(backend["healthy"]
+                        for backend in health["backends"])):
+            return restarts
+        assert time.monotonic() < deadline, (
+            f"backends never recovered: restarts={restarts}, health="
+            f"{[(b['backend_id'], b['healthy']) for b in health['backends']]}")
+        await asyncio.sleep(0.05)
+
+
 async def _chaos_burst(client: AsyncCompletionClient,
                        scene_paths: Sequence[Path]) -> list[str]:
     """Kill one supervised backend mid-burst; assert nothing is lost.
 
     Baseline completions (fresh ``n``) establish the expected snippets,
     then a concurrent burst with another fresh ``n`` forces live
-    syntheses on every shard while one backend takes a SIGKILL.  The
-    router must respawn it on demand, replay the journal, and retry —
-    every response, during and after the kill, must carry the same
-    ranked snippets as an untouched run.
+    syntheses on every shard while one backend takes a SIGKILL.  With
+    replication R=2 a sibling replica owns every scene, so every
+    response — during and after the kill — must carry the same ranked
+    snippets as an untouched run, at full fidelity: zero errors and
+    zero ``degraded`` answers.  The router respawns the dead shard in
+    the background; the drive polls ``/healthz`` until it is back.
     """
     report: list[str] = []
     texts = [path.read_text(encoding="utf-8") for path in scene_paths]
@@ -98,29 +140,102 @@ async def _chaos_burst(client: AsyncCompletionClient,
     for index, served in enumerate(results):
         scene_id = scene_ids[index % len(scene_ids)]
         assert served["snippets"], "mid-kill completion lost its snippets"
+        assert "degraded" not in served, (
+            f"mid-kill completion degraded for {scene_id}: with R=2 a "
+            f"sibling replica must serve full-fidelity")
         codes = tuple(s["code"] for s in served["snippets"])
         assert codes[:7] == baseline[scene_id][:len(codes[:7])], (
             f"mid-kill snippets diverged for {scene_id}")
 
-    # A post-kill sweep guarantees the dead shard sees traffic even if
-    # the burst finished early — on-demand respawn must have run by the
-    # time these answer.
+    # A post-kill sweep: every scene must still answer full-fidelity
+    # while the dead shard respawns in the background.
     for scene_id in scene_ids:
         served = await client.complete(scene_id, n=8)
         assert served["snippets"], "post-kill completion failed"
+        assert "degraded" not in served, "post-kill completion degraded"
 
-    health = await client.healthz()
-    restarts = sum(backend.get("restarts", 0)
-                   for backend in health["backends"])
-    assert restarts >= 1, (
-        f"SIGKILLed backend {victim['backend_id']} was never respawned "
-        f"(restarts={restarts})")
-    assert all(backend["healthy"] for backend in health["backends"]), (
-        "a backend is still unhealthy after the chaos burst")
+    restarts = await _await_recovery(client, min_restarts=1)
+    stats = await client.stats()
+    router = stats["router"]
     report.append(
         f"chaos: killed {victim['backend_id']} (pid {victim['pid']}) "
-        f"mid-burst of {len(tasks)}; {restarts} respawn(s), all "
+        f"mid-burst of {len(tasks)}; {restarts} respawn(s), "
+        f"{router['failovers']} failover(s), 0 degraded, all "
         f"completions correct")
+    return report
+
+
+async def _majority_kill(client: AsyncCompletionClient,
+                         scene_paths: Sequence[Path]) -> list[str]:
+    """Kill *both* replica-set owners of one scene; assert the router
+    degrades gracefully (stale-but-honest answers) instead of erroring.
+
+    The hash ring is deterministic over backend ids, so the smoke
+    rebuilds it client-side from ``/healthz`` to pick exactly the two
+    owners.  With every replica down the completion must come from the
+    router's last-known-good cache with ``degraded: true`` — same
+    snippets, marked stale — and must return to full fidelity once the
+    owners respawn and the journal replays.
+    """
+    report: list[str] = []
+    path = scene_paths[0]
+    scene_id = (await client.register_scene(
+        path.read_text(encoding="utf-8"), name=path.name))["scene_id"]
+    baseline = await client.complete(scene_id, n=7)
+    codes = tuple(s["code"] for s in baseline["snippets"])
+
+    backends = {backend["backend_id"]: backend
+                for backend in await client.backends()}
+    assert len(backends) >= 3, (
+        f"--kill-majority needs >= 3 backends so a non-owner survives, "
+        f"got {len(backends)}")
+    already_restarted = sum(backend.get("restarts", 0)
+                            for backend in backends.values())
+    roster = await client.admin_backends()
+    replication = roster["replication"]
+    assert replication >= 2, f"--kill-majority needs R>=2, got {replication}"
+    ring = HashRing(replicas=roster["ring"]["replicas"])
+    for backend_id in backends:
+        ring.add(backend_id)
+    owners = ring.route_n(scene_id, replication)
+
+    for owner_id in owners:
+        owner = backends[owner_id]
+        assert owner.get("managed") and owner.get("pid"), (
+            f"owner {owner_id} is not supervised; cannot kill it")
+        os.kill(int(owner["pid"]), signal.SIGKILL)
+
+    # Every replica is down: the very next answer must be the cached
+    # completion, honestly marked — never a 5xx.  Same query shape as
+    # the baseline (the last-known-good cache is keyed by it).
+    served = await client.complete(scene_id, n=7)
+    assert served.get("degraded") is True, (
+        f"all-owners-down completion was not degraded: "
+        f"{sorted(served)}")
+    assert tuple(s["code"] for s in served["snippets"]) == codes, (
+        "degraded answer diverged from the last known good")
+
+    restarts = await _await_recovery(
+        client, min_restarts=already_restarted + len(owners))
+    deadline = time.monotonic() + 30.0
+    while True:
+        recovered = await client.complete(scene_id, n=7)
+        if "degraded" not in recovered:
+            break
+        assert time.monotonic() < deadline, (
+            "completions still degraded after owners respawned")
+        await asyncio.sleep(0.05)
+    assert tuple(s["code"] for s in recovered["snippets"]) == codes, (
+        "post-recovery snippets diverged from the baseline")
+
+    stats = await client.stats()
+    router = stats["router"]
+    assert router["degraded_served"] >= 1, router["degraded_served"]
+    report.append(
+        f"majority-kill: killed owners {owners} of {path.name}; served "
+        f"{router['degraded_served']} degraded answer(s) from "
+        f"last-known-good, then recovered full-fidelity after "
+        f"{restarts} respawn(s)")
     return report
 
 
@@ -225,8 +340,12 @@ async def _stream_drive(client: AsyncCompletionClient,
 
 async def _drive(host: str, port: int, scene_paths: Sequence[Path],
                  burst: int, shards: int = 0,
-                 chaos: bool = False, stream: bool = False) -> list[str]:
-    report: list[str] = []
+                 chaos: bool = False, stream: bool = False,
+                 kill_majority: bool = False,
+                 report: Optional[list] = None) -> list[str]:
+    # The caller may share *report* so a failing drive still leaves its
+    # partial step log behind for the --report artifact.
+    report = report if report is not None else []
     async with AsyncCompletionClient(host, port) as client:
         await wait_until_healthy(client)
 
@@ -252,7 +371,10 @@ async def _drive(host: str, port: int, scene_paths: Sequence[Path],
             report.extend(await _stream_drive(client, scene_paths))
 
         if chaos:
-            report.extend(await _chaos_burst(client, scene_paths))
+            if kill_majority:
+                report.extend(await _majority_kill(client, scene_paths))
+            else:
+                report.extend(await _chaos_burst(client, scene_paths))
         else:
             # Coalescing: a burst of identical *uncached* queries
             # (fresh n) must cost exactly one synthesis.  (Skipped under
@@ -333,11 +455,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="also drive the protocol v2 surface: NDJSON "
                              "streaming (cold + warm replay) and an "
                              "edit-session round trip per scene set")
+    parser.add_argument("--backends", type=int, default=2,
+                        help="router backend processes (default 2)")
+    parser.add_argument("--kill-majority", action="store_true",
+                        help="with --router --chaos: SIGKILL *both* "
+                             "replica-set owners of one scene and assert "
+                             "degraded (not erroring) answers, then "
+                             "recovery; needs --backends >= 3")
+    parser.add_argument("--report", metavar="PATH",
+                        help="write a JSON report artifact to PATH "
+                             "(written on failure too)")
     args = parser.parse_args(argv)
 
     if args.chaos and not args.router:
         print("smoke: --chaos requires --router (only supervised "
               "backends can be killed and respawned)", file=sys.stderr)
+        return 2
+    if args.kill_majority and not args.chaos:
+        print("smoke: --kill-majority requires --chaos", file=sys.stderr)
+        return 2
+    if args.kill_majority and args.backends < 3:
+        print("smoke: --kill-majority needs --backends >= 3 so a "
+              "non-owner backend survives", file=sys.stderr)
         return 2
 
     scene_paths = [Path(p) for p in args.scenes]
@@ -347,16 +486,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("smoke: no scenes found", file=sys.stderr)
         return 2
 
-    shards = 2 if args.router else 0
+    shards = args.backends if args.router else 0
     if args.router:
-        process, host, port = _spawn_server(("--backends", "2"),
-                                            command="route")
+        process, host, port = _spawn_server(
+            ("--backends", str(args.backends)), command="route")
     else:
         process, host, port = _spawn_server()
+    front = ("router+chaos" if args.chaos
+             else "router" if args.router else "server")
+    if args.kill_majority:
+        front += "+kill-majority"
+    if args.stream:
+        front += "+stream"
+    report: list = []
+    failure: Optional[str] = None
     try:
-        report = asyncio.run(_drive(host, port, scene_paths, args.burst,
-                                    shards=shards, chaos=args.chaos,
-                                    stream=args.stream))
+        asyncio.run(_drive(host, port, scene_paths, args.burst,
+                           shards=shards, chaos=args.chaos,
+                           stream=args.stream,
+                           kill_majority=args.kill_majority,
+                           report=report))
+    except BaseException as error:            # noqa: BLE001 — report then re-raise
+        failure = f"{type(error).__name__}: {error}"
+        raise
     finally:
         process.terminate()
         try:
@@ -364,12 +516,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except subprocess.TimeoutExpired:
             process.kill()
             process.wait()
+        if args.report:
+            artifact = {
+                "mode": front,
+                "scenes": [path.name for path in scene_paths],
+                "backends": shards,
+                "ok": failure is None,
+                "failure": failure,
+                "report": list(report),
+            }
+            Path(args.report).write_text(
+                json.dumps(artifact, indent=2) + "\n", encoding="utf-8")
     for line in report:
         print(f"smoke: {line}")
-    front = ("router+chaos" if args.chaos
-             else "router" if args.router else "server")
-    if args.stream:
-        front += "+stream"
     print(f"smoke: OK ({len(scene_paths)} scenes via {front})")
     return 0
 

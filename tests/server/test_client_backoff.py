@@ -1,0 +1,126 @@
+"""Client-side 429 handling: full-jitter exponential backoff.
+
+Everything runs against a fake transport (a stubbed ``_request_once``)
+with a recorded ``sleep`` and a seeded RNG — no sockets, no wall clock.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.server.client import (AsyncCompletionClient, OverloadedError,
+                                 jittered_backoff_s)
+
+
+class TestJitteredBackoff:
+    def test_delay_stays_inside_the_exponential_window(self):
+        rng = random.Random(7)
+        for attempt in range(12):
+            window = min(2.0, 0.05 * (2 ** attempt))
+            for _ in range(50):
+                delay = jittered_backoff_s(attempt, base=0.05, cap=2.0,
+                                           rng=rng)
+                assert 0.0 <= delay <= window
+
+    def test_delays_are_actually_jittered(self):
+        """The whole point: two draws for the same attempt differ, so a
+        rejected fleet does not retry in lockstep."""
+        rng = random.Random(7)
+        draws = {jittered_backoff_s(4, rng=rng) for _ in range(20)}
+        assert len(draws) > 1
+
+    def test_cap_bounds_late_attempts(self):
+        rng = random.Random(7)
+        for _ in range(50):
+            assert jittered_backoff_s(30, base=0.05, cap=2.0,
+                                      rng=rng) <= 2.0
+
+    def test_mean_grows_with_attempt(self):
+        """Later attempts back off longer on average (exponential part)."""
+        rng = random.Random(7)
+
+        def mean(attempt):
+            return sum(jittered_backoff_s(attempt, rng=rng)
+                       for _ in range(400)) / 400
+
+        assert mean(0) < mean(2) < mean(5)
+
+    def test_rejects_negative_attempt(self):
+        with pytest.raises(ValueError, match="attempt"):
+            jittered_backoff_s(-1)
+
+
+class _Overloaded(OverloadedError):
+    def __init__(self):
+        super().__init__("overloaded", "busy", 429)
+
+
+def _flaky_client(failures: int, *, retries: int,
+                  rng=None) -> tuple[AsyncCompletionClient, dict]:
+    """A client whose transport 429s *failures* times, then succeeds.
+
+    The injected ``sleep`` records delays instead of waiting, so the
+    whole retry dance is instantaneous and deterministic.
+    """
+    recorded = {"sleeps": [], "calls": 0}
+
+    async def fake_sleep(seconds):
+        recorded["sleeps"].append(seconds)
+
+    client = AsyncCompletionClient(
+        overload_retries=retries, backoff_base_s=0.05, backoff_cap_s=2.0,
+        rng=rng or random.Random(7), sleep=fake_sleep)
+
+    async def fake_request_once(method, path, payload=None):
+        recorded["calls"] += 1
+        if recorded["calls"] <= failures:
+            raise _Overloaded()
+        return {"v": 1, "ok": True, "answer": recorded["calls"]}
+
+    client._request_once = fake_request_once
+    return client, recorded
+
+
+class TestOverloadRetries:
+    def test_retries_until_success_with_growing_jittered_sleeps(self):
+        async def main():
+            client, recorded = _flaky_client(3, retries=5)
+            response = await client._request("POST", "/v1/complete", {})
+            assert response["ok"] is True
+            assert recorded["calls"] == 4
+            assert len(recorded["sleeps"]) == 3
+            for attempt, delay in enumerate(recorded["sleeps"]):
+                assert 0.0 <= delay <= min(2.0, 0.05 * (2 ** attempt))
+
+        asyncio.run(main())
+
+    def test_exhausted_retries_raise_the_last_429(self):
+        async def main():
+            client, recorded = _flaky_client(10, retries=2)
+            with pytest.raises(OverloadedError):
+                await client._request("POST", "/v1/complete", {})
+            assert recorded["calls"] == 3       # initial + 2 retries
+            assert len(recorded["sleeps"]) == 2
+
+        asyncio.run(main())
+
+    def test_zero_retries_is_the_default_and_fails_fast(self):
+        async def main():
+            client, recorded = _flaky_client(1, retries=0)
+            assert client.overload_retries == 0
+            with pytest.raises(OverloadedError):
+                await client._request("POST", "/v1/complete", {})
+            assert recorded["calls"] == 1
+            assert recorded["sleeps"] == []
+
+        asyncio.run(main())
+
+    def test_success_needs_no_sleep(self):
+        async def main():
+            client, recorded = _flaky_client(0, retries=5)
+            response = await client._request("GET", "/healthz")
+            assert response["ok"] is True
+            assert recorded["sleeps"] == []
+
+        asyncio.run(main())

@@ -99,6 +99,72 @@ class TestHashRing:
             HashRing(replicas=0)
 
 
+class TestHashRingReplicaOwnership:
+    """R-replica ownership invariants for :meth:`HashRing.route_n`."""
+
+    KEYS = [f"scn_{i:08x}" for i in range(1500)]
+
+    @staticmethod
+    def _ring(backend_ids, replicas=64):
+        ring = HashRing(replicas=replicas)
+        for backend_id in backend_ids:
+            ring.add(backend_id)
+        return ring
+
+    def test_every_key_has_r_distinct_owners(self):
+        ring = self._ring(["b0", "b1", "b2", "b3"])
+        for key in self.KEYS:
+            owners = ring.route_n(key, 2)
+            assert len(owners) == 2
+            assert len(set(owners)) == 2    # never collapses to duplicates
+            assert ring.route(key) == owners[0]
+
+    def test_owner_sets_clamp_to_ring_size(self):
+        ring = self._ring(["b0", "b1"])
+        for key in self.KEYS[:100]:
+            assert len(set(ring.route_n(key, 3))) == 2
+        solo = self._ring(["b0"])
+        assert solo.route_n("anything", 2) == ["b0"]
+
+    def test_adding_a_backend_only_inserts_itself_into_owner_sets(self):
+        """Consistency per replica slot: a new backend may claim a place
+        in a key's owner set (pushing at most one old owner out), but can
+        never reshuffle keys between pre-existing backends."""
+        ring = self._ring(["b0", "b1", "b2"])
+        before = {key: ring.route_n(key, 2) for key in self.KEYS}
+        ring.add("b3")
+        changed = 0
+        for key in self.KEYS:
+            old, new = set(before[key]), set(ring.route_n(key, 2))
+            if new != old:
+                changed += 1
+                assert new - old == {"b3"}
+                assert len(old - new) == 1
+        assert changed, "a new backend must claim part of some owner sets"
+
+    def test_add_remove_remaps_a_bounded_fraction_of_replica_pairs(self):
+        """~R/N of (key, replica-slot) pairs move on add/remove, not ~all
+        — the modulo-hash failure mode, replicated."""
+        ring = self._ring(["b0", "b1", "b2", "b3"])
+        before = {key: ring.route_n(key, 2) for key in self.KEYS}
+        ring.add("b4")
+        moved = sum(
+            1
+            for key in self.KEYS
+            for slot, owner in enumerate(ring.route_n(key, 2))
+            if owner != before[key][slot])
+        assert 0 < moved / (2 * len(self.KEYS)) < 0.5
+
+        before = {key: ring.route_n(key, 2) for key in self.KEYS}
+        ring.remove("b1")
+        for key in self.KEYS:
+            old, new = before[key], ring.route_n(key, 2)
+            if "b1" not in old:
+                # Keys b1 never owned keep their owner set; the surviving
+                # owners' relative order is stable too.
+                assert new == old
+
+
 class TestSceneJournal:
     def test_record_is_content_addressed_and_idempotent(self, tmp_path):
         journal = SceneJournal(str(tmp_path / "journal.jsonl"))
@@ -251,18 +317,31 @@ async def attached_router(n=2, **router_overrides):
 
 
 def _backend_for(router, backends, scene_id):
-    """The in-process server a scene id routes to."""
-    backend = router.backends[router.ring.route(scene_id)]
-    for server in backends:
-        if (server.host, server.port) == (backend.host, backend.port):
-            return server
-    raise AssertionError("ring routed to an unknown backend")
+    """The in-process server a scene id's *primary* owner routes to."""
+    return _owner_servers(router, backends, scene_id)[0]
+
+
+def _owner_servers(router, backends, scene_id):
+    """The in-process servers of the scene's replica set, ring order."""
+    servers = []
+    for owner_id in router.ring.route_n(scene_id,
+                                        router.config.replication):
+        backend = router.backends[owner_id]
+        for server in backends:
+            if (server.host, server.port) == (backend.host, backend.port):
+                servers.append(server)
+                break
+        else:
+            raise AssertionError("ring routed to an unknown backend")
+    return servers
 
 
 class TestRoutedServing:
     def test_register_complete_and_warm_through_router(self):
         async def main():
-            async with attached_router() as (router, backends, client):
+            # Three backends, R=2: the replica set is a strict subset, so
+            # both placement *and* non-placement are observable.
+            async with attached_router(3) as (router, backends, client):
                 registered = await client.register_scene(SCENE, name="demo")
                 scene_id = registered["scene_id"]
                 assert registered["declarations"] == 2
@@ -274,10 +353,13 @@ class TestRoutedServing:
                 assert warm["cache_hit"] is True
                 assert warm["snippets"] == cold["snippets"]
 
-                # The scene lives only on its ring owner.
-                owner = _backend_for(router, backends, scene_id)
-                assert scene_id in owner.registry
-                others = [s for s in backends if s is not owner]
+                # The scene lives on every replica-set owner and nowhere
+                # else.
+                owners = _owner_servers(router, backends, scene_id)
+                assert len(owners) == 2
+                assert all(scene_id in server.registry
+                           for server in owners)
+                others = [s for s in backends if s not in owners]
                 assert all(scene_id not in s.registry for s in others)
 
         asyncio.run(main())
@@ -478,9 +560,10 @@ class TestJournalReplayIntoBackends:
 class TestRouterEndToEnd:
     def test_two_backends_kill_one_and_recover_warm(self, tmp_path):
         """The acceptance path: two spawned backend processes, consistent
-        routing, aggregated stats, then a SIGKILL'd backend — the next
-        completion respawns it, journal replay restores its scenes and
-        the snapshot restore makes the retried query a warm cache hit."""
+        routing, aggregated stats, then a SIGKILL'd backend — the sibling
+        replica serves the very next completion (no stall, no error) while
+        the dead owner respawns in the background, journal replay restores
+        its scenes and the snapshot restore makes a later query warm."""
         async def main():
             router = CompletionRouter(RouterConfig(
                 port=0, backends=2,
@@ -519,17 +602,33 @@ class TestRouterEndToEnd:
                 owner.process.kill()
                 owner.process.wait()
 
+                # With R=2 the sibling replica already holds the scene:
+                # the very next completion fails over instantly instead
+                # of blocking on a respawn.
                 served = await client.complete(first)
                 assert served["snippets"] == cold["snippets"]
-                assert served["cache_hit"] is True, (
-                    "respawned replica must restore its snapshot and "
-                    "serve the journal-replayed scene warm")
+                assert "degraded" not in served
+                assert router.failovers >= 1
+
+                # The dead owner respawns in the background; wait for it.
+                for _ in range(400):
+                    if owner.restarts == 1 and owner.healthy:
+                        break
+                    await asyncio.sleep(0.05)
                 assert owner.restarts == 1
                 assert router.restarts == 1
 
                 health = await client.healthz()
                 assert all(backend["healthy"]
                            for backend in health["backends"])
+
+                # Journal replay + snapshot restore make the respawned
+                # owner serve its scene warm again.
+                warm = await client.complete(first)
+                assert warm["snippets"] == cold["snippets"]
+                assert warm["cache_hit"] is True, (
+                    "respawned replica must restore its snapshot and "
+                    "serve the journal-replayed scene warm")
             finally:
                 await client.close()
                 await router.close()

@@ -169,8 +169,10 @@ class TestRoutedEditSessions:
 class TestRouterEditSessionEndToEnd:
     def test_killing_the_session_backend_mid_edit_session(self, tmp_path):
         """SIGKILL the backend holding a delta-edited scene: the next
-        query must respawn it, replay the journaled canonical text, and
-        serve the edited scene with identical rankings."""
+        query fails over to the sibling replica (journal re-teach
+        restores the edited state there), the dead backend respawns in
+        the background, and the session keeps editing with identical
+        rankings."""
         async def main():
             router = CompletionRouter(RouterConfig(
                 port=0, backends=2,
@@ -195,6 +197,16 @@ class TestRouterEditSessionEndToEnd:
                 assert served["snippets"] == cold["snippets"], (
                     "journal replay must restore the delta-edited state")
                 assert served["scene_id"] == edited["scene_id"]
+                assert "degraded" not in served, (
+                    "the sibling replica should serve full-fidelity")
+
+                # The dead owner respawns in the background; wait for it.
+                for _ in range(400):
+                    if router.restarts >= 1 and all(
+                            backend.healthy
+                            for backend in router.backends.values()):
+                        break
+                    await asyncio.sleep(0.05)
                 assert router.restarts >= 1
 
                 # The session continues: another edit on the replayed
