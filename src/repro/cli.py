@@ -167,6 +167,11 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--snapshot-interval", type=float, default=0.0,
                        help="minimum seconds between snapshot saves "
                             "(default 0 = save after every synthesis)")
+    serve.add_argument("--inject-latency-ms", type=int, default=0,
+                       help="debug fault injection: sleep this long before "
+                            "serving each completion — a gray-failed "
+                            "(alive but slow) backend for chaos tests "
+                            "(default 0 = off)")
 
     route = commands.add_parser(
         "route", help="run the sharded completion router over N backends")
@@ -264,6 +269,20 @@ def _build_parser() -> argparse.ArgumentParser:
                               "post-respawn warm hits")
     loadgen.add_argument("--kills", type=int, default=1,
                          help="backends to kill with --chaos (default 1)")
+    loadgen.add_argument("--slow", action="store_true",
+                         help="with --chaos: SIGSTOP backend(s) mid-burst "
+                              "instead of SIGKILL (the gray failure — "
+                              "alive, accepting, stalled), SIGCONT after "
+                              "--stall-s; recovery means rejoining, not "
+                              "respawning")
+    loadgen.add_argument("--stall-s", type=float, default=2.0,
+                         help="SIGSTOP hold per --slow stall, scaled by "
+                              "--time-scale (default 2.0)")
+    loadgen.add_argument("--deadline-ms", type=int, default=None,
+                         help="stamp this end-to-end deadline (and budget) "
+                              "on every replayed completion; "
+                              "deadline_exceeded answers land in their "
+                              "own report bucket, not the error budget")
     loadgen.add_argument("--time-scale", type=float, default=1.0,
                          help="multiply trace timestamps (0.5 = replay "
                               "twice as fast; default 1.0)")
@@ -713,6 +732,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"error: --snapshot-interval must be >= 0, got "
               f"{args.snapshot_interval}", file=sys.stderr)
         return 2
+    if args.inject_latency_ms < 0:
+        print(f"error: --inject-latency-ms must be >= 0, got "
+              f"{args.inject_latency_ms}", file=sys.stderr)
+        return 2
     config = ServerConfig(host=args.host, port=args.port,
                           max_pending=args.max_pending,
                           max_scenes=args.max_scenes,
@@ -722,7 +745,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                           gc_tune=args.gc_tune,
                           gc_thresholds=gc_thresholds,
                           snapshot_path=args.snapshot,
-                          snapshot_interval=args.snapshot_interval)
+                          snapshot_interval=args.snapshot_interval,
+                          inject_latency_ms=args.inject_latency_ms)
     server = AsyncCompletionServer(config=config)
 
     # Read the preload scenes before binding the port, so a typo'd path
@@ -874,6 +898,17 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         print(f"error: --time-scale must be positive, got "
               f"{args.time_scale}", file=sys.stderr)
         return 2
+    if args.slow and not args.chaos:
+        print("error: --slow requires --chaos", file=sys.stderr)
+        return 2
+    if args.stall_s <= 0:
+        print(f"error: --stall-s must be positive, got {args.stall_s}",
+              file=sys.stderr)
+        return 2
+    if args.deadline_ms is not None and args.deadline_ms < 1:
+        print(f"error: --deadline-ms must be at least 1, got "
+              f"{args.deadline_ms}", file=sys.stderr)
+        return 2
 
     if args.trace is not None:
         trace = load_trace(args.trace)
@@ -924,10 +959,13 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         process, host, port = spawn_cli_server("route", topology_args,
                                                label="loadgen-route")
 
-    chaos_plan = (ChaosPlan(kills=args.kills, seed=trace.spec.seed)
+    chaos_plan = (ChaosPlan(kills=args.kills, seed=trace.spec.seed,
+                            mode="slow" if args.slow else "kill",
+                            stall_s=args.stall_s)
                   if args.chaos else None)
     config = DriverConfig(host=host, port=port,
-                          time_scale=args.time_scale, chaos=chaos_plan)
+                          time_scale=args.time_scale, chaos=chaos_plan,
+                          deadline_ms=args.deadline_ms)
 
     try:
         result = asyncio.run(replay_trace(trace, config))
@@ -963,15 +1001,29 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         print(f"  SLO {verdict['slo']['name']}: {marker}{detail}")
     exit_code = 0
     if chaos_doc is not None:
-        print(f"  chaos: {chaos_doc['kills']} kill(s), "
-              f"{chaos_doc['observed_restarts']} respawn(s), "
-              f"{chaos_doc.get('observed_failovers')} failover(s), "
-              f"{chaos_doc.get('degraded_served')} degraded, "
-              f"reregistration storm bounded: "
-              f"{chaos_doc['reregistration_storm_bounded']}")
+        if chaos_doc.get("mode") == "slow":
+            hedges = chaos_doc.get("observed_hedges") or {}
+            print(f"  chaos(slow): {chaos_doc['stalls']} stall(s), "
+                  f"resumed: {chaos_doc.get('resumed')}, "
+                  f"hedges {hedges.get('fired')} "
+                  f"(won {hedges.get('won')}), "
+                  f"deadline_exceeded "
+                  f"{chaos_doc.get('observed_deadline_exceeded')}, "
+                  f"slow timeouts "
+                  f"{chaos_doc.get('observed_slow_timeouts')}, "
+                  f"ejections {chaos_doc.get('observed_ejections')}")
+        else:
+            print(f"  chaos: {chaos_doc['kills']} kill(s), "
+                  f"{chaos_doc['observed_restarts']} respawn(s), "
+                  f"{chaos_doc.get('observed_failovers')} failover(s), "
+                  f"{chaos_doc.get('degraded_served')} degraded, "
+                  f"reregistration storm bounded: "
+                  f"{chaos_doc['reregistration_storm_bounded']}")
         if not chaos_doc.get("recovered"):
-            print("FAIL: chaos kill was never recovered (no respawn "
-                  "observed)", file=sys.stderr)
+            fault = ("stall was never resumed"
+                     if chaos_doc.get("mode") == "slow"
+                     else "kill was never recovered (no respawn observed)")
+            print(f"FAIL: chaos {fault}", file=sys.stderr)
             exit_code = 1
         if chaos_doc.get("reregistration_storm_bounded") is False:
             print("FAIL: re-registration storm exceeded the journaled "
@@ -1130,12 +1182,24 @@ def _cmd_stats(args: argparse.Namespace) -> int:
               f"retry_budget {budget.get('tokens')}/{budget.get('burst')} "
               f"tokens (granted={budget.get('granted')} "
               f"denied={budget.get('denied')})")
+        hedges = router.get("hedges") or {}
+        print(f"  gray: deadline_exceeded="
+              f"{router.get('deadline_exceeded')} "
+              f"slow_timeouts={router.get('slow_timeouts')} "
+              f"hedges={hedges.get('fired')} (won={hedges.get('won')}) "
+              f"ejections={router.get('ejections')} "
+              f"ejected={router.get('ejected')} "
+              f"rebalances={router.get('rebalances')}")
         for backend_id, breaker in sorted(
                 (router.get("breakers") or {}).items()):
+            window = (router.get("backend_latency") or {}).get(
+                backend_id) or {}
             print(f"  breaker {backend_id}: {breaker.get('state')} "
                   f"(consecutive_failures="
                   f"{breaker.get('consecutive_failures')}, "
-                  f"opened_total={breaker.get('opened_total')})")
+                  f"opened_total={breaker.get('opened_total')}) "
+                  f"latency p95={window.get('p95_ms')} ms "
+                  f"ewma={window.get('ewma_ms')} ms")
     interned = core.get("interned_types", {})
     print(f"interned types: size={interned.get('size')} "
           f"limit={interned.get('limit')} "

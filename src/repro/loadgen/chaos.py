@@ -1,13 +1,24 @@
-"""Chaos injection: SIGKILL a live backend mid-burst, then prove recovery.
+"""Chaos injection: strike a live backend mid-burst, then prove recovery.
 
 The controller is deliberately dumb — it learns the topology the same
 way any operator would (``GET /healthz``, which lists every backend with
-its pid when the router supervises the process) and sends ``SIGKILL``,
-the one signal a process cannot trap.  Everything interesting happens in
-the serving stack: the router must notice the dead shard, respawn it
-once (not once per queued request), replay the journal, restore the
-snapshot, and keep answering — and the driver's recovery phase plus the
-``warm-recovery`` SLO assert all of that from the outside.
+its pid when the router supervises the process) and sends signals.  Two
+fault modes:
+
+* ``kill`` — ``SIGKILL``, the one signal a process cannot trap.  The
+  router must notice the dead shard, respawn it once (not once per
+  queued request), replay the journal, restore the snapshot, and keep
+  answering.
+* ``slow`` — ``SIGSTOP`` for ``stall_s`` seconds, then ``SIGCONT``.
+  The gray failure: the process stays alive, its sockets keep
+  accepting, in-flight requests (streams included) simply *stall* —
+  breakers see no connection failure, so only deadline clamps, hedged
+  retries and latency-outlier ejection can save the traffic.  Recovery
+  means the stalled backend rejoins candidate ordering, with zero
+  restarts expected.
+
+Everything interesting happens in the serving stack; the driver's
+recovery phase plus the SLO gates assert it all from the outside.
 """
 
 from __future__ import annotations
@@ -33,12 +44,16 @@ class ChaosPlan:
     ``at_fraction`` positions the kill inside the chaos-eligible phase
     (0.5 = halfway through its events) so the burst is genuinely
     mid-flight; ``kills`` > 1 strikes repeatedly, evenly spaced over the
-    remaining events.
+    remaining events.  ``mode`` picks the fault: ``kill`` (SIGKILL, the
+    crash PR 8 conquered) or ``slow`` (SIGSTOP for ``stall_s`` seconds,
+    the gray failure — ``kills`` then counts stalls).
     """
 
     kills: int = 1
     at_fraction: float = 0.5
     seed: int = 2013
+    mode: str = "kill"                      # "kill" | "slow"
+    stall_s: float = 2.0                    # SIGSTOP hold (slow mode)
 
     def kill_indices(self, events_in_phase: int) -> List[int]:
         """Event indices (within the chaos phase) that trigger a strike."""
@@ -67,17 +82,39 @@ class KillRecord:
                 "phase": self.phase, "event_index": self.event_index}
 
 
+@dataclass
+class StallRecord:
+    """One SIGSTOP delivered (and, eventually, its SIGCONT)."""
+
+    backend_id: str
+    pid: int
+    phase: str
+    event_index: int
+    at_monotonic: float
+    resumed: bool = False
+
+    def to_doc(self) -> dict:
+        return {"backend_id": self.backend_id, "pid": self.pid,
+                "phase": self.phase, "event_index": self.event_index,
+                "resumed": self.resumed}
+
+
 class ChaosController:
     """Picks victims (deterministically, per plan seed) and strikes."""
 
     def __init__(self, plan: ChaosPlan):
         self.plan = plan
         self.records: List[KillRecord] = []
+        self.stall_records: List[StallRecord] = []
         self._rng = random.Random(plan.seed)
 
     @property
     def kills(self) -> int:
         return len(self.records)
+
+    @property
+    def stalls(self) -> int:
+        return len(self.stall_records)
 
     @staticmethod
     def killable_backends(healthz: dict) -> List[dict]:
@@ -86,9 +123,11 @@ class ChaosController:
         return [backend for backend in backends
                 if backend.get("managed") and backend.get("pid")]
 
-    def strike(self, healthz: dict, *, phase: str,
-               event_index: int) -> KillRecord:
-        """SIGKILL one managed backend chosen from the health view."""
+    def strike(self, healthz: dict, *, phase: str, event_index: int):
+        """Deliver one fault of the plan's mode to a managed backend."""
+        if self.plan.mode == "slow":
+            return self.stall(healthz, phase=phase,
+                              event_index=event_index)
         victims = self.killable_backends(healthz)
         if not victims:
             raise ChaosError(
@@ -111,6 +150,55 @@ class ChaosController:
         self.records.append(record)
         return record
 
+    def stall(self, healthz: dict, *, phase: str,
+              event_index: int) -> StallRecord:
+        """SIGSTOP one managed backend (skipping ones already stalled).
+
+        The victim keeps its sockets open and its pending work parked —
+        the canonical gray failure.  :meth:`resume_all` (or the driver's
+        scheduled SIGCONT) un-stalls it; a backend that died while
+        stopped is simply recorded as resumed (nothing left to
+        continue).
+        """
+        stalled = {record.pid for record in self.stall_records
+                   if not record.resumed}
+        victims = [victim for victim in self.killable_backends(healthz)
+                   if int(victim["pid"]) not in stalled]
+        if not victims:
+            raise ChaosError(
+                "no managed backend with a pid to stall — chaos needs a "
+                "router-supervised topology (repro route) with an "
+                "un-stalled backend left")
+        victim = victims[self._rng.randrange(len(victims))]
+        pid = int(victim["pid"])
+        try:
+            os.kill(pid, signal.SIGSTOP)
+        except ProcessLookupError:
+            pass                            # died first; stall moot
+        except OSError as exc:
+            raise ChaosError(f"cannot stall backend pid {pid}: {exc}")
+        record = StallRecord(backend_id=str(victim.get("backend_id")),
+                             pid=pid, phase=phase,
+                             event_index=event_index,
+                             at_monotonic=time.monotonic())
+        self.stall_records.append(record)
+        return record
+
+    def resume_all(self) -> int:
+        """SIGCONT every outstanding stall; idempotent.  Returns how
+        many were resumed by this call."""
+        resumed = 0
+        for record in self.stall_records:
+            if record.resumed:
+                continue
+            try:
+                os.kill(record.pid, signal.SIGCONT)
+            except (ProcessLookupError, OSError):
+                pass                        # gone; nothing to continue
+            record.resumed = True
+            resumed += 1
+        return resumed
+
     def report(self, router_stats: Optional[dict],
                journal_scenes: int) -> dict:
         """The report's ``chaos`` section, including recovery evidence.
@@ -123,13 +211,25 @@ class ChaosController:
         immediately.
         """
         section = {
+            "mode": self.plan.mode,
             "kills": self.kills,
             "records": [record.to_doc() for record in self.records],
+            "stalls": self.stalls,
+            "stall_records": [record.to_doc()
+                              for record in self.stall_records],
+            "resumed": (all(record.resumed
+                            for record in self.stall_records)
+                        if self.stall_records else None),
             "observed_restarts": None,
             "observed_reregistrations": None,
             "observed_failovers": None,
             "degraded_served": None,
             "retry_budget": None,
+            "observed_hedges": None,
+            "observed_deadline_exceeded": None,
+            "observed_slow_timeouts": None,
+            "observed_ejections": None,
+            "observed_rebalances": None,
             "reregistration_storm_bounded": None,
             "recovered": None,
         }
@@ -142,11 +242,27 @@ class ChaosController:
             section["degraded_served"] = router_stats.get(
                 "degraded_served")
             section["retry_budget"] = router_stats.get("retry_budget")
-            bound = max(1, self.kills) * max(journal_scenes, 1)
+            section["observed_hedges"] = router_stats.get("hedges")
+            section["observed_deadline_exceeded"] = router_stats.get(
+                "deadline_exceeded")
+            section["observed_slow_timeouts"] = router_stats.get(
+                "slow_timeouts")
+            section["observed_ejections"] = router_stats.get("ejections")
+            section["observed_rebalances"] = router_stats.get(
+                "rebalances")
+            bound = max(1, self.kills + self.stalls) * max(journal_scenes,
+                                                           1)
             section["reregistration_storm_bounded"] = (
                 reregistrations <= bound)
-            section["recovered"] = (self.kills == 0
-                                    or restarts >= self.kills)
+            if self.plan.mode == "slow":
+                # A stall recovers by *rejoining*, not respawning: every
+                # SIGSTOP got its SIGCONT.  (Restarts stay visible above
+                # — a stalled backend that died anyway shows up there.)
+                section["recovered"] = (self.stalls == 0
+                                        or bool(section["resumed"]))
+            else:
+                section["recovered"] = (self.kills == 0
+                                        or restarts >= self.kills)
         return section
 
 

@@ -40,9 +40,9 @@ from repro.loadgen.chaos import ChaosController, ChaosOutcome, ChaosPlan
 from repro.loadgen.slo import SloAccountant
 from repro.loadgen.traces import Trace, TraceEvent
 from repro.server.client import (AsyncCompletionClient, ClientConnectionError,
-                                 OverloadedError, SceneNotFoundError,
-                                 ServerError, jittered_backoff_s,
-                                 wait_until_healthy)
+                                 DeadlineExceededError, OverloadedError,
+                                 SceneNotFoundError, ServerError,
+                                 jittered_backoff_s, wait_until_healthy)
 
 
 @dataclass
@@ -64,6 +64,11 @@ class DriverConfig:
     overload_backoff_s: float = 0.05
     overload_backoff_cap_s: float = 2.0
     chaos: Optional[ChaosPlan] = None
+    #: Client-stamped end-to-end deadline (and budget) per completion.
+    #: ``None`` replays without deadlines — the pre-PR-9 behaviour.  A
+    #: ``deadline_exceeded`` answer lands in its own accountant bucket:
+    #: the stack shed on time, it did not fail.
+    deadline_ms: Optional[int] = None
 
 
 @dataclass
@@ -110,7 +115,8 @@ async def _execute(event: TraceEvent, trace: Trace,
                     retries=retries)
             elif event.op == "complete":
                 response = await client.complete_text(
-                    scene["text"], name=scene["name"], n=event.n)
+                    scene["text"], name=scene["name"], n=event.n,
+                    deadline_ms=config.deadline_ms)
                 scene_ids[event.scene] = response.get(
                     "scene_id", scene_ids.get(event.scene, ""))
                 accountant.record_ok(
@@ -147,6 +153,11 @@ async def _execute(event: TraceEvent, trace: Trace,
             accountant.record_error(event.phase, "not_found",
                                     retries=retries)
             return
+        except DeadlineExceededError:
+            # The stack refused to serve a spent budget — the deadline
+            # contract working, never retried, never an error.
+            accountant.record_deadline(event.phase, retries=retries)
+            return
         except ServerError as exc:
             accountant.record_error(event.phase, exc.code,
                                     retries=retries)
@@ -159,8 +170,8 @@ async def _execute(event: TraceEvent, trace: Trace,
 
 async def _strike(controller: ChaosController,
                   client: AsyncCompletionClient, phase: str,
-                  event_index: int,
-                  accountant: SloAccountant) -> None:
+                  event_index: int, accountant: SloAccountant,
+                  config: DriverConfig) -> None:
     try:
         healthz = await client.healthz()
         controller.strike(healthz, phase=phase, event_index=event_index)
@@ -168,6 +179,15 @@ async def _strike(controller: ChaosController,
         # The front door itself is unreachable — that is an error the
         # in-flight requests will surface; don't crash the dispatcher.
         accountant.record_error(phase, "chaos_strike_failed")
+        return
+    if controller.plan.mode == "slow":
+        # Schedule the SIGCONT: the stall window scales with the replay
+        # clock so it covers a comparable slice of the burst at any
+        # --time-scale.  resume_all is idempotent — the end-of-replay
+        # sweep catches anything the timer missed.
+        delay = max(0.0, controller.plan.stall_s * config.time_scale)
+        asyncio.get_running_loop().call_later(delay,
+                                              controller.resume_all)
 
 
 async def _run_open_phase(phase_name: str, events: List[TraceEvent],
@@ -191,7 +211,7 @@ async def _run_open_phase(phase_name: str, events: List[TraceEvent],
     for index, event in enumerate(events):
         if controller is not None and index in kills:
             await _strike(controller, client, phase_name, index,
-                          accountant)
+                          accountant, config)
         target = phase_start + (event.t_ms / 1000.0) * config.time_scale
         delay = target - loop.time()
         if delay > 0:
@@ -266,18 +286,22 @@ async def replay_trace(trace: Trace, config: DriverConfig) -> ReplayResult:
                 if controller is not None and kill_indices:
                     # Closed-loop chaos phase: strike before the sweep.
                     await _strike(controller, client, phase.name, 0,
-                                  accountant)
+                                  accountant, config)
                 await _run_closed_phase(events, phase.workers, trace,
                                         client, config, accountant,
                                         scene_ids)
         wall = time.perf_counter() - started
 
-        if controller is not None and controller.kills:
+        if controller is not None and (controller.kills
+                                       or controller.stalls):
             # Respawn is a background concern on the router (failover
             # serves the traffic); give it a bounded window to land so
             # the closing stats reflect recovery, not a race.  A timeout
             # is not an error here — the chaos report's ``recovered``
-            # field carries the verdict.
+            # field carries the verdict.  Slow-mode stalls are resumed
+            # first (idempotent belt-and-braces over the scheduled
+            # SIGCONT) and recover by turning healthy, not restarting.
+            controller.resume_all()
             await _await_chaos_recovery(client, controller.kills)
 
         stats: Optional[dict] = None

@@ -57,10 +57,15 @@ class PhaseAccount:
     completions: int = 0            # ok "complete" ops (hit-rate base)
     retries: int = 0                # overload backoffs that later succeeded
     degraded: int = 0               # last-known-good answers (stale, honest)
+    #: Budget fast-fails (504 ``deadline_exceeded``): the stack *shed on
+    #: time* rather than failing — counted in ``requests`` but kept out
+    #: of ``errors``/``error_rate`` so chaos runs can tell deliberate
+    #: sheds from broken serving.
+    deadline_exceeded: int = 0
 
     @property
     def requests(self) -> int:
-        return len(self.latencies_ms) + self.errors
+        return len(self.latencies_ms) + self.errors + self.deadline_exceeded
 
     @property
     def error_rate(self) -> float:
@@ -68,7 +73,9 @@ class PhaseAccount:
 
         The zero-request convention matters for error budgets: a phase
         that never ran consumed none of its budget — it must neither
-        fail (0/0 is not 100% errors) nor divide by zero.
+        fail (0/0 is not 100% errors) nor divide by zero.  Deadline
+        sheds are in the denominator (they were requests) but not the
+        numerator (the deadline contract was honoured).
         """
         total = self.requests
         return self.errors / total if total else 0.0
@@ -94,6 +101,7 @@ class PhaseAccount:
             "cache_hits": self.cache_hits,
             "completions": self.completions,
             "degraded": self.degraded,
+            "deadline_exceeded": self.deadline_exceeded,
             "cache_hit_rate": _r(self.cache_hit_rate),
             "p50_ms": _r(percentile(latencies, 0.50)),
             "p95_ms": _r(percentile(latencies, 0.95)),
@@ -139,6 +147,12 @@ class SloAccountant:
         account.retries += retries
         account.error_codes[code] = account.error_codes.get(code, 0) + 1
 
+    def record_deadline(self, phase: str, *, retries: int = 0) -> None:
+        """One budget fast-fail: shed on time, not failed."""
+        account = self.phase(phase)
+        account.deadline_exceeded += 1
+        account.retries += retries
+
     def merged(self, names: Optional[Iterable[str]] = None) -> PhaseAccount:
         """One account over the union of *names* (default: every phase).
 
@@ -157,6 +171,7 @@ class SloAccountant:
             merged.completions += account.completions
             merged.retries += account.retries
             merged.degraded += account.degraded
+            merged.deadline_exceeded += account.deadline_exceeded
             for code, count in account.error_codes.items():
                 merged.error_codes[code] = (
                     merged.error_codes.get(code, 0) + count)

@@ -68,6 +68,16 @@ class SceneNotFoundError(ServerError):
     """The scene id is unknown or was evicted; re-register the scene."""
 
 
+class DeadlineExceededError(ServerError):
+    """The end-to-end budget was spent before the request could be served.
+
+    A deliberate fast-fail, not a transport flake: the server (or router)
+    refused to start work it could not finish inside the client's
+    ``budget_ms``.  Never retried — the budget that made the first
+    attempt fail is even more spent now.
+    """
+
+
 class ClientConnectionError(ReproError):
     """The server could not be reached or the connection broke mid-call."""
 
@@ -80,6 +90,8 @@ def _error_for(payload: dict, status: int) -> ServerError:
         return OverloadedError(code, message, status)
     if code == "not_found" and "scene id" in message:
         return SceneNotFoundError(code, message, status)
+    if code == "deadline_exceeded":
+        return DeadlineExceededError(code, message, status)
     return ServerError(code, message, status)
 
 
@@ -285,10 +297,18 @@ class AsyncCompletionClient:
                        variant: Optional[str] = None,
                        n: Optional[int] = None,
                        deadline_ms: Optional[int] = None,
+                       budget_ms: Optional[int] = None,
                        priority: Optional[int] = None) -> dict:
+        # A deadline doubles as the absolute end-to-end budget: the first
+        # hop starts the clock, every later hop receives whatever is left.
+        # Callers that want the anytime budget without the fast-fail
+        # contract can pass budget_ms explicitly (or not at all).
+        if budget_ms is None:
+            budget_ms = deadline_ms
         request = CompleteRequest(scene_id=scene_id, scene=scene, goal=goal,
                                   variant=variant, n=n,
                                   deadline_ms=deadline_ms,
+                                  budget_ms=budget_ms,
                                   priority=priority)
         return await self._request("POST", "/v1/complete",
                                    request.to_payload())
@@ -348,7 +368,8 @@ class AsyncCompletionClient:
             raise ClientConnectionError("client is closed")
         request = CompleteRequest(scene_id=scene_id, scene=scene, goal=goal,
                                   variant=variant, n=n,
-                                  deadline_ms=deadline_ms, stream=True)
+                                  deadline_ms=deadline_ms,
+                                  budget_ms=deadline_ms, stream=True)
         body = encode_body({"v": PROTOCOL_VERSION, **request.to_payload()})
         head = (f"POST /v1/complete HTTP/1.1\r\n"
                 f"Host: {self.host}:{self.port}\r\n"

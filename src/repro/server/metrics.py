@@ -135,6 +135,10 @@ class ServerMetrics:
             "rejected_overload": self.rejected_overload,
             "shed_low_priority": self.shed_low_priority,
             "deadline_partial": self.deadline_partial,
+            # Budget fast-fails, pulled out of the error map so dashboards
+            # (and the router's cross-shard sum) can tell "shed on time"
+            # from "failed" without string-keyed digging.
+            "deadline_exceeded": self.errors["deadline_exceeded"],
             "errors": dict(self.errors),
             "scenes_registered": self.scenes_registered,
             "scenes_evicted": self.scenes_evicted,

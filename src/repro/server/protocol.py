@@ -49,6 +49,7 @@ ERROR_CODES = (
     "not_found",        # unknown path or scene id -> 404
     "overloaded",       # admission control rejected the request -> 429
     "scene_error",      # the scene text failed to parse/load -> 422
+    "deadline_exceeded",  # end-to-end budget spent before serving -> 504
     "internal",         # unexpected server-side failure -> 500
 )
 
@@ -59,6 +60,7 @@ STATUS_FOR_CODE = {
     "not_found": 404,
     "overloaded": 429,
     "scene_error": 422,
+    "deadline_exceeded": 504,
     "internal": 500,
 }
 
@@ -172,6 +174,15 @@ class CompleteRequest:
     variant: Optional[str] = None
     n: Optional[int] = None
     deadline_ms: Optional[int] = None
+    #: Remaining *end-to-end* budget at this hop, in milliseconds.  Unlike
+    #: ``deadline_ms`` (the synthesis anytime budget, constant across
+    #: retries), ``budget_ms`` shrinks at every hop: the client stamps the
+    #: absolute budget, the router re-stamps whatever is left before each
+    #: dispatch, and a hop receiving ``0`` must fast-fail with
+    #: ``deadline_exceeded`` rather than start work it cannot finish in
+    #: time.  ``0`` is deliberately *valid* on the wire — a spent budget
+    #: is a deadline error, not a malformed request.
+    budget_ms: Optional[int] = None
     stream: bool = False
     #: Optional admission-pressure priority, ``0`` (shed first) to ``9``
     #: (shed last); absent means :data:`NORMAL_PRIORITY`.  Under load the
@@ -203,6 +214,8 @@ class CompleteRequest:
             n=_optional_int(payload, "n", minimum=1, maximum=10_000),
             deadline_ms=_optional_int(payload, "deadline_ms", minimum=1,
                                       maximum=MAX_DEADLINE_MS),
+            budget_ms=_optional_int(payload, "budget_ms", minimum=0,
+                                    maximum=MAX_DEADLINE_MS),
             stream=stream,
             priority=_optional_int(payload, "priority", minimum=0,
                                    maximum=MAX_PRIORITY),
@@ -211,7 +224,7 @@ class CompleteRequest:
     def to_payload(self) -> dict:
         payload = {}
         for field in ("scene_id", "scene", "goal", "variant", "n",
-                      "deadline_ms", "priority"):
+                      "deadline_ms", "budget_ms", "priority"):
             value = getattr(self, field)
             if value is not None:
                 payload[field] = value
@@ -312,7 +325,11 @@ class EditSceneRequest:
 
 
 #: Actions accepted by the router's ``POST /v1/admin/backends``.
-ADMIN_ACTIONS = ("add", "drain", "remove")
+#: ``rebalance`` forces one load-skew rebalancing pass immediately — the
+#: same scene moves the supervisor's dwell-timed policy performs, minus
+#: the dwell wait (the operator's "do it now" lever, and the testable
+#: entry point).
+ADMIN_ACTIONS = ("add", "drain", "remove", "rebalance")
 
 
 @dataclass(frozen=True)

@@ -65,7 +65,7 @@ import subprocess
 import sys
 import time
 from bisect import bisect_left
-from collections import Counter, OrderedDict
+from collections import Counter, OrderedDict, deque
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Awaitable, Callable, Optional, Sequence
@@ -338,10 +338,13 @@ class CircuitBreaker:
 
     ``failure_threshold`` consecutive connection failures open the
     circuit; after ``reset_timeout_s`` of cooldown the breaker admits
-    traffic again (half-open) and the first result decides — success
-    closes it, failure re-opens it for another cooldown.  Only
-    *connection-level* failures count: a backend answering an error
-    envelope is alive and keeps its breaker closed.
+    exactly *one* probe (half-open) and its result decides — success
+    closes it, failure re-opens it for another cooldown.  While the
+    probe is outstanding every other :meth:`allow` answers ``False``,
+    so a burst arriving right at cooldown expiry cannot stampede a
+    still-sick backend.  Only *connection-level* failures count: a
+    backend answering an error envelope is alive and keeps its breaker
+    closed.
 
     The clock is injectable (monotonic seconds) so state transitions are
     unit-testable without sleeping; ``last_failure_at`` is wall-clock,
@@ -361,26 +364,40 @@ class CircuitBreaker:
         self.consecutive_failures = 0
         self.opened_total = 0               # lifetime open transitions
         self._opened_at: Optional[float] = None
+        self._probe_inflight = False        # the single half-open probe
         self.last_failure_at: Optional[float] = None    # wall clock
 
     def allow(self) -> bool:
-        """May a call be attempted now?  (Open → half-open on cooldown.)"""
+        """May a call be attempted now?  (Open → half-open on cooldown.)
+
+        Half-open admits exactly one outstanding probe: the cooldown
+        transition grants it, and every further ``allow`` is refused
+        until :meth:`record_success` / :meth:`record_failure` settles
+        the probe's fate.
+        """
         if self.state == "open":
             assert self._opened_at is not None
             if self._clock() - self._opened_at >= self.reset_timeout_s:
                 self.state = "half_open"
+                self._probe_inflight = True
             else:
                 return False
+        elif self.state == "half_open":
+            if self._probe_inflight:
+                return False
+            self._probe_inflight = True
         return True
 
     def record_success(self) -> None:
         self.state = "closed"
         self.consecutive_failures = 0
         self._opened_at = None
+        self._probe_inflight = False
 
     def record_failure(self) -> None:
         self.last_failure_at = time.time()
         self.consecutive_failures += 1
+        self._probe_inflight = False
         if (self.state == "half_open"
                 or self.consecutive_failures >= self.failure_threshold):
             if self.state != "open":
@@ -439,6 +456,66 @@ class RetryBudget:
             "tokens": round(self.tokens, 3),
             "granted": self.granted,
             "denied": self.denied,
+        }
+
+
+class LatencyTracker:
+    """Per-backend service-time window + EWMA feeding the gray-failure
+    defences.
+
+    The bounded sample window yields the p95 that drives outlier
+    ejection and the hedge threshold; the EWMA is the cheap trend line
+    operators read off ``/healthz``.  A SIGSTOP'd backend never
+    *completes* calls, so its window is fed by the budget-clamped
+    timeouts it causes — slowness shows up here even when no call ever
+    returns.  ``reset`` clears the window (keeping the lifetime count)
+    so a recovered backend re-qualifies on fresh data instead of being
+    haunted by its stalled past.
+    """
+
+    def __init__(self, window: int = 128, alpha: float = 0.2):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be within (0, 1], got {alpha}")
+        self._samples: deque = deque(maxlen=window)
+        self.alpha = alpha
+        self.ewma_ms: Optional[float] = None
+        self.count = 0                      # lifetime samples recorded
+
+    def record(self, seconds: float) -> None:
+        ms = seconds * 1000.0
+        self._samples.append(ms)
+        self.count += 1
+        self.ewma_ms = (ms if self.ewma_ms is None
+                        else self.alpha * ms + (1 - self.alpha) * self.ewma_ms)
+
+    @property
+    def window_count(self) -> int:
+        return len(self._samples)
+
+    def percentile(self, fraction: float) -> Optional[float]:
+        """The *fraction*-quantile (0..1) of the window, in ms, or None."""
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        index = min(int(fraction * len(ordered)), len(ordered) - 1)
+        return ordered[index]
+
+    def reset(self) -> None:
+        self._samples.clear()
+        self.ewma_ms = None
+
+    def describe(self) -> dict:
+        def _round(value: Optional[float]) -> Optional[float]:
+            return None if value is None else round(value, 3)
+
+        return {
+            "count": self.count,
+            "window": len(self._samples),
+            "ewma_ms": _round(self.ewma_ms),
+            "p50_ms": _round(self.percentile(0.50)),
+            "p95_ms": _round(self.percentile(0.95)),
         }
 
 
@@ -503,6 +580,10 @@ class Backend:
     breaker: CircuitBreaker = field(default_factory=CircuitBreaker)
     draining: bool = False                  # admin drain in progress
     inflight: int = 0                       # router calls outstanding
+    latency: LatencyTracker = field(default_factory=LatencyTracker)
+    ejected: bool = False                   # latency outlier, demoted
+    ejected_at: Optional[float] = None      # monotonic; rejoin clock
+    load_ewma: float = 0.0                  # supervisor-sampled inflight
 
     @property
     def managed(self) -> bool:
@@ -517,6 +598,9 @@ class Backend:
             "draining": self.draining,
             "restarts": self.restarts,
             "inflight": self.inflight,
+            "ejected": self.ejected,
+            "latency": self.latency.describe(),
+            "load_ewma": round(self.load_ewma, 3),
             "breaker": self.breaker.describe(),
             "snapshot_path": self.snapshot_path,
             # The supervised process id (None when attached): the chaos
@@ -646,6 +730,36 @@ class RouterConfig:
     #: Supervisor sweep period: how often dead managed processes are
     #: re-kicked and unhealthy attached backends probed.
     supervise_interval_s: float = 0.25
+    #: Hedged retries: when the first attempt outlives
+    #: ``hedge_factor`` × its backend's windowed p95 (floored at
+    #: ``hedge_floor_ms`` so a cold window cannot hedge instantly), one
+    #: budgeted hedge fires to the next live sibling replica.  Hedges
+    #: spend the same retry-budget token bucket as failovers, so hedge
+    #: amplification is bounded by ``retry_budget_ratio`` by
+    #: construction.  ``hedge_factor=0`` disables hedging.
+    hedge_factor: float = 2.0
+    hedge_floor_ms: int = 50
+    #: Latency outlier ejection: a backend whose windowed p95 exceeds
+    #: ``eject_multiplier`` × the cohort median (both sides needing at
+    #: least ``eject_min_samples`` window samples) is demoted in
+    #: candidate ordering like a half-open breaker; after
+    #: ``eject_reset_s`` it rejoins with a cleared window.
+    eject_multiplier: float = 3.0
+    eject_min_samples: int = 16
+    eject_reset_s: float = 5.0
+    #: Sustained-skew rebalancing: when the hottest backend's
+    #: supervisor-sampled inflight EWMA exceeds
+    #: ``rebalance_skew_ratio`` × the coldest's *and* the absolute gap
+    #: is at least ``rebalance_min_gap``, continuously for
+    #: ``rebalance_dwell_s`` seconds, up to ``rebalance_max_scenes`` of
+    #: the hottest backend's busiest scenes are re-homed onto the
+    #: coldest owner (journal re-teach + sticky-session re-home).
+    #: ``rebalance_dwell_s=0`` disables the automatic policy; the
+    #: ``rebalance`` admin action still triggers one pass on demand.
+    rebalance_skew_ratio: float = 3.0
+    rebalance_min_gap: float = 4.0
+    rebalance_dwell_s: float = 10.0
+    rebalance_max_scenes: int = 8
 
 
 def check_config(config: RouterConfig, *,
@@ -682,6 +796,27 @@ def check_config(config: RouterConfig, *,
     if config.breaker_failures < 1:
         problems.append(f"breaker failure threshold must be at least 1, "
                         f"got {config.breaker_failures}")
+    if config.hedge_factor < 0:
+        problems.append(f"hedge factor must be non-negative, "
+                        f"got {config.hedge_factor}")
+    if config.hedge_floor_ms < 0:
+        problems.append(f"hedge floor must be non-negative, "
+                        f"got {config.hedge_floor_ms}")
+    if config.eject_multiplier < 1.0:
+        problems.append(f"eject multiplier must be at least 1, "
+                        f"got {config.eject_multiplier}")
+    if config.eject_min_samples < 1:
+        problems.append(f"eject min samples must be at least 1, "
+                        f"got {config.eject_min_samples}")
+    if config.rebalance_skew_ratio < 1.0:
+        problems.append(f"rebalance skew ratio must be at least 1, "
+                        f"got {config.rebalance_skew_ratio}")
+    if config.rebalance_dwell_s < 0:
+        problems.append(f"rebalance dwell must be non-negative, "
+                        f"got {config.rebalance_dwell_s}")
+    if config.rebalance_max_scenes < 1:
+        problems.append(f"rebalance max scenes must be at least 1, "
+                        f"got {config.rebalance_max_scenes}")
     if config.attach and config.snapshot_dir is not None:
         problems.append("--snapshot-dir only applies to managed backends "
                         "(drop it or drop --attach)")
@@ -760,6 +895,19 @@ class CompletionRouter:
         self.failovers = 0                  # replica attempts failed over
         self.degraded_served = 0            # LKG answers with degraded: true
         self.drains = 0                     # admin drains completed
+        self.deadline_exceeded = 0          # budget fast-fails (shed on time)
+        self.slow_timeouts = 0              # attempts cut by the clamp
+        self.hedges = 0                     # hedged retries fired
+        self.hedges_won = 0                 # of which the hedge answered first
+        self.ejections = 0                  # latency outliers demoted
+        self.rebalances = 0                 # skew-driven scene migrations
+        #: Recent rebalance decisions, oldest first, for stats readers.
+        self.rebalance_events: deque = deque(maxlen=32)
+        #: scene id -> serve count; feeds hottest-scene selection when a
+        #: rebalance fires.  Bounded: beyond the cap the cold half is
+        #: dropped (the hot entries are the only ones rebalancing reads).
+        self._scene_traffic: Counter = Counter()
+        self._skew_since: Optional[float] = None    # monotonic dwell clock
         self.retry_budget = RetryBudget(self.config.retry_budget_ratio,
                                         self.config.retry_budget_burst)
         self.lkg = LastKnownGood(self.config.lkg_entries)
@@ -937,7 +1085,9 @@ class CompletionRouter:
         The sticky edit-session home (warm incremental state) leads when
         it exists; the ring's R owners follow, healthiest and
         least-loaded first, so reads land on a live replica even while a
-        sibling is mid-respawn.
+        sibling is mid-respawn.  An ejected backend (latency outlier)
+        sorts with the non-closed breakers: still a candidate of last
+        resort, never the first choice.
         """
         ids: list[str] = []
         home = self._session_homes.get(scene_id)
@@ -952,7 +1102,8 @@ class CompletionRouter:
                 for backend_id in ids[len(head):]
                 if backend_id in self.backends]
         tail.sort(key=lambda b: (not b.healthy,
-                                 b.breaker.state != "closed", b.inflight))
+                                 b.ejected or b.breaker.state != "closed",
+                                 b.inflight))
         return head + tail
 
     def _kick_respawn(self, backend: Backend) -> None:
@@ -987,7 +1138,9 @@ class CompletionRouter:
         ``poll()`` race would never be retried).  This loop re-kicks
         dead managed processes and health-probes unhealthy attached
         backends so both kinds rejoin without needing a request to trip
-        over them.
+        over them.  The same sweep re-evaluates latency-outlier
+        ejections and runs the sustained-skew rebalance policy — gray
+        failures are a supervision concern exactly like crashes.
         """
         while True:
             await asyncio.sleep(self.config.supervise_interval_s)
@@ -1002,6 +1155,138 @@ class CompletionRouter:
                         continue            # still down; next sweep retries
                     backend.healthy = True
                     backend.breaker.record_success()
+            self._sweep_ejections(time.monotonic())
+            await self._sweep_rebalance(time.monotonic())
+
+    def _sweep_ejections(self, now: float) -> None:
+        """Demote latency outliers; readmit served-out ejections.
+
+        A backend whose windowed p95 detaches from the cohort median by
+        ``eject_multiplier`` is marked ejected — candidate ordering then
+        treats it like a half-open breaker (last resort, not first
+        choice).  After ``eject_reset_s`` the mark clears and the
+        latency window resets, so readmission is judged on post-recovery
+        samples only.  Pure function of tracker state + *now*: unit
+        tests drive it directly with fabricated samples and clocks.
+        """
+        backends = list(self.backends.values())
+        for backend in backends:
+            if not backend.ejected:
+                continue
+            assert backend.ejected_at is not None
+            if now - backend.ejected_at >= self.config.eject_reset_s:
+                backend.ejected = False
+                backend.ejected_at = None
+                backend.latency.reset()
+        if len(backends) < 2:
+            return
+        minimum = self.config.eject_min_samples
+        for backend in backends:
+            if backend.ejected:
+                continue
+            if backend.latency.window_count < minimum:
+                continue
+            mine = backend.latency.percentile(0.95)
+            cohort = sorted(
+                sibling.latency.percentile(0.95)
+                for sibling in backends
+                if sibling is not backend
+                and sibling.latency.window_count >= minimum)
+            if mine is None or not cohort:
+                continue
+            median = cohort[len(cohort) // 2]
+            if median > 0 and mine > self.config.eject_multiplier * median:
+                backend.ejected = True
+                backend.ejected_at = now
+                self.ejections += 1
+
+    #: Supervisor-sample smoothing for per-backend inflight load.
+    LOAD_EWMA_ALPHA = 0.3
+    #: Most per-scene traffic counters kept; beyond this the cold half
+    #: is dropped (only the hot entries feed rebalance decisions).
+    MAX_SCENE_TRAFFIC = 4096
+
+    def _note_scene_traffic(self, scene_id: str) -> None:
+        self._scene_traffic[scene_id] += 1
+        if len(self._scene_traffic) > self.MAX_SCENE_TRAFFIC:
+            self._scene_traffic = Counter(dict(
+                self._scene_traffic.most_common(
+                    self.MAX_SCENE_TRAFFIC // 2)))
+
+    def _skew_pair(self) -> Optional[tuple["Backend", "Backend"]]:
+        """(hottest, coldest) by load EWMA when skew exceeds the policy
+        thresholds, else None."""
+        live = [backend for backend in self.backends.values()
+                if backend.healthy and not backend.draining]
+        if len(live) < 2:
+            return None
+        hottest = max(live, key=lambda b: b.load_ewma)
+        coldest = min(live, key=lambda b: b.load_ewma)
+        gap = hottest.load_ewma - coldest.load_ewma
+        ratio_ok = (hottest.load_ewma
+                    > self.config.rebalance_skew_ratio * coldest.load_ewma)
+        if ratio_ok and gap >= self.config.rebalance_min_gap:
+            return hottest, coldest
+        return None
+
+    async def _sweep_rebalance(self, now: float) -> None:
+        """One tick of the sustained-skew policy (dwell-gated)."""
+        if self.config.rebalance_dwell_s <= 0:
+            return
+        for backend in self.backends.values():
+            backend.load_ewma = (
+                self.LOAD_EWMA_ALPHA * backend.inflight
+                + (1 - self.LOAD_EWMA_ALPHA) * backend.load_ewma)
+        pair = self._skew_pair()
+        if pair is None:
+            self._skew_since = None
+            return
+        if self._skew_since is None:
+            self._skew_since = now
+            return
+        if now - self._skew_since < self.config.rebalance_dwell_s:
+            return
+        await self._rebalance_once(*pair)
+
+    async def _rebalance_once(self, hot: "Backend",
+                              cold: "Backend") -> dict:
+        """Re-home up to ``rebalance_max_scenes`` of *hot*'s busiest
+        scenes onto *cold*.
+
+        Reuses the machinery every other recovery path already trusts:
+        the journal re-teaches the scene's text to the cold owner
+        (registration is idempotent), then the sticky-session home map
+        points the scene there — exactly how drains move edit sessions.
+        The hot copy is left in place; eviction reclaims it, and a
+        stale copy is harmless because routing follows the home map.
+        """
+        moved: list[str] = []
+        for scene_id, _hits in self._scene_traffic.most_common():
+            if len(moved) >= self.config.rebalance_max_scenes:
+                break
+            candidates = self._candidates(scene_id)
+            if not candidates:
+                continue
+            if candidates[0].backend_id != hot.backend_id:
+                continue                    # not this backend's load
+            entry = self.journal.lookup_scene(scene_id)
+            if entry is None:
+                continue                    # nothing durable to re-teach
+            try:
+                await self._call_fast(cold, lambda c, e=entry:
+                                      c.register_scene(e.text, name=e.name))
+            except (ProtocolError, ServerError):
+                continue                    # cold owner balked; skip scene
+            self._remember_home(scene_id, cold.backend_id)
+            self._scene_traffic.pop(scene_id, None)     # count afresh
+            moved.append(scene_id)
+        event = {"from": hot.backend_id, "to": cold.backend_id,
+                 "scenes": moved, "at": time.time()}
+        if moved:
+            self.rebalances += 1
+            self.rebalance_events.append(event)
+        self._skew_since = None             # moved (or nothing movable):
+        return event                        # re-observe before acting again
 
     async def _call_fast(self, backend: Backend,
                          call: Callable[[AsyncCompletionClient],
@@ -1013,6 +1298,7 @@ class CompletionRouter:
         sibling replica instead of waiting out a restart here.
         """
         backend.inflight += 1
+        started = time.monotonic()
         try:
             result = await call(backend.client)
         except ClientConnectionError as exc:
@@ -1024,6 +1310,7 @@ class CompletionRouter:
                 code="internal") from exc
         finally:
             backend.inflight -= 1
+        backend.latency.record(time.monotonic() - started)
         backend.healthy = True
         backend.breaker.record_success()
         return result
@@ -1274,16 +1561,63 @@ class CompletionRouter:
             self.lkg.remember(key, response)
         return response
 
+    # -- end-to-end deadline arithmetic --------------------------------------
+
+    @staticmethod
+    def _deadline_at(request: CompleteRequest) -> Optional[float]:
+        """The absolute (monotonic) instant this request's budget dies.
+
+        Computed once at ingress from the client-stamped ``budget_ms``;
+        every downstream clamp and hop re-derives *remaining* budget
+        from this single anchor, so retries and hedges can never renew
+        the budget.
+        """
+        if request.budget_ms is None:
+            return None
+        return time.monotonic() + request.budget_ms / 1000.0
+
+    @staticmethod
+    def _remaining_budget_ms(deadline_at: Optional[float]) -> Optional[int]:
+        """Whole milliseconds of budget left; clamped at 0, never None
+        for a budgeted request."""
+        if deadline_at is None:
+            return None
+        return max(0, int((deadline_at - time.monotonic()) * 1000))
+
+    def _fail_fast_if_spent(self, deadline_at: Optional[float]) -> None:
+        """A spent budget is refused *before* dispatch — the client
+        already stopped caring, so burning a backend slot (or a retry
+        token) on the answer is pure waste."""
+        if deadline_at is None:
+            return
+        if deadline_at - time.monotonic() <= 0:
+            self.deadline_exceeded += 1
+            raise ProtocolError(
+                "end-to-end budget spent before dispatch",
+                code="deadline_exceeded")
+
+    def _attempt_timeout_s(self, deadline_at: Optional[float]) -> float:
+        """Per-attempt timeout: ``min(request_timeout, remaining)``."""
+        if deadline_at is None:
+            return self.config.request_timeout
+        return min(self.config.request_timeout,
+                   max(deadline_at - time.monotonic(), 0.0))
+
     async def _complete_one(self, request: CompleteRequest) -> dict:
         scene_id = await self._resolve_scene_id(request)
+        deadline_at = self._deadline_at(request)
 
         def call(client: AsyncCompletionClient) -> Awaitable[dict]:
+            # Re-derived per attempt: each hop sees only what is left.
             return client.complete(scene_id, goal=request.goal,
                                    variant=request.variant, n=request.n,
                                    deadline_ms=request.deadline_ms,
+                                   budget_ms=self._remaining_budget_ms(
+                                       deadline_at),
                                    priority=request.priority)
 
-        return await self._serve_with_failover(scene_id, request, call)
+        return await self._serve_with_failover(scene_id, request, call,
+                                               deadline_at=deadline_at)
 
     async def _attempt_backend(self, backend: Backend, scene_id: str,
                                call: Callable[[AsyncCompletionClient],
@@ -1302,37 +1636,157 @@ class CompletionRouter:
                 entry.text, name=entry.name))
             return await self._call_fast(backend, call)
 
+    async def _attempt_timed(self, backend: Backend, scene_id: str,
+                             call: Callable[[AsyncCompletionClient],
+                                            Awaitable[dict]],
+                             deadline_at: Optional[float]) -> dict:
+        """One replica attempt under the budget-clamped timeout.
+
+        The clamp is ``min(request_timeout, remaining_budget)`` — a
+        SIGSTOP'd backend can hold an attempt for at most the smaller
+        of the two, never the flat 120 s.  A cut attempt still records
+        its elapsed time into the backend's latency window (slowness
+        must show up even when nothing returns) and surfaces as
+        ``deadline_exceeded`` when the budget is what expired, or as an
+        ordinary failover-able ``internal`` otherwise.
+        """
+        timeout = self._attempt_timeout_s(deadline_at)
+        started = time.monotonic()
+        try:
+            return await asyncio.wait_for(
+                self._attempt_backend(backend, scene_id, call), timeout)
+        except asyncio.TimeoutError:
+            backend.latency.record(time.monotonic() - started)
+            self.slow_timeouts += 1
+            if deadline_at is not None and time.monotonic() >= deadline_at:
+                self.deadline_exceeded += 1
+                raise ProtocolError(
+                    f"backend {backend.backend_id} outlived the "
+                    f"remaining end-to-end budget",
+                    code="deadline_exceeded") from None
+            raise ProtocolError(
+                f"backend {backend.backend_id} exceeded the "
+                f"{timeout:.3f}s per-attempt timeout",
+                code="internal") from None
+
+    def _hedge_delay_s(self, backend: Backend,
+                       deadline_at: Optional[float]) -> Optional[float]:
+        """How long the first attempt may run before a hedge fires.
+
+        Percentile-derived — ``hedge_factor`` × the backend's windowed
+        p95, floored at ``hedge_floor_ms`` so an empty window cannot
+        hedge every request — and budget-bounded: with a live deadline
+        the hedge fires no later than half the remaining budget, so the
+        hedge itself still has budget to run in.  ``None`` = disabled.
+        """
+        if self.config.hedge_factor <= 0:
+            return None
+        p95_ms = backend.latency.percentile(0.95)
+        delay = max(self.config.hedge_floor_ms / 1000.0,
+                    (p95_ms or 0.0) / 1000.0 * self.config.hedge_factor)
+        if deadline_at is not None:
+            remaining = max(deadline_at - time.monotonic(), 0.0)
+            delay = min(delay, remaining / 2)
+        return delay
+
+    @staticmethod
+    def _settle_task(task: "asyncio.Task") -> None:
+        """Cancel a losing hedge arm and keep its eventual exception
+        from tripping the event loop's never-retrieved warning."""
+        task.cancel()
+        task.add_done_callback(
+            lambda t: t.cancelled() or t.exception())
+
+    async def _attempt_hedged(self, backend: Backend,
+                              siblings: Sequence[Backend], scene_id: str,
+                              call: Callable[[AsyncCompletionClient],
+                                             Awaitable[dict]],
+                              deadline_at: Optional[float]) -> dict:
+        """The first ladder rung, with a budget-bounded hedge.
+
+        If the primary attempt outlives the percentile-derived hedge
+        delay, one hedge fires to the next live sibling replica —
+        *spending a retry-budget token*, so hedge volume is bounded by
+        the same bucket as failovers.  First success wins; the loser is
+        cancelled.  When both arms fail, the primary's error surfaces
+        (the ladder's failover handling takes it from there).
+        """
+        delay = self._hedge_delay_s(backend, deadline_at)
+        sibling = next(
+            (candidate for candidate in siblings
+             if candidate.healthy and not candidate.ejected
+             and candidate.breaker.state == "closed"), None)
+        primary = asyncio.ensure_future(
+            self._attempt_timed(backend, scene_id, call, deadline_at))
+        if delay is None or sibling is None:
+            return await primary
+        done, _ = await asyncio.wait({primary}, timeout=delay)
+        if primary in done:
+            return primary.result()
+        if not self.retry_budget.try_spend():
+            return await primary            # bucket dry: no hedge today
+        self.hedges += 1
+        secondary = asyncio.ensure_future(
+            self._attempt_timed(sibling, scene_id, call, deadline_at))
+        pending = {primary, secondary}
+        while pending:
+            done, pending = await asyncio.wait(
+                pending, return_when=asyncio.FIRST_COMPLETED)
+            for task in done:
+                if task.exception() is None:
+                    for loser in pending:
+                        self._settle_task(loser)
+                    if task is secondary:
+                        self.hedges_won += 1
+                    return task.result()
+        return primary.result()             # both failed: primary's error
+
     async def _serve_with_failover(self, scene_id: str,
                                    request: CompleteRequest,
                                    call: Callable[[AsyncCompletionClient],
-                                                  Awaitable[dict]]) -> dict:
+                                                  Awaitable[dict]],
+                                   deadline_at: Optional[float] = None
+                                   ) -> dict:
         """The read path: healthiest replica first, instant failover.
 
         The ladder tries each replica-set backend in best-first order; a
         connection failure kicks a background respawn and moves on to
         the sibling.  Attempts beyond the first spend the router's retry
         budget — a storm against a dead shard is bounded by construction.
-        When every replica is down the last-known-good cache answers
-        with ``degraded: true``; with nothing cached the preferred owner
-        pays a blocking respawn-and-retry (the pre-replication
-        behaviour), so R=1 topologies and cold scenes still recover
-        without a client-visible error.
+        A budgeted request is refused outright once its budget is spent
+        (``deadline_exceeded``; never retried), each attempt runs under
+        the budget-clamped timeout, and the first rung may hedge to a
+        sibling when the primary turns out slow.  When every replica is
+        down the last-known-good cache answers with ``degraded: true``;
+        with nothing cached the preferred owner pays a blocking
+        respawn-and-retry (the pre-replication behaviour), so R=1
+        topologies and cold scenes still recover without a
+        client-visible error.
         """
         self.retry_budget.on_request()
+        self._note_scene_traffic(scene_id)
+        self._fail_fast_if_spent(deadline_at)
         key = self._lkg_key(scene_id, request)
         candidates = self._candidates(scene_id)
         attempts = 0
         last_error: Optional[ProtocolError] = None
-        for backend in candidates:
+        for index, backend in enumerate(candidates):
             if len(candidates) > 1 and not backend.breaker.allow():
                 continue                    # open circuit: skip the corpse
-            if attempts and not self.retry_budget.try_spend():
-                break                       # budget spent: stop hammering
+            if attempts:
+                self._fail_fast_if_spent(deadline_at)
+                if not self.retry_budget.try_spend():
+                    break                   # budget spent: stop hammering
             attempts += 1
             try:
-                return self._remember_lkg(
-                    key, await self._attempt_backend(backend, scene_id,
-                                                     call))
+                if attempts == 1:
+                    result = await self._attempt_hedged(
+                        backend, candidates[index + 1:], scene_id, call,
+                        deadline_at)
+                else:
+                    result = await self._attempt_timed(
+                        backend, scene_id, call, deadline_at)
+                return self._remember_lkg(key, result)
             except ProtocolError as error:
                 if error.code != "internal":
                     raise                   # backend answered: not a failover
@@ -1345,7 +1799,8 @@ class CompletionRouter:
         if not candidates:
             raise last_error or ProtocolError("no backends on the ring",
                                               code="internal")
-        backend = candidates[0]
+        self._fail_fast_if_spent(deadline_at)   # a blocking respawn is
+        backend = candidates[0]                 # never worth a dead budget
         try:
             return self._remember_lkg(key,
                                       await self._call(backend, call))
@@ -1618,6 +2073,8 @@ class CompletionRouter:
         request = protocol.AdminBackendsRequest.from_payload(payload)
         if request.action == "add":
             return await self._admin_add(request)
+        if request.action == "rebalance":
+            return await self._admin_rebalance()
         backend = self.backends.get(request.backend_id)
         if backend is None:
             raise ProtocolError(
@@ -1665,6 +2122,33 @@ class CompletionRouter:
         replayed = await self._replay_into(backend)
         return protocol.ok_payload(backend=backend.describe(),
                                    replayed=replayed)
+
+    async def _admin_rebalance(self) -> dict:
+        """Force one rebalance pass now (no dwell wait).
+
+        Hot/cold selection for the manual trigger is by observed scene
+        traffic share — deterministic under test and meaningful even
+        between supervisor sweeps, when the inflight EWMA may not have
+        caught up yet.
+        """
+        live = [backend for backend in self.backends.values()
+                if backend.healthy and not backend.draining]
+        if len(live) < 2:
+            raise ProtocolError("rebalance needs at least two live "
+                                "backends", code="bad_request")
+        shares: Counter = Counter(
+            {backend.backend_id: 0 for backend in live})
+        for scene_id, hits in self._scene_traffic.items():
+            candidates = self._candidates(scene_id)
+            if candidates and candidates[0].backend_id in shares:
+                shares[candidates[0].backend_id] += hits
+        hot = max(live, key=lambda b: shares[b.backend_id])
+        cold = min(live, key=lambda b: shares[b.backend_id])
+        if hot.backend_id == cold.backend_id:
+            raise ProtocolError("no traffic skew to rebalance",
+                                code="bad_request")
+        event = await self._rebalance_once(hot, cold)
+        return protocol.ok_payload(moved=len(event["scenes"]), **event)
 
     async def _admin_drain(self, backend: Backend) -> dict:
         """Take *backend* off the ring and re-home its state.
@@ -1759,6 +2243,22 @@ class CompletionRouter:
             "lkg_entries": len(self.lkg),
             "breakers": {backend_id: backend.breaker.describe()
                          for backend_id, backend in self.backends.items()},
+            # Gray-failure instrumentation: budget sheds, clamp cuts,
+            # hedge volume/wins, latency-outlier ejections and the
+            # skew-rebalance history — the signals the slow-backend
+            # chaos report reads back.
+            "deadline_exceeded": self.deadline_exceeded,
+            "slow_timeouts": self.slow_timeouts,
+            "hedges": {"fired": self.hedges, "won": self.hedges_won},
+            "ejections": self.ejections,
+            "ejected": sorted(backend_id
+                              for backend_id, backend
+                              in self.backends.items() if backend.ejected),
+            "backend_latency": {
+                backend_id: backend.latency.describe()
+                for backend_id, backend in self.backends.items()},
+            "rebalances": self.rebalances,
+            "rebalance_events": list(self.rebalance_events),
         }
 
     async def _stats_payload(self) -> dict:

@@ -63,7 +63,7 @@ _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 413: "Payload Too Large",
     422: "Unprocessable Entity", 429: "Too Many Requests",
-    500: "Internal Server Error",
+    500: "Internal Server Error", 504: "Gateway Timeout",
 }
 
 
@@ -122,6 +122,11 @@ class ServerConfig:
     #: priorities keep landing until the hard ceiling — under pressure
     #: the interactive tier degrades last.
     shed_watermark: float = 0.75
+    #: Debug fault injection (``repro serve --inject-latency-ms``): every
+    #: completion sleeps this long before serving.  Models a gray-failed
+    #: backend — alive, answering, *slow* — for the chaos harness and
+    #: the router's hedging/ejection tests.  0 disables.
+    inject_latency_ms: int = 0
 
 
 @dataclass(frozen=True)
@@ -849,6 +854,17 @@ class AsyncCompletionServer:
         deadline_ms = (request.deadline_ms
                        if request.deadline_ms is not None
                        else self.config.default_deadline_ms)
+        # End-to-end budget: the remaining-budget hop count caps the
+        # synthesis deadline (the paper's anytime search makes any
+        # residue useful), and a budget that arrives already spent is
+        # refused before any synthesis work is admitted.
+        if request.budget_ms is not None:
+            if request.budget_ms <= 0:
+                raise ProtocolError(
+                    "end-to-end budget spent before serving",
+                    code="deadline_exceeded")
+            deadline_ms = (request.budget_ms if deadline_ms is None
+                           else min(deadline_ms, request.budget_ms))
         config = deadline_config(self.engine.default_config, deadline_ms)
         key = query_key(prepared.fingerprint, goal, policy, config,
                         request.n)
@@ -859,6 +875,8 @@ class AsyncCompletionServer:
 
     async def _complete_one(self, request: CompleteRequest) -> dict:
         start = time.perf_counter()
+        if self.config.inject_latency_ms:
+            await asyncio.sleep(self.config.inject_latency_ms / 1000.0)
         resolved = await self._resolve_completion(request)
         served = await self._serve_key(resolved.key, resolved.prepared,
                                        resolved.goal, resolved.policy,

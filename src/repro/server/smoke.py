@@ -32,6 +32,14 @@ the per-shard sums.  The burst coalescing accounting is skipped in this
 mode — a respawned backend restarts its counters, so cross-kill counter
 arithmetic is meaningless by design.
 
+``--router --chaos --slow`` swaps the SIGKILL for the gray failure:
+one ring owner is SIGSTOPped mid-burst (its sockets stay open, its
+in-flight work parks — breakers see nothing), every request carries an
+end-to-end deadline, and the drive asserts hedged retries complete the
+stalled owner's traffic on the sibling replica with zero client-visible
+errors, zero respawns, and zero ``deadline_exceeded`` — then SIGCONTs
+the victim and asserts it rejoins full-fidelity serving.
+
 ``--router --chaos --kill-majority`` (needs ``--backends 3``) goes one
 further: it rebuilds the router's hash ring client-side from the
 ``/healthz`` backend ids (the ring is deterministic), SIGKILLs *both*
@@ -162,6 +170,138 @@ async def _chaos_burst(client: AsyncCompletionClient,
         f"mid-burst of {len(tasks)}; {restarts} respawn(s), "
         f"{router['failovers']} failover(s), 0 degraded, all "
         f"completions correct")
+    return report
+
+
+def _sigcont(pid: int) -> None:
+    """Resume a stalled pid; idempotent (a resumed or dead pid is fine)."""
+    try:
+        os.kill(pid, signal.SIGCONT)
+    except (ProcessLookupError, OSError):
+        pass
+
+
+async def _slow_burst(client: AsyncCompletionClient,
+                      scene_paths: Sequence[Path]) -> list[str]:
+    """SIGSTOP one ring owner mid-burst; hedges must save its traffic.
+
+    The gray failure: a SIGSTOPped backend keeps its sockets open and
+    simply stops answering — no connection error, so breakers stay
+    closed and the router keeps routing to it.  Every request carries a
+    generous end-to-end deadline; the requests aimed at the stalled
+    owner's scene must be *hedged* onto the sibling replica and answer
+    full-fidelity.  Nothing may error, nothing may degrade, nothing may
+    respawn (the process never died), and after SIGCONT the victim must
+    still be a healthy, serving member of the ring.
+
+    The SIGCONT is scheduled on a timer (belt-and-braces resumed again
+    after the burst) so requests that exhaust the hedge retry budget
+    simply park until the stall lifts — well inside their deadlines —
+    instead of deadlocking the gather.
+    """
+    report: list[str] = []
+    deadline_ms = 30_000
+    texts = [path.read_text(encoding="utf-8") for path in scene_paths]
+    scene_ids = []
+    for path, text in zip(scene_paths, texts):
+        scene_ids.append((await client.register_scene(
+            text, name=path.name))["scene_id"])
+    baseline = {}
+    for scene_id in scene_ids:
+        served = await client.complete(scene_id, n=7,
+                                       deadline_ms=deadline_ms)
+        baseline[scene_id] = tuple(s["code"] for s in served["snippets"])
+
+    # The ring is deterministic over backend ids: pick the victim as the
+    # *primary owner* of the first scene, so the stalled owner is
+    # guaranteed to sit first in that scene's candidate order.
+    backends = {backend["backend_id"]: backend
+                for backend in await client.backends()}
+    roster = await client.admin_backends()
+    ring = HashRing(replicas=roster["ring"]["replicas"])
+    for backend_id in backends:
+        ring.add(backend_id)
+    victim = backends[ring.route_n(scene_ids[0], 1)[0]]
+    assert victim.get("managed") and victim.get("pid"), (
+        "slow chaos needs a router-supervised owner to stall")
+    pid = int(victim["pid"])
+    restarts_before = sum(backend.get("restarts", 0)
+                          for backend in backends.values())
+
+    tasks = [asyncio.ensure_future(
+        client.complete(scene_ids[index % len(scene_ids)], n=8,
+                        deadline_ms=deadline_ms))
+        for index in range(6 * len(scene_ids))]
+    await asyncio.sleep(0.02)
+    os.kill(pid, signal.SIGSTOP)
+    # Post-stall wave aimed straight at the stalled owner's scene: the
+    # router still sees the victim as healthy (SIGSTOP breaks nothing),
+    # so these dispatch to it, park, and must be hedged to the sibling.
+    wave = [asyncio.ensure_future(
+        client.complete(scene_ids[0], n=9, deadline_ms=deadline_ms))
+        for _ in range(4)]
+    asyncio.get_running_loop().call_later(1.0, _sigcont, pid)
+
+    results = await asyncio.gather(*tasks)
+    wave_results = await asyncio.gather(*wave)
+    _sigcont(pid)                           # idempotent belt-and-braces
+    for index, served in enumerate(results):
+        scene_id = scene_ids[index % len(scene_ids)]
+        assert served["snippets"], "mid-stall completion lost its snippets"
+        assert "degraded" not in served, (
+            f"mid-stall completion degraded for {scene_id}: the sibling "
+            f"replica must serve full-fidelity")
+        codes = tuple(s["code"] for s in served["snippets"])
+        assert codes[:7] == baseline[scene_id][:len(codes[:7])], (
+            f"mid-stall snippets diverged for {scene_id}")
+    for served in wave_results:
+        assert served["snippets"] and "degraded" not in served, (
+            "stalled-owner completion was lost or degraded")
+        codes = tuple(s["code"] for s in served["snippets"])
+        assert codes[:7] == baseline[scene_ids[0]][:7], (
+            "hedged completion diverged from the baseline")
+
+    # Recovery: the victim never died, so zero respawns — it rejoins by
+    # simply answering again once SIGCONT lands.
+    deadline = time.monotonic() + 30.0
+    while True:
+        health = await client.healthz()
+        if all(backend["healthy"] for backend in health["backends"]):
+            break
+        assert time.monotonic() < deadline, (
+            f"stalled backend never rejoined: "
+            f"{[(b['backend_id'], b['healthy']) for b in health['backends']]}")
+        await asyncio.sleep(0.05)
+    restarts = sum(backend.get("restarts", 0)
+                   for backend in health["backends"])
+    assert restarts == restarts_before, (
+        f"slow chaos must not respawn anything (the process never "
+        f"died), saw {restarts - restarts_before} restart(s)")
+
+    stats = await client.stats()
+    router = stats["router"]
+    assert router["hedges"]["fired"] >= 1, (
+        "no hedge fired against a stalled ring owner — gray failure "
+        "went unhandled")
+    assert router["deadline_exceeded"] == 0, (
+        f"{router['deadline_exceeded']} completion(s) blew a "
+        f"{deadline_ms} ms budget during a ~1 s stall")
+
+    for scene_id in scene_ids:
+        served = await client.complete(scene_id, n=8,
+                                       deadline_ms=deadline_ms)
+        assert served["snippets"], "post-stall completion failed"
+        assert "degraded" not in served, "post-stall completion degraded"
+
+    report.append(
+        f"slow-chaos: stalled {victim['backend_id']} (pid {pid}) "
+        f"mid-burst of {len(tasks) + len(wave)}; "
+        f"{router['hedges']['fired']} hedge(s) "
+        f"({router['hedges']['won']} won), "
+        f"{router['slow_timeouts']} slow timeout(s), "
+        f"{router['ejections']} ejection(s), 0 errors, 0 degraded, "
+        f"0 respawns, 0 deadline_exceeded; victim rejoined after "
+        f"SIGCONT")
     return report
 
 
@@ -341,7 +481,7 @@ async def _stream_drive(client: AsyncCompletionClient,
 async def _drive(host: str, port: int, scene_paths: Sequence[Path],
                  burst: int, shards: int = 0,
                  chaos: bool = False, stream: bool = False,
-                 kill_majority: bool = False,
+                 kill_majority: bool = False, slow: bool = False,
                  report: Optional[list] = None) -> list[str]:
     # The caller may share *report* so a failing drive still leaves its
     # partial step log behind for the --report artifact.
@@ -373,6 +513,8 @@ async def _drive(host: str, port: int, scene_paths: Sequence[Path],
         if chaos:
             if kill_majority:
                 report.extend(await _majority_kill(client, scene_paths))
+            elif slow:
+                report.extend(await _slow_burst(client, scene_paths))
             else:
                 report.extend(await _chaos_burst(client, scene_paths))
         else:
@@ -457,6 +599,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "edit-session round trip per scene set")
     parser.add_argument("--backends", type=int, default=2,
                         help="router backend processes (default 2)")
+    parser.add_argument("--slow", action="store_true",
+                        help="with --router --chaos: SIGSTOP one ring "
+                             "owner mid-burst (the gray failure) instead "
+                             "of SIGKILL; assert hedged completions on "
+                             "the sibling, zero errors, zero respawns, "
+                             "and rejoin after SIGCONT")
     parser.add_argument("--kill-majority", action="store_true",
                         help="with --router --chaos: SIGKILL *both* "
                              "replica-set owners of one scene and assert "
@@ -473,6 +621,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     if args.kill_majority and not args.chaos:
         print("smoke: --kill-majority requires --chaos", file=sys.stderr)
+        return 2
+    if args.slow and not args.chaos:
+        print("smoke: --slow requires --chaos", file=sys.stderr)
+        return 2
+    if args.slow and args.kill_majority:
+        print("smoke: --slow and --kill-majority are distinct chaos "
+              "modes; pick one", file=sys.stderr)
         return 2
     if args.kill_majority and args.backends < 3:
         print("smoke: --kill-majority needs --backends >= 3 so a "
@@ -496,6 +651,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
              else "router" if args.router else "server")
     if args.kill_majority:
         front += "+kill-majority"
+    if args.slow:
+        front += "+slow"
     if args.stream:
         front += "+stream"
     report: list = []
@@ -505,7 +662,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                            shards=shards, chaos=args.chaos,
                            stream=args.stream,
                            kill_majority=args.kill_majority,
-                           report=report))
+                           slow=args.slow, report=report))
     except BaseException as error:            # noqa: BLE001 — report then re-raise
         failure = f"{type(error).__name__}: {error}"
         raise

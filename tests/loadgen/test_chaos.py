@@ -7,7 +7,7 @@ import time
 import pytest
 
 from repro.loadgen.chaos import (ChaosController, ChaosError, ChaosOutcome,
-                                 ChaosPlan, KillRecord)
+                                 ChaosPlan, KillRecord, StallRecord)
 
 
 class TestKillIndices:
@@ -160,3 +160,126 @@ class TestRecoveryReport:
         doc = outcome.to_doc()
         assert doc["note"] == "quiet run"
         assert doc["kills"] == 0
+
+
+class TestStall:
+    @staticmethod
+    def _proc_state(pid):
+        with open(f"/proc/{pid}/stat", encoding="ascii") as handle:
+            return handle.read().rsplit(")", 1)[1].split()[0]
+
+    def test_stall_stops_and_resume_continues_a_real_process(self):
+        """SIGSTOP parks the child (state ``T``); SIGCONT revives it —
+        and the child never dies, the defining gray-failure property."""
+        child = subprocess.Popen(
+            [sys.executable, "-c", "import time; time.sleep(60)"])
+        try:
+            controller = ChaosController(ChaosPlan(mode="slow", seed=1))
+            healthz = {"backends": [
+                {"backend_id": "b0", "managed": True, "pid": child.pid}]}
+            record = controller.strike(healthz, phase="burst",
+                                       event_index=2)
+            assert record.backend_id == "b0"
+            assert record.resumed is False
+            assert controller.stalls == 1
+            assert controller.kills == 0, (
+                "slow mode must not be recorded as a kill")
+            deadline = time.monotonic() + 5.0
+            while self._proc_state(child.pid) != "T":
+                assert time.monotonic() < deadline, "child never stopped"
+                time.sleep(0.01)
+
+            assert controller.resume_all() == 1
+            assert record.resumed is True
+            assert controller.resume_all() == 0     # idempotent
+            deadline = time.monotonic() + 5.0
+            while self._proc_state(child.pid) == "T":
+                assert time.monotonic() < deadline, "child never resumed"
+                time.sleep(0.01)
+            assert child.poll() is None, "the stalled child must survive"
+        finally:
+            if child.poll() is None:
+                child.kill()
+                child.wait()
+
+    def test_stall_skips_already_stalled_victims(self):
+        child = subprocess.Popen(
+            [sys.executable, "-c", "import time; time.sleep(60)"])
+        try:
+            controller = ChaosController(ChaosPlan(mode="slow", seed=1))
+            healthz = {"backends": [
+                {"backend_id": "b0", "managed": True, "pid": child.pid}]}
+            controller.stall(healthz, phase="burst", event_index=0)
+            with pytest.raises(ChaosError, match="un-stalled"):
+                controller.stall(healthz, phase="burst", event_index=1)
+        finally:
+            controller.resume_all()
+            child.kill()
+            child.wait()
+
+    def test_stall_tolerates_a_dead_pid(self):
+        child = subprocess.Popen([sys.executable, "-c", "pass"])
+        child.wait(timeout=10)
+        time.sleep(0.05)
+        controller = ChaosController(ChaosPlan(mode="slow"))
+        healthz = {"backends": [
+            {"backend_id": "b0", "managed": True, "pid": child.pid}]}
+        record = controller.stall(healthz, phase="burst", event_index=0)
+        assert record.pid == child.pid
+        assert controller.resume_all() == 1     # nothing to continue; noted
+
+
+class TestSlowModeReport:
+    @staticmethod
+    def _stalled_controller(resumed):
+        controller = ChaosController(ChaosPlan(mode="slow"))
+        controller.stall_records.append(StallRecord(
+            backend_id="b0", pid=100, phase="burst", event_index=3,
+            at_monotonic=0.0, resumed=resumed))
+        return controller
+
+    def test_recovered_means_every_stall_was_resumed(self):
+        ok = self._stalled_controller(resumed=True).report(
+            {"restarts": 0, "reregistrations": 0}, journal_scenes=3)
+        assert ok["mode"] == "slow"
+        assert ok["recovered"] is True
+        stuck = self._stalled_controller(resumed=False).report(
+            {"restarts": 0, "reregistrations": 0}, journal_scenes=3)
+        assert stuck["recovered"] is False
+        assert stuck["stalls"] == 1
+        assert stuck["stall_records"][0]["resumed"] is False
+
+    def test_slow_recovery_needs_no_restarts(self):
+        """A stall recovers by rejoining, not respawning — zero
+        restarts must still read as recovered."""
+        section = self._stalled_controller(resumed=True).report(
+            {"restarts": 0, "reregistrations": 2}, journal_scenes=2)
+        assert section["recovered"] is True
+        assert section["observed_restarts"] == 0
+
+    def test_zero_stalls_is_vacuously_recovered(self):
+        controller = ChaosController(ChaosPlan(mode="slow"))
+        section = controller.report({"restarts": 0, "reregistrations": 0},
+                                    journal_scenes=0)
+        assert section["recovered"] is True
+
+    def test_stalls_feed_the_storm_bound(self):
+        controller = self._stalled_controller(resumed=True)
+        # Bound is (kills + stalls) * journal_scenes: 1 * 4 = 4.
+        bounded = controller.report({"restarts": 0, "reregistrations": 4},
+                                    journal_scenes=4)
+        assert bounded["reregistration_storm_bounded"] is True
+        storm = controller.report({"restarts": 0, "reregistrations": 5},
+                                  journal_scenes=4)
+        assert storm["reregistration_storm_bounded"] is False
+
+    def test_gray_counters_are_plumbed_through(self):
+        section = self._stalled_controller(resumed=True).report(
+            {"restarts": 0, "reregistrations": 0, "hedges": {"fired": 4,
+             "won": 3}, "deadline_exceeded": 1, "slow_timeouts": 2,
+             "ejections": 1, "rebalances": 0}, journal_scenes=1)
+        assert section["observed_hedges"] == {"fired": 4, "won": 3}
+        assert section["observed_deadline_exceeded"] == 1
+        assert section["observed_slow_timeouts"] == 2
+        assert section["observed_ejections"] == 1
+        assert section["observed_rebalances"] == 0

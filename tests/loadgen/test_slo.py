@@ -223,3 +223,59 @@ class TestBuildReport:
             accountant, trace_doc={}, trace_digest="x",
             topology={}, chaos={"kills": 1, "recovered": True})
         assert report["chaos"] == {"kills": 1, "recovered": True}
+
+
+class TestDeadlineBucket:
+    """``deadline_exceeded`` is its own bucket: the stack shed on time,
+    it did not fail — so sheds live in the request denominator but
+    never in the error numerator."""
+
+    def test_deadline_sheds_are_requests_but_not_errors(self):
+        account = PhaseAccount("burst")
+        account.latencies_ms.extend([10.0] * 8)
+        account.deadline_exceeded = 2
+        assert account.requests == 10
+        assert account.errors == 0
+        assert account.error_rate == 0.0
+
+    def test_record_deadline_counts_phase_and_retries(self):
+        accountant = SloAccountant()
+        accountant.record_ok("burst", 12.0)
+        accountant.record_deadline("burst", retries=1)
+        accountant.record_deadline("burst")
+        account = accountant.phase("burst")
+        assert account.deadline_exceeded == 2
+        assert account.retries == 1
+        assert account.requests == 3
+        snapshot = account.snapshot()
+        assert snapshot["deadline_exceeded"] == 2
+        assert snapshot["errors"] == 0
+        assert snapshot["error_rate"] == 0.0
+
+    def test_merged_sums_deadline_sheds_across_phases(self):
+        accountant = SloAccountant()
+        accountant.record_deadline("burst")
+        accountant.record_deadline("recovery")
+        accountant.record_ok("recovery", 5.0)
+        merged = accountant.merged()
+        assert merged.deadline_exceeded == 2
+        assert merged.requests == 3
+
+    def test_zero_error_budget_tolerates_deadline_sheds(self):
+        """The gate-level contract: a phase full of on-time sheds must
+        pass an error_budget=0 SLO, while one real error must fail it —
+        sheds and failures are different verdicts by design."""
+        accountant = SloAccountant()
+        for _ in range(5):
+            accountant.record_ok("burst", 10.0, completion=True)
+        for _ in range(3):
+            accountant.record_deadline("burst")
+        slo = SLO(name="no-errors", phases=("burst",), error_budget=0.0)
+        (verdict,) = evaluate_slos(accountant, [slo])
+        assert verdict.ok, verdict.failures
+
+        accountant.record_error("burst", "internal")
+        (verdict,) = evaluate_slos(accountant, [slo])
+        assert not verdict.ok
+        assert any("error rate" in failure
+                   for failure in verdict.failures)

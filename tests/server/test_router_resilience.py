@@ -106,6 +106,34 @@ class TestCircuitBreaker:
         assert breaker.opened_total == 2
         assert breaker.allow() is False     # a fresh cooldown started
 
+    def test_half_open_admits_exactly_one_probe(self):
+        """Regression: half-open must be a *single* probe slot.
+
+        Before the fix every caller that found the breaker half-open was
+        admitted — a burst against a barely-recovered backend.  Now the
+        first ``allow()`` claims the probe; concurrent callers wait for
+        its verdict.
+        """
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=2.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(2.0)
+        assert breaker.allow() is True      # the probe slot
+        assert breaker.state == "half_open"
+        assert breaker.allow() is False     # concurrent caller: wait
+        assert breaker.allow() is False
+        breaker.record_failure()            # probe lost
+        assert breaker.state == "open"
+        assert breaker.allow() is False     # fresh cooldown started
+        clock.advance(2.0)
+        assert breaker.allow() is True      # next probe window
+        assert breaker.allow() is False     # still one at a time
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow() and breaker.allow(), (
+            "a closed breaker admits everyone again")
+
     def test_rejects_nonpositive_threshold(self):
         with pytest.raises(ValueError, match="failure_threshold"):
             CircuitBreaker(failure_threshold=0)
