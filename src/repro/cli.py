@@ -60,6 +60,38 @@ from repro.core.errors import ReproError
 from repro.core.synthesizer import Synthesizer
 
 
+def _add_context_flags(parser: argparse.ArgumentParser) -> None:
+    """Per-query ranking hints (``CompletionContext``), shared by the
+    commands that serve ranked snippets."""
+    parser.add_argument("--receiver-type", default=None, metavar="TYPE",
+                        help="ranking hint: the type of the receiver "
+                             "expression at the cursor")
+    parser.add_argument("--enclosing-class", default=None, metavar="NAME",
+                        help="ranking hint: the class whose body holds "
+                             "the cursor")
+    parser.add_argument("--position-kind", default=None,
+                        choices=("expression", "after_new",
+                                 "member_access", "statement"),
+                        help="ranking hint: what kind of hole the cursor "
+                             "sits in")
+
+
+def _context_from_args(args: argparse.Namespace):
+    """Build a CompletionContext from the CLI hint flags, or None."""
+    from repro.core.ranking import CompletionContext
+
+    payload = {}
+    if getattr(args, "receiver_type", None):
+        payload["receiver_type"] = args.receiver_type
+    if getattr(args, "enclosing_class", None):
+        payload["enclosing_class"] = args.enclosing_class
+    if getattr(args, "position_kind", None):
+        payload["position_kind"] = args.position_kind
+    if not payload:
+        return None
+    return CompletionContext.from_payload(payload)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -83,6 +115,11 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="prover time budget, seconds (default 0.5)")
     synthesize.add_argument("--recon-limit", type=float, default=7.0,
                             help="reconstruction budget, seconds (default 7)")
+    synthesize.add_argument("--rerank", action="store_true",
+                            help="apply the standard post-reconstruction "
+                                 "weigher chain (any context hint flag "
+                                 "implies this)")
+    _add_context_flags(synthesize)
 
     batch = commands.add_parser(
         "batch", help="serve many goals/scenes in one engine invocation")
@@ -126,6 +163,7 @@ def _build_parser() -> argparse.ArgumentParser:
                               choices=("full", "no_corpus", "no_weights"),
                               help="weight-policy variant unless the step "
                                    "overrides it (default full)")
+    _add_context_flags(edit_session)
     edit_session.add_argument("--show-weights", action="store_true",
                               help="print each snippet's weight")
 
@@ -167,6 +205,14 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--snapshot-interval", type=float, default=0.0,
                        help="minimum seconds between snapshot saves "
                             "(default 0 = save after every synthesis)")
+    serve.add_argument("--project-weights", default=None, metavar="PATH",
+                       help="per-project weight tables JSON (a "
+                            "ProjectWeightTables.save document) feeding the "
+                            "ranking stage; the merged global table is the "
+                            "fallback for unattributed scenes")
+    serve.add_argument("--no-rerank", action="store_true",
+                       help="serve base corpus-weight order (disable the "
+                            "post-reconstruction weigher chain)")
     serve.add_argument("--inject-latency-ms", type=int, default=0,
                        help="debug fault injection: sleep this long before "
                             "serving each completion — a gray-failed "
@@ -335,6 +381,19 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
                               config=config, subtypes=loaded.subtypes)
     result = synthesizer.synthesize(goal, n=args.n)
 
+    try:
+        context = _context_from_args(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    reranked = False
+    if args.rerank or context is not None:
+        from repro.core.ranking import RankingPipeline
+
+        outcome = RankingPipeline.standard().rerank(
+            result, loaded.environment, context)
+        result, reranked = outcome.result, outcome.applied
+
     print(f"goal: {goal}   ({len(loaded.environment)} declarations, "
           f"variant {args.variant})")
     if not result.inhabited:
@@ -346,7 +405,8 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
         else:
             print(f"{snippet.rank:>3}. {snippet.code}")
     print(f"-- prove {result.prove_seconds * 1000:.0f} ms, "
-          f"reconstruct {result.reconstruction_seconds * 1000:.0f} ms")
+          f"reconstruct {result.reconstruction_seconds * 1000:.0f} ms"
+          f"{', reranked' if reranked else ''}")
     return 0
 
 
@@ -519,13 +579,26 @@ def _print_ranked(snippets, show_weights: bool) -> None:
             print(f"  {rank:>3}. {code}")
 
 
+def _step_context(args: argparse.Namespace, spec: dict):
+    """The step's own ``context`` object, else the CLI hint flags."""
+    from repro.core.ranking import CompletionContext
+
+    raw = spec.get("context")
+    if raw:
+        return CompletionContext.from_payload(raw)
+    return _context_from_args(args)
+
+
 def _edit_session_offline(args: argparse.Namespace, steps: list[dict]) -> int:
+    from repro.core.ranking import RankingPipeline
     from repro.engine import CompletionEngine
     from repro.lang.loader import load_environment_file
     from repro.lang.parser import parse_type
 
     loaded = load_environment_file(args.scene)
-    engine = CompletionEngine()
+    # The CLI session is an editor front end, so it ranks like the
+    # server: standard weigher chain over the base engine results.
+    engine = CompletionEngine(ranking=RankingPipeline.standard())
     prepared = engine.prepare(loaded.environment, loaded.subtypes,
                               goal=loaded.goal, name=args.scene)
     session = engine.open_session(prepared, name=args.scene)
@@ -548,11 +621,18 @@ def _edit_session_offline(args: argparse.Namespace, steps: list[dict]) -> int:
                       f"the step a \"goal\"", file=sys.stderr)
                 return 2
             variant = spec.get("variant", args.variant)
+            try:
+                context = _step_context(args, spec)
+            except ValueError as exc:
+                print(f"error: step {number}: {exc}", file=sys.stderr)
+                return 2
             served = session.complete(goal, variant=variant,
-                                      n=spec.get("n", args.n))
+                                      n=spec.get("n", args.n),
+                                      context=context)
             source = "cache" if served.cache_hit else "computed"
             print(f"[{number}] complete goal {goal or session.goal} "
-                  f"[{variant}, {source}]")
+                  f"[{variant}, {source}"
+                  f"{', reranked' if served.reranked else ''}]")
             _print_ranked(served.result.snippets, args.show_weights)
     print(f"-- generation {session.generation}, "
           f"{session.ops_applied} ops applied; "
@@ -591,8 +671,13 @@ def _edit_session_live(args: argparse.Namespace, steps: list[dict],
                     continue
                 spec = body or {}
                 variant = spec.get("variant", args.variant)
+                try:
+                    context = _step_context(args, spec)
+                except ValueError as exc:
+                    print(f"error: step {number}: {exc}", file=sys.stderr)
+                    return 2
                 kwargs = dict(goal=spec.get("goal"), variant=variant,
-                              n=spec.get("n", args.n))
+                              n=spec.get("n", args.n), context=context)
                 if args.stream:
                     print(f"[{number}] complete [{variant}, streaming]")
                     async for chunk in client.complete_stream(scene_id,
@@ -736,6 +821,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"error: --inject-latency-ms must be >= 0, got "
               f"{args.inject_latency_ms}", file=sys.stderr)
         return 2
+    if args.project_weights is not None:
+        # Fail fast with the CLI's usual error contract, before binding
+        # the port; the server re-loads the file itself at start().
+        from repro.corpus.mining import ProjectWeightTables
+        try:
+            ProjectWeightTables.load(args.project_weights)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     config = ServerConfig(host=args.host, port=args.port,
                           max_pending=args.max_pending,
                           max_scenes=args.max_scenes,
@@ -746,7 +840,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                           gc_thresholds=gc_thresholds,
                           snapshot_path=args.snapshot,
                           snapshot_interval=args.snapshot_interval,
-                          inject_latency_ms=args.inject_latency_ms)
+                          inject_latency_ms=args.inject_latency_ms,
+                          rerank=not args.no_rerank,
+                          project_weights_path=args.project_weights)
     server = AsyncCompletionServer(config=config)
 
     # Read the preload scenes before binding the port, so a typo'd path
@@ -1163,6 +1259,15 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print(f"scenes: {scenes.get('count')}/{scenes.get('limit')} registered, "
           f"{scenes.get('evictions')} evictions, "
           f"{scenes.get('releases')} releases")
+    ranking = payload.get("ranking")
+    if ranking:
+        weighers = ", ".join(ranking.get("weighers") or []) or "(empty chain)"
+        print(f"ranking: {weighers}")
+        print(f"  reranks={ranking.get('reranks')} "
+              f"reordered={ranking.get('reordered')}")
+        for weigher, moved in sorted(
+                (ranking.get("adjustments") or {}).items()):
+            print(f"  weigher {weigher}: adjusted={moved}")
     router = payload.get("router")
     if router:
         journal = router.get("journal", {})

@@ -1,0 +1,402 @@
+"""Composable post-reconstruction re-ranking (the weigher chain).
+
+The paper's base weights (Table 1 natures + corpus frequency, §4) drive
+proof search exactly as before — nothing in this module touches the
+prover or reconstruction.  What it adds is the layer the IntelliJ-Scala
+completion engine calls *weighers* (``ScalaByTypeWeigher``,
+``ScalaKindCompletionWeigher``): an ordered chain of small, composable
+scorers that adjust the weight of each **reconstructed snippet** using
+position context — local vs. member, current-class vs. foreign,
+after-``new``, kind buckets, per-project API frequency — and then
+re-sort.  Lower weight still wins, exactly as in the base model.
+
+Design constraints (load-bearing for the serving stack):
+
+* **Parity by default.** ``RankingPipeline.empty()`` returns the input
+  result *object* unchanged, so an empty chain is byte-identical to the
+  pre-refactor weight path (property-tested in
+  ``tests/properties/test_ranking_parity.py``).
+* **Post-cache.** The engine result cache is fingerprint-keyed and must
+  stay context-free; reranking runs *after* cache lookup so one cached
+  synthesis serves every context.  Nothing in this module may feed a
+  cache key.
+* **Stable.** Ties sort by original rank, so a weigher that adjusts
+  nothing reorders nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Iterable, Iterator, Mapping, Optional, Sequence, TYPE_CHECKING
+
+from repro.core.environment import DeclKind, Declaration, Environment, RenderStyle
+from repro.core.terms import LNFTerm
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.synthesizer import Snippet, SynthesisResult
+
+
+class ContextError(ValueError):
+    """Raised for a malformed context payload (unknown key, bad type)."""
+
+
+#: Recognised values for ``CompletionContext.position_kind``.  "expression"
+#: is the neutral default; "after_new" activates the constructor boost.
+POSITION_KINDS = ("expression", "after_new", "member_access", "statement")
+
+
+@dataclass(frozen=True)
+class CompletionContext:
+    """Per-query position hints riding the protocol (all optional).
+
+    ``receiver_type`` / ``enclosing_class`` are type names, either fully
+    qualified (``java.io.File``) or simple (``File``).  ``position_kind``
+    is one of :data:`POSITION_KINDS`.
+    """
+
+    receiver_type: Optional[str] = None
+    enclosing_class: Optional[str] = None
+    position_kind: Optional[str] = None
+
+    @property
+    def is_empty(self) -> bool:
+        return (self.receiver_type is None and self.enclosing_class is None
+                and self.position_kind is None)
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "CompletionContext":
+        """Parse a wire-level ``context`` object, rejecting typos loudly.
+
+        An unknown key is a client bug (a typo'd hint would otherwise be
+        silently ignored and the caller would never learn why ranking
+        did not change), so it raises :class:`ContextError`.
+        """
+        if not isinstance(payload, dict):
+            raise ContextError("context must be an object")
+        unknown = sorted(set(payload) - set(CONTEXT_FIELDS))
+        if unknown:
+            raise ContextError(
+                "unknown context key(s): %s (accepted: %s)"
+                % (", ".join(unknown), ", ".join(CONTEXT_FIELDS)))
+        values = {}
+        for name in CONTEXT_FIELDS:
+            value = payload.get(name)
+            if value is None:
+                continue
+            if not isinstance(value, str) or not value:
+                raise ContextError(
+                    "context.%s must be a non-empty string" % name)
+            values[name] = value
+        kind = values.get("position_kind")
+        if kind is not None and kind not in POSITION_KINDS:
+            raise ContextError(
+                "context.position_kind must be one of %s"
+                % ", ".join(POSITION_KINDS))
+        return cls(**values)
+
+    def to_payload(self) -> dict:
+        """The wire form: only the hints that are actually set."""
+        return {name: value for name in CONTEXT_FIELDS
+                if (value := getattr(self, name)) is not None}
+
+
+#: The accepted wire keys for a ``context`` object — by construction in
+#: sync with the dataclass fields (regression-tested against
+#: ``protocol.py``'s request serializer).
+CONTEXT_FIELDS = tuple(f.name for f in fields(CompletionContext))
+
+EMPTY_CONTEXT = CompletionContext()
+
+
+# ---------------------------------------------------------------------------
+# Term inspection helpers
+# ---------------------------------------------------------------------------
+
+def term_heads(term: LNFTerm) -> Iterator[str]:
+    """Every head name occurring in *term*, outermost first."""
+    yield term.head
+    for argument in term.arguments:
+        yield from term_heads(argument)
+
+
+def used_declarations(term: LNFTerm,
+                      environment: Environment) -> list[Declaration]:
+    """The distinct environment declarations referenced anywhere in *term*.
+
+    Binder-bound heads (lambda parameters) do not resolve in the
+    environment and are skipped; each declaration is reported once.
+    """
+    seen: set[str] = set()
+    found: list[Declaration] = []
+    for name in term_heads(term):
+        if name in seen:
+            continue
+        seen.add(name)
+        decl = environment.lookup(name)
+        if decl is not None:
+            found.append(decl)
+    return found
+
+
+def declaration_owner(decl: Declaration) -> str:
+    """The dotted owner prefix of a declaration name.
+
+    ``java.io.PrintStream.println`` -> ``java.io.PrintStream``; a name
+    with no dots has no owner (returns ``""``).
+    """
+    name, _, _ = decl.name.rpartition(".")
+    return name
+
+
+def _simple_name(qualified: str) -> str:
+    return qualified.rpartition(".")[2]
+
+
+def type_name_matches(owner: str, hint: str) -> bool:
+    """Whether an owner type matches a (possibly unqualified) hint."""
+    if not owner or not hint:
+        return False
+    return owner == hint or _simple_name(owner) == _simple_name(hint)
+
+
+# ---------------------------------------------------------------------------
+# Weighers
+# ---------------------------------------------------------------------------
+
+class Weigher:
+    """One stage of the chain: an additive weight delta per snippet.
+
+    Negative deltas *promote* (lower weight wins).  Implementations must
+    be pure functions of their arguments — the pipeline may be applied
+    to cached results from any thread.
+    """
+
+    name = "weigher"
+
+    def adjust(self, snippet: "Snippet", environment: Environment,
+               context: CompletionContext,
+               frequencies: Optional[Mapping[str, int]] = None) -> float:
+        raise NotImplementedError
+
+
+class KindWeigher(Weigher):
+    """Mild kind-bucket preference on the snippet's head declaration.
+
+    Mirrors ``ScalaKindCompletionWeigher``'s buckets: things defined
+    nearby (locals, lambda binders) over members, members over imports,
+    literals last.  Deltas are small relative to Table 1 gaps so the
+    base model keeps deciding between distant alternatives.
+    """
+
+    name = "kind"
+
+    ADJUSTMENTS = {
+        DeclKind.LOCAL: -3.0,
+        DeclKind.LAMBDA: -3.0,
+        DeclKind.CLASS_MEMBER: -1.0,
+        DeclKind.PACKAGE_MEMBER: -0.5,
+        DeclKind.LITERAL: 4.0,
+    }
+
+    def adjust(self, snippet, environment, context, frequencies=None):
+        decl = environment.lookup(snippet.term.head)
+        if decl is None:
+            return 0.0
+        return self.ADJUSTMENTS.get(decl.kind, 0.0)
+
+
+class ScopeDistanceWeigher(Weigher):
+    """Promote snippets that *use* in-scope locals (``ScalaByTypeWeigher``).
+
+    The base model already prices a local occurrence at 5 (Table 1), but
+    that is a per-occurrence *cost*: ``new JButton()`` outweighs
+    ``new JButton(text)`` by exactly the price of mentioning ``text``.
+    In an editor the opposite preference usually holds — completions
+    that wire up the values you just defined are the ones you meant.
+    This weigher grants a bonus per **distinct** local referenced
+    (capped), which also breaks argument-permutation ties in favour of
+    using more of the scope (``new Point(x, y)`` over ``new Point(x, x)``).
+    """
+
+    name = "scope"
+
+    BONUS_PER_LOCAL = -8.0
+    MAX_LOCALS = 3
+
+    def adjust(self, snippet, environment, context, frequencies=None):
+        distinct = sum(1 for decl in used_declarations(snippet.term,
+                                                       environment)
+                       if decl.kind is DeclKind.LOCAL)
+        return self.BONUS_PER_LOCAL * min(distinct, self.MAX_LOCALS)
+
+
+class ReceiverAffinityWeigher(Weigher):
+    """Context-gated: promote heads owned by the hinted receiver type.
+
+    Only active when the query carries ``receiver_type`` or
+    ``enclosing_class`` hints; the owner is the dotted prefix of the
+    declaration name (``java.io.File.exists`` is owned by
+    ``java.io.File``), matched fully-qualified or by simple name.
+    """
+
+    name = "receiver"
+
+    RECEIVER_BONUS = -6.0
+    ENCLOSING_BONUS = -4.0
+
+    def adjust(self, snippet, environment, context, frequencies=None):
+        if context.receiver_type is None and context.enclosing_class is None:
+            return 0.0
+        decl = environment.lookup(snippet.term.head)
+        if decl is None:
+            return 0.0
+        owner = declaration_owner(decl)
+        delta = 0.0
+        if context.receiver_type is not None and \
+                type_name_matches(owner, context.receiver_type):
+            delta += self.RECEIVER_BONUS
+        if context.enclosing_class is not None and \
+                type_name_matches(owner, context.enclosing_class):
+            delta += self.ENCLOSING_BONUS
+        return delta
+
+
+class ConstructorBoostWeigher(Weigher):
+    """Context-gated: after ``new``, constructors are what was asked for."""
+
+    name = "constructor"
+
+    BONUS = -10.0
+
+    def adjust(self, snippet, environment, context, frequencies=None):
+        if context.position_kind != "after_new":
+            return 0.0
+        decl = environment.lookup(snippet.term.head)
+        if decl is None or decl.render is None:
+            return 0.0
+        if decl.render.style is RenderStyle.CONSTRUCTOR:
+            return self.BONUS
+        return 0.0
+
+
+class ProjectFrequencyWeigher(Weigher):
+    """Promote heads this *project* actually calls (per-project tables).
+
+    The global corpus frequency is already priced into the base weights
+    at search time; this stage layers the per-project table selected for
+    the scene (mined by ``repro.corpus.mining.mine_project_tables``) on
+    top, saturating so a wildly popular symbol cannot drown the rest of
+    the chain.  With no table selected the stage is a no-op, which *is*
+    the global fallback: base weights already encode the global table.
+    """
+
+    name = "project_freq"
+
+    SCALE = -6.0
+    HALF_SATURATION = 8.0
+
+    def adjust(self, snippet, environment, context, frequencies=None):
+        if not frequencies:
+            return 0.0
+        count = frequencies.get(snippet.term.head, 0)
+        if count <= 0:
+            return 0.0
+        return self.SCALE * count / (count + self.HALF_SATURATION)
+
+
+# ---------------------------------------------------------------------------
+# The pipeline
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RerankOutcome:
+    """What :meth:`RankingPipeline.rerank` did to one result.
+
+    ``result`` is the (possibly) re-ranked result — the *same object* as
+    the input whenever nothing applied, preserving byte parity and the
+    engine's cache-identity guarantees.  ``adjustments`` counts, per
+    weigher name, how many snippets that weigher moved (non-zero delta);
+    ``applied`` is True when any weigher adjusted anything.
+    """
+
+    result: "SynthesisResult"
+    adjustments: Mapping[str, int]
+    applied: bool
+    reordered: bool
+
+
+class RankingPipeline:
+    """An ordered, immutable chain of weighers applied after cache lookup."""
+
+    def __init__(self, weighers: Iterable[Weigher] = ()):
+        self.weighers: tuple[Weigher, ...] = tuple(weighers)
+
+    @classmethod
+    def empty(cls) -> "RankingPipeline":
+        """The parity pipeline: rerank returns its input unchanged."""
+        return cls()
+
+    @classmethod
+    def standard(cls) -> "RankingPipeline":
+        """The default serving chain, in evaluation order."""
+        return cls((KindWeigher(), ScopeDistanceWeigher(),
+                    ReceiverAffinityWeigher(), ConstructorBoostWeigher(),
+                    ProjectFrequencyWeigher()))
+
+    def __len__(self) -> int:
+        return len(self.weighers)
+
+    def __bool__(self) -> bool:
+        return bool(self.weighers)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(weigher.name for weigher in self.weighers)
+
+    def rerank(self, result: "SynthesisResult", environment: Environment,
+               context: Optional[CompletionContext] = None,
+               frequencies: Optional[Mapping[str, int]] = None,
+               ) -> RerankOutcome:
+        """Re-score and stably re-sort a reconstruction result.
+
+        Returns the input object untouched when the chain is empty or no
+        weigher adjusts anything; otherwise a new ``SynthesisResult``
+        whose snippets carry adjusted weights and renumbered ranks.
+        """
+        context = context if context is not None else EMPTY_CONTEXT
+        snippets = result.snippets
+        if not self.weighers or not snippets:
+            return RerankOutcome(result, {}, False, False)
+
+        moved = {weigher.name: 0 for weigher in self.weighers}
+        deltas = [0.0] * len(snippets)
+        for weigher in self.weighers:
+            for index, snippet in enumerate(snippets):
+                delta = weigher.adjust(snippet, environment, context,
+                                       frequencies)
+                if delta:
+                    moved[weigher.name] += 1
+                    deltas[index] += delta
+        if not any(deltas):
+            return RerankOutcome(result, moved, False, False)
+
+        order = sorted(range(len(snippets)),
+                       key=lambda i: (snippets[i].weight + deltas[i], i))
+        reranked = tuple(
+            replace(snippets[i], weight=snippets[i].weight + deltas[i],
+                    rank=position + 1)
+            for position, i in enumerate(order))
+        return RerankOutcome(replace(result, snippets=reranked), moved,
+                             True, order != sorted(order))
+
+
+def pipeline_from_names(names: Sequence[str]) -> RankingPipeline:
+    """Build a pipeline from weigher names (CLI / config surface)."""
+    registry = {weigher.name: weigher
+                for weigher in RankingPipeline.standard().weighers}
+    missing = [name for name in names if name not in registry]
+    if missing:
+        raise ValueError(
+            "unknown weigher(s): %s (available: %s)"
+            % (", ".join(missing), ", ".join(sorted(registry))))
+    return RankingPipeline(registry[name] for name in names)

@@ -11,8 +11,11 @@ information only about Java and Scala APIs".
 
 from __future__ import annotations
 
+import json
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Optional
 
+from repro.core.errors import CorpusError
 from repro.corpus.stats import FrequencyTable
 
 SymbolFilter = Callable[[str], bool]
@@ -46,3 +49,121 @@ def api_only(prefixes: Iterable[str]) -> SymbolFilter:
         return symbol.startswith(prefixes)
 
     return keep
+
+
+# ---------------------------------------------------------------------------
+# Per-project weight tables (the ranking pipeline's project stage)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ProjectWeightTables:
+    """Per-project frequency tables with a merged-global fallback.
+
+    The global table is what proof search already consumes through the
+    base weights; the per-project tables feed the *post-reconstruction*
+    ranking stage (``repro.core.ranking.ProjectFrequencyWeigher``), so a
+    scene attributed to ``projA`` is re-ranked by what ``projA`` calls,
+    and a scene belonging to no mined project falls back to the merged
+    global table.  Selection is by scene name: the project whose name
+    equals the scene name, or prefixes it at a ``/`` or ``:`` boundary.
+    """
+
+    projects: Mapping[str, FrequencyTable] = field(default_factory=dict)
+    global_table: FrequencyTable = field(
+        default_factory=lambda: FrequencyTable({}))
+
+    def project_names(self) -> list[str]:
+        return sorted(self.projects)
+
+    def for_project(self, project: Optional[str]) -> FrequencyTable:
+        """The named project's table, or the global fallback."""
+        if project is None:
+            return self.global_table
+        return self.projects.get(project, self.global_table)
+
+    def project_for_scene(self, scene_name: Optional[str]) -> Optional[str]:
+        """Attribute a scene to a mined project by name, longest match."""
+        if not scene_name:
+            return None
+        best: Optional[str] = None
+        for project in self.projects:
+            if scene_name == project or \
+                    scene_name.startswith(project + "/") or \
+                    scene_name.startswith(project + ":"):
+                if best is None or len(project) > len(best):
+                    best = project
+        return best
+
+    def for_scene(self, scene_name: Optional[str]) -> FrequencyTable:
+        """The table the ranking stage should use for *scene_name*."""
+        return self.for_project(self.project_for_scene(scene_name))
+
+    # -- serialization (the `repro serve --project-weights` wire form) ------
+
+    def to_doc(self) -> dict:
+        return {
+            "version": 1,
+            "projects": {project: table.as_mapping()
+                         for project, table in sorted(self.projects.items())},
+            "global": self.global_table.as_mapping(),
+        }
+
+    @classmethod
+    def from_doc(cls, doc: object) -> "ProjectWeightTables":
+        if not isinstance(doc, dict):
+            raise CorpusError("project weights document must be an object")
+        version = doc.get("version", 1)
+        if version != 1:
+            raise CorpusError(
+                f"unsupported project weights version: {version!r}")
+        raw_projects = doc.get("projects", {})
+        if not isinstance(raw_projects, dict):
+            raise CorpusError("project weights 'projects' must be an object")
+        projects = {}
+        for project, counts in raw_projects.items():
+            if not isinstance(counts, dict):
+                raise CorpusError(
+                    f"project {project!r} counts must be an object")
+            projects[project] = FrequencyTable(counts)
+        raw_global = doc.get("global")
+        if raw_global is None:
+            merged = FrequencyTable({})
+            for project in sorted(projects):
+                merged = merged.merged(projects[project])
+            global_table = merged
+        elif isinstance(raw_global, dict):
+            global_table = FrequencyTable(raw_global)
+        else:
+            raise CorpusError("project weights 'global' must be an object")
+        return cls(projects=projects, global_table=global_table)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_doc(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "ProjectWeightTables":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CorpusError(
+                f"cannot read project weights from {path}: {exc}") from exc
+        return cls.from_doc(doc)
+
+
+def mine_project_tables(events_by_project: Mapping[str, Iterable[str]],
+                        keep: Optional[SymbolFilter] = None,
+                        ) -> ProjectWeightTables:
+    """Mine each project separately, keeping the merged-global fallback.
+
+    The merged global equals :func:`mine_frequencies` over the same
+    streams, so the two entry points stay consistent by construction.
+    """
+    projects = {project: mine_project(events_by_project[project], keep)
+                for project in sorted(events_by_project)}
+    merged = FrequencyTable({})
+    for project in sorted(projects):
+        merged = merged.merged(projects[project])
+    return ProjectWeightTables(projects=projects, global_table=merged)

@@ -21,12 +21,17 @@ environment, its succinct signature, and the interned succinct types.  A
 Engine-served results are *identical* to direct
 :meth:`~repro.core.synthesizer.Synthesizer.synthesize` output: a cache miss
 runs the very same pipeline over the very same prepared environment, and a
-hit returns what that run produced.
+hit returns what that run produced.  An engine constructed with a
+non-empty :class:`~repro.core.ranking.RankingPipeline` re-scores results
+*after* the cache — the cache (and its snapshots) always hold base,
+un-reranked results, so one cached synthesis serves every per-query
+context and the fingerprint-keyed cache never fragments on hints.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence, Union
@@ -34,10 +39,12 @@ from typing import Iterable, Optional, Sequence, Union
 from repro.core.config import SynthesisConfig
 from repro.core.environment import Environment
 from repro.core.errors import EngineError
+from repro.core.ranking import CompletionContext, RankingPipeline
 from repro.core.subtyping import SubtypeGraph, environment_with_subtyping
 from repro.core.synthesizer import SynthesisResult, Synthesizer
 from repro.core.types import Type
 from repro.core.weights import WeightPolicy
+from repro.corpus.mining import ProjectWeightTables
 from repro.engine.cache import CacheStats, LRUCache
 from repro.engine.keys import QueryKey, config_key, policy_key, query_key
 from repro.engine.pool import default_worker_count, run_batch
@@ -117,6 +124,7 @@ class EngineQuery:
     policy: Optional[WeightPolicy] = None
     config: Optional[SynthesisConfig] = None
     n: Optional[int] = None
+    context: Optional[CompletionContext] = None
 
 
 @dataclass
@@ -128,6 +136,9 @@ class EngineResult:
     cache_hit: bool
     scene_name: str
     engine_seconds: float
+    #: True when the ranking pipeline adjusted this result after cache
+    #: lookup (the cached entry itself is always the base result).
+    reranked: bool = False
 
     @property
     def snippets(self):
@@ -215,12 +226,25 @@ class CompletionEngine:
                  config: Optional[SynthesisConfig] = None,
                  result_entries: int = 512,
                  scene_entries: int = 16,
-                 max_workers: int = 1):
+                 max_workers: int = 1,
+                 ranking: Optional[RankingPipeline] = None):
         self.default_policy = policy or WeightPolicy.standard()
         self.default_config = config or SynthesisConfig.paper_defaults()
         self.results = LRUCache(result_entries)
         self.scenes = LRUCache(scene_entries)
         self.max_workers = max_workers
+        #: The post-cache re-weighting stage.  Defaults to the *empty*
+        #: pipeline: a bare engine is byte-identical to the pre-ranking
+        #: weight path (bench/CLI/table-2 parity); serving layers opt in
+        #: with ``RankingPipeline.standard()``.
+        self.ranking = ranking if ranking is not None \
+            else RankingPipeline.empty()
+        #: Per-project frequency tables for the project-affinity weigher;
+        #: ``None`` means every scene uses the (base-weight) global table.
+        self.project_weights: Optional[ProjectWeightTables] = None
+        self._ranking_lock = threading.Lock()
+        self._rank_counters = {"reranks": 0, "reordered": 0}
+        self._weigher_counters: dict[str, int] = {}
 
     # -- scene preparation ---------------------------------------------------
 
@@ -323,26 +347,81 @@ class CompletionEngine:
                  variant: Optional[str] = None,
                  policy: Optional[WeightPolicy] = None,
                  config: Optional[SynthesisConfig] = None,
-                 n: Optional[int] = None) -> EngineResult:
+                 n: Optional[int] = None,
+                 context: Optional[CompletionContext] = None) -> EngineResult:
         """Serve one query, from cache when possible.
 
         The returned :class:`~repro.core.synthesizer.SynthesisResult` is
         shared between callers that hit the same cache entry — treat it as
-        read-only.
+        read-only.  ``context`` carries per-query position hints for the
+        ranking pipeline; it deliberately does *not* participate in the
+        cache key, so the same query under different hints is a cache hit
+        re-ranked per context.
         """
         start = time.perf_counter()
         query = self._resolve_query(scene, goal, variant, policy, config, n)
         prepared, key = query.prepared, query.key
         cached = self.results.get(key)
         if cached is not None:
-            return EngineResult(cached, key, True, prepared.name,
-                                time.perf_counter() - start)
+            served, reranked = self.rerank_result(cached, prepared, context)
+            return EngineResult(served, key, True, prepared.name,
+                                time.perf_counter() - start, reranked)
 
         result = prepared.synthesizer(query.policy, query.config).synthesize(
             query.goal, n=n)
         self.results.put(key, result)
-        return EngineResult(result, key, False, prepared.name,
-                            time.perf_counter() - start)
+        served, reranked = self.rerank_result(result, prepared, context)
+        return EngineResult(served, key, False, prepared.name,
+                            time.perf_counter() - start, reranked)
+
+    # -- post-cache ranking ----------------------------------------------------
+
+    def set_project_weights(self,
+                            tables: Optional[ProjectWeightTables]) -> None:
+        """Install (or clear) the per-project tables the ranking stage uses."""
+        self.project_weights = tables
+
+    def rerank_result(self, result: SynthesisResult, prepared: PreparedScene,
+                      context: Optional[CompletionContext] = None,
+                      ) -> tuple[SynthesisResult, bool]:
+        """Apply the ranking pipeline to one (possibly cached) base result.
+
+        Runs strictly *after* cache lookup — cached entries stay base —
+        and returns the input object unchanged when the chain is empty or
+        adjusts nothing, preserving the parity and identity guarantees
+        the engine tests pin down.
+        """
+        pipeline = self.ranking
+        if not pipeline or not result.snippets:
+            return result, False
+        if context is not None and context.is_empty:
+            context = None
+        frequencies = None
+        if self.project_weights is not None:
+            table = self.project_weights.for_scene(prepared.name)
+            if len(table):
+                frequencies = table
+        outcome = pipeline.rerank(result, prepared.environment,
+                                  context=context, frequencies=frequencies)
+        with self._ranking_lock:
+            self._rank_counters["reranks"] += 1
+            if outcome.reordered:
+                self._rank_counters["reordered"] += 1
+            for name, moved in outcome.adjustments.items():
+                if moved:
+                    self._weigher_counters[name] = \
+                        self._weigher_counters.get(name, 0) + moved
+        return outcome.result, outcome.applied
+
+    def ranking_stats(self) -> dict:
+        """Ranking counters for ``/v1/stats``: reranks + per-weigher moves."""
+        with self._ranking_lock:
+            return {
+                "weighers": list(self.ranking.names),
+                "reranks": self._rank_counters["reranks"],
+                "reordered": self._rank_counters["reordered"],
+                "adjustments": dict(sorted(self._weigher_counters.items())),
+            }
 
     # -- batched queries -----------------------------------------------------
 
@@ -431,6 +510,19 @@ class CompletionEngine:
                         result, key, duplicate, resolved[index].prepared.name,
                         seconds)
 
+        if self.ranking:
+            # Post-cache, per-query: duplicates of one cached synthesis can
+            # each carry different context hints.
+            for index, outcome in enumerate(outcomes):
+                if outcome is None:
+                    continue
+                served, reranked = self.rerank_result(
+                    outcome.result, resolved[index].prepared,
+                    queries[index].context)
+                if reranked:
+                    outcomes[index] = dataclasses.replace(
+                        outcome, result=served, reranked=True)
+
         assert all(outcome is not None for outcome in outcomes)
         return outcomes  # type: ignore[return-value]
 
@@ -468,7 +560,8 @@ class CompletionEngine:
         return [(key, self.results.peek(key)) for key in self.results]
 
     @staticmethod
-    def write_snapshot(path: str, entries: list) -> int:
+    def write_snapshot(path: str, entries: list,
+                       project_weights: Optional[dict] = None) -> int:
         """Write collected entries to *path* (any thread; atomic).
 
         The snapshot is a pickle of ``{"version": ..., "by_fingerprint":
@@ -477,10 +570,18 @@ class CompletionEngine:
         half-written file and a crash mid-save leaves the previous
         snapshot intact.  Returns the number of entries written.
 
+        ``project_weights`` (a ``ProjectWeightTables.to_doc()`` document)
+        rides along when given, so a respawned replica restores the same
+        per-project ranking behaviour with its warm cache.  The key is
+        additive: version-1 snapshots without it restore fine, and older
+        readers ignore it.
+
         Staleness is impossible by construction: every key embeds the
         content fingerprint of the prepared environment, so a restored
         entry is only ever served to a query against byte-identical scene
         content — editing a scene changes its fingerprint and misses.
+        Cached results are always *base* (un-reranked) results, so
+        snapshots are agnostic to whatever weigher chain is configured.
         """
         import os
         import pickle
@@ -492,6 +593,8 @@ class CompletionEngine:
                                       []).append((key, result))
         payload = {"version": SNAPSHOT_VERSION,
                    "by_fingerprint": by_fingerprint}
+        if project_weights is not None:
+            payload["project_weights"] = project_weights
         directory = os.path.dirname(os.path.abspath(path)) or "."
         fd, tmp = tempfile.mkstemp(dir=directory, prefix=".snapshot-",
                                    suffix=".tmp")
@@ -514,7 +617,14 @@ class CompletionEngine:
         Collect + write in one call — for single-threaded callers; a
         serving layer splits the two (see :meth:`collect_results`).
         """
-        return self.write_snapshot(path, self.collect_results())
+        return self.write_snapshot(path, self.collect_results(),
+                                   project_weights=self.project_weights_doc())
+
+    def project_weights_doc(self) -> Optional[dict]:
+        """The installed per-project tables as a snapshot-ready document."""
+        if self.project_weights is None:
+            return None
+        return self.project_weights.to_doc()
 
     def restore_results(self, path: str,
                         fingerprints: Optional[set] = None) -> int:
@@ -540,6 +650,15 @@ class CompletionEngine:
                 or payload.get("version") != SNAPSHOT_VERSION
                 or not isinstance(payload.get("by_fingerprint"), dict)):
             return 0
+        weights_doc = payload.get("project_weights")
+        if weights_doc is not None and self.project_weights is None:
+            # Explicit configuration (``--project-weights``) wins over the
+            # snapshot; a bare respawn gets its ranking behaviour back.
+            try:
+                self.project_weights = ProjectWeightTables.from_doc(
+                    weights_doc)
+            except Exception:   # noqa: BLE001 — forgiving, like the cache
+                pass
         restored = 0
         for fingerprint, entries in payload["by_fingerprint"].items():
             if fingerprints is not None and fingerprint not in fingerprints:

@@ -77,10 +77,12 @@ class SceneSession:
     def complete(self, goal: Optional[Any] = None, *,
                  variant: Optional[str] = None,
                  policy=None, config=None,
-                 n: Optional[int] = None) -> EngineResult:
+                 n: Optional[int] = None,
+                 context=None) -> EngineResult:
         """One completion against the session's current state."""
         return self.engine.complete(self.prepared, goal, variant=variant,
-                                    policy=policy, config=config, n=n)
+                                    policy=policy, config=config, n=n,
+                                    context=context)
 
     def render_text(self, header: str = "") -> str:
         """The current state as canonical ``.ins`` text (the parity oracle)."""

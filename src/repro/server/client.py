@@ -22,10 +22,18 @@ from typing import Any, Callable, Optional, Sequence
 import hashlib
 
 from repro.core.errors import ReproError
+from repro.core.ranking import CompletionContext
 from repro.server.protocol import (PROTOCOL_VERSION, AdminBackendsRequest,
                                    CompleteRequest, EditSceneRequest,
                                    RegisterSceneRequest, ReleaseSceneRequest,
                                    encode_body)
+
+
+def _as_context(context) -> Optional[CompletionContext]:
+    """Accept either a :class:`CompletionContext` or its dict wire form."""
+    if context is None or isinstance(context, CompletionContext):
+        return context
+    return CompletionContext.from_payload(context)
 
 #: Process-wide RNG for backoff jitter, seeded from OS entropy: every
 #: client process draws different delays, which is the whole point.
@@ -298,7 +306,9 @@ class AsyncCompletionClient:
                        n: Optional[int] = None,
                        deadline_ms: Optional[int] = None,
                        budget_ms: Optional[int] = None,
-                       priority: Optional[int] = None) -> dict:
+                       priority: Optional[int] = None,
+                       context: Optional[CompletionContext | dict] = None,
+                       ) -> dict:
         # A deadline doubles as the absolute end-to-end budget: the first
         # hop starts the clock, every later hop receives whatever is left.
         # Callers that want the anytime budget without the fast-fail
@@ -309,7 +319,8 @@ class AsyncCompletionClient:
                                   variant=variant, n=n,
                                   deadline_ms=deadline_ms,
                                   budget_ms=budget_ms,
-                                  priority=priority)
+                                  priority=priority,
+                                  context=_as_context(context))
         return await self._request("POST", "/v1/complete",
                                    request.to_payload())
 
@@ -353,7 +364,9 @@ class AsyncCompletionClient:
                               goal: Optional[str] = None,
                               variant: Optional[str] = None,
                               n: Optional[int] = None,
-                              deadline_ms: Optional[int] = None):
+                              deadline_ms: Optional[int] = None,
+                              context: Optional[CompletionContext
+                                                | dict] = None):
         """One completion as an async stream of NDJSON chunk dicts.
 
         Yields chunks in wire order: ``snippet`` chunks in rank order as
@@ -369,7 +382,8 @@ class AsyncCompletionClient:
         request = CompleteRequest(scene_id=scene_id, scene=scene, goal=goal,
                                   variant=variant, n=n,
                                   deadline_ms=deadline_ms,
-                                  budget_ms=deadline_ms, stream=True)
+                                  budget_ms=deadline_ms, stream=True,
+                                  context=_as_context(context))
         body = encode_body({"v": PROTOCOL_VERSION, **request.to_payload()})
         head = (f"POST /v1/complete HTTP/1.1\r\n"
                 f"Host: {self.host}:{self.port}\r\n"
@@ -439,7 +453,9 @@ class AsyncCompletionClient:
                             goal: Optional[str] = None,
                             variant: Optional[str] = None,
                             n: Optional[int] = None,
-                            deadline_ms: Optional[int] = None) -> dict:
+                            deadline_ms: Optional[int] = None,
+                            context: Optional[CompletionContext
+                                              | dict] = None) -> dict:
         """Complete against scene *text*, registering it as needed.
 
         The retry-on-unknown-scene helper: the scene is registered once
@@ -451,19 +467,22 @@ class AsyncCompletionClient:
         """
         digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
         scene_id = self._scene_ids.get(digest)
+        context = _as_context(context)
         if scene_id is None:
             registered = await self.register_scene(text, name=name)
             scene_id = registered["scene_id"]
             self._scene_ids[digest] = scene_id
         try:
             return await self.complete(scene_id, goal=goal, variant=variant,
-                                       n=n, deadline_ms=deadline_ms)
+                                       n=n, deadline_ms=deadline_ms,
+                                       context=context)
         except SceneNotFoundError:
             registered = await self.register_scene(text, name=name)
             self._scene_ids[digest] = registered["scene_id"]
             return await self.complete(registered["scene_id"], goal=goal,
                                        variant=variant, n=n,
-                                       deadline_ms=deadline_ms)
+                                       deadline_ms=deadline_ms,
+                                       context=context)
 
     async def complete_batch(self,
                              queries: Sequence[CompleteRequest | dict]

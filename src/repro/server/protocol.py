@@ -34,6 +34,7 @@ from typing import Any, Optional
 
 from repro.core.config import SynthesisConfig
 from repro.core.errors import ReproError
+from repro.core.ranking import CompletionContext, ContextError
 from repro.engine.engine import VARIANTS
 
 #: Bump when the wire schema changes incompatibly.  v2 added scene deltas
@@ -46,6 +47,7 @@ PROTOCOL_VERSION = 2
 ERROR_CODES = (
     "bad_request",      # malformed JSON / missing or invalid fields -> 400
     "unsupported_version",  # request 'v' != server protocol version -> 400
+    "invalid_context",  # malformed/typo'd context hint object -> 400
     "not_found",        # unknown path or scene id -> 404
     "overloaded",       # admission control rejected the request -> 429
     "scene_error",      # the scene text failed to parse/load -> 422
@@ -57,6 +59,7 @@ ERROR_CODES = (
 STATUS_FOR_CODE = {
     "bad_request": 400,
     "unsupported_version": 400,
+    "invalid_context": 400,
     "not_found": 404,
     "overloaded": 429,
     "scene_error": 422,
@@ -190,6 +193,13 @@ class CompleteRequest:
     #: hard ``overloaded`` ceiling applies to everyone — interactive
     #: completions keep landing while batch backfill waits.
     priority: Optional[int] = None
+    #: Optional per-query position hints for the ranking pipeline
+    #: (``receiver_type`` / ``enclosing_class`` / ``position_kind``).
+    #: Hints never enter cache keys — the same query under different
+    #: hints is a cache hit, re-ranked per context — and a typo'd hint
+    #: key is rejected with ``invalid_context`` rather than silently
+    #: ignored.
+    context: Optional[CompletionContext] = None
 
     @staticmethod
     def from_payload(payload: Any) -> "CompleteRequest":
@@ -206,6 +216,15 @@ class CompleteRequest:
         stream = payload.get("stream", False)
         if not isinstance(stream, bool):
             raise ProtocolError("'stream' must be a boolean")
+        raw_context = payload.get("context")
+        context = None
+        if raw_context is not None:
+            try:
+                context = CompletionContext.from_payload(raw_context)
+            except ContextError as exc:
+                raise ProtocolError(str(exc), code="invalid_context") from exc
+            if context.is_empty:
+                context = None
         return CompleteRequest(
             scene_id=scene_id,
             scene=scene,
@@ -219,6 +238,7 @@ class CompleteRequest:
             stream=stream,
             priority=_optional_int(payload, "priority", minimum=0,
                                    maximum=MAX_PRIORITY),
+            context=context,
         )
 
     def to_payload(self) -> dict:
@@ -230,6 +250,8 @@ class CompleteRequest:
                 payload[field] = value
         if self.stream:
             payload["stream"] = True
+        if self.context is not None and not self.context.is_empty:
+            payload["context"] = self.context.to_payload()
         return payload
 
 
@@ -417,8 +439,15 @@ def snippet_payload(snippet) -> dict:
 def completion_payload(*, scene_id: str, goal, variant: str, result,
                        cache_hit: bool, coalesced: bool,
                        deadline_ms: Optional[int],
-                       server_seconds: float) -> dict:
-    """The response body for one served completion."""
+                       server_seconds: float,
+                       reranked: bool = False) -> dict:
+    """The response body for one served completion.
+
+    ``reranked`` marks results the weigher chain adjusted after cache
+    lookup — the observable half of the "hints never fragment the cache"
+    contract: a hinted repeat of a cached query answers ``cache_hit:
+    true`` *and* ``reranked: true``.
+    """
     return ok_payload(
         scene_id=scene_id,
         goal=str(goal),
@@ -432,6 +461,7 @@ def completion_payload(*, scene_id: str, goal, variant: str, result,
         deadline_ms=deadline_ms,
         synthesis_ms=round(result.total_seconds * 1000, 3),
         server_ms=round(server_seconds * 1000, 3),
+        reranked=reranked,
     )
 
 

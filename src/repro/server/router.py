@@ -1553,8 +1553,13 @@ class CompletionRouter:
 
     @staticmethod
     def _lkg_key(scene_id: str, request: CompleteRequest) -> tuple:
+        # Context hints DO key the LKG store (unlike the backend result
+        # cache): LKG replays full serialized *responses*, whose snippet
+        # order already reflects the hints they were served with.
+        context = (None if request.context is None
+                   else tuple(sorted(request.context.to_payload().items())))
         return (scene_id, request.goal, request.variant, request.n,
-                request.deadline_ms)
+                request.deadline_ms, context)
 
     def _remember_lkg(self, key: tuple, response: dict) -> dict:
         if response.get("ok") and not response.get("partial"):
@@ -1609,12 +1614,15 @@ class CompletionRouter:
 
         def call(client: AsyncCompletionClient) -> Awaitable[dict]:
             # Re-derived per attempt: each hop sees only what is left.
+            # Context hints ride every attempt, so failover and hedge
+            # retries rank exactly like the first try.
             return client.complete(scene_id, goal=request.goal,
                                    variant=request.variant, n=request.n,
                                    deadline_ms=request.deadline_ms,
                                    budget_ms=self._remaining_budget_ms(
                                        deadline_at),
-                                   priority=request.priority)
+                                   priority=request.priority,
+                                   context=request.context)
 
         return await self._serve_with_failover(scene_id, request, call,
                                                deadline_at=deadline_at)
@@ -1908,7 +1916,8 @@ class CompletionRouter:
             async def opened():
                 stream = client.complete_stream(
                     scene_id, goal=request.goal, variant=request.variant,
-                    n=request.n, deadline_ms=request.deadline_ms)
+                    n=request.n, deadline_ms=request.deadline_ms,
+                    context=request.context)
                 try:
                     return stream, await stream.__anext__()
                 except StopAsyncIteration:

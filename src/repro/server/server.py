@@ -37,8 +37,10 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.errors import ReproError
+from repro.core.ranking import CompletionContext, RankingPipeline
 from repro.core.synthesizer import SynthesisResult
 from repro.core.types import Type
+from repro.corpus.mining import ProjectWeightTables
 from repro.engine.engine import (CompletionEngine, PreparedScene,
                                  WorkerSceneUnavailable, _execute_remote,
                                  _RemoteQuery, policy_for_variant)
@@ -127,6 +129,18 @@ class ServerConfig:
     #: backend — alive, answering, *slow* — for the chaos harness and
     #: the router's hedging/ejection tests.  0 disables.
     inject_latency_ms: int = 0
+    #: Post-reconstruction re-ranking: when True (the default) the
+    #: server's engine runs the standard weigher chain over every served
+    #: result — after cache lookup, so cached entries stay base-ranked
+    #: and one fingerprint key serves every context.  False serves raw
+    #: corpus-weight order (the engine-library default).
+    rerank: bool = True
+    #: Per-project weight table file (``repro serve --project-weights``),
+    #: a :meth:`ProjectWeightTables.save` JSON document.  When set, the
+    #: ranking stage re-scores each scene with its own project's mined
+    #: frequencies (merged-global fallback).  Explicit configuration here
+    #: wins over tables riding in a restored snapshot.
+    project_weights_path: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -313,6 +327,7 @@ class _ServedCompletion:
     result: SynthesisResult
     cache_hit: bool
     coalesced: bool
+    reranked: bool = False
 
 
 @dataclass
@@ -342,7 +357,9 @@ class AsyncCompletionServer:
         scene_capacity = self.config.max_scenes + 1
         self.engine = engine or CompletionEngine(
             result_entries=2048,
-            scene_entries=max(scene_capacity, 16))
+            scene_entries=max(scene_capacity, 16),
+            ranking=(RankingPipeline.standard() if self.config.rerank
+                     else RankingPipeline.empty()))
         if self.engine.scenes.max_entries < scene_capacity:
             self.engine.scenes.max_entries = scene_capacity
         self.metrics = ServerMetrics(self.config.latency_window)
@@ -385,10 +402,16 @@ class AsyncCompletionServer:
         if self.config.gc_tune:
             import gc
             gc.set_threshold(*self.config.gc_thresholds)
+        if self.config.project_weights_path is not None:
+            # Strict: a typo'd --project-weights path should fail the
+            # serve command, not silently rank on the global table.
+            self.engine.set_project_weights(
+                ProjectWeightTables.load(self.config.project_weights_path))
         if self.config.snapshot_path is not None:
             # Start warm: restore whatever the previous incarnation (or a
             # router-managed predecessor) persisted.  Forgiving — a
-            # missing or corrupt snapshot just starts cold.
+            # missing or corrupt snapshot just starts cold.  Tables
+            # loaded above win over any riding in the snapshot.
             self.metrics.snapshot_restored = self.engine.restore_results(
                 self.config.snapshot_path)
         self._server = await asyncio.start_server(
@@ -474,7 +497,8 @@ class AsyncCompletionServer:
             future = loop.run_in_executor(self._executor,
                                           self.engine.write_snapshot,
                                           self.config.snapshot_path,
-                                          entries)
+                                          entries,
+                                          self.engine.project_weights_doc())
         except RuntimeError:
             return                          # executor already shut down
         self._snapshot_future = future
@@ -882,18 +906,25 @@ class AsyncCompletionServer:
                                        resolved.goal, resolved.policy,
                                        resolved.config, request.n,
                                        priority=request.priority)
+        # Re-ranking runs strictly after cache lookup: the cache (and
+        # snapshot) hold base results, so one fingerprint-keyed entry
+        # serves every context — a repeat query with different hints is
+        # still a cache hit, just re-scored for *its* cursor.
+        final, reranked = self.engine.rerank_result(
+            served.result, resolved.prepared, request.context)
         resolved.scene.completions += 1
         seconds = time.perf_counter() - start
-        partial = bool(served.result.explore_truncated
-                       or served.result.reconstruction_truncated)
+        partial = bool(final.explore_truncated
+                       or final.reconstruction_truncated)
         self.metrics.record_completion(seconds, cache_hit=served.cache_hit,
                                        coalesced=served.coalesced,
                                        partial=partial)
         return protocol.completion_payload(
             scene_id=resolved.scene.scene_id, goal=resolved.goal,
-            variant=resolved.variant, result=served.result,
+            variant=resolved.variant, result=final,
             cache_hit=served.cache_hit, coalesced=served.coalesced,
-            deadline_ms=resolved.deadline_ms, server_seconds=seconds)
+            deadline_ms=resolved.deadline_ms, server_seconds=seconds,
+            reranked=reranked)
 
     async def _serve_key(self, key, prepared: PreparedScene, goal: Type,
                          policy, config, n: Optional[int], *,
@@ -983,7 +1014,8 @@ class AsyncCompletionServer:
         self.metrics.streams += 1
         try:
             try:
-                served = await self._serve_stream(resolved, request.n, wire)
+                served = await self._serve_stream(resolved, request.n, wire,
+                                                  context=request.context)
             except ProtocolError as error:
                 self.metrics.record_error(error.code)
                 await wire.send(protocol.stream_error_chunk(error.code,
@@ -1010,36 +1042,48 @@ class AsyncCompletionServer:
                 scene_id=resolved.scene.scene_id, goal=resolved.goal,
                 variant=resolved.variant, result=served.result,
                 cache_hit=served.cache_hit, coalesced=served.coalesced,
-                deadline_ms=resolved.deadline_ms, server_seconds=seconds)
+                deadline_ms=resolved.deadline_ms, server_seconds=seconds,
+                reranked=served.reranked)
             await wire.send(protocol.stream_done_chunk(completion))
         finally:
             self.metrics.stream_chunks += wire.chunks
 
     async def _serve_stream(self, resolved: _ResolvedCompletion,
-                            n: Optional[int],
-                            wire: _StreamWire) -> _ServedCompletion:
+                            n: Optional[int], wire: _StreamWire,
+                            context: Optional[CompletionContext] = None,
+                            ) -> _ServedCompletion:
         """`_serve_key` with live emission.
 
-        Warm paths (cache hit, coalesced join) replay the completed
-        snippet list as chunks — same wire shape, already ranked.  The
-        leader path bridges the synthesis thread's per-snippet callback
-        onto the loop and forwards chunks as they arrive.  Either way the
-        result lands in the cache and coalesced waiters are resolved,
-        exactly like the batch path.
+        Warm paths (cache hit, coalesced join) re-rank the completed base
+        result for *this* request's context and replay it as chunks —
+        same wire shape.  The leader path bridges the synthesis thread's
+        per-snippet callback onto the loop and forwards chunks as they
+        arrive — but only when the ranking chain is empty: an active
+        chain means the final order isn't known until synthesis
+        completes, so the leader buffers and emits the re-ranked list at
+        the end (rank order and weight monotonicity hold either way).
+        Either way the *base* result lands in the cache and coalesced
+        waiters are resolved, exactly like the batch path.
         """
         key = resolved.key
         cached = self.engine.results.get(key)
         if cached is not None:
-            for snippet in cached.snippets:
+            final, reranked = self.engine.rerank_result(
+                cached, resolved.prepared, context)
+            for snippet in final.snippets:
                 await wire.send(protocol.stream_snippet_chunk(snippet))
-            return _ServedCompletion(cached, cache_hit=True, coalesced=False)
+            return _ServedCompletion(final, cache_hit=True, coalesced=False,
+                                     reranked=reranked)
 
         inflight = self._inflight.get(key)
         if inflight is not None:
             result = await asyncio.shield(inflight)
-            for snippet in result.snippets:
+            final, reranked = self.engine.rerank_result(
+                result, resolved.prepared, context)
+            for snippet in final.snippets:
                 await wire.send(protocol.stream_snippet_chunk(snippet))
-            return _ServedCompletion(result, cache_hit=False, coalesced=True)
+            return _ServedCompletion(final, cache_hit=False, coalesced=True,
+                                     reranked=reranked)
 
         # Leader: the admission check already passed in _handle_stream
         # (before the head was written); between there and here runs no
@@ -1048,19 +1092,24 @@ class AsyncCompletionServer:
         future: asyncio.Future = loop.create_future()
         self._inflight[key] = future
         self.metrics.enter_queue()
+        live = not self.engine.ranking
         queue: asyncio.Queue = asyncio.Queue()
 
         def _emit(snippet) -> None:
             # Runs on the synthesis thread; put_nowait must happen on the
             # loop.  call_soon_threadsafe preserves emission order.
-            loop.call_soon_threadsafe(queue.put_nowait, snippet)
+            if live:
+                loop.call_soon_threadsafe(queue.put_nowait, snippet)
 
         synthesis_start = time.perf_counter()
         task = loop.run_in_executor(
             self._executor, _run_synthesis_stream, resolved.prepared,
             resolved.goal, resolved.policy, resolved.config, n, _emit)
         try:
-            result = await self._pump_stream(task, queue, wire)
+            if live:
+                result = await self._pump_stream(task, queue, wire)
+            else:
+                result = await task
         except BaseException as error:
             if isinstance(error, asyncio.CancelledError):
                 future.set_exception(ProtocolError(
@@ -1079,7 +1128,15 @@ class AsyncCompletionServer:
         finally:
             self.metrics.leave_queue()
             self._inflight.pop(key, None)
-        return _ServedCompletion(result, cache_hit=False, coalesced=False)
+        if live:
+            return _ServedCompletion(result, cache_hit=False,
+                                     coalesced=False)
+        final, reranked = self.engine.rerank_result(
+            result, resolved.prepared, context)
+        for snippet in final.snippets:
+            await wire.send(protocol.stream_snippet_chunk(snippet))
+        return _ServedCompletion(final, cache_hit=False, coalesced=False,
+                                 reranked=reranked)
 
     async def _pump_stream(self, task, queue: asyncio.Queue,
                            wire: _StreamWire) -> SynthesisResult:
@@ -1209,6 +1266,7 @@ class AsyncCompletionServer:
                     "saved": self.metrics.snapshots_saved,
                 },
             },
+            ranking=self.engine.ranking_stats(),
             scenes=self.registry.describe(),
             core={"interned_types": intern_table_stats(),
                   "simple_types": simple_type_stats(),

@@ -501,11 +501,26 @@ async def _drive(host: str, port: int, scene_paths: Sequence[Path],
             assert warm["cache_hit"], f"{path.name}: warm request missed"
             assert warm["snippets"] == cold["snippets"], (
                 f"{path.name}: warm snippets differ from cold")
+
+            # Context hints end-to-end: the hinted repeat must still be a
+            # cache hit (hints never fragment the result cache) and come
+            # back re-ranked by the standard chain — through the router,
+            # this exercises hint propagation across the dispatch hop.
+            hinted = await client.complete(
+                scene_id, context={"position_kind": "expression"})
+            assert hinted["cache_hit"], (
+                f"{path.name}: hinted repeat missed the cache — context "
+                f"is fragmenting the result cache")
+            assert hinted["reranked"], (
+                f"{path.name}: hinted completion was not re-ranked")
+            hinted_ranks = [s["rank"] for s in hinted["snippets"]]
+            assert hinted_ranks == list(range(1, len(hinted_ranks) + 1)), (
+                f"{path.name}: hinted ranks not renumbered 1..n")
             report.append(
                 f"{path.name}: {len(cold['snippets'])} snippets, "
                 f"best {cold['snippets'][0]['code']!r}, "
                 f"cold {cold['synthesis_ms']:.0f} ms, "
-                f"warm hit {warm['server_ms']:.2f} ms")
+                f"warm hit {warm['server_ms']:.2f} ms, hinted rerank ok")
 
         if stream:
             report.extend(await _stream_drive(client, scene_paths))

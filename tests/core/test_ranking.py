@@ -1,0 +1,252 @@
+"""The post-reconstruction ranking pipeline: contexts, weighers, chain.
+
+Unit-level: weighers are pure functions of (snippet, environment,
+context, frequencies), so most tests build tiny snippets by hand.  The
+integration-level checks run the real synthesizer over a small scene and
+assert the chain's observable contract — same-object parity when nothing
+applies, stable re-sort and renumbered ranks when something does.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.environment import (Declaration, DeclKind, Environment,
+                                    RenderSpec, RenderStyle)
+from repro.core.ranking import (CONTEXT_FIELDS, CompletionContext,
+                                ConstructorBoostWeigher, ContextError,
+                                EMPTY_CONTEXT, KindWeigher, POSITION_KINDS,
+                                ProjectFrequencyWeigher, RankingPipeline,
+                                ReceiverAffinityWeigher, ScopeDistanceWeigher,
+                                declaration_owner, pipeline_from_names,
+                                term_heads, type_name_matches,
+                                used_declarations)
+from repro.core.synthesizer import Snippet, SynthesisResult
+from repro.core.terms import Binder, lnf
+from repro.core.types import BaseType
+
+STRING = BaseType("String")
+FILE = BaseType("File")
+
+
+def _decl(name, kind=DeclKind.IMPORTED, style=RenderStyle.METHOD):
+    return Declaration(name, STRING, kind=kind,
+                       render=RenderSpec(style=style, display=name))
+
+
+def _env(*decls):
+    return Environment(decls)
+
+
+def _snippet(term, weight, rank, code="code"):
+    return Snippet(term=term, surface_term=term, weight=weight, rank=rank,
+                   code=code)
+
+
+def _result(*snippets):
+    return SynthesisResult(snippets=list(snippets), inhabited=True)
+
+
+class TestCompletionContext:
+    def test_round_trip(self):
+        context = CompletionContext.from_payload(
+            {"receiver_type": "java.io.File", "position_kind": "after_new"})
+        assert context.receiver_type == "java.io.File"
+        assert context.enclosing_class is None
+        assert not context.is_empty
+        assert context.to_payload() == {"receiver_type": "java.io.File",
+                                        "position_kind": "after_new"}
+
+    def test_empty_payload_is_empty_context(self):
+        assert CompletionContext.from_payload({}).is_empty
+        assert EMPTY_CONTEXT.to_payload() == {}
+
+    def test_unknown_key_is_rejected_with_accepted_list(self):
+        with pytest.raises(ContextError) as excinfo:
+            CompletionContext.from_payload({"reciever_type": "File"})
+        message = str(excinfo.value)
+        assert "reciever_type" in message
+        for accepted in CONTEXT_FIELDS:
+            assert accepted in message
+
+    def test_non_object_payload_is_rejected(self):
+        with pytest.raises(ContextError):
+            CompletionContext.from_payload("after_new")
+
+    def test_empty_string_values_are_rejected(self):
+        with pytest.raises(ContextError):
+            CompletionContext.from_payload({"receiver_type": ""})
+        with pytest.raises(ContextError):
+            CompletionContext.from_payload({"enclosing_class": 7})
+
+    def test_position_kind_whitelist(self):
+        for kind in POSITION_KINDS:
+            assert CompletionContext.from_payload(
+                {"position_kind": kind}).position_kind == kind
+        with pytest.raises(ContextError):
+            CompletionContext.from_payload({"position_kind": "after_dot"})
+
+    def test_context_fields_track_the_dataclass(self):
+        assert set(CONTEXT_FIELDS) == {
+            f.name for f in dataclasses.fields(CompletionContext)}
+
+
+class TestTermHelpers:
+    def test_term_heads_walk_nested_arguments(self):
+        term = lnf("outer", lnf("a"), lnf("b", lnf("c")))
+        assert list(term_heads(term)) == ["outer", "a", "b", "c"]
+
+    def test_used_declarations_distinct_and_binder_free(self):
+        env = _env(_decl("f"), Declaration("x", STRING, kind=DeclKind.LOCAL))
+        term = lnf("f", lnf("x"), lnf("x"), lnf("bound"),
+                   binders=(Binder("bound", STRING),))
+        used = used_declarations(term, env)
+        assert [decl.name for decl in used] == ["f", "x"]
+
+    def test_declaration_owner(self):
+        assert declaration_owner(_decl("java.io.File.exists")) == \
+            "java.io.File"
+        assert declaration_owner(_decl("name")) == ""
+
+    def test_type_name_matches_qualified_and_simple(self):
+        assert type_name_matches("java.io.File", "java.io.File")
+        assert type_name_matches("java.io.File", "File")
+        assert type_name_matches("File", "java.io.File")
+        assert not type_name_matches("java.io.File", "Reader")
+        assert not type_name_matches("", "File")
+
+
+class TestWeighers:
+    def test_kind_weigher_buckets(self):
+        env = _env(Declaration("x", STRING, kind=DeclKind.LOCAL),
+                   Declaration("lit", STRING, kind=DeclKind.LITERAL),
+                   _decl("api.call", kind=DeclKind.IMPORTED))
+        weigher = KindWeigher()
+        assert weigher.adjust(_snippet(lnf("x"), 5, 1), env,
+                              EMPTY_CONTEXT) < 0
+        assert weigher.adjust(_snippet(lnf("lit"), 5, 1), env,
+                              EMPTY_CONTEXT) > 0
+        assert weigher.adjust(_snippet(lnf("api.call"), 5, 1), env,
+                              EMPTY_CONTEXT) == 0.0
+        assert weigher.adjust(_snippet(lnf("ghost"), 5, 1), env,
+                              EMPTY_CONTEXT) == 0.0
+
+    def test_scope_weigher_counts_distinct_locals_capped(self):
+        locals_ = [Declaration(f"x{i}", STRING, kind=DeclKind.LOCAL)
+                   for i in range(5)]
+        env = _env(_decl("f"), *locals_)
+        weigher = ScopeDistanceWeigher()
+        one = weigher.adjust(_snippet(lnf("f", lnf("x0"), lnf("x0")), 5, 1),
+                             env, EMPTY_CONTEXT)
+        two = weigher.adjust(_snippet(lnf("f", lnf("x0"), lnf("x1")), 5, 1),
+                             env, EMPTY_CONTEXT)
+        assert two < one < 0                 # distinct locals, not uses
+        capped = weigher.adjust(
+            _snippet(lnf("f", *[lnf(f"x{i}") for i in range(5)]), 5, 1),
+            env, EMPTY_CONTEXT)
+        assert capped == weigher.BONUS_PER_LOCAL * weigher.MAX_LOCALS
+
+    def test_receiver_weigher_needs_a_hint(self):
+        env = _env(_decl("java.io.File.exists"))
+        snippet = _snippet(lnf("java.io.File.exists"), 5, 1)
+        weigher = ReceiverAffinityWeigher()
+        assert weigher.adjust(snippet, env, EMPTY_CONTEXT) == 0.0
+        hinted = CompletionContext(receiver_type="File")
+        assert weigher.adjust(snippet, env, hinted) == \
+            weigher.RECEIVER_BONUS
+        both = CompletionContext(receiver_type="java.io.File",
+                                 enclosing_class="File")
+        assert weigher.adjust(snippet, env, both) == \
+            weigher.RECEIVER_BONUS + weigher.ENCLOSING_BONUS
+        other = CompletionContext(receiver_type="Reader")
+        assert weigher.adjust(snippet, env, other) == 0.0
+
+    def test_constructor_boost_gated_on_position(self):
+        env = _env(_decl("java.io.File.new", style=RenderStyle.CONSTRUCTOR),
+                   _decl("java.io.File.exists", style=RenderStyle.METHOD))
+        ctor = _snippet(lnf("java.io.File.new"), 5, 1)
+        method = _snippet(lnf("java.io.File.exists"), 5, 2)
+        weigher = ConstructorBoostWeigher()
+        assert weigher.adjust(ctor, env, EMPTY_CONTEXT) == 0.0
+        after_new = CompletionContext(position_kind="after_new")
+        assert weigher.adjust(ctor, env, after_new) == weigher.BONUS
+        assert weigher.adjust(method, env, after_new) == 0.0
+
+    def test_project_frequency_saturates(self):
+        env = _env(_decl("api.hot"), _decl("api.cold"))
+        weigher = ProjectFrequencyWeigher()
+        hot = _snippet(lnf("api.hot"), 5, 1)
+        assert weigher.adjust(hot, env, EMPTY_CONTEXT) == 0.0   # no table
+        small = weigher.adjust(hot, env, EMPTY_CONTEXT,
+                               frequencies={"api.hot": 2})
+        large = weigher.adjust(hot, env, EMPTY_CONTEXT,
+                               frequencies={"api.hot": 10_000})
+        assert large < small < 0
+        assert large >= weigher.SCALE        # saturation bound
+        assert weigher.adjust(_snippet(lnf("api.cold"), 5, 1), env,
+                              EMPTY_CONTEXT,
+                              frequencies={"api.hot": 5}) == 0.0
+
+
+class TestRankingPipeline:
+    def test_empty_chain_returns_the_same_object(self):
+        result = _result(_snippet(lnf("a"), 5, 1))
+        outcome = RankingPipeline.empty().rerank(result, _env())
+        assert outcome.result is result
+        assert not outcome.applied and not outcome.reordered
+
+    def test_no_adjustment_returns_the_same_object(self):
+        env = _env(_decl("api.a"), _decl("api.b"))
+        result = _result(_snippet(lnf("api.a"), 5, 1),
+                         _snippet(lnf("api.b"), 7, 2))
+        pipeline = RankingPipeline((KindWeigher(),))   # imported: no delta
+        outcome = pipeline.rerank(result, env)
+        assert outcome.result is result
+        assert not outcome.applied
+
+    def test_rerank_promotes_and_renumbers(self):
+        env = _env(Declaration("x", STRING, kind=DeclKind.LOCAL),
+                   _decl("f"), _decl("g"))
+        uses_local = _snippet(lnf("f", lnf("x")), 10, 2, code="f(x)")
+        bare = _snippet(lnf("g"), 9, 1, code="g")
+        result = _result(bare, uses_local)
+        outcome = RankingPipeline((ScopeDistanceWeigher(),)).rerank(
+            result, env)
+        assert outcome.applied and outcome.reordered
+        codes = [snippet.code for snippet in outcome.result.snippets]
+        assert codes == ["f(x)", "g"]
+        assert [s.rank for s in outcome.result.snippets] == [1, 2]
+        weights = [s.weight for s in outcome.result.snippets]
+        assert weights == sorted(weights)
+        assert result.snippets[0].code == "g"    # input untouched
+
+    def test_ties_keep_original_order(self):
+        env = _env(_decl("api.a"), _decl("api.b"),
+                   Declaration("lit", STRING, kind=DeclKind.LITERAL))
+        first = _snippet(lnf("api.a"), 5, 1, code="a")
+        second = _snippet(lnf("api.b"), 5, 2, code="b")
+        moved = _snippet(lnf("lit"), 5, 3, code="lit")
+        outcome = RankingPipeline((KindWeigher(),)).rerank(
+            _result(first, second, moved), env)
+        assert [s.code for s in outcome.result.snippets] == \
+            ["a", "b", "lit"]
+
+    def test_adjustment_counters_per_weigher(self):
+        env = _env(Declaration("x", STRING, kind=DeclKind.LOCAL), _decl("f"))
+        result = _result(_snippet(lnf("x"), 5, 1),
+                         _snippet(lnf("f", lnf("x")), 8, 2))
+        outcome = RankingPipeline.standard().rerank(result, env)
+        assert outcome.adjustments["kind"] == 1       # the bare local head
+        assert outcome.adjustments["scope"] == 2      # both use a local
+        assert outcome.adjustments["receiver"] == 0   # no hint given
+
+    def test_pipeline_from_names(self):
+        pipeline = pipeline_from_names(["scope", "kind"])
+        assert pipeline.names == ("scope", "kind")
+        with pytest.raises(ValueError) as excinfo:
+            pipeline_from_names(["scope", "typo"])
+        assert "typo" in str(excinfo.value)
+
+    def test_standard_names_are_stable(self):
+        assert RankingPipeline.standard().names == (
+            "kind", "scope", "receiver", "constructor", "project_freq")

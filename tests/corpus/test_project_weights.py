@@ -1,0 +1,134 @@
+"""Per-project weight tables and mining edge cases.
+
+Covers the miner's edges (empty event streams, overlapping API
+prefixes, single-project fallback) and the :class:`ProjectWeightTables`
+surface the ranking stage consumes: scene attribution, the merged-global
+fallback, and the ``--project-weights`` save/load wire form.
+"""
+
+import json
+
+import pytest
+
+from repro.core.errors import CorpusError, ReproError
+from repro.corpus.mining import (ProjectWeightTables, api_only,
+                                 mine_frequencies, mine_project,
+                                 mine_project_tables)
+from repro.corpus.stats import FrequencyTable
+
+EVENTS = {
+    "lucene": ["java.io.File.new", "java.io.File.new", "org.x.Internal.run"],
+    "ant": ["java.io.File.new", "java.util.List.add"],
+}
+
+
+class TestMiningEdges:
+    def test_empty_stream_yields_empty_table(self):
+        table = mine_project([])
+        assert len(table) == 0
+        assert table.total_uses() == 0
+
+    def test_all_filtered_out_yields_empty_table(self):
+        table = mine_project(["org.x.Internal.run"], keep=api_only(["java."]))
+        assert len(table) == 0
+
+    def test_empty_project_mapping(self):
+        assert len(mine_frequencies({})) == 0
+        tables = mine_project_tables({})
+        assert tables.project_names() == []
+        assert len(tables.global_table) == 0
+
+    def test_project_with_empty_stream_still_listed(self):
+        tables = mine_project_tables({"quiet": [], "busy": ["java.a"]})
+        assert tables.project_names() == ["busy", "quiet"]
+        assert len(tables.for_project("quiet")) == 0
+
+    def test_overlapping_prefixes_count_once(self):
+        """`java.` subsumes `java.io.` — a symbol matching both prefixes
+        must still count once, not once per matching prefix."""
+        keep = api_only(["java.", "java.io."])
+        table = mine_project(["java.io.File.new", "java.io.File.new"], keep)
+        assert table["java.io.File.new"] == 2
+        assert table.total_uses() == 2
+
+    def test_single_project_merge_equals_the_project(self):
+        merged = mine_frequencies({"solo": EVENTS["lucene"]})
+        assert merged.as_mapping() == \
+            mine_project(EVENTS["lucene"]).as_mapping()
+
+
+class TestProjectWeightTables:
+    def test_global_fallback_matches_mine_frequencies(self):
+        tables = mine_project_tables(EVENTS)
+        assert tables.global_table.as_mapping() == \
+            mine_frequencies(EVENTS).as_mapping()
+        assert tables.global_table["java.io.File.new"] == 3
+
+    def test_for_project_falls_back_to_global(self):
+        tables = mine_project_tables(EVENTS)
+        assert tables.for_project("lucene")["java.io.File.new"] == 2
+        assert tables.for_project("unmined")["java.io.File.new"] == 3
+        assert tables.for_project(None)["java.io.File.new"] == 3
+
+    def test_scene_attribution_boundaries(self):
+        tables = ProjectWeightTables(
+            projects={"lucene": FrequencyTable({"a": 1}),
+                      "lucene/sub": FrequencyTable({"b": 1})})
+        assert tables.project_for_scene("lucene") == "lucene"
+        assert tables.project_for_scene("lucene/core.ins") == "lucene"
+        assert tables.project_for_scene("lucene:scene#3") == "lucene"
+        # Longest matching project wins.
+        assert tables.project_for_scene("lucene/sub/x") == "lucene/sub"
+        # A name-prefix that is not a path boundary is NOT a match.
+        assert tables.project_for_scene("lucenex") is None
+        assert tables.project_for_scene(None) is None
+        assert tables.project_for_scene("") is None
+
+    def test_for_scene_routes_through_attribution(self):
+        tables = mine_project_tables(EVENTS)
+        assert tables.for_scene("ant/build.ins")["java.util.List.add"] == 1
+        assert tables.for_scene("gradle")["java.io.File.new"] == 3
+
+    def test_save_load_round_trip(self, tmp_path):
+        tables = mine_project_tables(EVENTS, keep=api_only(["java."]))
+        path = tmp_path / "weights.json"
+        tables.save(str(path))
+        loaded = ProjectWeightTables.load(str(path))
+        assert loaded.to_doc() == tables.to_doc()
+        assert loaded.for_scene("lucene/x")["java.io.File.new"] == 2
+
+    def test_doc_omitting_global_merges_projects(self):
+        doc = {"version": 1,
+               "projects": {"a": {"s": 1}, "b": {"s": 2, "t": 1}}}
+        tables = ProjectWeightTables.from_doc(doc)
+        assert tables.global_table.as_mapping() == {"s": 3, "t": 1}
+
+    def test_from_doc_validation(self):
+        with pytest.raises(CorpusError):
+            ProjectWeightTables.from_doc(["not", "an", "object"])
+        with pytest.raises(CorpusError):
+            ProjectWeightTables.from_doc({"version": 2})
+        with pytest.raises(CorpusError):
+            ProjectWeightTables.from_doc({"projects": "oops"})
+        with pytest.raises(CorpusError):
+            ProjectWeightTables.from_doc({"projects": {"a": "oops"}})
+        with pytest.raises(CorpusError):
+            ProjectWeightTables.from_doc({"projects": {}, "global": 3})
+
+    def test_load_errors_are_repro_errors(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        with pytest.raises(ReproError):
+            ProjectWeightTables.load(str(missing))
+        garbled = tmp_path / "bad.json"
+        garbled.write_text("{not json", encoding="utf-8")
+        with pytest.raises(CorpusError):
+            ProjectWeightTables.load(str(garbled))
+
+    def test_doc_is_json_stable(self, tmp_path):
+        tables = mine_project_tables(EVENTS)
+        path_a = tmp_path / "a.json"
+        path_b = tmp_path / "b.json"
+        tables.save(str(path_a))
+        ProjectWeightTables.load(str(path_a)).save(str(path_b))
+        assert path_a.read_text() == path_b.read_text()
+        assert json.loads(path_a.read_text())["version"] == 1

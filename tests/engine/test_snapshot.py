@@ -152,3 +152,65 @@ def test_restore_rejects_malformed_payloads(tmp_path, payload):
     with open(path, "wb") as handle:
         pickle.dump(payload, handle)
     assert CompletionEngine().restore_results(str(path)) == 0
+
+
+class TestProjectWeightsRideSnapshots:
+    """Per-project ranking tables persist with the warm cache."""
+
+    def _tables(self, counts=None):
+        from repro.corpus.mining import ProjectWeightTables
+        from repro.corpus.stats import FrequencyTable
+        counts = counts or {"java.io.File.new": 40}
+        return ProjectWeightTables(
+            projects={"demo": FrequencyTable(counts)},
+            global_table=FrequencyTable(counts))
+
+    def test_tables_round_trip_through_the_snapshot(self, tmp_path):
+        path = str(tmp_path / "results.snapshot")
+        engine = CompletionEngine()
+        engine.set_project_weights(self._tables())
+        engine.complete(_prepare(engine, SCENE))
+        assert engine.snapshot_results(path) == 1
+
+        replica = CompletionEngine()
+        assert replica.restore_results(path) == 1
+        assert replica.project_weights is not None
+        assert replica.project_weights.to_doc() == \
+            engine.project_weights.to_doc()
+
+    def test_explicit_tables_win_over_the_snapshot(self, tmp_path):
+        path = str(tmp_path / "results.snapshot")
+        engine = CompletionEngine()
+        engine.set_project_weights(self._tables())
+        engine.complete(_prepare(engine, SCENE))
+        engine.snapshot_results(path)
+
+        replica = CompletionEngine()
+        configured = self._tables({"demo.Box.new": 7})
+        replica.set_project_weights(configured)
+        replica.restore_results(path)
+        assert replica.project_weights is configured
+
+    def test_snapshot_without_tables_installs_nothing(self, tmp_path):
+        path = str(tmp_path / "results.snapshot")
+        engine = CompletionEngine()
+        engine.complete(_prepare(engine, SCENE))
+        engine.snapshot_results(path)
+
+        replica = CompletionEngine()
+        replica.restore_results(path)
+        assert replica.project_weights is None
+
+    def test_garbled_tables_degrade_to_cold_ranking(self, tmp_path):
+        """A snapshot whose weights document is corrupt still restores
+        the cache — ranking configuration is never worth a cold start."""
+        path = tmp_path / "results.snapshot"
+        engine = CompletionEngine()
+        engine.complete(_prepare(engine, SCENE))
+        entries = engine.collect_results()
+        CompletionEngine.write_snapshot(str(path), entries,
+                                        project_weights={"version": 99})
+
+        replica = CompletionEngine()
+        assert replica.restore_results(str(path)) == 1
+        assert replica.project_weights is None

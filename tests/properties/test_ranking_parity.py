@@ -1,0 +1,101 @@
+"""Ranking-chain parity: an empty chain is byte-invisible.
+
+The refactor's safety claim is that the weigher chain is strictly
+additive: with no weighers installed and no context hints, the serving
+path must produce *the same object* the synthesizer produced — not an
+equal copy, the identical result — so caches, snapshots and the parity
+oracles downstream cannot tell the pipeline exists.  With the standard
+chain installed the output must still be a rank-renumbered permutation
+of the base snippets with non-decreasing weights and stable ties.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SynthesisConfig
+from repro.core.ranking import (CompletionContext, RankingPipeline)
+from repro.core.synthesizer import Synthesizer
+from repro.engine.engine import CompletionEngine
+from tests.helpers import environment_and_goal
+
+CONFIG = SynthesisConfig(max_snippets=10, prover_time_limit=None,
+                         reconstruction_time_limit=None,
+                         max_reconstruction_steps=1000)
+
+CONTEXTS = [
+    None,
+    CompletionContext(receiver_type="java.io.File"),
+    CompletionContext(enclosing_class="Widget",
+                      position_kind="after_new"),
+]
+
+
+def _synthesize(environment, goal):
+    return Synthesizer(environment, config=CONFIG).synthesize(goal)
+
+
+@settings(max_examples=40, deadline=None)
+@given(environment_and_goal())
+def test_empty_chain_is_the_identity(env_goal):
+    environment, goal = env_goal
+    result = _synthesize(environment, goal)
+    pipeline = RankingPipeline.empty()
+    for context in CONTEXTS:
+        outcome = pipeline.rerank(result, environment, context)
+        assert outcome.result is result
+        assert not outcome.applied
+        assert not outcome.reordered
+        assert outcome.adjustments == {}
+
+
+@settings(max_examples=25, deadline=None)
+@given(environment_and_goal())
+def test_engine_default_matches_bare_synthesis(env_goal):
+    """The engine's default (empty) chain serves the synthesizer's bytes."""
+    environment, goal = env_goal
+    engine = CompletionEngine(config=CONFIG)
+    prepared = engine.prepare(environment, goal=goal, name="parity")
+    served = engine.complete(prepared)
+    assert not served.reranked
+    bare = _synthesize(prepared.environment, prepared.goal)
+    assert len(served.snippets) == len(bare.snippets)
+    for ours, theirs in zip(served.snippets, bare.snippets):
+        assert ours.rank == theirs.rank
+        assert ours.weight == theirs.weight
+        assert ours.term == theirs.term
+        assert ours.code == theirs.code
+
+
+@settings(max_examples=40, deadline=None)
+@given(environment_and_goal(), st.sampled_from(range(len(CONTEXTS))))
+def test_standard_chain_is_a_rank_renumbered_permutation(env_goal, which):
+    environment, goal = env_goal
+    result = _synthesize(environment, goal)
+    outcome = RankingPipeline.standard().rerank(result, environment,
+                                                CONTEXTS[which])
+    reranked = outcome.result
+    assert sorted(s.code for s in reranked.snippets) == \
+        sorted(s.code for s in result.snippets)
+    assert [s.rank for s in reranked.snippets] == \
+        list(range(1, len(reranked.snippets) + 1))
+    weights = [s.weight for s in reranked.snippets]
+    assert weights == sorted(weights)
+    # Everything except snippets rides through untouched.
+    assert reranked.inhabited == result.inhabited
+    if outcome.result is not result:
+        assert outcome.applied
+
+
+@settings(max_examples=25, deadline=None)
+@given(environment_and_goal())
+def test_rerank_is_deterministic(env_goal):
+    """Two independent passes over the same base agree snippet for snippet."""
+    environment, goal = env_goal
+    result = _synthesize(environment, goal)
+    first = RankingPipeline.standard().rerank(result, environment)
+    second = RankingPipeline.standard().rerank(result, environment)
+    assert [s.code for s in second.result.snippets] == \
+        [s.code for s in first.result.snippets]
+    assert [s.weight for s in second.result.snippets] == \
+        [s.weight for s in first.result.snippets]
+    assert second.adjustments == first.adjustments

@@ -1,9 +1,13 @@
 """Wire-protocol round-trips, validation and deadline mapping."""
 
+import dataclasses
+
 import pytest
 
 from repro.core.config import SynthesisConfig
-from repro.server.protocol import (MIN_PHASE_SECONDS, PROTOCOL_VERSION,
+from repro.core.ranking import CONTEXT_FIELDS, CompletionContext
+from repro.server.protocol import (ERROR_CODES, MIN_PHASE_SECONDS,
+                                   PROTOCOL_VERSION, STATUS_FOR_CODE,
                                    CompleteRequest, ProtocolError,
                                    RegisterSceneRequest, completion_payload,
                                    deadline_config, decode_body, encode_body,
@@ -62,6 +66,69 @@ class TestCompleteRequest:
         with pytest.raises(ProtocolError, match="deadline_ms"):
             CompleteRequest.from_payload(
                 {"scene_id": "scn_x", "deadline_ms": 10_000_000})
+
+
+class TestCompleteRequestContext:
+    """Context hints on the wire: parse, reject, and stay in sync."""
+
+    def test_roundtrip_with_context(self):
+        request = CompleteRequest.from_payload(
+            {"scene_id": "scn_x",
+             "context": {"receiver_type": "java.io.File",
+                         "position_kind": "after_new"}})
+        assert request.context == CompletionContext(
+            receiver_type="java.io.File", position_kind="after_new")
+        assert CompleteRequest.from_payload(request.to_payload()) == request
+        assert request.to_payload()["context"] == {
+            "receiver_type": "java.io.File", "position_kind": "after_new"}
+
+    def test_typo_key_maps_to_invalid_context(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            CompleteRequest.from_payload(
+                {"scene_id": "scn_x",
+                 "context": {"reciever_type": "File"}})
+        assert excinfo.value.code == "invalid_context"
+        assert STATUS_FOR_CODE[excinfo.value.code] == 400
+        assert "invalid_context" in ERROR_CODES
+
+    def test_non_object_context_maps_to_invalid_context(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            CompleteRequest.from_payload(
+                {"scene_id": "scn_x", "context": "after_new"})
+        assert excinfo.value.code == "invalid_context"
+
+    def test_empty_context_normalises_to_none(self):
+        request = CompleteRequest.from_payload(
+            {"scene_id": "scn_x", "context": {}})
+        assert request.context is None
+        assert "context" not in request.to_payload()
+
+    def test_wire_keys_stay_in_sync_with_the_dataclass(self):
+        """Regression guard: add a field to CompleteRequest and forget
+        ``to_payload`` and this fails — a silently dropped field would
+        otherwise surface as hints (or budgets) vanishing across hops.
+        """
+        request = CompleteRequest(
+            scene_id="scn_x", goal="Reader", variant="full", n=3,
+            deadline_ms=100, budget_ms=50, stream=True, priority=7,
+            context=CompletionContext(receiver_type="File"))
+        payload = request.to_payload()
+        field_names = {f.name for f in dataclasses.fields(CompleteRequest)}
+        assert set(payload) == field_names - {"scene"}
+        assert CompleteRequest.from_payload(
+            dict(payload, scene_id=None,
+                 scene="local x : A\ngoal A")) is not None
+
+    def test_context_payload_keys_match_completion_context(self):
+        """The hint keys the protocol accepts are exactly the
+        :class:`CompletionContext` fields — no drift either way."""
+        assert set(CONTEXT_FIELDS) == {
+            f.name for f in dataclasses.fields(CompletionContext)}
+        for key in CONTEXT_FIELDS:
+            value = "after_new" if key == "position_kind" else "File"
+            request = CompleteRequest.from_payload(
+                {"scene_id": "scn_x", "context": {key: value}})
+            assert getattr(request.context, key) == value
 
 
 class TestBatchPayload:

@@ -583,6 +583,16 @@ class TestRouterEndToEnd:
                 assert (await client.complete(first))["cache_hit"] is True
                 await client.complete(second)
 
+                # Context hints ride the routed path: a hinted repeat of
+                # the same query is a cache hit re-ranked per context,
+                # never a second synthesis.
+                hint = {"receiver_type": "java.io.File"}
+                hinted = await client.complete(first, context=hint)
+                assert hinted["cache_hit"] is True
+                assert hinted["reranked"] is True
+                assert [s["code"] for s in hinted["snippets"]] == \
+                    [s["code"] for s in cold["snippets"]]
+
                 stats = await client.stats()
                 assert len(stats["shards"]) == 2
                 assert stats["server"]["completions"] == sum(
@@ -629,6 +639,15 @@ class TestRouterEndToEnd:
                 assert warm["cache_hit"] is True, (
                     "respawned replica must restore its snapshot and "
                     "serve the journal-replayed scene warm")
+
+                # Rank stability across the respawn: the restored base
+                # cache re-ranks to the same hinted order as before the
+                # kill — snapshots hold base results, so a replica that
+                # accidentally snapshotted re-ranked weights would
+                # double-apply adjustments here and diverge.
+                hinted_after = await client.complete(first, context=hint)
+                assert hinted_after["cache_hit"] is True
+                assert hinted_after["snippets"] == hinted["snippets"]
             finally:
                 await client.close()
                 await router.close()

@@ -512,6 +512,170 @@ class TestSnapshotPersistence:
         asyncio.run(main())
 
 
+#: Two equal-frequency candidates for the same goal: base order is the
+#: deterministic emission tie-break, so a receiver hint is what decides
+#: which of the two leads — the scene the context e2e tests turn on.
+CONTEXT_SCENE = """
+local name : String
+imported java.io.File.new : String -> File \
+[freq=100] [style=constructor] [display=File]
+imported demo.Temp.make : String -> File \
+[freq=100] [style=method] [display=Temp.make]
+goal File
+"""
+
+
+class TestContextAwareServing:
+    def test_hints_rerank_cache_hits_without_fragmenting(self):
+        """Same scene + query under different hints: one synthesis, every
+        follow-up a cache hit, each re-ranked per its own context."""
+        async def main():
+            async with running_server() as (server, client):
+                cold = await client.complete(scene=CONTEXT_SCENE)
+                assert cold["cache_hit"] is False
+                assert cold["reranked"] is True   # scope weigher applies
+                assert cold["snippets"][0]["code"] == "new File(name)"
+
+                temp = await client.complete(
+                    scene=CONTEXT_SCENE,
+                    context={"receiver_type": "demo.Temp"})
+                assert temp["cache_hit"] is True
+                assert temp["reranked"] is True
+                assert temp["snippets"][0]["code"] == "name.Temp.make()"
+
+                file_hint = await client.complete(
+                    scene=CONTEXT_SCENE,
+                    context={"receiver_type": "java.io.File",
+                             "position_kind": "after_new"})
+                assert file_hint["cache_hit"] is True
+                assert file_hint["snippets"][0]["code"] == "new File(name)"
+
+                # Re-ranking renumbers: every response is rank 1..n with
+                # non-decreasing weights, whatever the hints did.
+                for served in (cold, temp, file_hint):
+                    ranks = [s["rank"] for s in served["snippets"]]
+                    assert ranks == list(range(1, len(ranks) + 1))
+                    weights = [s["weight"] for s in served["snippets"]]
+                    assert weights == sorted(weights)
+
+                stats = await client.stats()
+                assert stats["server"]["synthesized"] == 1
+                assert stats["server"]["completions"] == 3
+                ranking = stats["ranking"]
+                assert ranking["weighers"] == [
+                    "kind", "scope", "receiver", "constructor",
+                    "project_freq"]
+                assert ranking["reranks"] >= 3
+                assert ranking["reordered"] >= 1       # the Temp flip
+                assert ranking["adjustments"]["receiver"] >= 2
+                assert ranking["adjustments"]["scope"] >= 6
+
+        asyncio.run(main())
+
+    def test_rerank_disabled_serves_base_bytes(self):
+        async def main():
+            async with running_server(rerank=False) as (server, client):
+                served = await client.complete(
+                    scene=CONTEXT_SCENE,
+                    context={"receiver_type": "demo.Temp"})
+                assert served["reranked"] is False
+                assert served["snippets"][0]["code"] == "new File(name)"
+                stats = await client.stats()
+                assert stats["ranking"]["weighers"] == []
+                assert stats["ranking"]["reranks"] == 0
+
+        asyncio.run(main())
+
+    def test_typo_hint_key_is_invalid_context_on_the_wire(self):
+        async def main():
+            async with running_server() as (server, client):
+                with pytest.raises(ServerError) as excinfo:
+                    # Straight to the wire: the client-side constructor
+                    # would reject the typo before sending.
+                    await client._request(
+                        "POST", "/v1/complete",
+                        {"scene": CONTEXT_SCENE,
+                         "context": {"reciever_type": "demo.Temp"}})
+                assert excinfo.value.code == "invalid_context"
+
+        asyncio.run(main())
+
+    def test_stream_with_context_matches_unary_order(self):
+        async def main():
+            async with running_server() as (server, client):
+                context = {"receiver_type": "demo.Temp"}
+                unary = await client.complete(scene=CONTEXT_SCENE,
+                                              context=context)
+                chunks = []
+                async for chunk in client.complete_stream(
+                        scene=CONTEXT_SCENE, context=context):
+                    chunks.append(chunk)
+                done = chunks[-1]
+                assert done["chunk"] == "done"
+                streamed = [c["code"] for c in chunks
+                            if c["chunk"] == "snippet"]
+                assert streamed == \
+                    [s["code"] for s in unary["snippets"]]
+                assert done["reranked"] is True
+                assert done["cache_hit"] is True    # unary warmed it
+
+        asyncio.run(main())
+
+    def test_project_weights_config_feeds_the_ranking_stage(self, tmp_path):
+        from repro.corpus.mining import ProjectWeightTables
+        from repro.corpus.stats import FrequencyTable
+
+        weights = tmp_path / "weights.json"
+        ProjectWeightTables(
+            projects={"demo": FrequencyTable({"demo.Temp.make": 50})},
+            global_table=FrequencyTable({"demo.Temp.make": 50}),
+        ).save(str(weights))
+
+        async def main():
+            async with running_server(
+                    project_weights_path=str(weights)) as (server, client):
+                registered = await client.register_scene(CONTEXT_SCENE,
+                                                         name="demo/edit")
+                served = await client.complete(registered["scene_id"])
+                # The mined project calls Temp.make: it now outranks the
+                # constructor even without any per-query hint.
+                assert served["snippets"][0]["code"] == "name.Temp.make()"
+                stats = await client.stats()
+                assert stats["ranking"]["adjustments"]["project_freq"] >= 1
+
+        asyncio.run(main())
+
+    def test_hinted_ranks_stable_across_restart(self, tmp_path):
+        """The snapshot holds base results; a respawned replica re-ranks
+        them to the same hinted order the first life served."""
+        snapshot = str(tmp_path / "results.snapshot")
+        context = {"receiver_type": "demo.Temp"}
+
+        async def first_life():
+            async with running_server(
+                    snapshot_path=snapshot) as (server, client):
+                served = await client.complete(scene=CONTEXT_SCENE,
+                                               context=context)
+                for _ in range(200):
+                    if server.metrics.snapshots_saved > 0:
+                        break
+                    await asyncio.sleep(0.02)
+                assert server.metrics.snapshots_saved > 0
+                return served
+
+        async def second_life(first):
+            async with running_server(
+                    snapshot_path=snapshot) as (server, client):
+                warm = await client.complete(scene=CONTEXT_SCENE,
+                                             context=context)
+                assert warm["cache_hit"] is True
+                assert warm["reranked"] is True
+                assert warm["snippets"] == first["snippets"]
+
+        first = asyncio.run(first_life())
+        asyncio.run(second_life(first))
+
+
 class TestClientErrorPaths:
     def test_connection_refused(self):
         async def main():
